@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+``SCALE`` (the experiments are deterministic, so a single round is
+meaningful), asserts the figure's qualitative shape, and attaches the
+headline numbers to the benchmark record via ``extra_info``.
+"""
+
+import pytest
+
+#: Scale factor applied to every experiment when run under benchmarks.
+SCALE = 0.25
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+
+    return runner

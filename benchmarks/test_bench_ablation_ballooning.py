@@ -1,0 +1,19 @@
+"""Benchmark: ballooning-policy ablation (paper Section IV-F policy 2)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_ballooning(run_once, benchmark):
+    result = run_once(ablations.run_ballooning, scale=SCALE)
+    rows = {row["ballooning"]: row for row in result["rows"]}
+    # Shape: granting DRAM to the paging server cuts faults and time.
+    assert rows["adaptive"]["completion_s"] < rows["off"]["completion_s"]
+    assert rows["adaptive"]["major_faults"] < rows["off"]["major_faults"]
+    assert (
+        rows["adaptive"]["final_capacity_pages"]
+        > rows["off"]["final_capacity_pages"]
+    )
+    benchmark.extra_info["speedup"] = (
+        rows["off"]["completion_s"] / rows["adaptive"]["completion_s"]
+    )

@@ -1,0 +1,25 @@
+"""Benchmark: message-size x window batching ablation (Section IV-H)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_batching(run_once, benchmark):
+    result = run_once(ablations.run_batching, scale=SCALE)
+    rows = result["rows"]
+
+    def cell(message_kib, window):
+        return next(
+            r for r in rows
+            if r["message_kib"] == message_kib and r["window"] == window
+        )
+
+    # Shape: batching pays most at small messages (Accelio's 8 KB
+    # default), and bigger messages need less batching.
+    assert cell(8, 16)["transfer_s"] < cell(8, 1)["transfer_s"] / 1.5
+    assert cell(256, 16)["transfer_s"] > cell(256, 1)["transfer_s"] / 1.5
+    # Batched small messages approach big-message throughput.
+    assert cell(8, 64)["gbytes_per_s"] > 0.9 * cell(256, 1)["gbytes_per_s"]
+    benchmark.extra_info["gain_8k_window16"] = (
+        cell(8, 1)["transfer_s"] / cell(8, 16)["transfer_s"]
+    )

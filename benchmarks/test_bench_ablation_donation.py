@@ -1,0 +1,20 @@
+"""Benchmark: shared-pool donation-fraction ablation (Section IV-F)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_donation(run_once, benchmark):
+    result = run_once(ablations.run_donation, scale=SCALE)
+    rows = result["rows"]
+    assert [row["donation_fraction"] for row in rows] == [0.0, 0.1, 0.2, 0.3, 0.4]
+    # Shape: "maximizing the shared memory pool will provide higher
+    # throughput and lower latency" — completion never degrades as the
+    # donation grows, and zero donation is strictly worst.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later["completion_s"] <= earlier["completion_s"] * 1.01
+    assert rows[0]["completion_s"] > rows[-1]["completion_s"]
+    assert rows[0]["sm_share"] == 0.0
+    benchmark.extra_info["gain_0_to_40pct"] = (
+        rows[0]["completion_s"] / rows[-1]["completion_s"]
+    )

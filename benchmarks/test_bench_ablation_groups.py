@@ -1,0 +1,18 @@
+"""Benchmark: group-size ablation (paper Section IV-C)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_groups(run_once, benchmark):
+    result = run_once(ablations.run_groups, scale=SCALE)
+    rows = sorted(result["rows"], key=lambda r: r["group_size"])
+    # Shape: bigger groups reach more remote memory but cost more map
+    # metadata per node — the Section IV-C trade.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later["reachable_remote_mb"] > earlier["reachable_remote_mb"]
+        assert later["map_overhead_gb_at_2tb"] > earlier["map_overhead_gb_at_2tb"]
+    # The flat (group of 16) case matches the paper's ~5 GB for 2 TB.
+    flat = rows[-1]
+    assert 4.0 <= flat["map_overhead_gb_at_2tb"] <= 6.0
+    benchmark.extra_info["flat_map_gb"] = flat["map_overhead_gb_at_2tb"]

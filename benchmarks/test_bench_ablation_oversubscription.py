@@ -1,0 +1,28 @@
+"""Benchmark: fabric-oversubscription ablation (network requirements)."""
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_oversubscription(run_once, benchmark):
+    result = run_once(ablations.run_oversubscription, scale=SCALE)
+    rows = result["rows"]
+
+    def makespan(core, variant):
+        return next(
+            r["makespan_s"] for r in rows
+            if r["core_concurrency"] == core and r["variant"] == variant
+        )
+
+    # Shape: narrowing the switch core slows remote paging monotonically
+    # while node-local swapping is immune to the fabric entirely.
+    assert makespan(1, "fs_rdma") > makespan("unlimited", "fs_rdma")
+    assert makespan(1, "fs_rdma") >= makespan(2, "fs_rdma")
+    assert makespan(1, "fs_sm") == pytest.approx(
+        makespan("unlimited", "fs_sm")
+    )
+    benchmark.extra_info["core1_slowdown"] = (
+        makespan(1, "fs_rdma") / makespan("unlimited", "fs_rdma")
+    )

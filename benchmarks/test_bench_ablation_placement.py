@@ -1,0 +1,15 @@
+"""Benchmark: placement-policy ablation (paper Section IV-E)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_placement(run_once, benchmark):
+    result = run_once(ablations.run_placement, scale=SCALE)
+    rows = {row["policy"]: row for row in result["rows"]}
+    assert set(rows) == set(ablations.PLACEMENT_POLICIES)
+    # Shape: two choices balance better than one random choice.
+    assert rows["power_of_two"]["imbalance"] <= rows["random"]["imbalance"]
+    benchmark.extra_info["imbalance"] = {
+        policy: round(row["imbalance"], 3) for policy, row in rows.items()
+    }

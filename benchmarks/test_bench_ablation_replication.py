@@ -1,0 +1,19 @@
+"""Benchmark: replication-factor ablation (paper Section IV-D)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_replication(run_once, benchmark):
+    result = run_once(ablations.run_replication, scale=SCALE)
+    rows = {row["replicas"]: row for row in result["rows"]}
+    # Shape: more replicas cost more to write and move more bytes...
+    assert rows[1]["write_time_s"] < rows[2]["write_time_s"] < rows[3]["write_time_s"]
+    assert rows[1]["network_mb"] < rows[3]["network_mb"]
+    # ...but survive a node crash without data loss.
+    assert rows[1]["readable_after_crash"] < rows[1]["total_entries"]
+    assert rows[2]["readable_after_crash"] == rows[2]["total_entries"]
+    assert rows[3]["readable_after_crash"] == rows[3]["total_entries"]
+    benchmark.extra_info["write_cost_3x_vs_1x"] = (
+        rows[3]["write_time_s"] / rows[1]["write_time_s"]
+    )

@@ -1,0 +1,17 @@
+"""Benchmark: the XMemPod SSD-tier cascade ablation (paper ref. [36])."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import ablations
+
+
+def test_bench_ablation_tier_cascade(run_once, benchmark):
+    result = run_once(ablations.run_tier_cascade, scale=SCALE)
+    rows = {row["backend"]: row for row in result["rows"]}
+    # Shape: interposing the SSD tier beats spilling straight to HDD.
+    assert rows["xmempod"]["completion_s"] < rows["fastswap"]["completion_s"]
+    assert rows["xmempod"]["ssd_reads"] > 0
+    assert rows["xmempod"]["disk_reads"] == 0
+    assert rows["fastswap"]["ssd_reads"] == 0
+    benchmark.extra_info["ssd_cascade_speedup"] = (
+        rows["fastswap"]["completion_s"] / rows["xmempod"]["completion_s"]
+    )

@@ -1,0 +1,38 @@
+"""Benchmarks: the Section III / VI discussion sweeps."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import discussion_sweeps
+
+
+def test_bench_tier_ladder(run_once, benchmark):
+    result = run_once(discussion_sweeps.run_tier_ladder, scale=SCALE)
+    times = {row["tier"]: row["completion_s"] for row in result["rows"]}
+    # Shape: the Section VI hierarchy, fastest to slowest.
+    assert (
+        times["shared_memory"]
+        <= times["nvm"]
+        <= times["remote_rdma"]
+        < times["ssd"]
+        < times["hdd"]
+    )
+    benchmark.extra_info["hdd_over_shm"] = times["hdd"] / times["shared_memory"]
+
+
+def test_bench_transport(run_once, benchmark):
+    result = run_once(discussion_sweeps.run_transport, scale=SCALE)
+    rows = {row["transport"]: row for row in result["rows"]}
+    # Shape: RDMA beats the TCP-class fabric for remote paging.
+    assert rows["tcp_10g"]["completion_s"] > rows["rdma_56g"]["completion_s"]
+    benchmark.extra_info["tcp_slowdown"] = rows["tcp_10g"]["slowdown_vs_rdma"]
+
+
+def test_bench_full_disaggregation(run_once, benchmark):
+    result = run_once(discussion_sweeps.run_full_disaggregation, scale=SCALE)
+    rows = result["rows"]
+    # Shape: the remote-vs-local gap shrinks monotonically as the
+    # network approaches memory speed, trending toward parity (§III).
+    slowdowns = [row["slowdown_vs_node_local"] for row in rows]
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[0] < 1.2  # near-parity at DRAM-like latency
+    assert slowdowns[-1] > slowdowns[0]
+    benchmark.extra_info["slowdown_at_best_network"] = slowdowns[0]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 10 (vanilla Spark vs DAHI)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig10_dahi_spark
+
+
+def test_bench_fig10(run_once, benchmark):
+    result = run_once(fig10_dahi_spark.run, scale=SCALE)
+    rows = result["rows"]
+    assert len(rows) == 12  # 4 jobs x 3 categories
+    by_job = {}
+    for row in rows:
+        by_job.setdefault(row["job"], {})[row["dataset"]] = row["speedup"]
+    for job, speedups in by_job.items():
+        # Shape: no win when everything fits; wins grow with the dataset.
+        assert speedups["small"] < 1.1
+        assert speedups["small"] < speedups["medium"] < speedups["large"]
+        assert speedups["large"] > 1.3
+    # CC (compute-heavy) gains least, as in the paper.
+    assert by_job["connected_components"]["large"] == min(
+        speedups["large"] for speedups in by_job.values()
+    )
+    benchmark.extra_info["speedups_large"] = {
+        job: round(speedups["large"], 2) for job, speedups in by_job.items()
+    }

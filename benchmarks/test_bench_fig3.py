@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (compression ratios)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig3_compression_ratio
+
+
+def test_bench_fig3(run_once, benchmark):
+    result = run_once(fig3_compression_ratio.run, scale=SCALE)
+    rows = result["rows"]
+    assert len(rows) == 10
+    # Shape: 4-granularity >= 2-granularity >= zswap for every workload.
+    for row in rows:
+        assert row["fastswap_4gran"] >= row["fastswap_2gran"] >= row["zswap"]
+    benchmark.extra_info["mean_4gran_ratio"] = sum(
+        row["fastswap_4gran"] for row in rows
+    ) / len(rows)

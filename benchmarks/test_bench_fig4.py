@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (compression ratio vs completion)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig4_compression_effect
+
+
+def test_bench_fig4(run_once, benchmark):
+    result = run_once(fig4_compression_effect.run, scale=SCALE)
+    rows = result["rows"]
+    assert [row["compress_ratio"] for row in rows] == [1.3, 2.0, 3.0, 4.0]
+    # Shape: better compression never hurts, on either backend; the
+    # disk backend is slower and far more ratio-sensitive.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later["disk_completion_s"] <= earlier["disk_completion_s"] * 1.02
+    for row in rows:
+        assert row["disk_completion_s"] > row["remote_completion_s"]
+    disk_gain = rows[0]["disk_completion_s"] / rows[-1]["disk_completion_s"]
+    remote_gain = rows[0]["remote_completion_s"] / rows[-1]["remote_completion_s"]
+    assert disk_gain > remote_gain
+    benchmark.extra_info["disk_gain_1.3_to_4"] = disk_gain

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (compression on application perf)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig5_compression_app_perf
+
+
+def test_bench_fig5(run_once, benchmark):
+    result = run_once(fig5_compression_app_perf.run, scale=SCALE)
+    rows = result["rows"]
+    assert len(rows) == 5
+    # Shape: compression wins on every workload once capacity binds.
+    for row in rows:
+        assert row["speedup"] > 1.0, row
+    benchmark.extra_info["min_speedup"] = min(row["speedup"] for row in rows)
+    benchmark.extra_info["max_speedup"] = max(row["speedup"] for row in rows)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (batching + PBS)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig6_batching_pbs
+
+
+def test_bench_fig6(run_once, benchmark):
+    result = run_once(fig6_batching_pbs.run, scale=SCALE)
+    rows = result["rows"]
+    assert len(rows) == 4
+    for row in rows:
+        # Shape: FastSwap+PBS < FastSwap-PBS < Infiniswap << Linux.
+        assert row["fastswap_pbs_s"] < row["fastswap_nopbs_s"]
+        assert row["fastswap_nopbs_s"] < row["infiniswap_s"]
+        assert row["infiniswap_s"] < row["linux_s"] / 5
+    # Completion grows with the working set for every system.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later["fastswap_pbs_s"] > earlier["fastswap_pbs_s"]
+    benchmark.extra_info["pbs_gain_largest"] = (
+        rows[-1]["fastswap_nopbs_s"] / rows[-1]["fastswap_pbs_s"]
+    )

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 7 (ML completion time comparison)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig7_ml_completion
+
+
+def test_bench_fig7(run_once, benchmark):
+    result = run_once(fig7_ml_completion.run, scale=SCALE)
+    rows = result["rows"]
+    assert len(rows) == 10  # 5 workloads x 2 configs
+    for row in rows:
+        # Shape: FastSwap < Infiniswap << Linux, everywhere.
+        assert row["fastswap_s"] < row["infiniswap_s"] < row["linux_s"]
+        assert row["speedup_vs_linux"] > 10
+        assert row["speedup_vs_infiniswap"] > 1.5
+    summary = result["summary"]
+    # More pressure -> bigger wins (50% beats 75%), as in the paper.
+    assert (
+        summary[0.5]["avg_speedup_vs_linux"]
+        > summary[0.75]["avg_speedup_vs_linux"]
+    )
+    benchmark.extra_info["avg_speedup_vs_linux_50"] = summary[0.5][
+        "avg_speedup_vs_linux"
+    ]
+    benchmark.extra_info["avg_speedup_vs_infiniswap_50"] = summary[0.5][
+        "avg_speedup_vs_infiniswap"
+    ]

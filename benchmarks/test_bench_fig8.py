@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 (distribution-ratio throughput)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig8_distribution_ratio
+
+
+def test_bench_fig8(run_once, benchmark):
+    result = run_once(fig8_distribution_ratio.run, scale=SCALE)
+    rows = result["rows"]
+    assert {row["workload"] for row in rows} == {"redis", "memcached", "voltdb"}
+    for row in rows:
+        # Shape: every FastSwap variant beats Linux by a lot and the
+        # block-device systems; throughput decays from FS-SM to FS-RDMA.
+        assert row["fs_sm"] > 10 * row["linux"]
+        assert row["fs_rdma"] > row["infiniswap"]
+        assert row["fs_sm"] >= row["fs_5_5"] >= row["fs_rdma"]
+    memcached = next(r for r in rows if r["workload"] == "memcached")
+    benchmark.extra_info["memcached_fs_sm_over_linux"] = (
+        memcached["fs_sm"] / memcached["linux"]
+    )

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 9 (Memcached ETC recovery timeline)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import fig9_memcached_timeline
+
+
+def test_bench_fig9(run_once, benchmark):
+    result = run_once(fig9_memcached_timeline.run, scale=SCALE)
+    rows = {row["system"]: row for row in result["rows"]}
+    # Shape: both FastSwap variants reach (near-)peak throughput while
+    # Infiniswap plateaus well below it within the window.
+    assert rows["fastswap_pbs"]["mean_ops_s"] > rows["infiniswap"]["mean_ops_s"]
+    assert rows["infiniswap"]["final_ops_s"] < 0.9 * result["peak_ops_s"]
+    for timeline in result["timelines"].values():
+        assert timeline, "empty throughput timeline"
+        # Recovery: the final window beats the cold first window.
+        assert timeline[-1][1] >= timeline[0][1]
+    benchmark.extra_info["infiniswap_peak_fraction"] = (
+        rows["infiniswap"]["final_ops_s"] / result["peak_ops_s"]
+    )

@@ -1,0 +1,24 @@
+"""Benchmark: the Section I motivating imbalance scenario."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import motivation_imbalance
+
+
+def test_bench_motivation_imbalance(run_once, benchmark):
+    result = run_once(motivation_imbalance.run, scale=SCALE)
+    rows = {row["policy"]: row for row in result["rows"]}
+    # Shape: disaggregation beats static partitioning; adding the
+    # cluster level beats node-level alone once the pool saturates;
+    # idle donated memory actually gets used.
+    assert rows["node_level"]["completion_s"] < rows["static"]["completion_s"]
+    assert (
+        rows["node_plus_cluster"]["completion_s"]
+        < rows["node_level"]["completion_s"]
+    )
+    assert rows["node_level"]["idle_pool_utilization"] > 0.5
+    assert rows["node_plus_cluster"]["remote_mb_used"] > 0
+    assert rows["static"]["idle_pool_mb"] == 0
+    benchmark.extra_info["hybrid_speedup_vs_static"] = (
+        rows["static"]["completion_s"]
+        / rows["node_plus_cluster"]["completion_s"]
+    )

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (applications)."""
+
+from repro.experiments import table1_applications
+
+
+def test_bench_table1(run_once, benchmark):
+    result = run_once(table1_applications.run)
+    rows = result["rows"]
+    assert len(rows) == 10
+    # Working sets 25-30 GB, inputs 12-20 GB, as in the paper.
+    assert all(25 <= row["paper_ws_gb"] <= 30 for row in rows)
+    assert all(12 <= row["paper_input_gb"] <= 20 for row in rows)
+    benchmark.extra_info["applications"] = len(rows)

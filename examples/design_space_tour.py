@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""A tour of the paper's Section IV design space.
+
+Runs five quick ablations — placement, replication, batching, donation
+fraction and the XMemPod SSD cascade — and prints what each design
+choice costs or buys.  Pass ``--full`` for the full-scale versions.
+
+Run:  python examples/design_space_tour.py [--full]
+"""
+
+import sys
+
+from repro.experiments import ablations
+from repro.metrics.reporting import format_table
+
+
+def main():
+    scale = 1.0 if "--full" in sys.argv else 0.3
+
+    print("1. Placement (§IV-E): how evenly do policies fill peers?")
+    rows = ablations.run_placement(scale=scale)["rows"]
+    print(format_table(rows))
+    best = min(rows, key=lambda r: r["imbalance"])
+    print("   -> best balance: {}\n".format(best["policy"]))
+
+    print("2. Replication (§IV-D): durability vs write cost")
+    rows = ablations.run_replication(scale=scale)["rows"]
+    print(format_table(rows))
+    print("   -> factor 1 loses data on a crash; factor 3 pays ~3x the "
+          "write time\n")
+
+    print("3. Batching (§IV-H): window size x message size")
+    rows = [r for r in ablations.run_batching(scale=scale)["rows"]
+            if r["message_kib"] in (8, 256)]
+    print(format_table(rows))
+    print("   -> batching makes 8 KB messages behave like 256 KB ones\n")
+
+    print("4. Donation fraction (§IV-F): how much to give the pool?")
+    rows = ablations.run_donation(scale=scale)["rows"]
+    print(format_table(rows))
+    print("   -> more donated shared memory never hurts; saturates once "
+          "the compressed overflow fits\n")
+
+    print("5. Storage cascade (XMemPod): where should overflow land?")
+    rows = ablations.run_tier_cascade(scale=scale)["rows"]
+    print(format_table(rows))
+    speedup = rows[0]["completion_s"] / rows[1]["completion_s"]
+    print("   -> an SSD tier under remote memory is {:.0f}x faster than "
+          "spilling to the HDD".format(speedup))
+
+
+if __name__ == "__main__":
+    main()

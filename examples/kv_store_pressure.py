@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Key-value serving under memory pressure (paper Figures 8 and 9).
+
+A closed-loop Memcached-style client runs against a store whose pages
+only half fit in memory.  The example compares serving throughput under
+Linux swap, Infiniswap, and FastSwap at several node/cluster
+distribution ratios (FS-SM ... FS-RDMA), then shows the cold-start
+recovery timeline after a memory-pressure event.
+
+Run:  python examples/kv_store_pressure.py
+"""
+
+from repro.experiments.runner import run_kv_timeline, run_kv_workload
+from repro.metrics.reporting import format_series, format_table
+from repro.swap.fastswap import FastSwapConfig
+from repro.workloads.kv import KV_WORKLOADS
+
+
+def main():
+    spec = KV_WORKLOADS["memcached"].with_overrides(keys=2048)
+    systems = [
+        ("linux", "linux", None),
+        ("infiniswap", "infiniswap", None),
+        ("fs-rdma (all remote)", "fastswap", FastSwapConfig(sm_fraction=0.0)),
+        ("fs-5:5", "fastswap", FastSwapConfig(sm_fraction=0.5)),
+        ("fs-sm (all node-local)", "fastswap", FastSwapConfig(sm_fraction=1.0)),
+    ]
+    rows = []
+    for label, backend, fs_config in systems:
+        result = run_kv_workload(
+            backend, spec, 0.5, duration=1.5, seed=7,
+            fastswap_config=fs_config,
+        )
+        rows.append({"system": label, "ops_per_s": result.mean_throughput})
+    print(format_table(rows, title="Memcached ETC throughput, 50% config",
+                       float_format="{:,.0f}"))
+
+    print("\ncold-start recovery (store fully swapped out at t=0):")
+    recovery = run_kv_timeline(
+        "fastswap",
+        spec.with_overrides(keys=4096),
+        0.5,
+        duration=1.0,
+        window=0.1,
+        seed=7,
+        fastswap_config=FastSwapConfig(sm_fraction=0.0),
+    )
+    print(format_series(recovery.timeline, title="fastswap (FS-RDMA)",
+                        x_label="t_s", y_label="ops_per_s",
+                        float_format="{:,.0f}"))
+
+
+if __name__ == "__main__":
+    main()

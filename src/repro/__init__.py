@@ -1,0 +1,27 @@
+"""repro — a simulation-based reproduction of *Memory Disaggregation:
+Research Problems and Opportunities* (Liu et al., ICDCS 2019).
+
+The package builds, in pure Python, every system the paper describes or
+evaluates:
+
+* a discrete-event simulation kernel (:mod:`repro.sim`),
+* hardware models for DRAM, SSD/HDD and NVM tiers (:mod:`repro.hw`),
+* an RDMA fabric with registration, one-sided verbs and failure
+  injection (:mod:`repro.net`),
+* the memory substrate — pages, slabs, shared pools, buffer pools and a
+  multi-granularity compression model (:mod:`repro.mem`),
+* the paper's disaggregated memory architecture — LDMC/LDMS/RDMC/RDMS
+  agents, node manager, memory map, placement, replication, groups and
+  leader election (:mod:`repro.core`),
+* the evaluated swapping systems — Linux disk swap, zswap, NBDX,
+  Infiniswap and FastSwap (:mod:`repro.swap`),
+* the evaluated RDD caching systems — vanilla Spark and DAHI
+  (:mod:`repro.cache`),
+* the ten workloads of the paper's Table 1 (:mod:`repro.workloads`),
+* metrics and the per-figure experiment harness
+  (:mod:`repro.metrics`, :mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""RDD caching systems: vanilla Spark vs DAHI (paper Section V-B).
+
+Spark keeps hot RDD partitions in executor memory; once the working set
+stops fitting, partitions are dropped and must be *recomputed from
+lineage* (or re-read and re-parsed from stable storage) — the paper
+calls this premature spilling.  DAHI instead parks evicted partitions
+in disaggregated memory: the node shared pool first, remote memory over
+RDMA second, so a "miss" costs a memory fetch instead of a recompute.
+
+* :mod:`repro.cache.rdd` — RDDs, partitions and lineage;
+* :mod:`repro.cache.spark` — the vanilla executor block store;
+* :mod:`repro.cache.dahi` — the DAHI off-heap store on top of the
+  disaggregated memory core;
+* :mod:`repro.cache.jobs` — iterative Spark jobs (LR, SVM, K-Means,
+  CC) and the job runner producing completion times.
+"""
+
+from repro.cache.dahi import DahiStore
+from repro.cache.jobs import SPARK_JOBS, SparkJobSpec, run_spark_job
+from repro.cache.rdd import Rdd, RddPartition
+from repro.cache.spark import ExecutorStore, StorageLevel
+
+__all__ = [
+    "DahiStore",
+    "ExecutorStore",
+    "Rdd",
+    "RddPartition",
+    "SPARK_JOBS",
+    "SparkJobSpec",
+    "StorageLevel",
+    "run_spark_job",
+]

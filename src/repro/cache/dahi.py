@@ -1,0 +1,77 @@
+"""DAHI: disaggregated-memory off-heap caching of RDD partitions.
+
+DAHI replaces vanilla Spark's drop-and-recompute with *off-heap
+parking*: an evicted partition goes to the node-coordinated shared
+memory pool (idle memory donated by co-hosted executors) and overflows
+to cluster remote memory over RDMA — the put/get path of the
+disaggregated memory core (:mod:`repro.core`), i.e. the same LDMC →
+LDMS → RDMC pipeline the paper's Figure 1 describes.  A later access
+fetches the partition back at memory/network speed instead of
+recomputing it from lineage.
+
+Batched Accelio-style messaging (Section IV-H) is what makes MB-sized
+partition transfers efficient; the large transfers here go over the
+one-sided data path, and the message/window ablation benchmark explores
+the batching trade directly with :class:`repro.net.rpc.RpcEndpoint`.
+"""
+
+from repro.cache.spark import ExecutorStore
+from repro.core.errors import CoreError, UnknownKey
+from repro.net.errors import NetworkError
+
+
+class DahiStore(ExecutorStore):
+    """Executor store that parks evictions in disaggregated memory."""
+
+    def __init__(self, env, node, capacity_bytes, server,
+                 deserialize_per_byte=None):
+        # Storage level is irrelevant: DAHI itself is the spill target.
+        super().__init__(env, node, capacity_bytes)
+        self.server = server
+        self.ldmc = server.ldmc
+        self.offheap_keys = set()
+        self.deserialize_per_byte = (
+            self.MEMORY_FETCH_PER_BYTE if deserialize_per_byte is None
+            else deserialize_per_byte
+        )
+
+    # -- miss path: off-heap first, lineage as the last resort -----------------
+
+    def _miss(self, partition):
+        key = partition.key
+        if key in self.offheap_keys:
+            try:
+                yield from self.ldmc.get(("dahi", key))
+                # Deserialize the fetched bytes back into objects.
+                yield self.env.timeout(
+                    partition.size_bytes * self.deserialize_per_byte
+                )
+                self.stats.offheap_fetches += 1
+                return "offheap"
+            except (UnknownKey, CoreError, NetworkError):
+                # Off-heap copy lost (e.g. remote crash without enough
+                # replicas): fall back to lineage like vanilla Spark.
+                self.offheap_keys.discard(key)
+        yield from self._recompute(partition)
+        return "recomputed"
+
+    # -- eviction: park off-heap instead of dropping ---------------------------
+
+    def _handle_evicted(self, victim):
+        key = victim.key
+        if key in self.offheap_keys:
+            return  # RDDs are immutable: the parked copy is still good
+        try:
+            yield from self.ldmc.put(("dahi", key), victim.size_bytes)
+        except (CoreError, NetworkError):
+            return  # nowhere to park: behaves like a vanilla drop
+        self.offheap_keys.add(key)
+
+    def release_offheap(self):
+        """Generator: drop every parked partition (job teardown)."""
+        for key in list(self.offheap_keys):
+            try:
+                yield from self.ldmc.remove(("dahi", key))
+            except (UnknownKey, CoreError, NetworkError):
+                pass
+            self.offheap_keys.discard(key)

@@ -1,0 +1,151 @@
+"""Iterative Spark jobs and the Figure 10 runner.
+
+A job materializes its working RDD once (scan + parse from stable
+storage), caches it, then sweeps every partition per iteration doing
+per-partition compute — the structure of LR / SVM / K-Means / CC on
+Spark.  The *dataset category* (small/medium/large, Figure 10) fixes
+which fraction of the cached RDD fits in executor storage memory:
+small fits fully; medium and large increasingly overflow.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cache.dahi import DahiStore
+from repro.cache.rdd import Rdd
+from repro.cache.spark import ExecutorStore, StorageLevel
+from repro.core.cluster import DisaggregatedCluster
+from repro.core.config import ClusterConfig
+from repro.hw.latency import MiB
+
+
+@dataclass
+class SparkJobSpec:
+    """Shape of one iterative Spark job."""
+
+    name: str
+    iterations: int = 10
+    partition_bytes: int = 1 * MiB
+    #: Input scan parse time per partition (deserialization + tokenizing).
+    parse_time_per_partition: float = 3.0e-3
+    #: The parsed->working transformation cost per partition.
+    transform_time_per_partition: float = 1.0e-3
+    #: Per-iteration compute per partition (gradients, distances, ...).
+    iter_compute_per_partition: float = 3.0e-3
+    #: Dataset category -> fraction of the working RDD that fits in
+    #: executor storage memory (Figure 10's small/medium/large).
+    categories: dict = field(
+        default_factory=lambda: {"small": 1.0, "medium": 0.75, "large": 0.45}
+    )
+
+    def num_partitions(self, category, storage_bytes):
+        """Partitions so that ``categories[category]`` of them fit."""
+        fit = self.categories[category]
+        return max(1, int(storage_bytes / self.partition_bytes / fit))
+
+
+#: The four Figure 10 jobs.  Compute costs differ: CC is compute-heavy
+#: per partition (graph traversal), so caching matters less (smallest
+#: speedups); SVM is fetch-bound (largest speedups).
+SPARK_JOBS = {
+    "logistic_regression": SparkJobSpec(
+        name="logistic_regression",
+        iterations=10,
+        iter_compute_per_partition=3.0e-3,
+        parse_time_per_partition=4.0e-3,
+    ),
+    "svm": SparkJobSpec(
+        name="svm",
+        iterations=10,
+        iter_compute_per_partition=1.2e-3,
+        parse_time_per_partition=5.0e-3,
+    ),
+    "kmeans": SparkJobSpec(
+        name="kmeans",
+        iterations=10,
+        iter_compute_per_partition=2.0e-3,
+        parse_time_per_partition=3.0e-3,
+    ),
+    "connected_components": SparkJobSpec(
+        name="connected_components",
+        iterations=10,
+        iter_compute_per_partition=8.0e-3,
+        parse_time_per_partition=3.0e-3,
+    ),
+}
+
+
+@dataclass
+class SparkRunResult:
+    """Outcome of one Spark job run."""
+
+    system: str
+    job: str
+    category: str
+    completion_time: float
+    stats: dict
+
+
+def default_spark_cluster(seed=0, **overrides):
+    """Cluster sized for the RDD-caching experiments."""
+    base = dict(
+        num_nodes=4,
+        servers_per_node=2,  # two executors per node share the pool
+        server_memory_bytes=64 * MiB,
+        donation_fraction=0.3,
+        receive_pool_slabs=64,
+        send_pool_slabs=8,
+        replication_factor=1,
+        seed=seed,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+def run_spark_job(system, spec, category, storage_bytes=24 * MiB, seed=0,
+                  cluster_config=None):
+    """Run one job under ``system`` ("spark" or "dahi").
+
+    Returns a :class:`SparkRunResult` whose ``completion_time`` is the
+    simulated job latency.
+    """
+    if system not in ("spark", "dahi"):
+        raise ValueError("system must be 'spark' or 'dahi'")
+    cluster_config = cluster_config or default_spark_cluster(seed=seed)
+    cluster = DisaggregatedCluster.build(cluster_config)
+    node = cluster.nodes()[0]
+    server = node.servers[0]
+    if system == "dahi":
+        store = DahiStore(cluster.env, node, storage_bytes, server)
+    else:
+        store = ExecutorStore(
+            cluster.env, node, storage_bytes,
+            storage_level=StorageLevel.MEMORY_ONLY,
+        )
+    num_partitions = spec.num_partitions(category, storage_bytes)
+    input_rdd = Rdd.from_storage(
+        "{}-input".format(spec.name),
+        num_partitions,
+        spec.partition_bytes,
+        parse_time_per_partition=spec.parse_time_per_partition,
+    )
+    working = input_rdd.transform(
+        "{}-working".format(spec.name),
+        spec.transform_time_per_partition,
+    ).cache()
+
+    def job():
+        start = cluster.env.now
+        for _ in range(spec.iterations):
+            for partition in working.partitions:
+                yield from store.get_partition(partition)
+                yield cluster.env.timeout(spec.iter_compute_per_partition)
+        return cluster.env.now - start
+
+    completion = cluster.run_process(job(), name="spark:{}".format(spec.name))
+    return SparkRunResult(
+        system=system,
+        job=spec.name,
+        category=category,
+        completion_time=completion,
+        stats=store.stats.snapshot(),
+    )

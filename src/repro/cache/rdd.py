@@ -1,0 +1,121 @@
+"""Resilient Distributed Datasets: partitions and lineage.
+
+An RDD is an immutable, partitioned dataset; it is either *rooted* in
+stable storage (reading a partition costs a disk scan + parse) or
+*derived* from a parent through a transformation (computing a partition
+costs fetching the parent partition plus the transformation's CPU
+work).  Lineage is what makes dropped partitions recoverable — and what
+makes dropping them expensive, which is DAHI's whole opportunity.
+"""
+
+from itertools import count
+
+_rdd_ids = count(1)
+
+
+class RddPartition:
+    """One partition of one RDD."""
+
+    __slots__ = ("rdd", "index", "size_bytes")
+
+    def __init__(self, rdd, index, size_bytes):
+        self.rdd = rdd
+        self.index = index
+        self.size_bytes = size_bytes
+
+    @property
+    def key(self):
+        """Globally unique identity used by block stores."""
+        return (self.rdd.rdd_id, self.index)
+
+    def __repr__(self):
+        return "<Partition {}[{}] {}B>".format(self.rdd.name, self.index,
+                                               self.size_bytes)
+
+
+class Rdd:
+    """An immutable partitioned dataset with lineage."""
+
+    def __init__(self, name, num_partitions, partition_bytes, parent=None,
+                 parents=None, compute_time_per_partition=0.0,
+                 storage_read=False, parse_time_per_partition=0.0):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if parents is not None and parent is not None:
+            raise ValueError("pass either parent or parents, not both")
+        self.rdd_id = next(_rdd_ids)
+        self.name = name
+        self.parents = tuple(parents) if parents else (
+            (parent,) if parent is not None else ()
+        )
+        self.partition_bytes = partition_bytes
+        self.compute_time_per_partition = compute_time_per_partition
+        self.storage_read = storage_read
+        self.parse_time_per_partition = parse_time_per_partition
+        self.cached = False
+        self.partitions = [
+            RddPartition(self, i, partition_bytes) for i in range(num_partitions)
+        ]
+
+    @classmethod
+    def from_storage(cls, name, num_partitions, partition_bytes,
+                     parse_time_per_partition=2.0e-3):
+        """A root RDD materialized by scanning stable storage."""
+        return cls(
+            name,
+            num_partitions,
+            partition_bytes,
+            storage_read=True,
+            parse_time_per_partition=parse_time_per_partition,
+        )
+
+    @property
+    def parent(self):
+        """First parent (``None`` for root RDDs); kept for the common
+        single-parent case."""
+        return self.parents[0] if self.parents else None
+
+    def transform(self, name, compute_time_per_partition,
+                  size_factor=1.0):
+        """Derive a child RDD (``map``/``filter`` stand-in)."""
+        return Rdd(
+            name,
+            len(self.partitions),
+            int(self.partition_bytes * size_factor),
+            parent=self,
+            compute_time_per_partition=compute_time_per_partition,
+        )
+
+    def join(self, other, name, compute_time_per_partition,
+             size_factor=1.0):
+        """Derive a two-parent RDD (``join``/``cogroup`` stand-in).
+
+        Both parents must be co-partitioned (same partition count), the
+        narrow-dependency case; recomputing a joined partition needs
+        the matching partition of *each* parent.
+        """
+        if len(other.partitions) != len(self.partitions):
+            raise ValueError("join requires co-partitioned parents")
+        return Rdd(
+            name,
+            len(self.partitions),
+            int((self.partition_bytes + other.partition_bytes) * size_factor / 2),
+            parents=(self, other),
+            compute_time_per_partition=compute_time_per_partition,
+        )
+
+    def cache(self):
+        """Mark this RDD for caching (Spark's ``.cache()``)."""
+        self.cached = True
+        return self
+
+    def lineage_depth(self):
+        """Longest transformation chain back to stable storage."""
+        if not self.parents:
+            return 0
+        return 1 + max(parent.lineage_depth() for parent in self.parents)
+
+    def __repr__(self):
+        return "<RDD {} x{} {}B/part>".format(
+            self.name, len(self.partitions), self.partition_bytes
+        )

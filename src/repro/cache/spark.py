@@ -1,0 +1,191 @@
+"""The vanilla Spark executor block store.
+
+A unified-memory-manager-style storage region of fixed capacity holds
+cached partitions in LRU order.  On storage pressure a victim is
+dropped according to the RDD's storage level:
+
+* ``MEMORY_ONLY`` (Spark's ``cache()`` default) — the partition is
+  discarded; the next access *recomputes it from lineage*, walking back
+  to stable storage if no ancestor is cached;
+* ``MEMORY_AND_DISK`` — the partition spills to local disk and the next
+  access re-reads (deserializes) it.
+
+Either way a miss is expensive — which is the Figure 10 baseline.
+"""
+
+from collections import OrderedDict
+
+
+class StorageLevel:
+    MEMORY_ONLY = "memory_only"
+    MEMORY_AND_DISK = "memory_and_disk"
+
+    ALL = (MEMORY_ONLY, MEMORY_AND_DISK)
+
+
+class CacheStats:
+    """Counters for one block store."""
+
+    __slots__ = ("gets", "hits", "recomputes", "disk_reads", "evictions",
+                 "storage_scans", "offheap_fetches")
+
+    def __init__(self):
+        self.gets = 0
+        self.hits = 0
+        self.recomputes = 0
+        self.disk_reads = 0
+        self.evictions = 0
+        self.storage_scans = 0
+        self.offheap_fetches = 0
+
+    def snapshot(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class ExecutorStore:
+    """Vanilla Spark storage memory for one executor."""
+
+    #: DRAM fetch of a cached partition, per byte (deserialized objects).
+    MEMORY_FETCH_PER_BYTE = 1.0 / (8 * 1024 ** 3)
+    #: Fixed per-access block-manager overhead.
+    ACCESS_OVERHEAD = 5.0e-6
+
+    def __init__(self, env, node, capacity_bytes,
+                 storage_level=StorageLevel.MEMORY_ONLY):
+        if storage_level not in StorageLevel.ALL:
+            raise ValueError("unknown storage level {!r}".format(storage_level))
+        self.env = env
+        self.node = node
+        self.capacity_bytes = capacity_bytes
+        self.storage_level = storage_level
+        self.cached = OrderedDict()  # partition.key -> partition
+        self.used_bytes = 0
+        self.spilled = {}  # partition.key -> disk offset
+        self.stats = CacheStats()
+
+    # -- public API ----------------------------------------------------------
+
+    def get_partition(self, partition):
+        """Generator: materialize a partition, charging what it costs."""
+        self.stats.gets += 1
+        key = partition.key
+        if key in self.cached:
+            self.cached.move_to_end(key)
+            yield self.env.timeout(self._memory_fetch_time(partition))
+            self.stats.hits += 1
+            return "hit"
+        outcome = yield from self._miss(partition)
+        if partition.rdd.cached:
+            yield from self.cache_partition(partition)
+        return outcome
+
+    def cache_partition(self, partition):
+        """Generator: insert a partition, evicting under pressure.
+
+        Spark's block manager never evicts blocks of the same RDD that
+        is being cached (it would thrash the very dataset in use), so
+        once storage fills with this RDD, the remainder *overflows* —
+        vanilla drops (or spills) it, DAHI parks it off-heap.
+        """
+        key = partition.key
+        if key in self.cached:
+            self.cached.move_to_end(key)
+            return
+        while (
+            self.used_bytes + partition.size_bytes > self.capacity_bytes
+            and self._pick_victim(partition) is not None
+        ):
+            yield from self._evict_one(self._pick_victim(partition))
+        if self.used_bytes + partition.size_bytes > self.capacity_bytes:
+            yield from self._handle_overflow(partition)
+            return
+        self.cached[key] = partition
+        self.used_bytes += partition.size_bytes
+
+    # -- miss paths ------------------------------------------------------------
+
+    def _miss(self, partition):
+        if partition.key in self.spilled:
+            yield from self._read_spilled(partition)
+            return "disk"
+        yield from self._recompute(partition)
+        return "recomputed"
+
+    def _read_spilled(self, partition):
+        offset = self.spilled[partition.key]
+        yield self.env.timeout(self.ACCESS_OVERHEAD)
+        yield from self.node.hdd.read(offset, partition.size_bytes)
+        # Deserialization on the way back in.
+        yield self.env.timeout(partition.size_bytes * self.MEMORY_FETCH_PER_BYTE * 2)
+        self.stats.disk_reads += 1
+
+    def _recompute(self, partition):
+        """Recompute a partition from lineage (recursively, so joins
+        re-materialize every parent)."""
+        self.stats.recomputes += 1
+        yield from self._materialize(partition.rdd, partition.index)
+
+    def _materialize(self, rdd, index):
+        """Produce one partition's data: from cache, spill, storage, or
+        by recursively materializing parents and transforming."""
+        key = (rdd.rdd_id, index)
+        if key in self.cached:
+            yield self.env.timeout(
+                self.ACCESS_OVERHEAD
+                + rdd.partition_bytes * self.MEMORY_FETCH_PER_BYTE
+            )
+            return
+        if key in self.spilled:
+            yield from self.node.hdd.read(self.spilled[key],
+                                          rdd.partition_bytes)
+            yield self.env.timeout(
+                rdd.partition_bytes * self.MEMORY_FETCH_PER_BYTE * 2
+            )
+            return
+        if not rdd.parents:
+            if rdd.storage_read:
+                # Scan the input split from stable storage and parse it.
+                yield from self.node.hdd.read(
+                    self.node.alloc_disk_span(0), rdd.partition_bytes
+                )
+                yield self.env.timeout(rdd.parse_time_per_partition)
+                self.stats.storage_scans += 1
+            return
+        for parent in rdd.parents:
+            yield from self._materialize(parent, index)
+        yield self.env.timeout(rdd.compute_time_per_partition)
+
+    # -- eviction ------------------------------------------------------------
+
+    def _pick_victim(self, incoming):
+        """LRU victim belonging to a *different* RDD, or ``None``."""
+        for key, candidate in self.cached.items():
+            if candidate.rdd.rdd_id != incoming.rdd.rdd_id:
+                return key
+        return None
+
+    def _evict_one(self, key):
+        victim = self.cached.pop(key)
+        self.used_bytes -= victim.size_bytes
+        self.stats.evictions += 1
+        yield from self._handle_evicted(victim)
+
+    def _handle_evicted(self, victim):
+        if self.storage_level == StorageLevel.MEMORY_AND_DISK:
+            offset = self.node.alloc_disk_span(victim.size_bytes)
+            yield from self.node.hdd.write(offset, victim.size_bytes)
+            self.spilled[victim.key] = offset
+        # MEMORY_ONLY: dropped on the floor; lineage will pay later.
+
+    def _handle_overflow(self, partition):
+        """A partition that cannot be admitted at all (same-RDD pressure)."""
+        yield from self._handle_evicted(partition)
+        self.stats.evictions += 1
+
+    # -- helpers -----------------------------------------------------------
+
+    def _memory_fetch_time(self, partition):
+        return (
+            self.ACCESS_OVERHEAD
+            + partition.size_bytes * self.MEMORY_FETCH_PER_BYTE
+        )

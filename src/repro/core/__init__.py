@@ -1,0 +1,68 @@
+"""The disaggregated memory system of the paper (Figures 1 and 2).
+
+This package implements the paper's reference architecture:
+
+* per-node functional components — the **node manager**, the node-level
+  shared memory pool, the RDMA **send/receive buffer pools**, and the
+  four agents: LDMC (local disaggregated memory client, one per virtual
+  server), LDMS (local server), RDMC (remote client) and RDMS (remote
+  server) — :mod:`repro.core.node`, :mod:`repro.core.agents`;
+* the **disaggregated memory map** (the per-server log table tracking
+  where every data entry lives) with the Section IV-C metadata
+  scalability math — :mod:`repro.core.memory_map`;
+* **placement** policies for memory balancing (random, round-robin,
+  weighted round-robin, power-of-two-choices; Section IV-E) —
+  :mod:`repro.core.placement`;
+* **triple replication** with atomic all-or-nothing remote writes
+  (Section IV-D) — baked into the RDMC write path;
+* **hierarchical groups** and **leader election** with handshake
+  timeouts (Section IV-C) — :mod:`repro.core.groups`,
+  :mod:`repro.core.election`;
+* slab **registration/eviction** handling and ballooning
+  recommendations (Section IV-F) — :mod:`repro.core.eviction`;
+* a cluster **facade** that wires everything together —
+  :mod:`repro.core.cluster`.
+"""
+
+from repro.core.cluster import DisaggregatedCluster
+from repro.core.config import ClusterConfig
+from repro.core.election import LeaderElection
+from repro.core.eviction import EvictionManager
+from repro.core.groups import GroupManager
+from repro.core.memory_map import (
+    DisaggregatedMemoryMap,
+    EntryRecord,
+    Location,
+    map_overhead_bytes,
+)
+from repro.core.node import PhysicalNode
+from repro.core.placement import (
+    PlacementPolicy,
+    PowerOfTwoChoices,
+    RandomPlacement,
+    RoundRobinPlacement,
+    WeightedRoundRobin,
+    make_placement_policy,
+)
+from repro.core.virtual_server import ServerKind, VirtualServer
+
+__all__ = [
+    "ClusterConfig",
+    "DisaggregatedCluster",
+    "DisaggregatedMemoryMap",
+    "EntryRecord",
+    "EvictionManager",
+    "GroupManager",
+    "LeaderElection",
+    "Location",
+    "PhysicalNode",
+    "PlacementPolicy",
+    "PowerOfTwoChoices",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "ServerKind",
+    "VirtualServer",
+    "WeightedRoundRobin",
+    "make_placement_policy",
+    "map_overhead_bytes",
+]

@@ -1,0 +1,417 @@
+"""The four agents of the paper's architecture (Figures 1 and 2).
+
+* :class:`Ldmc` — local disaggregated memory client, one per virtual
+  server: the API applications (or the swap/caching layers) call.
+* :class:`Ldms` — local disaggregated memory server, one per node:
+  serves put/get/remove, keeps the per-server disaggregated memory
+  maps, orders the tiers (shared memory pool → remote memory → disk).
+* :class:`Rdmc` — remote disaggregated memory client: placement,
+  replication, staging through the send buffer pool, one-sided writes
+  into remote receive pools, replica failover on reads.
+* :class:`Rdms` — remote disaggregated memory server: a control-plane
+  message loop that reserves/frees receive-pool space for remote peers;
+  the data plane never involves it (one-sided RDMA).
+
+Control messages travel as two-sided SEND/RECV over real queue pairs
+and cost wire time both ways; a request that gets no reply within
+``CONTROL_TIMEOUT`` (peer crashed mid-protocol) fails like a verbs
+timeout would.
+"""
+
+from repro.core.errors import (
+    ControlTimeout,
+    EntryLost,
+    NoRemoteCapacity,
+    UnknownKey,
+)
+from repro.core.memory_map import DisaggregatedMemoryMap, Location
+from repro.core.placement import CandidateView
+from repro.mem.shared_pool import PoolFull
+from repro.net.errors import NetworkError
+from repro.net.rdma import RemoteAccessError
+
+CONTROL_MESSAGE_BYTES = 128
+CONTROL_TIMEOUT = 2e-3
+
+
+class Ldmc:
+    """Per-virtual-server client agent: the public data-path API."""
+
+    def __init__(self, server, ldms):
+        self.server = server
+        self.ldms = ldms
+        server.ldmc = self
+
+    def put(self, key, nbytes):
+        """Generator: store ``nbytes`` under ``key`` in disaggregated memory."""
+        self.server.disaggregated_requests += 1
+        return (yield from self.ldms.put(self.server, key, nbytes))
+
+    def get(self, key):
+        """Generator: fetch the entry under ``key``; returns its size."""
+        self.server.disaggregated_requests += 1
+        return (yield from self.ldms.get(self.server, key))
+
+    def remove(self, key):
+        """Generator: drop the entry under ``key`` everywhere."""
+        return (yield from self.ldms.remove(self.server, key))
+
+    def location_of(self, key):
+        """Where ``key`` currently lives (for tests/diagnostics)."""
+        record = self.ldms.map_for(self.server).lookup((self.server.server_id, key))
+        return record.location if record else None
+
+
+class Ldms:
+    """Per-node server agent: tier ordering + the memory maps."""
+
+    def __init__(self, node, rdmc):
+        self.node = node
+        self.env = node.env
+        self.rdmc = rdmc
+        self._maps = {}
+        node.ldms = self
+
+    def map_for(self, server):
+        server_map = self._maps.get(server.server_id)
+        if server_map is None:
+            server_map = DisaggregatedMemoryMap(server.server_id)
+            self._maps[server.server_id] = server_map
+        return server_map
+
+    def all_maps(self):
+        return dict(self._maps)
+
+    # -- data path ---------------------------------------------------------
+
+    def put(self, server, key, nbytes):
+        """Generator: place an entry, preferring the cheapest tier.
+
+        Order (paper Section IV-B): node shared memory pool, then remote
+        disaggregated memory via the RDMC, then the local disk.  An
+        existing entry under the same key is replaced (upsert), which is
+        what repeated swap-outs of the same page need.
+        """
+        full_key = (server.server_id, key)
+        server_map = self.map_for(server)
+        if server_map.lookup(full_key) is not None:
+            yield from self.remove(server, key)
+        # Tier 1: node-coordinated shared memory (DRAM speed).
+        try:
+            server_map.begin(full_key, Location.SHARED_MEMORY, nbytes)
+            yield from self.node.shared_pool.put(full_key, nbytes)
+            server_map.commit(full_key, now=self.env.now)
+            return Location.SHARED_MEMORY
+        except PoolFull:
+            server_map.abort(full_key)
+            self.node.shared_pool_misses += 1
+        # Tier 2: remote disaggregated memory.
+        try:
+            replicas = yield from self.rdmc.remote_put(full_key, nbytes)
+            server_map.begin(full_key, Location.REMOTE, nbytes, replicas)
+            server_map.commit(full_key, now=self.env.now)
+            self.node.remote_puts += 1
+            return Location.REMOTE
+        except (NoRemoteCapacity, NetworkError, ControlTimeout):
+            pass
+        # Tier 3: local disk.
+        offset = self.node.alloc_disk_span(nbytes)
+        server_map.begin(full_key, Location.DISK, nbytes)
+        yield from self.node.hdd.write(offset, nbytes)
+        server_map.commit(full_key, now=self.env.now)
+        self.node.disk_puts += 1
+        return Location.DISK
+
+    def get(self, server, key):
+        """Generator: fetch an entry from wherever it lives."""
+        full_key = (server.server_id, key)
+        server_map = self.map_for(server)
+        record = server_map.lookup(full_key)
+        if record is None:
+            raise UnknownKey(full_key)
+        if record.location == Location.SHARED_MEMORY:
+            return (yield from self.node.shared_pool.get(full_key))
+        if record.location == Location.REMOTE:
+            nbytes = yield from self.rdmc.remote_get(record)
+            self.node.remote_gets += 1
+            return nbytes
+        # Disk: we do not track the original offset per entry (the swap
+        # layer owns real offsets); charge a random-access read.
+        yield from self.node.hdd.read(self.node.alloc_disk_span(0), record.nbytes)
+        self.node.disk_gets += 1
+        return record.nbytes
+
+    def remove(self, server, key):
+        """Generator: drop an entry and free its space everywhere."""
+        full_key = (server.server_id, key)
+        server_map = self.map_for(server)
+        record = server_map.remove(full_key)
+        if record is None:
+            raise UnknownKey(full_key)
+        if record.location == Location.SHARED_MEMORY:
+            self.node.shared_pool.remove(full_key)
+        elif record.location == Location.REMOTE:
+            yield from self.rdmc.remote_free(record)
+        # Disk entries need no reclamation in the model.
+        return record.nbytes
+
+    # -- re-replication (Section IV-F eviction protocol) ------------------------
+
+    def handle_replica_eviction(self, key, lost_node):
+        """Generator: restore replication after a remote slab eviction."""
+        server_id = key[0]
+        server_map = self._maps.get(server_id)
+        if server_map is None:
+            return
+        record = server_map.lookup(key)
+        if record is None or lost_node not in record.replica_nodes:
+            return
+        survivors = [n for n in record.replica_nodes if n != lost_node]
+        try:
+            new_nodes = yield from self.rdmc.remote_put(
+                key, record.nbytes, count=1, exclude=set(record.replica_nodes)
+            )
+        except (NoRemoteCapacity, NetworkError, ControlTimeout):
+            new_nodes = []
+        if new_nodes:
+            server_map.replace_replica(key, lost_node, new_nodes[0])
+        elif survivors:
+            record.replica_nodes = tuple(survivors)
+        else:
+            # Last replica gone and nowhere to go: demote to disk.
+            server_map.remove(key)
+            offset = self.node.alloc_disk_span(record.nbytes)
+            yield from self.node.hdd.write(offset, record.nbytes)
+            server_map.begin(key, Location.DISK, record.nbytes)
+            server_map.commit(key, now=self.env.now)
+            self.node.disk_puts += 1
+
+
+class Rdmc:
+    """Per-node remote client agent: replication + one-sided data path."""
+
+    def __init__(self, node, directory, placement, replication_factor):
+        self.node = node
+        self.env = node.env
+        self.directory = directory
+        self.placement = placement
+        self.replication_factor = replication_factor
+        node.rdmc = self
+        self.control_calls = 0
+        self.control_timeouts = 0
+
+    # -- control plane -----------------------------------------------------
+
+    def control_call(self, target_node_id, body):
+        """Generator: request/response over SEND/RECV with a timeout."""
+        reply = self.env.event(name="reply")
+        body = dict(body, src=self.node.node_id, reply=reply)
+        target_device = self.directory.device_of(target_node_id)
+        qp = yield from self.node.device.connect(target_device)
+        yield from qp.send(body, CONTROL_MESSAGE_BYTES)
+        self.control_calls += 1
+        outcome = yield self.env.any_of([reply, self.env.timeout(CONTROL_TIMEOUT)])
+        if reply not in outcome:
+            self.control_timeouts += 1
+            raise ControlTimeout(target_node_id)
+        return reply.value
+
+    # -- placement ---------------------------------------------------------
+
+    def _candidates(self, nbytes, exclude=()):
+        exclude = set(exclude) | {self.node.node_id}
+        views = []
+        for peer in self.directory.peers_of(self.node.node_id):
+            if peer in exclude or self.directory.is_down(peer):
+                continue
+            views.append(
+                CandidateView(peer, self.directory.free_receive_bytes(peer))
+            )
+        return views
+
+    # -- data plane -----------------------------------------------------------
+
+    def remote_put(self, key, nbytes, count=None, exclude=()):
+        """Generator: write an entry to ``count`` remote replicas.
+
+        Atomic per replica: a replica either completes reserve+write or
+        contributes nothing (its reservation is rolled back).  Succeeds
+        if at least one replica commits; raises
+        :class:`NoRemoteCapacity` otherwise.  Returns the node ids that
+        hold the data.
+        """
+        count = count or self.replication_factor
+        candidates = self._candidates(nbytes, exclude)
+        targets = self.placement.select(candidates, count, nbytes)
+        if not targets:
+            raise NoRemoteCapacity(
+                "no viable peer for {} bytes from {!r}".format(
+                    nbytes, self.node.node_id
+                )
+            )
+        staged = self.node.send_pool.reserve_entry(nbytes)
+        committed = []
+        try:
+            for target in targets:
+                try:
+                    reply = yield from self.control_call(
+                        target, {"op": "reserve", "key": key, "nbytes": nbytes}
+                    )
+                    if not reply.get("ok"):
+                        continue
+                    region = self.directory.receive_region_of(target)
+                    if region is None:
+                        yield from self._best_effort_free(target, key)
+                        continue
+                    target_device = self.directory.device_of(target)
+                    qp = yield from self.node.device.connect(target_device)
+                    yield from qp.write(region, nbytes)
+                    committed.append(target)
+                except (NetworkError, ControlTimeout, RemoteAccessError):
+                    continue
+        finally:
+            if staged is not None:
+                self.node.send_pool.release_entry(staged)
+        if not committed:
+            raise NoRemoteCapacity("all {} replica writes failed".format(count))
+        return committed
+
+    def remote_get(self, record):
+        """Generator: one-sided read from the first live replica."""
+        last_error = None
+        for target in record.replica_nodes:
+            if self.directory.is_down(target):
+                continue
+            region = self.directory.receive_region_of(target)
+            if region is None:
+                continue
+            try:
+                target_device = self.directory.device_of(target)
+                qp = yield from self.node.device.connect(target_device)
+                yield from qp.read(region, record.nbytes)
+                return record.nbytes
+            except (NetworkError, RemoteAccessError, ControlTimeout) as error:
+                last_error = error
+                continue
+        raise EntryLost(record.key) from last_error
+
+    def remote_free(self, record):
+        """Generator: release an entry's space on every live replica."""
+        for target in record.replica_nodes:
+            if self.directory.is_down(target):
+                continue
+            yield from self._best_effort_free(target, record.key)
+
+    def _best_effort_free(self, target, key):
+        try:
+            yield from self.control_call(target, {"op": "free", "key": key})
+        except (NetworkError, ControlTimeout):
+            pass
+
+
+class RemoteEntry:
+    """RDMS-side record of one hosted entry."""
+
+    __slots__ = ("key", "owner_node_id", "chunks", "nbytes")
+
+    def __init__(self, key, owner_node_id, chunks, nbytes):
+        self.key = key
+        self.owner_node_id = owner_node_id
+        self.chunks = chunks
+        self.nbytes = nbytes
+
+
+class Rdms:
+    """Per-node remote server agent: the control-plane message loop."""
+
+    #: CPU time to process one control request.
+    PROCESSING_TIME = 1.0e-6
+    REPLY_BYTES = 64
+
+    def __init__(self, node, directory):
+        self.node = node
+        self.env = node.env
+        self.directory = directory
+        self.entries = {}
+        self.requests_served = 0
+        self._process = None
+        node.rdms = self
+
+    def start(self):
+        """Spawn the message loop."""
+        self._process = self.env.process(
+            self._serve(), name="rdms:{}".format(self.node.node_id)
+        )
+        return self._process
+
+    @property
+    def hosted_bytes(self):
+        return sum(e.nbytes for e in self.entries.values())
+
+    def _serve(self):
+        while True:
+            message = yield self.node.device.recv()
+            yield self.env.timeout(self.PROCESSING_TIME)
+            body = message.body
+            result = self._dispatch(body)
+            self.requests_served += 1
+            reply = body.get("reply")
+            if reply is None:
+                continue
+            try:
+                yield from self.node.device.fabric.transfer(
+                    self.node.node_id, body["src"], self.REPLY_BYTES
+                )
+            except NetworkError:
+                continue  # requester's timeout handles it
+            if not reply.triggered:
+                reply.succeed(result)
+
+    def _dispatch(self, body):
+        op = body.get("op")
+        if op == "reserve":
+            return self._reserve(body)
+        if op == "free":
+            return self._free(body)
+        return {"ok": False, "error": "unknown op {!r}".format(op)}
+
+    def _reserve(self, body):
+        key, nbytes = body["key"], body["nbytes"]
+        if key in self.entries:
+            self._release(key)
+        chunks = self.node.receive_pool.reserve_entry(nbytes)
+        if chunks is None:
+            return {"ok": False, "error": "no capacity"}
+        self.entries[key] = RemoteEntry(key, body["src"], chunks, nbytes)
+        return {"ok": True}
+
+    def _free(self, body):
+        self._release(body["key"])
+        return {"ok": True}
+
+    def _release(self, key):
+        entry = self.entries.pop(key, None)
+        if entry is not None:
+            self.node.receive_pool.release_entry(entry.chunks)
+
+    def evict_entries(self, bytes_needed):
+        """Free hosted entries until ``bytes_needed`` is reclaimed.
+
+        Returns the evicted entries (oldest first) so the eviction
+        manager can notify their owners to re-replicate.
+        """
+        evicted = []
+        reclaimed = 0
+        for key in list(self.entries):
+            if reclaimed >= bytes_needed:
+                break
+            entry = self.entries[key]
+            self._release(key)
+            evicted.append(entry)
+            reclaimed += entry.nbytes
+        return evicted
+
+    def drop_all(self):
+        """Crash semantics: hosted data vanishes with the node."""
+        for key in list(self.entries):
+            self._release(key)

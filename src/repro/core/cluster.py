@@ -1,0 +1,207 @@
+"""The cluster facade: builds and wires the whole system.
+
+:class:`DisaggregatedCluster` owns the simulation environment, fabric,
+nodes, virtual servers, agents, groups, election and eviction manager,
+and doubles as the *directory* the agents consult (who are my group
+peers, are they up, how much do they donate) — the role the group
+leader's metadata plays in the paper.
+
+Synchronous convenience wrappers (:meth:`put`, :meth:`get`, ...) drive
+the simulation until the operation completes, which is what examples
+and simple tests want; composite workloads spawn their own processes
+against the ``env`` instead.
+"""
+
+from repro.core.agents import Ldmc, Ldms, Rdmc, Rdms
+from repro.core.config import ClusterConfig
+from repro.core.election import LeaderElection
+from repro.core.eviction import EvictionManager
+from repro.core.groups import GroupManager
+from repro.core.placement import make_placement_policy
+from repro.core.node import PhysicalNode
+from repro.core.virtual_server import ServerKind, VirtualServer
+from repro.net.fabric import Fabric
+from repro.net.failures import FailureInjector
+from repro.sim import Environment, RngStreams
+
+
+class DisaggregatedCluster:
+    """A fully wired disaggregated memory system."""
+
+    def __init__(self, config=None):
+        self.config = config or ClusterConfig()
+        self.env = Environment()
+        self.rng = RngStreams(self.config.seed)
+        self.fabric = Fabric(
+            self.env,
+            self.config.calibration.network,
+            core_concurrency=self.config.fabric_core_concurrency,
+        )
+        self.injector = FailureInjector(self.env, self.fabric)
+        self.nodes_by_id = {}
+        self.virtual_servers = []
+        for node_index in range(self.config.num_nodes):
+            node_id = "node{}".format(node_index)
+            node = PhysicalNode(self.env, node_id, self.config, self.fabric)
+            self.nodes_by_id[node_id] = node
+            for server_index in range(self.config.servers_per_node):
+                server = VirtualServer(
+                    "{}/vm{}".format(node_id, server_index),
+                    node,
+                    self.config.server_memory_bytes,
+                    kind=ServerKind.VM,
+                    donation_fraction=self.config.donation_fraction,
+                )
+                node.add_server(server)
+                self.virtual_servers.append(server)
+        self.groups = GroupManager(list(self.nodes_by_id), self.config.group_size)
+        placement = make_placement_policy(
+            self.config.placement_policy, self.rng.stream("placement")
+        )
+        for node in self.nodes_by_id.values():
+            rdmc = Rdmc(node, self, placement, self.config.replication_factor)
+            Ldms(node, rdmc)
+            Rdms(node, self)
+            for server in node.servers:
+                Ldmc(server, node.ldms)
+        self.election = LeaderElection(
+            self.env,
+            self.fabric,
+            self.groups,
+            self.free_receive_bytes,
+            heartbeat_period=self.config.heartbeat_period,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+        )
+        self.eviction = EvictionManager(self.env, self, self.config)
+        self._services_started = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, config=None, start_services=False):
+        """Construct the cluster and run pool registration to completion.
+
+        ``start_services=True`` additionally starts heartbeats and the
+        eviction monitors (they keep the event heap non-empty, so only
+        time-bounded runs terminate afterwards).
+        """
+        cluster = cls(config)
+        setup = [
+            cluster.env.process(node.setup(), name="setup:" + node.node_id)
+            for node in cluster.nodes_by_id.values()
+        ]
+        cluster.env.run(until=cluster.env.all_of(setup))
+        for node in cluster.nodes_by_id.values():
+            node.rdms.start()
+        cluster.election.elect_all()
+        if start_services:
+            cluster.start_services()
+        return cluster
+
+    def start_services(self):
+        """Start heartbeat and eviction background processes."""
+        if not self._services_started:
+            self.election.start()
+            self.eviction.start()
+            self._services_started = True
+
+    # -- directory protocol (consulted by the agents) ---------------------------
+
+    def nodes(self):
+        return list(self.nodes_by_id.values())
+
+    def node(self, node_id):
+        return self.nodes_by_id[node_id]
+
+    def peers_of(self, node_id):
+        """Group peers eligible to host this node's remote entries."""
+        return self.groups.peers_of(node_id)
+
+    def is_down(self, node_id):
+        return self.fabric.is_node_down(node_id)
+
+    def free_receive_bytes(self, node_id):
+        return self.nodes_by_id[node_id].receive_pool.free_bytes
+
+    def receive_region_of(self, node_id):
+        return self.nodes_by_id[node_id].receive_pool.any_region()
+
+    def device_of(self, node_id):
+        return self.nodes_by_id[node_id].device
+
+    def maybe_regroup(self, node_id, min_free_bytes):
+        """Dynamic re-grouping (§IV-C): when ``node_id``'s group cannot
+        offer ``min_free_bytes`` of remote memory, merge it with the
+        group currently offering the most, and re-elect a leader.
+
+        Returns the merged group, or ``None`` if no re-group happened.
+        """
+        group = self.groups.group_of(node_id)
+        group_free = sum(
+            self.free_receive_bytes(peer) for peer in self.peers_of(node_id)
+        )
+        if group_free >= min_free_bytes:
+            return None
+        candidates = [
+            other for other in self.groups.groups.values()
+            if other.group_id != group.group_id
+        ]
+        if not candidates:
+            return None
+        richest = max(
+            candidates,
+            key=lambda g: sum(self.free_receive_bytes(m) for m in g.members),
+        )
+        merged = self.groups.merge_groups(group.group_id, richest.group_id)
+        self.election.elect(merged)
+        return merged
+
+    # -- failure control -------------------------------------------------------
+
+    def crash_node(self, node_id):
+        """Crash a node: fabric state, RDMA state and hosted entries go."""
+        node = self.nodes_by_id[node_id]
+        self.injector.crash_node(node_id)
+        node.device.crash()
+        node.rdms.drop_all()
+
+    def recover_node(self, node_id):
+        """Bring a crashed node back (empty-handed, as after a reboot)."""
+        self.injector.recover_node(node_id)
+
+    # -- synchronous convenience API ----------------------------------------------
+
+    def run_process(self, generator, name=None):
+        """Drive the simulation until ``generator`` finishes; return its value."""
+        return self.env.run(until=self.env.process(generator, name=name))
+
+    def put(self, server, key, nbytes):
+        """Store an entry for ``server``; returns the tier it landed in."""
+        return self.run_process(server.ldmc.put(key, nbytes))
+
+    def get(self, server, key):
+        """Fetch an entry; returns its size in bytes."""
+        return self.run_process(server.ldmc.get(key))
+
+    def remove(self, server, key):
+        """Drop an entry everywhere; returns its size in bytes."""
+        return self.run_process(server.ldmc.remove(key))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def stats(self):
+        """Aggregate counters across the cluster (for reports/tests)."""
+        nodes = self.nodes_by_id.values()
+        return {
+            "time": self.env.now,
+            "shared_pool_puts": sum(n.shared_pool.puts for n in nodes),
+            "shared_pool_evictions": sum(n.shared_pool.evictions for n in nodes),
+            "remote_puts": sum(n.remote_puts for n in nodes),
+            "remote_gets": sum(n.remote_gets for n in nodes),
+            "disk_puts": sum(n.disk_puts for n in nodes),
+            "disk_gets": sum(n.disk_gets for n in nodes),
+            "network_bytes": self.fabric.total_bytes,
+            "elections": self.election.elections_held,
+            "slab_evictions": self.eviction.slab_evictions,
+            "hosted_remote_bytes": sum(n.rdms.hosted_bytes for n in nodes),
+        }

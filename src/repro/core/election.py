@@ -1,0 +1,144 @@
+"""Leader election with heartbeats and handshake timeouts (Section IV-C).
+
+Each group periodically elects the member that "meets certain
+constraints" — here, the node with the maximum available disaggregated
+memory, the paper's own example.  The sitting leader heartbeats its
+group over the control plane; when heartbeats stop for longer than the
+handshake timeout (leader crash or partition), a new election is
+triggered among the members that remain reachable.  A leader can also
+be deposed deliberately (e.g. after a dynamic re-group).
+"""
+
+from repro.net.errors import NetworkError
+
+HEARTBEAT_BYTES = 64
+
+
+class LeaderElection:
+    """Runs heartbeat + election for every group of a cluster."""
+
+    def __init__(self, env, fabric, group_manager, free_bytes_of,
+                 heartbeat_period=0.5, heartbeat_timeout=2.0):
+        """``free_bytes_of(node_id)`` reports a node's available
+        disaggregated memory — the election fitness function."""
+        if heartbeat_timeout <= heartbeat_period:
+            raise ValueError("timeout must exceed period")
+        self.env = env
+        self.fabric = fabric
+        self.groups = group_manager
+        self.free_bytes_of = free_bytes_of
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.elections_held = 0
+        self.heartbeats_sent = 0
+        self._last_heard = {}  # group_id -> time of last successful heartbeat
+        self._processes = []
+
+    # -- election ------------------------------------------------------------
+
+    def elect(self, group):
+        """Choose a leader for ``group`` among reachable members.
+
+        Fitness: maximum free disaggregated memory, ties broken by node
+        id for determinism.  Returns the leader or ``None`` when every
+        member is down.
+        """
+        alive = [m for m in group.members if not self.fabric.is_node_down(m)]
+        if not alive:
+            group.leader = None
+            return None
+        group.leader = max(
+            alive, key=lambda node_id: (self.free_bytes_of(node_id), str(node_id))
+        )
+        group.term += 1
+        self.elections_held += 1
+        self._last_heard[group.group_id] = self.env.now
+        return group.leader
+
+    def elect_all(self):
+        """Run an initial election in every group."""
+        return {
+            group_id: self.elect(group)
+            for group_id, group in self.groups.groups.items()
+        }
+
+    def leader_of(self, node_id):
+        """Current leader of ``node_id``'s group (may be ``None``)."""
+        return self.groups.group_of(node_id).leader
+
+    def elect_tier2(self):
+        """Second coordination tier (§IV-C): among the tier-1 group
+        leaders, pick the cluster coordinator by the same fitness rule.
+
+        Returns the coordinator node id, or ``None`` when no group has
+        a live leader.
+        """
+        leaders = [
+            leader for leader in self.groups.tier2_members()
+            if not self.fabric.is_node_down(leader)
+        ]
+        if not leaders:
+            return None
+        return max(
+            leaders, key=lambda node_id: (self.free_bytes_of(node_id),
+                                          str(node_id))
+        )
+
+    # -- heartbeat machinery ------------------------------------------------
+
+    def start(self):
+        """Spawn one heartbeat/monitor process per group."""
+        for group in self.groups.groups.values():
+            process = self.env.process(
+                self._heartbeat_loop(group), name="election:g{}".format(group.group_id)
+            )
+            self._processes.append(process)
+        return self._processes
+
+    def _heartbeat_loop(self, group):
+        while True:
+            yield self.env.timeout(self.heartbeat_period)
+            if not group.members:
+                continue
+            if group.leader is None:
+                self.elect(group)
+                continue
+            delivered = yield from self._broadcast_heartbeat(group)
+            if delivered:
+                self._last_heard[group.group_id] = self.env.now
+            elif (
+                self.env.now - self._last_heard.get(group.group_id, 0.0)
+                >= self.heartbeat_timeout
+            ):
+                # Handshake timeout: the leader is gone; re-elect.
+                self.elect(group)
+
+    def _broadcast_heartbeat(self, group):
+        """Send a heartbeat from the leader to every other member.
+
+        Returns True when at least one member (or the sole member
+        itself) confirmed the leader alive.
+        """
+        leader = group.leader
+        if self.fabric.is_node_down(leader):
+            return False
+        peers = [m for m in group.members if m != leader]
+        if not peers:
+            return True
+        any_delivered = False
+        for peer in peers:
+            if self.fabric.is_node_down(peer):
+                continue
+            try:
+                yield from self.fabric.transfer(
+                    leader,
+                    peer,
+                    HEARTBEAT_BYTES,
+                    base_latency=self.fabric.spec.rdma_latency
+                    + self.fabric.spec.send_recv_extra,
+                )
+                self.heartbeats_sent += 1
+                any_delivered = True
+            except NetworkError:
+                continue
+        return any_delivered

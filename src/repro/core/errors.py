@@ -1,0 +1,33 @@
+"""Errors raised by the disaggregated memory core."""
+
+
+class CoreError(Exception):
+    """Base class for disaggregated-memory-core errors."""
+
+
+class NoRemoteCapacity(CoreError):
+    """No reachable group peer could host the entry."""
+
+
+class EntryLost(CoreError):
+    """Every replica of an entry is unreachable or gone."""
+
+    def __init__(self, key):
+        super().__init__("all replicas of {!r} lost".format(key))
+        self.key = key
+
+
+class UnknownKey(CoreError):
+    """A get/remove referenced a key with no committed record."""
+
+    def __init__(self, key):
+        super().__init__("no committed entry for {!r}".format(key))
+        self.key = key
+
+
+class ControlTimeout(CoreError):
+    """A control-plane request got no reply within the timeout."""
+
+    def __init__(self, target):
+        super().__init__("control request to {!r} timed out".format(target))
+        self.target = target

@@ -1,0 +1,128 @@
+"""Slab eviction and ballooning policies (paper Section IV-F).
+
+Two recommended policies, both implemented as a periodic per-node
+monitor:
+
+1. **Receive-pool eviction** — a node whose servers frequently overflow
+   to *remote* disaggregated memory is itself short on memory; it
+   should shrink the DRAM it donates to the cluster by deregistering
+   receive-pool slabs.  Hosted entries displaced this way are
+   re-replicated elsewhere by their owners (triple-replica upkeep).
+2. **Ballooning** — a virtual server that keeps requesting
+   disaggregated memory should get more private DRAM, reclaimed from
+   the node shared pool; the swap/caching layer can subscribe to these
+   recommendations and grow the server's resident set.
+"""
+
+from repro.core.agents import CONTROL_MESSAGE_BYTES
+from repro.net.errors import NetworkError
+
+
+class BalloonRecommendation:
+    """Advice to grant a server more private memory."""
+
+    __slots__ = ("time", "server_id", "granted_bytes", "request_rate")
+
+    def __init__(self, time, server_id, granted_bytes, request_rate):
+        self.time = time
+        self.server_id = server_id
+        self.granted_bytes = granted_bytes
+        self.request_rate = request_rate
+
+
+class EvictionManager:
+    """Periodic monitor applying the two Section IV-F policies."""
+
+    #: How much of a server's remaining donation one balloon step grants.
+    BALLOON_STEP_FRACTION = 0.25
+
+    def __init__(self, env, directory, config, check_period=0.5):
+        self.env = env
+        self.directory = directory
+        self.config = config
+        self.check_period = check_period
+        self.slab_evictions = 0
+        self.entry_evictions = 0
+        self.recommendations = []
+        self._balloon_listeners = []
+        self._processes = []
+        self._last_check = {}
+
+    def on_balloon(self, callback):
+        """Register ``callback(server, granted_bytes)``."""
+        self._balloon_listeners.append(callback)
+
+    def start(self):
+        """Spawn one monitor process per node."""
+        for node in self.directory.nodes():
+            process = self.env.process(
+                self._monitor(node), name="evict:{}".format(node.node_id)
+            )
+            self._processes.append(process)
+        return self._processes
+
+    def _monitor(self, node):
+        while True:
+            yield self.env.timeout(self.check_period)
+            if self.directory.is_down(node.node_id):
+                continue
+            yield from self._apply_receive_pool_policy(node)
+            self._apply_balloon_policy(node)
+
+    # -- policy 1: shrink the cluster donation under local pressure -----------
+
+    def _apply_receive_pool_policy(self, node):
+        elapsed = self.env.now - self._last_check.get(node.node_id, 0.0)
+        self._last_check[node.node_id] = self.env.now
+        rate = node.remote_put_rate_since_last_check(elapsed)
+        if rate <= self.config.balloon_request_rate:
+            return
+        if node.receive_pool.capacity_bytes == 0:
+            return
+        # Prefer idle slabs; displace hosted entries only when none are idle.
+        removed = node.receive_pool.shrink(1)
+        if removed:
+            self.slab_evictions += removed
+            return
+        evicted = node.rdms.evict_entries(self.config.slab_bytes)
+        self.entry_evictions += len(evicted)
+        yield from self._notify_owners(node, evicted)
+        removed = node.receive_pool.shrink(1)
+        self.slab_evictions += removed
+
+    def _notify_owners(self, node, evicted_entries):
+        """Tell each owner its replica here is gone so it re-replicates."""
+        for entry in evicted_entries:
+            owner = entry.owner_node_id
+            if self.directory.is_down(owner):
+                continue
+            try:
+                yield from node.device.fabric.transfer(
+                    node.node_id, owner, CONTROL_MESSAGE_BYTES
+                )
+            except NetworkError:
+                continue
+            owner_node = self.directory.node(owner)
+            self.env.process(
+                owner_node.ldms.handle_replica_eviction(entry.key, node.node_id),
+                name="rereplicate:{}".format(entry.key),
+            )
+
+    # -- policy 2: balloon hot servers ------------------------------------------
+
+    def _apply_balloon_policy(self, node):
+        elapsed = self.check_period
+        for server in node.servers:
+            rate = server.request_rate_since_last_check(elapsed)
+            if rate <= self.config.balloon_request_rate:
+                continue
+            step = int(server.donated_bytes * self.BALLOON_STEP_FRACTION)
+            granted = server.balloon(step)
+            if granted <= 0:
+                continue
+            recommendation = BalloonRecommendation(
+                self.env.now, server.server_id, granted, rate
+            )
+            self.recommendations.append(recommendation)
+            for callback in self._balloon_listeners:
+                callback(server, granted)

@@ -1,0 +1,102 @@
+"""Hierarchical group-based sharing (paper Section IV-C).
+
+A flat disaggregated memory map does not scale to terabytes of cluster
+memory, so nodes are partitioned into groups of similar size; nodes
+share disaggregated memory only within their group, and each group
+elects a leader to coordinate.  Two extensions from the paper are
+supported: a second tier (the leaders of tier-1 groups form a tier-2
+group), and dynamic re-grouping when a group runs short of memory.
+"""
+
+
+class Group:
+    """One coordination group of nodes."""
+
+    def __init__(self, group_id, members):
+        self.group_id = group_id
+        self.members = list(members)
+        self.leader = None
+        self.term = 0
+
+    def __contains__(self, node_id):
+        return node_id in self.members
+
+    def __len__(self):
+        return len(self.members)
+
+    def __repr__(self):
+        return "<Group {} members={} leader={!r}>".format(
+            self.group_id, self.members, self.leader
+        )
+
+
+class GroupManager:
+    """Partitions nodes into groups and supports dynamic re-grouping."""
+
+    def __init__(self, node_ids, group_size=0):
+        node_ids = list(node_ids)
+        if group_size < 0:
+            raise ValueError("group_size must be >= 0")
+        if group_size == 1:
+            raise ValueError(
+                "group_size 1 is degenerate: a single node cannot share "
+                "disaggregated memory with itself"
+            )
+        if group_size == 0 or group_size >= len(node_ids):
+            chunks = [node_ids]
+        else:
+            chunks = [
+                node_ids[i:i + group_size]
+                for i in range(0, len(node_ids), group_size)
+            ]
+            # Fold a lonely remainder into the previous group so group
+            # sizes stay "similar" per the paper.
+            if len(chunks) > 1 and len(chunks[-1]) == 1:
+                chunks[-2].extend(chunks.pop())
+        self.groups = {i: Group(i, members) for i, members in enumerate(chunks)}
+        self._group_of = {}
+        for group in self.groups.values():
+            for node_id in group.members:
+                self._group_of[node_id] = group.group_id
+        self.regroup_events = 0
+
+    def group_of(self, node_id):
+        """The :class:`Group` containing ``node_id``."""
+        return self.groups[self._group_of[node_id]]
+
+    def peers_of(self, node_id):
+        """Other members of ``node_id``'s group."""
+        group = self.group_of(node_id)
+        return [m for m in group.members if m != node_id]
+
+    def tier2_members(self):
+        """The leaders of all groups (the second coordination tier)."""
+        return [g.leader for g in self.groups.values() if g.leader is not None]
+
+    def merge_groups(self, group_id_a, group_id_b):
+        """Dynamic re-grouping: fold group B into group A.
+
+        The paper lets a leader request re-grouping when its group runs
+        short of disaggregated memory; merging is the simplest form.
+        """
+        if group_id_a == group_id_b:
+            raise ValueError("cannot merge a group with itself")
+        group_a = self.groups[group_id_a]
+        group_b = self.groups.pop(group_id_b)
+        group_a.members.extend(group_b.members)
+        for node_id in group_b.members:
+            self._group_of[node_id] = group_id_a
+        # Leadership of the merged group must be re-established.
+        group_a.leader = None
+        group_a.term += 1
+        self.regroup_events += 1
+        return group_a
+
+    def remove_node(self, node_id):
+        """Drop a decommissioned/crashed node from its group."""
+        group = self.group_of(node_id)
+        group.members.remove(node_id)
+        del self._group_of[node_id]
+        if group.leader == node_id:
+            group.leader = None
+        return group

@@ -1,0 +1,143 @@
+"""The disaggregated memory map (paper Sections IV-C and IV-G).
+
+Each virtual server keeps a *memory map* — a log table recording, for
+every data entry it pushed to disaggregated memory, where that entry
+currently lives: the node-coordinated shared memory, the local RDMA
+buffer pool, one or more remote nodes, or external storage.  Every
+remote operation is atomic — all or nothing — and only a completed
+operation updates the map, which is what removes inconsistency after
+connection or node failures.
+
+The module also carries the Section IV-C scalability arithmetic: a flat
+in-memory hash table costs ``entries x metadata_bytes`` per node (the
+paper's example: 4 KB entries, 8 B of location metadata ⇒ ~5 GB of map
+for 2 TB of cluster memory), which motivates group-based sharing.
+"""
+
+from repro.hw.latency import PAGE_SIZE
+
+
+class Location:
+    """Where a data entry lives."""
+
+    SHARED_MEMORY = "shared_memory"
+    LOCAL_BUFFER = "local_buffer"
+    REMOTE = "remote"
+    DISK = "disk"
+
+    ALL = (SHARED_MEMORY, LOCAL_BUFFER, REMOTE, DISK)
+
+
+class EntryRecord:
+    """One committed entry in a server's memory map."""
+
+    __slots__ = ("key", "location", "nbytes", "replica_nodes", "committed_at")
+
+    def __init__(self, key, location, nbytes, replica_nodes=(), committed_at=0.0):
+        if location not in Location.ALL:
+            raise ValueError("unknown location {!r}".format(location))
+        if location == Location.REMOTE and not replica_nodes:
+            raise ValueError("remote entries need at least one replica node")
+        self.key = key
+        self.location = location
+        self.nbytes = nbytes
+        self.replica_nodes = tuple(replica_nodes)
+        self.committed_at = committed_at
+
+    def __repr__(self):
+        return "<Entry {!r} @{} {}B replicas={}>".format(
+            self.key, self.location, self.nbytes, self.replica_nodes
+        )
+
+
+class DisaggregatedMemoryMap:
+    """Per-virtual-server log table of entry locations.
+
+    Updates are transactional from the caller's perspective: agents call
+    :meth:`begin` to stage an entry, then :meth:`commit` after the data
+    movement finished, or :meth:`abort` if it failed.  Readers only ever
+    observe committed entries.
+    """
+
+    #: Bytes of location metadata per entry (paper's §IV-C example).
+    METADATA_BYTES = 8
+    #: Hash-table structural overhead on top of raw metadata.
+    HASH_OVERHEAD = 1.25
+
+    def __init__(self, owner_id):
+        self.owner_id = owner_id
+        self._committed = {}
+        self._pending = {}
+        self.commits = 0
+        self.aborts = 0
+
+    def __len__(self):
+        return len(self._committed)
+
+    def __contains__(self, key):
+        return key in self._committed
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self, key, location, nbytes, replica_nodes=()):
+        """Stage a new location for ``key``; invisible until committed."""
+        record = EntryRecord(key, location, nbytes, replica_nodes)
+        self._pending[key] = record
+        return record
+
+    def commit(self, key, now=0.0):
+        """Make the staged record for ``key`` the visible truth."""
+        record = self._pending.pop(key)
+        record.committed_at = now
+        self._committed[key] = record
+        self.commits += 1
+        return record
+
+    def abort(self, key):
+        """Discard the staged record for ``key`` (failure rollback)."""
+        self._pending.pop(key, None)
+        self.aborts += 1
+
+    # -- reads / maintenance ---------------------------------------------------
+
+    def lookup(self, key):
+        """The committed record for ``key`` or ``None``."""
+        return self._committed.get(key)
+
+    def remove(self, key):
+        """Forget ``key``; returns the removed record or ``None``."""
+        return self._committed.pop(key, None)
+
+    def entries_at(self, node_id):
+        """Committed remote entries that have a replica on ``node_id``."""
+        return [
+            record
+            for record in self._committed.values()
+            if record.location == Location.REMOTE and node_id in record.replica_nodes
+        ]
+
+    def replace_replica(self, key, old_node, new_node):
+        """Point one replica of ``key`` from ``old_node`` to ``new_node``."""
+        record = self._committed[key]
+        replicas = list(record.replica_nodes)
+        replicas[replicas.index(old_node)] = new_node
+        record.replica_nodes = tuple(replicas)
+        return record
+
+    def metadata_bytes(self):
+        """Resident size of this map (hash table + per-entry metadata)."""
+        raw = (len(self._committed) + len(self._pending)) * self.METADATA_BYTES
+        return int(raw * self.HASH_OVERHEAD)
+
+
+def map_overhead_bytes(disaggregated_bytes, entry_bytes=PAGE_SIZE,
+                       metadata_bytes=DisaggregatedMemoryMap.METADATA_BYTES,
+                       hash_overhead=DisaggregatedMemoryMap.HASH_OVERHEAD):
+    """Map memory needed to track ``disaggregated_bytes`` of cluster memory.
+
+    Reproduces the paper's Section IV-C estimate: with 4 KB entries and
+    8 B of metadata, tracking 2 TB costs ~5 GB per node and 10 TB costs
+    ~25 GB — the scalability argument for group-based sharing.
+    """
+    entries = disaggregated_bytes // entry_bytes
+    return int(entries * metadata_bytes * hash_overhead)

@@ -1,0 +1,104 @@
+"""A physical node: DRAM, disk, NIC, pools, servers and counters.
+
+Figure 1 of the paper, per node: virtual servers with their LDMCs on
+top; the node manager coordinating a shared memory pool; and the
+cluster-facing send/receive RDMA buffer pools.  This class owns the
+hardware and pool state; the agents in :mod:`repro.core.agents` own the
+protocol behaviour.
+"""
+
+from repro.hw.disk import Hdd, Ssd
+from repro.hw.dram import DramModule
+from repro.mem.buffer_pool import RdmaBufferPool
+from repro.mem.shared_pool import SharedMemoryPool
+from repro.net.rdma import RdmaDevice
+
+
+class PhysicalNode:
+    """One machine participating in the disaggregated memory system."""
+
+    def __init__(self, env, node_id, config, fabric):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        calibration = config.calibration
+        self.dram = DramModule(
+            env,
+            config.node_memory_bytes,
+            spec=calibration.dram,
+            name="dram:{}".format(node_id),
+        )
+        self.hdd = Hdd(env, spec=calibration.hdd, name="hdd:{}".format(node_id))
+        self.ssd = Ssd(env, spec=calibration.ssd, name="ssd:{}".format(node_id))
+        self.device = RdmaDevice(env, fabric, node_id)
+        self.shared_pool = SharedMemoryPool(
+            env,
+            calibration.shared_memory,
+            size_classes=config.size_classes,
+            slab_bytes=config.slab_bytes,
+            name="shm:{}".format(node_id),
+        )
+        self.send_pool = RdmaBufferPool(
+            self.device,
+            role="send",
+            size_classes=config.size_classes,
+            slab_bytes=config.slab_bytes,
+        )
+        self.receive_pool = RdmaBufferPool(
+            self.device,
+            role="receive",
+            size_classes=config.size_classes,
+            slab_bytes=config.slab_bytes,
+        )
+        self.servers = []
+        #: Agents, wired by the cluster facade.
+        self.ldms = None
+        self.rdmc = None
+        self.rdms = None
+        #: Counters feeding balancing/eviction policies and reports.
+        self.remote_puts = 0
+        self.remote_gets = 0
+        self.disk_puts = 0
+        self.disk_gets = 0
+        self.shared_pool_misses = 0
+        self._disk_cursor = 0
+        self._remote_puts_at_last_check = 0
+
+    # -- servers -----------------------------------------------------------
+
+    def add_server(self, server):
+        """Host a virtual server: allocate its DRAM, take its donation."""
+        self.dram.allocate(server.memory_bytes)
+        self.servers.append(server)
+        if server.donated_bytes:
+            self.shared_pool.donate(server.server_id, server.donated_bytes)
+
+    def setup(self):
+        """Generator: register the RDMA buffer pools (costs time)."""
+        yield from self.send_pool.grow(self.config.send_pool_slabs)
+        yield from self.receive_pool.grow(self.config.receive_pool_slabs)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def alloc_disk_span(self, nbytes):
+        """Byte offset of a fresh span in the node's swap/spill area."""
+        offset = self._disk_cursor
+        self._disk_cursor += nbytes
+        return offset
+
+    def donated_cluster_bytes(self):
+        """What this node offers to the cluster (free receive-pool bytes)."""
+        return self.receive_pool.free_bytes
+
+    def remote_put_rate_since_last_check(self, elapsed):
+        """Cluster-level requests per second since the previous check."""
+        if elapsed <= 0:
+            return 0.0
+        delta = self.remote_puts - self._remote_puts_at_last_check
+        self._remote_puts_at_last_check = self.remote_puts
+        return delta / elapsed
+
+    def __repr__(self):
+        return "<PhysicalNode {!r} servers={}>".format(
+            self.node_id, len(self.servers)
+        )

@@ -1,0 +1,158 @@
+"""Memory-balancing placement policies (paper Section IV-E).
+
+Given a set of candidate remote nodes, a policy picks the ``k`` nodes
+(primary + replicas) that should host a new data entry.  The paper
+names four candidates: random, round robin, weighted round robin, and
+the power of two choices; all four are implemented and benchmarked
+against each other in the placement ablation.
+
+Policies only see a narrow :class:`CandidateView` per node — its id and
+currently free receive-pool bytes — mirroring the information a node
+manager can cheaply keep fresh via the group leader.
+"""
+
+
+class CandidateView:
+    """What a placement policy may know about one candidate node."""
+
+    __slots__ = ("node_id", "free_bytes")
+
+    def __init__(self, node_id, free_bytes):
+        self.node_id = node_id
+        self.free_bytes = free_bytes
+
+    def __repr__(self):
+        return "CandidateView({!r}, free={})".format(self.node_id, self.free_bytes)
+
+
+class PlacementPolicy:
+    """Base class: select ``k`` distinct nodes for a new entry."""
+
+    name = "abstract"
+
+    def select(self, candidates, k, nbytes):
+        """Return up to ``k`` distinct node ids able to fit ``nbytes``.
+
+        Candidates that cannot fit the entry are skipped.  Fewer than
+        ``k`` ids may be returned when the cluster is tight; the caller
+        decides whether degraded replication is acceptable.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _viable(candidates, nbytes):
+        return [c for c in candidates if c.free_bytes >= nbytes]
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniformly random choice among viable candidates."""
+
+    name = "random"
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def select(self, candidates, k, nbytes):
+        viable = self._viable(candidates, nbytes)
+        self.rng.shuffle(viable)
+        return [c.node_id for c in viable[:k]]
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through candidates in a fixed order."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def select(self, candidates, k, nbytes):
+        viable = self._viable(sorted(candidates, key=lambda c: str(c.node_id)), nbytes)
+        if not viable:
+            return []
+        chosen = []
+        for i in range(len(viable)):
+            candidate = viable[(self._cursor + i) % len(viable)]
+            chosen.append(candidate.node_id)
+            if len(chosen) == k:
+                break
+        self._cursor = (self._cursor + 1) % max(1, len(viable))
+        return chosen
+
+
+class WeightedRoundRobin(PlacementPolicy):
+    """Round robin where weight is proportional to free memory.
+
+    Implemented as smooth weighted round-robin: each pick adds a node's
+    weight to its running credit and serves the highest-credit node.
+    """
+
+    name = "weighted_round_robin"
+
+    def __init__(self):
+        self._credit = {}
+
+    def select(self, candidates, k, nbytes):
+        viable = self._viable(candidates, nbytes)
+        total = sum(c.free_bytes for c in viable)
+        if not viable or total == 0:
+            return []
+        chosen = []
+        credit = self._credit
+        for _ in range(min(k, len(viable))):
+            best = None
+            for candidate in viable:
+                if candidate.node_id in chosen:
+                    continue
+                credit[candidate.node_id] = (
+                    credit.get(candidate.node_id, 0.0) + candidate.free_bytes
+                )
+                if best is None or credit[candidate.node_id] > credit[best]:
+                    best = candidate.node_id
+            if best is None:
+                break
+            credit[best] -= total
+            chosen.append(best)
+        return chosen
+
+
+class PowerOfTwoChoices(PlacementPolicy):
+    """Sample two random candidates, keep the emptier one (per pick).
+
+    The classic load-balancing result [Richa, Mitzenmacher, Sitaraman]:
+    two random probes get exponentially better balance than one, at a
+    fraction of the bookkeeping full knowledge would cost.  This is
+    also the policy Infiniswap uses for slab placement.
+    """
+
+    name = "power_of_two"
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def select(self, candidates, k, nbytes):
+        viable = self._viable(candidates, nbytes)
+        chosen = []
+        remaining = list(viable)
+        while remaining and len(chosen) < k:
+            if len(remaining) == 1:
+                pick = remaining[0]
+            else:
+                first, second = self.rng.sample(remaining, 2)
+                pick = first if first.free_bytes >= second.free_bytes else second
+            chosen.append(pick.node_id)
+            remaining = [c for c in remaining if c.node_id != pick.node_id]
+        return chosen
+
+
+def make_placement_policy(name, rng):
+    """Factory keyed by the :class:`~repro.core.config.ClusterConfig` name."""
+    if name == "random":
+        return RandomPlacement(rng)
+    if name == "round_robin":
+        return RoundRobinPlacement()
+    if name == "weighted_round_robin":
+        return WeightedRoundRobin()
+    if name == "power_of_two":
+        return PowerOfTwoChoices(rng)
+    raise ValueError("unknown placement policy {!r}".format(name))

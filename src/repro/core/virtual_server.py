@@ -1,0 +1,71 @@
+"""Virtual servers: VMs, containers and JVM executors.
+
+The paper treats all three uniformly — each is a unit of memory
+allocation fixed at initialization time, donating x% of that allocation
+to the node shared pool and consuming disaggregated memory through its
+LDMC when under pressure.
+"""
+
+
+class ServerKind:
+    """The three virtual-server flavours the paper names."""
+
+    VM = "vm"
+    CONTAINER = "container"
+    JVM_EXECUTOR = "jvm_executor"
+
+    ALL = (VM, CONTAINER, JVM_EXECUTOR)
+
+
+class VirtualServer:
+    """One virtual server hosted on a physical node."""
+
+    def __init__(self, server_id, node, memory_bytes, kind=ServerKind.VM,
+                 donation_fraction=0.0):
+        if kind not in ServerKind.ALL:
+            raise ValueError("unknown server kind {!r}".format(kind))
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if not 0.0 <= donation_fraction <= 1.0:
+            raise ValueError("donation_fraction must be in [0, 1]")
+        self.server_id = server_id
+        self.node = node
+        self.kind = kind
+        self.memory_bytes = memory_bytes
+        self.donated_bytes = int(memory_bytes * donation_fraction)
+        #: Set by the cluster facade when agents are wired up.
+        self.ldmc = None
+        #: Rolling counters used by the ballooning policy (§IV-F (2)).
+        self.disaggregated_requests = 0
+        self._requests_at_last_check = 0
+
+    @property
+    def private_bytes(self):
+        """Memory the server keeps for itself after its donation."""
+        return self.memory_bytes - self.donated_bytes
+
+    def balloon(self, nbytes):
+        """Grow this server's private memory by reclaiming its donation.
+
+        Returns how many bytes were actually reclaimed (bounded by what
+        is still donated and removable from the pool).
+        """
+        reclaim = min(nbytes, self.donated_bytes)
+        if reclaim <= 0:
+            return 0
+        self.node.shared_pool.retract(self.server_id, reclaim)
+        self.donated_bytes -= reclaim
+        return reclaim
+
+    def request_rate_since_last_check(self, elapsed):
+        """Disaggregated-memory requests per second since the last check."""
+        if elapsed <= 0:
+            return 0.0
+        delta = self.disaggregated_requests - self._requests_at_last_check
+        self._requests_at_last_check = self.disaggregated_requests
+        return delta / elapsed
+
+    def __repr__(self):
+        return "<VirtualServer {!r} kind={} mem={}>".format(
+            self.server_id, self.kind, self.memory_bytes
+        )

@@ -1,0 +1,43 @@
+"""The experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run(scale=1.0, seed=0)`` entry point returning
+a plain-dict result (rows/series matching what the paper reports) and a
+``main()`` that pretty-prints it.  The benchmarks under ``benchmarks/``
+call the same ``run`` functions, so
+
+    python -m repro.experiments.fig7_ml_completion
+
+and the pytest-benchmark target measure the same code.
+
+Index (see DESIGN.md for the full mapping):
+
+====== ======================================================
+table1 applications used in the experiments
+fig3   compression ratio, FastSwap 2/4 granularities vs zswap
+fig4   compressibility ratio vs completion time (remote, disk)
+fig5   compression on/off application performance
+fig6   batching + proactive batch swap-in (PBS)
+fig7   ML completion time: FastSwap / Infiniswap / Linux
+fig8   FS-SM...FS-RDMA distribution-ratio throughput
+fig9   Memcached ETC 300 s throughput timeline
+fig10  vanilla Spark vs DAHI speedups
+====== ======================================================
+"""
+
+from repro.experiments.runner import (
+    KvRunResult,
+    PagingRunResult,
+    default_cluster_config,
+    run_kv_timeline,
+    run_kv_workload,
+    run_paging_workload,
+)
+
+__all__ = [
+    "KvRunResult",
+    "PagingRunResult",
+    "default_cluster_config",
+    "run_kv_timeline",
+    "run_kv_workload",
+    "run_paging_workload",
+]

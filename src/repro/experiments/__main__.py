@@ -1,0 +1,101 @@
+"""``python -m repro.experiments`` — run experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig7 [--scale 0.5] [--seed 3]
+    python -m repro.experiments all  [--scale 0.25]
+
+``run`` prints the same report as ``python -m repro.experiments.<module>``;
+``all`` runs every registered experiment in order.
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    discussion_sweeps,
+    motivation_imbalance,
+    multi_tenant,
+    fig3_compression_ratio,
+    fig4_compression_effect,
+    fig5_compression_app_perf,
+    fig6_batching_pbs,
+    fig7_ml_completion,
+    fig8_distribution_ratio,
+    fig9_memcached_timeline,
+    fig10_dahi_spark,
+    table1_applications,
+)
+from repro.metrics.reporting import format_table
+
+EXPERIMENTS = {
+    "table1": (table1_applications, "applications used in the experiments"),
+    "fig3": (fig3_compression_ratio, "compression ratios vs zswap"),
+    "fig4": (fig4_compression_effect, "compressibility vs completion time"),
+    "fig5": (fig5_compression_app_perf, "compression on/off app performance"),
+    "fig6": (fig6_batching_pbs, "window batching + PBS"),
+    "fig7": (fig7_ml_completion, "ML completion: FastSwap/Infiniswap/Linux"),
+    "fig8": (fig8_distribution_ratio, "FS-SM..FS-RDMA throughput"),
+    "fig9": (fig9_memcached_timeline, "Memcached ETC recovery timeline"),
+    "fig10": (fig10_dahi_spark, "vanilla Spark vs DAHI"),
+    "ablations": (ablations, "Section IV design-choice ablations"),
+    "discussion": (discussion_sweeps, "Section III/VI sweeps"),
+    "motivation": (motivation_imbalance, "Section I imbalance scenario"),
+    "multi_tenant": (multi_tenant, "concurrent tenants under contention"),
+}
+
+
+def _list():
+    rows = [
+        {"experiment": name, "description": description}
+        for name, (_module, description) in EXPERIMENTS.items()
+    ]
+    print(format_table(rows, title="available experiments"))
+
+
+def _run(name, scale, seed):
+    module, _description = EXPERIMENTS[name]
+    if name == "table1":
+        module.main()
+        return
+    if hasattr(module, "run"):
+        # Modules with a single run(): reuse their main() at scale 1,
+        # or call run() directly for custom scales.
+        if scale == 1.0 and seed == 0:
+            module.main()
+        else:
+            result = module.run(scale=scale, seed=seed)
+            print(format_table(result["rows"], title=name))
+    else:
+        module.main()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.experiments",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument("--seed", type=int, default=0)
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--scale", type=float, default=1.0)
+    all_parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        _list()
+    elif args.command == "run":
+        _run(args.experiment, args.scale, args.seed)
+    elif args.command == "all":
+        for name in EXPERIMENTS:
+            print("\n===== {} =====".format(name))
+            _run(name, args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Sweeps for the paper's discussion sections (III and VI).
+
+Three questions the paper raises but does not measure; the simulator
+can:
+
+* ``run_tier_ladder`` (§VI) — one workload swapped against every tier
+  of the memory/storage hierarchy: node shared memory, local NVM,
+  cluster remote RDMA memory, local SSD, local HDD.  The completion
+  times should reproduce the §VI latency ladder.
+* ``run_transport`` (§IV-G) — the same remote-memory workload over the
+  RDMA fabric vs a TCP/IP-class fabric (30 µs, ~10 GbE): how much of
+  remote memory's win is the network?
+* ``run_full_disaggregation`` (§III) — "full memory disaggregation at
+  cluster level will be feasible when remote memory access speed is
+  comparable to local memory speed": sweep the network's one-sided
+  latency from DRAM-like to today's RDMA and beyond, and report the
+  remote-vs-local slowdown at each point.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import default_cluster_config, run_paging_workload
+from repro.hw.latency import GiB, NetworkSpec
+from repro.metrics.reporting import format_table
+from repro.swap.fastswap import FastSwapConfig
+from repro.workloads.ml import ML_WORKLOADS
+
+
+def _spec(scale):
+    return ML_WORKLOADS["logistic_regression"].with_overrides(
+        pages=max(256, int(2048 * scale)), iterations=3
+    )
+
+
+def run_tier_ladder(scale=1.0, seed=0):
+    """Completion time per swap tier, fastest to slowest."""
+    from repro.core.cluster import DisaggregatedCluster
+    from repro.mem.page import make_pages
+    from repro.swap.base import VirtualMemory
+    from repro.swap.factory import make_swap_backend
+    from repro.swap.fastswap import FastSwap
+    from repro.swap.nvm_swap import NvmSwap
+
+    spec = _spec(scale)
+    rows = []
+    tiers = (
+        ("shared_memory", "fastswap", FastSwapConfig(sm_fraction=1.0)),
+        ("nvm", "nvm", None),
+        ("remote_rdma", "fastswap", FastSwapConfig(sm_fraction=0.0)),
+        ("ssd", "linux-ssd", None),
+        ("hdd", "linux", None),
+    )
+    for label, backend_name, fs_config in tiers:
+        config = default_cluster_config(seed=seed)
+        if backend_name == "linux-ssd":
+            # Swap device becomes an SSD: swap the HDD spec out.
+            config = config.with_overrides(
+                calibration=config.calibration.with_overrides(
+                    hdd=config.calibration.ssd
+                )
+            )
+            backend_name = "linux"
+        cluster = DisaggregatedCluster.build(config)
+        node = cluster.nodes()[0]
+        if backend_name == "nvm":
+            backend = NvmSwap(node)
+        else:
+            backend = make_swap_backend(
+                backend_name, node, cluster,
+                rng=cluster.rng.stream("backend"),
+                fastswap_config=fs_config,
+            )
+        pages = make_pages(
+            spec.pages,
+            compressibility_sampler=spec.compressibility.sampler(
+                cluster.rng.stream("pages")
+            ),
+        )
+        mmu = VirtualMemory(
+            cluster.env, pages, max(1, spec.pages // 2), backend,
+            cpu=config.calibration.cpu,
+            compute_per_access=spec.compute_per_access,
+        )
+        if isinstance(backend, FastSwap):
+            backend.bind_page_table(mmu.pages, mmu.stats)
+
+        def job():
+            yield from backend.setup()
+            mmu.stats.start_time = cluster.env.now
+            for page_id, is_write in spec.trace(cluster.rng.stream("trace")):
+                yield from mmu.access(page_id, write=is_write)
+            yield from mmu.flush()
+            mmu.stats.end_time = cluster.env.now
+
+        cluster.run_process(job())
+        rows.append({"tier": label, "completion_s": mmu.stats.completion_time})
+    return {"rows": rows}
+
+
+def run_transport(scale=1.0, seed=0):
+    """Remote paging over RDMA vs a TCP-class fabric."""
+    spec = _spec(scale)
+    rows = []
+    base = default_cluster_config(seed=seed)
+    fabrics = (
+        ("rdma_56g", base.calibration.network),
+        (
+            "tcp_10g",
+            NetworkSpec(
+                rdma_latency=base.calibration.network.tcp_latency,
+                send_recv_extra=10e-6,
+                bandwidth=base.calibration.network.tcp_bandwidth,
+                per_message_overhead=5e-6,  # kernel stack per message
+            ),
+        ),
+    )
+    for label, network in fabrics:
+        config = base.with_overrides(
+            calibration=base.calibration.with_overrides(network=network)
+        )
+        result = run_paging_workload(
+            "fastswap", spec, 0.5, seed=seed,
+            cluster_config=config,
+            fastswap_config=FastSwapConfig(sm_fraction=0.0),
+        )
+        rows.append({"transport": label,
+                     "completion_s": result.completion_time})
+    rows[1]["slowdown_vs_rdma"] = (
+        rows[1]["completion_s"] / rows[0]["completion_s"]
+    )
+    return {"rows": rows}
+
+
+def run_full_disaggregation(scale=1.0, seed=0):
+    """Remote-vs-local slowdown as the network approaches DRAM speed."""
+    spec = _spec(scale)
+    base = default_cluster_config(seed=seed)
+    local = run_paging_workload(
+        "fastswap", spec, 0.5, seed=seed, cluster_config=base,
+        fastswap_config=FastSwapConfig(sm_fraction=1.0),
+    ).completion_time
+    rows = []
+    for latency_us in (0.1, 0.5, 1.5, 5.0, 20.0):
+        network = replace(
+            base.calibration.network,
+            rdma_latency=latency_us * 1e-6,
+            bandwidth=max(6.0 * GiB, 10 * GiB if latency_us < 1 else 6 * GiB),
+        )
+        config = base.with_overrides(
+            calibration=base.calibration.with_overrides(network=network)
+        )
+        remote = run_paging_workload(
+            "fastswap", spec, 0.5, seed=seed, cluster_config=config,
+            fastswap_config=FastSwapConfig(sm_fraction=0.0),
+        ).completion_time
+        rows.append(
+            {
+                "one_sided_latency_us": latency_us,
+                "remote_completion_s": remote,
+                "slowdown_vs_node_local": remote / local,
+            }
+        )
+    return {"rows": rows, "local_completion_s": local}
+
+
+def main():
+    print(format_table(run_tier_ladder()["rows"],
+                       title="§VI tier ladder (LR, 50% config)"))
+    print()
+    print(format_table(run_transport()["rows"],
+                       title="§IV-G transport: RDMA vs TCP"))
+    print()
+    print(format_table(run_full_disaggregation()["rows"],
+                       title="§III full disaggregation feasibility sweep"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Figure 6: window batching and proactive batch swap-in (PBS).
+
+Four sizes of disaggregated-memory workload (growing working sets at a
+fixed 50% fit) under: FastSwap with PBS, FastSwap without PBS,
+Infiniswap, and Linux disk swap.
+
+Expected shape: FastSwap+PBS < FastSwap-PBS < Infiniswap << Linux at
+every size, with the PBS advantage growing as more of the working set
+lives remotely.
+"""
+
+from repro.experiments.runner import run_paging_workload
+from repro.metrics.reporting import format_table
+from repro.swap.fastswap import FastSwapConfig
+from repro.workloads.ml import ML_WORKLOADS
+
+#: Working-set sizes (pages) before scaling — the "4 sizes" of Fig. 6.
+SIZES = (1024, 2048, 3072, 4096)
+
+
+def run(scale=1.0, seed=0, include_linux=True):
+    """Completion time per (size, system)."""
+    rows = []
+    base = ML_WORKLOADS["logistic_regression"]
+    for size in SIZES:
+        spec = base.with_overrides(
+            pages=max(256, int(size * scale)), iterations=3
+        )
+        # Remote-heavy configuration so batching actually matters.
+        pbs = run_paging_workload(
+            "fastswap", spec, 0.5, seed=seed,
+            fastswap_config=FastSwapConfig(sm_fraction=0.0, pbs=True),
+        )
+        no_pbs = run_paging_workload(
+            "fastswap", spec, 0.5, seed=seed,
+            fastswap_config=FastSwapConfig(sm_fraction=0.0, pbs=False),
+        )
+        infiniswap = run_paging_workload("infiniswap", spec, 0.5, seed=seed)
+        row = {
+            "pages": spec.pages,
+            "fastswap_pbs_s": pbs.completion_time,
+            "fastswap_nopbs_s": no_pbs.completion_time,
+            "infiniswap_s": infiniswap.completion_time,
+        }
+        if include_linux:
+            linux = run_paging_workload("linux", spec, 0.5, seed=seed)
+            row["linux_s"] = linux.completion_time
+        rows.append(row)
+    return {"rows": rows}
+
+
+def main():
+    result = run()
+    print(
+        format_table(
+            result["rows"],
+            title="Figure 6 — batching + PBS vs Infiniswap vs Linux "
+                  "(completion time, 50% config)",
+        )
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

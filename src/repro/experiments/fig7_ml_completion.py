@@ -1,0 +1,92 @@
+"""Figure 7: ML workload completion time — FastSwap / Infiniswap / Linux.
+
+Five workloads (PageRank, LR, TunkRank, K-Means, SVM) at the 75% and
+50% configurations.  The paper reports: at 75%, FastSwap improves over
+Linux 24x on average (up to 83x) and over Infiniswap 2.3x on average;
+at 50%, 45x on average over Linux (up to 85x) and 2.6x on average
+(4.4x best case) over Infiniswap.
+
+Expected shape: FastSwap < Infiniswap << Linux everywhere; speedups
+larger at 50% than at 75%.
+"""
+
+from repro.experiments.runner import run_paging_workload
+from repro.metrics.reporting import format_table
+from repro.workloads.ml import ML_WORKLOADS
+
+WORKLOADS = ("pagerank", "logistic_regression", "tunkrank", "kmeans", "svm")
+SYSTEMS = ("fastswap", "infiniswap", "linux")
+CONFIGS = (0.75, 0.5)
+
+
+def run(scale=1.0, seed=0):
+    """Completion times and speedups per (workload, config)."""
+    rows = []
+    for name in WORKLOADS:
+        spec = ML_WORKLOADS[name].with_overrides(
+            pages=max(256, int(2048 * scale)), iterations=3
+        )
+        for fit in CONFIGS:
+            times = {
+                system: run_paging_workload(
+                    system, spec, fit, seed=seed
+                ).completion_time
+                for system in SYSTEMS
+            }
+            rows.append(
+                {
+                    "workload": name,
+                    "fit": fit,
+                    "fastswap_s": times["fastswap"],
+                    "infiniswap_s": times["infiniswap"],
+                    "linux_s": times["linux"],
+                    "speedup_vs_linux": times["linux"] / times["fastswap"],
+                    "speedup_vs_infiniswap": (
+                        times["infiniswap"] / times["fastswap"]
+                    ),
+                }
+            )
+    summary = {}
+    for fit in CONFIGS:
+        fit_rows = [row for row in rows if row["fit"] == fit]
+        summary[fit] = {
+            "avg_speedup_vs_linux": sum(
+                row["speedup_vs_linux"] for row in fit_rows
+            ) / len(fit_rows),
+            "max_speedup_vs_linux": max(
+                row["speedup_vs_linux"] for row in fit_rows
+            ),
+            "avg_speedup_vs_infiniswap": sum(
+                row["speedup_vs_infiniswap"] for row in fit_rows
+            ) / len(fit_rows),
+            "max_speedup_vs_infiniswap": max(
+                row["speedup_vs_infiniswap"] for row in fit_rows
+            ),
+        }
+    return {"rows": rows, "summary": summary}
+
+
+def main():
+    result = run()
+    print(
+        format_table(
+            result["rows"],
+            title="Figure 7 — ML workload completion time",
+        )
+    )
+    for fit, stats in result["summary"].items():
+        print(
+            "fit={:.0%}: vs Linux avg {:.1f}x max {:.1f}x; "
+            "vs Infiniswap avg {:.2f}x max {:.2f}x".format(
+                fit,
+                stats["avg_speedup_vs_linux"],
+                stats["max_speedup_vs_linux"],
+                stats["avg_speedup_vs_infiniswap"],
+                stats["max_speedup_vs_infiniswap"],
+            )
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

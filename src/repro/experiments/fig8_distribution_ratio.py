@@ -1,0 +1,82 @@
+"""Figure 8: varying the node-level / cluster-level distribution ratio.
+
+Redis, Memcached and VoltDB throughput at the 50% configuration under
+Linux, Infiniswap, NBDX and five FastSwap distribution ratios:
+FS-SM (100% node shared memory), FS-9:1, FS-7:3, FS-5:5 and FS-RDMA
+(100% remote memory).
+
+Expected shape: every FastSwap variant beats Linux by orders of
+magnitude and the block-device systems by integer factors; throughput
+decreases monotonically from FS-SM to FS-RDMA as more swap traffic
+leaves the node.
+"""
+
+from repro.experiments.runner import run_kv_workload
+from repro.metrics.reporting import format_table
+from repro.swap.fastswap import FastSwapConfig
+from repro.workloads.kv import KV_WORKLOADS
+
+WORKLOADS = ("redis", "memcached", "voltdb")
+FS_VARIANTS = (
+    ("fs_sm", 1.0),
+    ("fs_9_1", 0.9),
+    ("fs_7_3", 0.7),
+    ("fs_5_5", 0.5),
+    ("fs_rdma", 0.0),
+)
+BASELINES = ("linux", "infiniswap", "nbdx")
+
+
+def run(scale=1.0, seed=0, duration=3.0):
+    """Mean throughput (ops/s) per workload and system."""
+    duration = max(0.5, duration * scale)
+    rows = []
+    for name in WORKLOADS:
+        spec = KV_WORKLOADS[name].with_overrides(
+            keys=max(256, int(2048 * scale))
+        )
+        row = {"workload": name}
+        for system in BASELINES:
+            result = run_kv_workload(
+                system, spec, 0.5, duration=duration, seed=seed
+            )
+            row[system] = result.mean_throughput
+        for label, fraction in FS_VARIANTS:
+            result = run_kv_workload(
+                "fastswap",
+                spec,
+                0.5,
+                duration=duration,
+                seed=seed,
+                fastswap_config=FastSwapConfig(sm_fraction=fraction),
+            )
+            row[label] = result.mean_throughput
+        rows.append(row)
+    return {"rows": rows}
+
+
+def main():
+    result = run()
+    print(
+        format_table(
+            result["rows"],
+            title="Figure 8 — throughput (ops/s) vs distribution ratio "
+                  "(50% config)",
+            float_format="{:.0f}",
+        )
+    )
+    for row in result["rows"]:
+        print(
+            "{}: FS-SM/Linux={:.0f}x FS-SM/Infiniswap={:.1f}x "
+            "FS-RDMA/Infiniswap={:.1f}x".format(
+                row["workload"],
+                row["fs_sm"] / max(row["linux"], 1e-9),
+                row["fs_sm"] / max(row["infiniswap"], 1e-9),
+                row["fs_rdma"] / max(row["infiniswap"], 1e-9),
+            )
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

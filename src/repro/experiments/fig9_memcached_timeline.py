@@ -1,0 +1,98 @@
+"""Figure 9: Memcached ETC throughput over time (recovery with PBS).
+
+After a memory-pressure event leaves the whole store swapped out, a
+closed-loop ETC client hammers the cache and throughput recovers as the
+hot set faults back in.  The paper observes: FastSwap with PBS recovers
+to optimal almost immediately; without PBS it takes >150 s; Infiniswap
+takes more than twice as long again and only reaches ~60% of peak
+within the 300 s measurement.
+
+Reproduced shape: both FastSwap variants climb back to their peak
+within a few windows while Infiniswap plateaus well below it (never
+reaching 90% of the FastSwap peak inside the measurement window — the
+paper's "only recovers to 60% of its best performance").  Deviation:
+our PBS-vs-no-PBS gap on this *random-access* recovery is neutral
+(within noise) because the simulated FastSwap fault path is already
+latency-minimal; the PBS benefit reproduces clearly on scan-dominated
+workloads (Figure 6).  See EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import run_kv_timeline
+from repro.metrics.reporting import format_series
+from repro.swap.fastswap import FastSwapConfig
+from repro.workloads.kv import KV_WORKLOADS
+
+SYSTEMS = (
+    ("fastswap_pbs", "fastswap", FastSwapConfig(sm_fraction=0.0, pbs=True)),
+    ("fastswap_nopbs", "fastswap", FastSwapConfig(sm_fraction=0.0, pbs=False)),
+    ("infiniswap", "infiniswap", None),
+)
+
+
+def _recovery_time(timeline, target_rate):
+    for when, rate in timeline:
+        if rate >= target_rate:
+            return when
+    return None
+
+
+def run(scale=1.0, seed=0, duration=4.0, window=0.2):
+    """Throughput timelines and recovery times per system."""
+    duration = max(0.5, duration * scale)
+    spec = KV_WORKLOADS["memcached"].with_overrides(
+        keys=max(512, int(8192 * scale))
+    )
+    timelines = {}
+    for label, backend, config in SYSTEMS:
+        result = run_kv_timeline(
+            backend,
+            spec,
+            0.5,
+            duration=duration,
+            window=window,
+            seed=seed,
+            fastswap_config=config,
+        )
+        timelines[label] = result
+    peak = max(
+        rate for result in timelines.values() for _t, rate in result.timeline
+    )
+    rows = []
+    for label, result in timelines.items():
+        rows.append(
+            {
+                "system": label,
+                "mean_ops_s": result.mean_throughput,
+                "final_ops_s": result.timeline[-1][1] if result.timeline else 0,
+                "t_to_90pct_peak_s": _recovery_time(result.timeline, 0.9 * peak),
+            }
+        )
+    return {
+        "rows": rows,
+        "timelines": {
+            label: result.timeline for label, result in timelines.items()
+        },
+        "peak_ops_s": peak,
+    }
+
+
+def main():
+    result = run()
+    from repro.metrics.reporting import format_table
+
+    print(
+        format_table(
+            result["rows"],
+            title="Figure 9 — Memcached ETC recovery (50% config, cold start)",
+            float_format="{:.4g}",
+        )
+    )
+    for label, timeline in result["timelines"].items():
+        print()
+        print(format_series(timeline[:20], title=label, x_label="t_s",
+                            y_label="ops_s"))
+    return result
+
+
+if __name__ == "__main__":
+    main()

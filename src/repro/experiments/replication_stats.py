@@ -1,0 +1,43 @@
+"""Multi-seed replication of experiments (statistical hygiene).
+
+A single seeded run is deterministic but might sit anywhere in the
+distribution over workload randomness.  These helpers rerun a result
+across seeds and report mean/stdev/min/max, so headline ratios can be
+quoted with their spread — and a stability test can assert the spread
+is small enough for single-seed benchmarks to be meaningful.
+"""
+
+from repro.metrics.stats import RunningStats
+
+
+def replicate(fn, seeds, extract=lambda value: value):
+    """Run ``fn(seed=s)`` for every seed; aggregate ``extract(result)``.
+
+    Returns ``(stats, raw_values)`` where ``stats`` is a
+    :class:`~repro.metrics.stats.RunningStats`.
+    """
+    stats = RunningStats()
+    values = []
+    for seed in seeds:
+        value = extract(fn(seed=seed))
+        values.append(value)
+        stats.record(value)
+    return stats, values
+
+
+def replicate_ratio(fn_numerator, fn_denominator, seeds):
+    """Per-seed ratio of two experiment outcomes (paired seeds)."""
+    stats = RunningStats()
+    ratios = []
+    for seed in seeds:
+        ratio = fn_numerator(seed=seed) / fn_denominator(seed=seed)
+        ratios.append(ratio)
+        stats.record(ratio)
+    return stats, ratios
+
+
+def coefficient_of_variation(stats):
+    """stdev / mean — the headline stability metric."""
+    if stats.mean == 0:
+        return 0.0
+    return stats.stdev / stats.mean

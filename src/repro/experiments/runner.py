@@ -1,0 +1,256 @@
+"""Shared machinery to run paging / KV workloads against a backend.
+
+These runners build a fresh cluster per run (so runs are independent
+and reproducible from the seed), wire a virtual-memory instance to the
+requested swap backend, drive the workload trace, and report stats.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import DisaggregatedCluster
+from repro.core.config import ClusterConfig
+from repro.hw.latency import MiB
+from repro.mem.page import make_pages
+from repro.swap.base import VirtualMemory
+from repro.swap.factory import make_swap_backend
+from repro.swap.fastswap import FastSwap
+
+
+def default_cluster_config(seed=0, **overrides):
+    """The scaled-down testbed every swap experiment runs on.
+
+    Mirrors the paper's setup proportionally: a handful of nodes, one
+    measured virtual server, generous receive pools so remote capacity
+    is not the bottleneck unless an experiment wants it to be.
+    """
+    base = dict(
+        num_nodes=4,
+        servers_per_node=1,
+        server_memory_bytes=64 * MiB,
+        donation_fraction=0.3,
+        receive_pool_slabs=48,
+        send_pool_slabs=8,
+        replication_factor=1,
+        seed=seed,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+@dataclass
+class PagingRunResult:
+    """Outcome of one completion-time run."""
+
+    backend: str
+    workload: str
+    fit_fraction: float
+    completion_time: float
+    stats: dict = field(default_factory=dict)
+    backend_stats: dict = field(default_factory=dict)
+
+    def row(self):
+        return {
+            "backend": self.backend,
+            "workload": self.workload,
+            "fit": self.fit_fraction,
+            "completion_s": self.completion_time,
+            "major_faults": self.stats.get("major_faults"),
+        }
+
+
+@dataclass
+class KvRunResult:
+    """Outcome of one throughput run."""
+
+    backend: str
+    workload: str
+    fit_fraction: float
+    mean_throughput: float
+    timeline: list = field(default_factory=list)  # (window_end_s, ops_per_s)
+    operations: int = 0
+
+
+def _build(backend_name, cluster_config, fastswap_config, slabs_per_target):
+    cluster = DisaggregatedCluster.build(cluster_config)
+    node = cluster.nodes()[0]
+    backend = make_swap_backend(
+        backend_name,
+        node,
+        cluster,
+        rng=cluster.rng.stream("backend"),
+        fastswap_config=fastswap_config,
+        slabs_per_target=slabs_per_target,
+    )
+    return cluster, node, backend
+
+
+def _collect_backend_stats(backend):
+    interesting = (
+        "reads", "writes", "remote_reads", "remote_writes", "sm_puts",
+        "sm_gets", "remote_batches", "remote_pages_out", "pbs_pages",
+        "disk_writes", "disk_reads", "ssd_writes", "ssd_reads",
+        "pool_hits", "pool_misses", "disk_fallback_reads",
+        "disk_fallback_writes",
+    )
+    return {
+        name: getattr(backend, name)
+        for name in interesting
+        if hasattr(backend, name)
+    }
+
+
+def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
+                        cluster_config=None, fastswap_config=None,
+                        slabs_per_target=24, prefetch_capacity=128,
+                        record_fault_latency=False):
+    """Run an ML trace to completion under paging; returns the result.
+
+    ``fit_fraction`` is the paper's "N% configuration": what share of
+    the working set fits in the virtual server's resident memory.
+    """
+    if not 0.0 < fit_fraction <= 1.0:
+        raise ValueError("fit_fraction must be in (0, 1]")
+    cluster_config = cluster_config or default_cluster_config(seed=seed)
+    cluster, node, backend = _build(
+        backend_name, cluster_config, fastswap_config, slabs_per_target
+    )
+    rng = cluster.rng
+    pages = make_pages(
+        spec.pages,
+        owner=backend_name,
+        compressibility_sampler=spec.compressibility.sampler(rng.stream("pages")),
+    )
+    capacity = max(1, int(spec.pages * fit_fraction))
+    fault_histogram = None
+    if record_fault_latency:
+        from repro.metrics.stats import Histogram
+
+        fault_histogram = Histogram(least=1e-7, factor=2.0, buckets=32)
+    mmu = VirtualMemory(
+        cluster.env,
+        pages,
+        capacity,
+        backend,
+        cpu=cluster_config.calibration.cpu,
+        prefetch_capacity=prefetch_capacity,
+        compute_per_access=spec.compute_per_access,
+        fault_histogram=fault_histogram,
+    )
+    if isinstance(backend, FastSwap):
+        backend.bind_page_table(mmu.pages, mmu.stats)
+
+    def job():
+        yield from backend.setup()
+        mmu.stats.start_time = cluster.env.now
+        for page_id, is_write in spec.trace(rng.stream("trace")):
+            yield from mmu.access(page_id, write=is_write)
+        yield from mmu.flush()
+        mmu.stats.end_time = cluster.env.now
+
+    cluster.run_process(job(), name="paging:{}".format(backend_name))
+    result = PagingRunResult(
+        backend=backend_name,
+        workload=spec.name,
+        fit_fraction=fit_fraction,
+        completion_time=mmu.stats.completion_time,
+        stats=mmu.stats.snapshot(),
+        backend_stats=_collect_backend_stats(backend),
+    )
+    if fault_histogram is not None:
+        result.stats["fault_p50_s"] = fault_histogram.percentile(0.5)
+        result.stats["fault_p99_s"] = fault_histogram.percentile(0.99)
+    return result
+
+
+def run_kv_workload(backend_name, spec, fit_fraction, duration=5.0,
+                    window=0.5, seed=0, cluster_config=None,
+                    fastswap_config=None, slabs_per_target=24,
+                    cold_start=False, prefetch_capacity=None):
+    """Closed-loop KV serving for ``duration`` simulated seconds.
+
+    ``cold_start=True`` begins with the whole store swapped out (the
+    post-pressure recovery scenario of Figure 9); otherwise the run
+    starts with the hottest pages resident.
+    """
+    if not 0.0 < fit_fraction <= 1.0:
+        raise ValueError("fit_fraction must be in (0, 1]")
+    cluster_config = cluster_config or default_cluster_config(seed=seed)
+    cluster, node, backend = _build(
+        backend_name, cluster_config, fastswap_config, slabs_per_target
+    )
+    rng = cluster.rng
+    pages = make_pages(
+        spec.pages,
+        owner=backend_name,
+        compressibility_sampler=spec.compressibility.sampler(rng.stream("pages")),
+    )
+    capacity = max(1, int(spec.pages * fit_fraction))
+    if prefetch_capacity is None:
+        # Prefetched pages live in the page cache until pressure; give
+        # them a swap-cache share proportional to the resident set.
+        prefetch_capacity = max(128, capacity // 4)
+    mmu = VirtualMemory(
+        cluster.env,
+        pages,
+        capacity,
+        backend,
+        cpu=cluster_config.calibration.cpu,
+        compute_per_access=spec.compute_per_op,
+        prefetch_capacity=prefetch_capacity,
+    )
+    if isinstance(backend, FastSwap):
+        backend.bind_page_table(mmu.pages, mmu.stats)
+    timeline = []
+    completed = {"ops": 0}
+
+    def client():
+        yield from backend.setup()
+        if cold_start:
+            # Everything starts swapped out: fill and forcibly evict.
+            for page in pages:
+                yield from backend.swap_out(page)
+                mmu.swapped_valid.add(page.page_id)
+            yield from backend.drain()
+        start = cluster.env.now
+        window_end = start + window
+        window_ops = 0
+        operations = spec.operations(rng.stream("ops"))
+        while cluster.env.now - start < duration:
+            first_page, count, is_write = next(operations)
+            for offset in range(count):
+                yield from mmu.access(first_page + offset, write=is_write)
+            yield from mmu.flush()
+            window_ops += 1
+            completed["ops"] += 1
+            while cluster.env.now >= window_end:
+                timeline.append(
+                    (window_end - start, window_ops / window)
+                )
+                window_ops = 0
+                window_end += window
+
+    cluster.run_process(client(), name="kv:{}".format(backend_name))
+    mean = completed["ops"] / duration
+    return KvRunResult(
+        backend=backend_name,
+        workload=spec.name,
+        fit_fraction=fit_fraction,
+        mean_throughput=mean,
+        timeline=timeline,
+        operations=completed["ops"],
+    )
+
+
+def run_kv_timeline(backend_name, spec, fit_fraction, duration=30.0,
+                    window=1.0, seed=0, **kwargs):
+    """Figure 9 helper: cold-start recovery timeline."""
+    return run_kv_workload(
+        backend_name,
+        spec,
+        fit_fraction,
+        duration=duration,
+        window=window,
+        seed=seed,
+        cold_start=True,
+        **kwargs
+    )

@@ -1,0 +1,44 @@
+"""Hardware device models.
+
+The paper's Section VI gives the memory/storage hierarchy the whole
+argument rests on: SRAM (1–30 cycles), DRAM (~100–300 cycles), SSD
+(25k–2M cycles), HDD (>5M cycles), with RDMA networks falling between
+DRAM and SSD.  This package turns that hierarchy into explicit,
+configurable device models with queueing:
+
+* :mod:`repro.hw.latency` — the calibration table (single source of
+  truth for every latency/bandwidth constant used in the simulation);
+* :mod:`repro.hw.dram` — DRAM modules with channel contention;
+* :mod:`repro.hw.disk` — HDD (seek + rotation + streaming) and SSD
+  models behind a request queue;
+* :mod:`repro.hw.nvm` — an NVM tier (PCM / 3D-XPoint class) for the
+  Section VI "emerging technologies" discussion.
+"""
+
+from repro.hw.disk import DiskStats, Hdd, Ssd
+from repro.hw.dram import DramModule
+from repro.hw.latency import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    CompressionSpec,
+    DiskSpec,
+    DramSpec,
+    NetworkSpec,
+    NvmSpec,
+)
+from repro.hw.nvm import NvmDevice
+
+__all__ = [
+    "Calibration",
+    "CompressionSpec",
+    "DEFAULT_CALIBRATION",
+    "DiskSpec",
+    "DiskStats",
+    "DramModule",
+    "DramSpec",
+    "Hdd",
+    "NetworkSpec",
+    "NvmDevice",
+    "NvmSpec",
+    "Ssd",
+]

@@ -1,0 +1,92 @@
+"""DRAM module model: capacity accounting plus timed copies.
+
+A :class:`DramModule` plays two roles:
+
+* capacity bookkeeping for the node (how many bytes are allocated to
+  virtual servers, shared pools and RDMA buffer pools), and
+* a timing model for memory copies, with the node's memory channels as
+  a contended resource.
+"""
+
+from repro.hw.latency import DramSpec
+from repro.sim import Resource
+
+
+class OutOfMemory(Exception):
+    """An allocation exceeded the module's remaining capacity."""
+
+
+class DramModule:
+    """A node's physical DRAM.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity_bytes:
+        Installed physical memory.
+    spec:
+        Timing parameters (:class:`~repro.hw.latency.DramSpec`).
+    name:
+        Label used in stats and errors.
+    """
+
+    def __init__(self, env, capacity_bytes, spec=None, name="dram"):
+        self.env = env
+        self.capacity_bytes = int(capacity_bytes)
+        self.spec = spec or DramSpec()
+        self.name = name
+        self.allocated_bytes = 0
+        self._channels = Resource(
+            env, capacity=self.spec.channels, name=name + ":channels"
+        )
+        self.bytes_copied = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def free_bytes(self):
+        return self.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, nbytes):
+        """Reserve ``nbytes``; raises :class:`OutOfMemory` if impossible."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes > self.free_bytes:
+            raise OutOfMemory(
+                "{}: requested {} bytes, {} free".format(
+                    self.name, nbytes, self.free_bytes
+                )
+            )
+        self.allocated_bytes += nbytes
+
+    def release(self, nbytes):
+        """Return ``nbytes`` previously allocated."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes > self.allocated_bytes:
+            raise ValueError(
+                "{}: releasing {} bytes but only {} allocated".format(
+                    self.name, nbytes, self.allocated_bytes
+                )
+            )
+        self.allocated_bytes -= nbytes
+
+    # -- timing ------------------------------------------------------------
+
+    def copy_time(self, nbytes):
+        """Uncontended time to copy ``nbytes`` through one channel."""
+        return self.spec.access_time + nbytes / self.spec.copy_bandwidth
+
+    def copy(self, nbytes):
+        """Generator: perform a timed copy through a memory channel.
+
+        Use as ``yield from dram.copy(nbytes)`` inside a process.
+        """
+        request = self._channels.request()
+        yield request
+        try:
+            yield self.env.timeout(self.copy_time(nbytes))
+            self.bytes_copied += nbytes
+        finally:
+            self._channels.release(request)

@@ -1,0 +1,145 @@
+"""Calibration constants for every simulated device.
+
+All values live in one place so an experiment can swap the whole table
+(e.g. "what if the network were 100 Gbps?") without touching models.
+Times are **seconds**, sizes **bytes**, rates **bytes/second**.
+
+Sources: the paper's Section VI hierarchy; FDR 4x InfiniBand (56 Gbps)
+from Section IV-G; commodity 7.2K RPM SATA drives and E5-2650v2 hosts
+from Section V's testbed description; LZO-class software compression
+throughput for the zswap/FastSwap compression models.
+"""
+
+from dataclasses import dataclass, field, replace
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: Default page size used throughout (Linux base page).
+PAGE_SIZE = 4 * KiB
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Local DRAM: what a resident page access and a memory copy cost."""
+
+    #: Single cache-missing access (row activate + CAS), seconds.
+    access_time: float = 100e-9
+    #: Sustained copy bandwidth of one channel, bytes/second.
+    copy_bandwidth: float = 10.0 * GiB
+    #: Number of independently schedulable channels per node.
+    channels: int = 4
+
+
+@dataclass(frozen=True)
+class SharedMemorySpec:
+    """Node-coordinated shared memory (paper Section III).
+
+    Accessed "at the DRAM speed" via mapped shared segments; we charge a
+    small per-operation software overhead (segment lookup + mapping) on
+    top of the DRAM copy itself.
+    """
+
+    #: Software overhead per get/put (hash lookup, bookkeeping), seconds.
+    op_overhead: float = 0.3e-6
+    #: Copy bandwidth through the shared segment, bytes/second.
+    copy_bandwidth: float = 10.0 * GiB
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """An RDMA-capable interconnect (defaults: FDR 4x InfiniBand)."""
+
+    #: One-sided verb base latency (post to completion, small message).
+    rdma_latency: float = 1.5e-6
+    #: Two-sided send/recv adds a receiver-side posting cost.
+    send_recv_extra: float = 1.0e-6
+    #: Payload bandwidth after encoding/protocol overhead, bytes/second.
+    bandwidth: float = 6.0 * GiB
+    #: Per-message CPU/doorbell cost on the initiator, seconds.
+    per_message_overhead: float = 0.7e-6
+    #: Cost to register (pin + map) one memory region, seconds.
+    registration_time: float = 60e-6
+    #: TCP/IP fallback path: base latency and bandwidth.
+    tcp_latency: float = 30e-6
+    tcp_bandwidth: float = 1.2 * GiB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A rotational or solid-state block device."""
+
+    #: Fixed per-request access latency (seek + rotation for HDD).
+    access_time: float = 8.0e-3
+    #: Streaming transfer rate, bytes/second.
+    bandwidth: float = 150.0 * MiB
+    #: Access latency when the request is sequential to the previous one.
+    sequential_access_time: float = 0.15e-3
+    #: Device-internal queue width (1 for HDD head; >1 for SSD parallelism).
+    queue_depth: int = 1
+
+
+@dataclass(frozen=True)
+class NvmSpec:
+    """Byte-addressable non-volatile memory (PCM / 3D-XPoint class)."""
+
+    read_latency: float = 300e-9
+    write_latency: float = 1.0e-6
+    bandwidth: float = 2.0 * GiB
+    queue_depth: int = 4
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """LZO-class software page compression (zswap / FastSwap §IV-H)."""
+
+    #: Compression throughput per core, bytes/second (uncompressed side).
+    compress_bandwidth: float = 2.5 * GiB
+    #: Decompression throughput per core, bytes/second.
+    decompress_bandwidth: float = 4.0 * GiB
+    #: Fixed per-page software cost (allocation, tree insert), seconds.
+    per_page_overhead: float = 0.4e-6
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Software-path costs charged by the paging and caching models."""
+
+    #: Kernel page-fault handling cost (trap, VMA walk, map), seconds.
+    page_fault_overhead: float = 2.0e-6
+    #: Generic block-layer per-request overhead (bio submit/complete).
+    block_layer_overhead: float = 12.0e-6
+    #: Context switch / wakeup charged when an I/O blocks the faulting task.
+    context_switch: float = 1.5e-6
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """The full device calibration used by a simulation run."""
+
+    dram: DramSpec = field(default_factory=DramSpec)
+    shared_memory: SharedMemorySpec = field(default_factory=SharedMemorySpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    hdd: DiskSpec = field(default_factory=DiskSpec)
+    ssd: DiskSpec = field(
+        default_factory=lambda: DiskSpec(
+            access_time=90e-6,
+            bandwidth=500.0 * MiB,
+            sequential_access_time=60e-6,
+            queue_depth=8,
+        )
+    )
+    nvm: NvmSpec = field(default_factory=NvmSpec)
+    compression: CompressionSpec = field(default_factory=CompressionSpec)
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    page_size: int = PAGE_SIZE
+
+    def with_overrides(self, **kwargs):
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The calibration every experiment uses unless it overrides something.
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,67 @@
+"""Byte-addressable non-volatile memory tier.
+
+The paper's Section VI points at PCM / 3D-XPoint class devices as a
+tier between DRAM and SSD.  :class:`NvmDevice` models asymmetric
+read/write latencies and limited bandwidth so experiments can slot an
+NVM tier into the swap hierarchy (see the NVM-tier ablation benchmark).
+"""
+
+from repro.hw.latency import NvmSpec
+from repro.sim import Resource
+
+
+class NvmDevice:
+    """A byte-addressable persistent-memory device."""
+
+    def __init__(self, env, capacity_bytes, spec=None, name="nvm"):
+        self.env = env
+        self.capacity_bytes = int(capacity_bytes)
+        self.spec = spec or NvmSpec()
+        self.name = name
+        self.used_bytes = 0
+        self._queue = Resource(env, capacity=self.spec.queue_depth, name=name + ":q")
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def free_bytes(self):
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, nbytes):
+        """Claim ``nbytes`` of capacity; returns False if it does not fit."""
+        if nbytes > self.free_bytes:
+            return False
+        self.used_bytes += nbytes
+        return True
+
+    def free(self, nbytes):
+        """Release ``nbytes`` of capacity."""
+        if nbytes > self.used_bytes:
+            raise ValueError("freeing more than reserved")
+        self.used_bytes -= nbytes
+
+    def read_time(self, nbytes):
+        return self.spec.read_latency + nbytes / self.spec.bandwidth
+
+    def write_time(self, nbytes):
+        return self.spec.write_latency + nbytes / self.spec.bandwidth
+
+    def read(self, nbytes):
+        """Generator: timed read of ``nbytes``."""
+        request = self._queue.request()
+        yield request
+        try:
+            yield self.env.timeout(self.read_time(nbytes))
+            self.reads += 1
+        finally:
+            self._queue.release(request)
+
+    def write(self, nbytes):
+        """Generator: timed write of ``nbytes``."""
+        request = self._queue.request()
+        yield request
+        try:
+            yield self.env.timeout(self.write_time(nbytes))
+            self.writes += 1
+        finally:
+            self._queue.release(request)

@@ -1,0 +1,41 @@
+"""Memory substrate: pages, slabs, pools and compression.
+
+Building blocks under the disaggregated memory system:
+
+* :mod:`repro.mem.page` — pages with per-page compressibility;
+* :mod:`repro.mem.allocator` — a slab/chunk allocator in the memcached
+  style, used by the shared pool and by compressed stores;
+* :mod:`repro.mem.compression` — the multi-granularity compression
+  model of Section IV-H (FastSwap's 512 B/1 K/2 K/4 K classes) and a
+  zbud-pairing model of zswap;
+* :mod:`repro.mem.shared_pool` — the node-coordinated shared memory
+  pool assembled from virtual-server donations (Section III/IV-F);
+* :mod:`repro.mem.buffer_pool` — cluster-wide RDMA send/receive buffer
+  pools of registered slabs (Section IV-B).
+"""
+
+from repro.mem.allocator import AllocationError, Chunk, SlabAllocator
+from repro.mem.buffer_pool import RdmaBufferPool
+from repro.mem.compression import (
+    CompressibilityProfile,
+    CompressionEngine,
+    GranularityStore,
+    ZbudStore,
+)
+from repro.mem.page import Page, make_pages
+from repro.mem.shared_pool import SharedMemoryPool, SharedSlot
+
+__all__ = [
+    "AllocationError",
+    "Chunk",
+    "CompressibilityProfile",
+    "CompressionEngine",
+    "GranularityStore",
+    "Page",
+    "RdmaBufferPool",
+    "SharedMemoryPool",
+    "SharedSlot",
+    "SlabAllocator",
+    "ZbudStore",
+    "make_pages",
+]

@@ -1,0 +1,107 @@
+"""Cluster-wide RDMA buffer pools (paper Section IV-B, IV-F).
+
+Each node reserves part of its physical DRAM as RDMA-registered memory
+and maintains two pools of registered slabs:
+
+* the **send buffer pool** — staging area for data on its way to a
+  remote node's disaggregated memory;
+* the **receive buffer pool** — the memory this node donates to the
+  cluster, written by remote peers with one-sided RDMA WRITEs.
+
+Registration costs real time (pinning + mapping); the remote-slab
+eviction handler of Section IV-F deregisters slabs preemptively when
+local pressure rises, which this class supports via :meth:`shrink`.
+"""
+
+from repro.mem.allocator import AllocationError, SlabAllocator
+
+
+class RdmaBufferPool:
+    """A pool of RDMA-registered slabs on one node."""
+
+    DEFAULT_SLAB_BYTES = 1024 * 1024
+
+    def __init__(self, device, role, size_classes=(512, 1024, 2048, 4096),
+                 slab_bytes=None, name=None):
+        if role not in ("send", "receive"):
+            raise ValueError("role must be 'send' or 'receive'")
+        self.device = device
+        self.env = device.env
+        self.role = role
+        self.slab_bytes = slab_bytes or self.DEFAULT_SLAB_BYTES
+        self.name = name or "{}-pool:{}".format(role, device.node_id)
+        self._allocator = SlabAllocator(0, size_classes, self.slab_bytes)
+        self._regions = []  # one MemoryRegion per registered slab
+        self.registrations = 0
+        self.deregistrations = 0
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self):
+        return self._allocator.capacity_bytes
+
+    @property
+    def used_bytes(self):
+        return self._allocator.stored_chunk_bytes
+
+    @property
+    def free_bytes(self):
+        return self._allocator.free_bytes
+
+    @property
+    def regions(self):
+        """The registered memory regions backing this pool."""
+        return list(self._regions)
+
+    def grow(self, slab_count):
+        """Generator: register ``slab_count`` new slabs (costs time)."""
+        for _ in range(slab_count):
+            region = yield from self.device.register_memory(self.slab_bytes)
+            self._regions.append(region)
+            self._allocator.grow(1)
+            self.registrations += 1
+
+    def shrink(self, slab_count):
+        """Deregister up to ``slab_count`` idle slabs; returns how many.
+
+        Deregistration is immediate (unpinning does not block the data
+        path); only slabs with no live chunks are taken.
+        """
+        removed = self._allocator.shrink(slab_count)
+        for _ in range(removed):
+            region = self._regions.pop()
+            self.device.deregister_memory(region)
+            self.deregistrations += 1
+        return removed
+
+    # -- allocation ------------------------------------------------------------
+
+    def reserve(self, nbytes):
+        """Allocate a buffer chunk; returns it or ``None`` when full."""
+        try:
+            return self._allocator.allocate(nbytes)
+        except AllocationError:
+            return None
+
+    def release(self, chunk):
+        """Return a buffer chunk to the pool."""
+        self._allocator.free(chunk)
+
+    def reserve_entry(self, nbytes):
+        """Allocate chunks covering ``nbytes``; ``None`` when full."""
+        try:
+            return self._allocator.allocate_entry(nbytes)
+        except AllocationError:
+            return None
+
+    def release_entry(self, chunks):
+        """Return an entry's chunks to the pool."""
+        self._allocator.free_entry(chunks)
+
+    def any_region(self):
+        """A registered region usable as a one-sided op target.
+
+        Returns ``None`` when the pool has no registered slabs.
+        """
+        return self._regions[-1] if self._regions else None

@@ -1,0 +1,164 @@
+"""Page compression models (paper Section IV-H, Figure 3).
+
+Three pieces:
+
+* :class:`CompressibilityProfile` — how well a workload's pages
+  compress: a log-normal ratio distribution plus a fraction of
+  effectively incompressible pages;
+* :class:`CompressionEngine` — the *time* cost of (de)compressing,
+  from the calibration table;
+* storage models that turn raw compressed sizes into *charged* sizes:
+
+  - :class:`GranularityStore` — FastSwap's scheme: round the compressed
+    page up to the nearest granularity out of a configured set
+    (Figure 3 compares {2K, 4K} against {512, 1K, 2K, 4K});
+  - :class:`ZbudStore` — the zswap baseline: zbud pairs at most two
+    compressed pages per physical page, charging half a page per
+    buddy-fit page and a whole page otherwise.
+"""
+
+import math
+
+from repro.hw.latency import PAGE_SIZE, CompressionSpec
+
+
+class CompressibilityProfile:
+    """Sampler of per-page compression ratios for one workload."""
+
+    def __init__(self, name, mean_ratio, sigma=0.25, incompressible_fraction=0.05):
+        if mean_ratio < 1.0:
+            raise ValueError("mean_ratio must be >= 1.0")
+        if not 0.0 <= incompressible_fraction <= 1.0:
+            raise ValueError("incompressible_fraction must be in [0, 1]")
+        self.name = name
+        self.mean_ratio = mean_ratio
+        self.sigma = sigma
+        self.incompressible_fraction = incompressible_fraction
+
+    def sampler(self, rng):
+        """A zero-argument callable drawing ratios using ``rng``."""
+
+        mu = math.log(self.mean_ratio)
+
+        def draw():
+            if rng.random() < self.incompressible_fraction:
+                return 1.0
+            return max(1.0, rng.lognormvariate(mu, self.sigma))
+
+        return draw
+
+    def __repr__(self):
+        return "CompressibilityProfile({!r}, mean={:.2f})".format(
+            self.name, self.mean_ratio
+        )
+
+
+class CompressionEngine:
+    """Time model for LZO-class software compression."""
+
+    def __init__(self, spec=None):
+        self.spec = spec or CompressionSpec()
+
+    def compress_time(self, nbytes):
+        """Seconds to compress ``nbytes`` of raw data."""
+        return self.spec.per_page_overhead + nbytes / self.spec.compress_bandwidth
+
+    def decompress_time(self, nbytes):
+        """Seconds to decompress back to ``nbytes`` of raw data."""
+        return self.spec.per_page_overhead + nbytes / self.spec.decompress_bandwidth
+
+
+class GranularityStore:
+    """FastSwap's multi-granularity compressed store accounting.
+
+    ``granularities`` is the set of chunk sizes compressed pages may be
+    stored in.  FastSwap's two configurations from Figure 3::
+
+        GranularityStore([2048, 4096])             # 2 page sizes
+        GranularityStore([512, 1024, 2048, 4096])   # 4 page sizes
+    """
+
+    def __init__(self, granularities, page_size=PAGE_SIZE):
+        granularities = sorted(set(granularities))
+        if not granularities:
+            raise ValueError("need at least one granularity")
+        if granularities[-1] < page_size:
+            raise ValueError("largest granularity must cover a raw page")
+        self.granularities = granularities
+        self.page_size = page_size
+        self.pages_stored = 0
+        self.raw_bytes = 0
+        self.charged_bytes = 0
+
+    def charged_size(self, compressed_size):
+        """Bytes actually charged for a page of ``compressed_size``."""
+        for granularity in self.granularities:
+            if compressed_size <= granularity:
+                return granularity
+        return self.granularities[-1]
+
+    def store(self, page):
+        """Account for storing ``page``; returns the charged size."""
+        charged = self.charged_size(page.compressed_size)
+        self.pages_stored += 1
+        self.raw_bytes += page.size
+        self.charged_bytes += charged
+        return charged
+
+    def effective_ratio(self):
+        """Raw bytes / charged bytes over everything stored so far."""
+        if self.charged_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.charged_bytes
+
+
+class ZbudStore:
+    """The zswap baseline: zbud buddy pairing of compressed pages.
+
+    zbud packs at most two compressed pages into one physical page and
+    never splits across pages, so its effective ratio is capped at 2.
+    A page whose compressed form fits in half a page (minus the zbud
+    header) can pair with a buddy and is charged half a page; anything
+    larger occupies a whole page.  Pairing is greedy over the incoming
+    stream, matching zbud's unbuddied-list behaviour.
+    """
+
+    HEADER_BYTES = 64
+
+    def __init__(self, page_size=PAGE_SIZE):
+        self.page_size = page_size
+        self.pages_stored = 0
+        self.raw_bytes = 0
+        self.charged_bytes = 0
+        self._unbuddied = 0  # pages waiting for a partner in a half-slot
+
+    def charged_size(self, compressed_size):
+        """Charged bytes assuming a buddy is (eventually) found."""
+        if compressed_size + self.HEADER_BYTES <= self.page_size // 2:
+            return self.page_size // 2
+        return self.page_size
+
+    def store(self, page):
+        """Account for storing ``page``; returns the charged size."""
+        compressed = page.compressed_size
+        self.pages_stored += 1
+        self.raw_bytes += page.size
+        if compressed + self.HEADER_BYTES <= self.page_size // 2:
+            if self._unbuddied:
+                # Pair with a waiting page: the physical page was already
+                # charged in full when the first half arrived.
+                self._unbuddied -= 1
+                charged = 0
+            else:
+                self._unbuddied += 1
+                charged = self.page_size
+        else:
+            charged = self.page_size
+        self.charged_bytes += charged
+        return charged
+
+    def effective_ratio(self):
+        """Raw bytes / charged bytes over everything stored so far."""
+        if self.charged_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.charged_bytes

@@ -1,0 +1,50 @@
+"""Pages: the unit of swapping.
+
+A :class:`Page` carries its identity, owner and *compressibility* — the
+ratio ``page_size / compressed_size`` an LZO-class compressor would
+achieve on its contents.  Compressibility is sampled once per page from
+the owning workload's profile and stays fixed, mirroring how a given
+page's content compresses the same way every time it is swapped.
+"""
+
+from repro.hw.latency import PAGE_SIZE
+
+
+class Page:
+    """A fixed-size virtual memory page."""
+
+    __slots__ = ("page_id", "owner", "size", "compressibility", "dirty")
+
+    def __init__(self, page_id, owner=None, size=PAGE_SIZE, compressibility=1.0):
+        if compressibility < 1.0:
+            raise ValueError("compressibility must be >= 1.0 (ratio raw/compressed)")
+        self.page_id = page_id
+        self.owner = owner
+        self.size = size
+        self.compressibility = compressibility
+        self.dirty = False
+
+    @property
+    def compressed_size(self):
+        """Bytes after compression (before any granularity rounding)."""
+        return max(1, int(round(self.size / self.compressibility)))
+
+    def __repr__(self):
+        return "<Page {} owner={!r} ratio={:.2f}>".format(
+            self.page_id, self.owner, self.compressibility
+        )
+
+
+def make_pages(count, owner=None, size=PAGE_SIZE, compressibility_sampler=None):
+    """Build ``count`` pages, sampling per-page compressibility.
+
+    ``compressibility_sampler`` is a zero-argument callable returning a
+    ratio >= 1.0 (e.g. from a
+    :class:`~repro.mem.compression.CompressibilityProfile`); without it
+    pages are incompressible.
+    """
+    pages = []
+    for page_id in range(count):
+        ratio = compressibility_sampler() if compressibility_sampler else 1.0
+        pages.append(Page(page_id, owner=owner, size=size, compressibility=ratio))
+    return pages

@@ -1,0 +1,20 @@
+"""Metrics and reporting utilities.
+
+* :mod:`repro.metrics.stats` — counters, running statistics, histograms
+  and time series used by long-running simulations;
+* :mod:`repro.metrics.reporting` — plain-text tables and series
+  renderers so every experiment prints the same rows the paper's
+  figures plot.
+"""
+
+from repro.metrics.reporting import format_series, format_table
+from repro.metrics.stats import Counter, Histogram, RunningStats, TimeSeries
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "RunningStats",
+    "TimeSeries",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,43 @@
+"""Plain-text rendering of experiment results."""
+
+
+def format_table(rows, columns=None, title=None, float_format="{:.4g}"):
+    """Render dict rows as an aligned text table.
+
+    ``columns`` defaults to the keys of the first row, in order.
+    """
+    if not rows:
+        return (title + "\n(empty)") if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value):
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series, title=None, x_label="t", y_label="value",
+                  float_format="{:.4g}"):
+    """Render (x, y) pairs as two aligned columns."""
+    rows = [
+        {x_label: x, y_label: y}
+        for x, y in series
+    ]
+    return format_table(rows, columns=[x_label, y_label], title=title,
+                        float_format=float_format)

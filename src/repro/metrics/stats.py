@@ -1,0 +1,133 @@
+"""Light statistics primitives for simulation instrumentation."""
+
+import math
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter({!r}, {})".format(self.name, self.value)
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value):
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self):
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self):
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self):
+        return math.sqrt(self.variance)
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    Buckets grow geometrically from ``least`` — appropriate for latency
+    measurements spanning nanoseconds to seconds.
+    """
+
+    def __init__(self, least=1e-7, factor=2.0, buckets=40):
+        if least <= 0 or factor <= 1 or buckets < 1:
+            raise ValueError("invalid histogram shape")
+        self.bounds = [least * (factor ** i) for i in range(buckets)]
+        self.counts = [0] * (buckets + 1)
+        self.total = 0
+
+    def record(self, value):
+        self.total += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def percentile(self, fraction):
+        """Upper bound of the bucket containing the requested quantile."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        target = fraction * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+
+class TimeSeries:
+    """(time, value) samples with simple window aggregation."""
+
+    def __init__(self, name="series"):
+        self.name = name
+        self.samples = []
+
+    def record(self, time, value):
+        self.samples.append((time, value))
+
+    def window_means(self, window):
+        """Collapse samples into fixed windows; returns (end, mean) pairs."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not self.samples:
+            return []
+        result = []
+        bucket = []
+        edge = self.samples[0][0] + window
+        for time, value in self.samples:
+            while time >= edge:
+                if bucket:
+                    result.append((edge, sum(bucket) / len(bucket)))
+                    bucket = []
+                edge += window
+            bucket.append(value)
+        if bucket:
+            result.append((edge, sum(bucket) / len(bucket)))
+        return result

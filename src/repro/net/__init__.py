@@ -1,0 +1,40 @@
+"""RDMA cluster fabric.
+
+Models the interconnect of the paper's testbed (56 Gbps FDR InfiniBand)
+and the RDMA access model of Section IV-G:
+
+* :mod:`repro.net.fabric` — nodes with full-duplex NICs, per-direction
+  bandwidth contention, configurable base latency, and failure state;
+* :mod:`repro.net.rdma` — memory regions, reliable-connected queue
+  pairs, one-sided READ/WRITE (data plane) and two-sided SEND/RECV
+  (control plane), connection management;
+* :mod:`repro.net.rpc` — an Accelio-style message RPC layer with
+  bounded message size and window-based batching (used by DAHI);
+* :mod:`repro.net.failures` — failure injection (node crash, link
+  partition) driving the fault-tolerance experiments.
+"""
+
+from repro.net.errors import (
+    ConnectionFailed,
+    LinkDown,
+    NetworkError,
+    RemoteNodeDown,
+)
+from repro.net.fabric import Fabric, Nic
+from repro.net.failures import FailureInjector
+from repro.net.rdma import MemoryRegion, QueuePair, RdmaDevice
+from repro.net.rpc import RpcEndpoint
+
+__all__ = [
+    "ConnectionFailed",
+    "Fabric",
+    "FailureInjector",
+    "LinkDown",
+    "MemoryRegion",
+    "NetworkError",
+    "Nic",
+    "QueuePair",
+    "RdmaDevice",
+    "RemoteNodeDown",
+    "RpcEndpoint",
+]

@@ -1,0 +1,38 @@
+"""Network failure exceptions.
+
+These are raised *inside* simulated processes, mirroring how a verbs
+completion with error status surfaces to the caller.
+"""
+
+
+class NetworkError(Exception):
+    """Base class for simulated network failures."""
+
+
+class RemoteNodeDown(NetworkError):
+    """The remote node crashed before or during the operation."""
+
+    def __init__(self, node_id):
+        super().__init__("remote node {!r} is down".format(node_id))
+        self.node_id = node_id
+
+
+class LinkDown(NetworkError):
+    """The path between two nodes is partitioned."""
+
+    def __init__(self, src, dst):
+        super().__init__("link {!r} -> {!r} is down".format(src, dst))
+        self.src = src
+        self.dst = dst
+
+
+class ConnectionFailed(NetworkError):
+    """Queue-pair establishment failed (peer down or unreachable)."""
+
+    def __init__(self, src, dst, reason=""):
+        message = "connection {!r} -> {!r} failed".format(src, dst)
+        if reason:
+            message += ": " + reason
+        super().__init__(message)
+        self.src = src
+        self.dst = dst

@@ -1,0 +1,160 @@
+"""The cluster interconnect.
+
+A :class:`Fabric` connects named nodes through a non-blocking switch
+(full bisection bandwidth, as in the paper's 32-machine InfiniBand
+testbed): the contended resources are each node's NIC transmit and
+receive sides, not the core.  Transfers charge
+
+    base latency + payload / min(tx bandwidth, rx bandwidth)
+
+while holding the sender's TX lane and the receiver's RX lane, so
+concurrent flows to or from one node queue behind each other.
+
+Failure state lives here: nodes and directed links can be marked down,
+and every transfer checks that state both when it starts and when it
+would complete (a mid-flight crash loses the transfer).
+"""
+
+from repro.net.errors import LinkDown, RemoteNodeDown
+from repro.hw.latency import NetworkSpec
+from repro.sim import Resource
+
+
+class Nic:
+    """A node's network interface: independent TX and RX lanes."""
+
+    def __init__(self, env, node_id, spec):
+        self.env = env
+        self.node_id = node_id
+        self.spec = spec
+        self.tx = Resource(env, capacity=1, name="nic-tx:{}".format(node_id))
+        self.rx = Resource(env, capacity=1, name="nic-rx:{}".format(node_id))
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+
+
+class Fabric:
+    """A switched cluster network with failure injection hooks."""
+
+    def __init__(self, env, spec=None, core_concurrency=0):
+        """``core_concurrency`` > 0 caps concurrent transfers through
+        the switch core — an oversubscribed fabric.  0 models full
+        bisection bandwidth (the paper testbed's non-blocking fabric).
+        """
+        self.env = env
+        self.spec = spec or NetworkSpec()
+        self._nics = {}
+        self._down_nodes = set()
+        self._down_links = set()  # directed (src, dst) pairs
+        self._core = (
+            Resource(env, capacity=core_concurrency, name="fabric-core")
+            if core_concurrency > 0 else None
+        )
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    # -- topology ------------------------------------------------------
+
+    def add_node(self, node_id):
+        """Attach a node; returns its :class:`Nic`."""
+        if node_id in self._nics:
+            raise ValueError("node {!r} already attached".format(node_id))
+        nic = Nic(self.env, node_id, self.spec)
+        self._nics[node_id] = nic
+        return nic
+
+    def nic(self, node_id):
+        """The :class:`Nic` of an attached node."""
+        return self._nics[node_id]
+
+    @property
+    def node_ids(self):
+        return list(self._nics)
+
+    # -- failure state ---------------------------------------------------
+
+    def set_node_down(self, node_id, down=True):
+        """Mark a node crashed (or recovered with ``down=False``)."""
+        if node_id not in self._nics:
+            raise KeyError(node_id)
+        if down:
+            self._down_nodes.add(node_id)
+        else:
+            self._down_nodes.discard(node_id)
+
+    def set_link_down(self, src, dst, down=True, symmetric=True):
+        """Partition the directed path ``src -> dst`` (both ways by default)."""
+        pairs = [(src, dst), (dst, src)] if symmetric else [(src, dst)]
+        for pair in pairs:
+            if down:
+                self._down_links.add(pair)
+            else:
+                self._down_links.discard(pair)
+
+    def is_node_down(self, node_id):
+        return node_id in self._down_nodes
+
+    def is_reachable(self, src, dst):
+        """True if a transfer ``src -> dst`` could start right now."""
+        return (
+            src not in self._down_nodes
+            and dst not in self._down_nodes
+            and (src, dst) not in self._down_links
+        )
+
+    def _check_path(self, src, dst):
+        if dst in self._down_nodes:
+            raise RemoteNodeDown(dst)
+        if src in self._down_nodes:
+            raise RemoteNodeDown(src)
+        if (src, dst) in self._down_links:
+            raise LinkDown(src, dst)
+
+    # -- data movement -----------------------------------------------------
+
+    def transfer_time(self, nbytes, base_latency=None):
+        """Uncontended wire time for ``nbytes``."""
+        if base_latency is None:
+            base_latency = self.spec.rdma_latency
+        return base_latency + nbytes / self.spec.bandwidth
+
+    def transfer(self, src, dst, nbytes, base_latency=None):
+        """Generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        Holds the sender's TX lane and receiver's RX lane for the wire
+        time; raises a :class:`~repro.net.errors.NetworkError` subclass
+        if the path is (or goes) down.
+        """
+        self._check_path(src, dst)
+        src_nic = self._nics[src]
+        dst_nic = self._nics[dst]
+        # Acquire lanes in a canonical global order so that concurrent
+        # transfers can never hold-and-wait in a cycle (deadlock).
+        lanes = sorted(
+            [("{}:tx".format(src), src_nic.tx), ("{}:rx".format(dst), dst_nic.rx)],
+            key=lambda pair: pair[0],
+        )
+        granted = []
+        try:
+            for _key, lane in lanes:
+                request = lane.request()
+                yield request
+                granted.append((lane, request))
+            if self._core is not None:
+                # The core is acquired only after both lanes, and its
+                # holders never wait on lanes, so no cycle can form.
+                core_request = self._core.request()
+                yield core_request
+                granted.append((self._core, core_request))
+            yield self.env.timeout(self.transfer_time(nbytes, base_latency))
+            # A node or link that died mid-flight loses the transfer.
+            self._check_path(src, dst)
+            src_nic.bytes_sent += nbytes
+            src_nic.messages_sent += 1
+            dst_nic.bytes_received += nbytes
+            self.total_bytes += nbytes
+            self.total_messages += 1
+        finally:
+            for lane, request in granted:
+                lane.release(request)

@@ -1,0 +1,77 @@
+"""Failure injection for fault-tolerance experiments (paper Section IV-D).
+
+The injector drives the fabric's failure state and, optionally, a
+node-crash callback registry so higher layers (node manager, leader
+election) observe crashes the way they would in production: through
+timeouts and failed operations, never through shared Python state.
+"""
+
+
+class FailureInjector:
+    """Schedules node crashes, recoveries and link partitions."""
+
+    def __init__(self, env, fabric):
+        self.env = env
+        self.fabric = fabric
+        self._crash_listeners = []
+        self.log = []  # (time, kind, detail)
+
+    def on_crash(self, callback):
+        """Register ``callback(node_id)`` invoked when a node crashes."""
+        self._crash_listeners.append(callback)
+
+    # -- immediate ---------------------------------------------------------
+
+    def crash_node(self, node_id):
+        """Crash ``node_id`` now."""
+        self.fabric.set_node_down(node_id, down=True)
+        self.log.append((self.env.now, "crash", node_id))
+        for callback in self._crash_listeners:
+            callback(node_id)
+
+    def recover_node(self, node_id):
+        """Recover ``node_id`` now."""
+        self.fabric.set_node_down(node_id, down=False)
+        self.log.append((self.env.now, "recover", node_id))
+
+    def partition_link(self, a, b):
+        """Cut the path between two nodes now (both directions)."""
+        self.fabric.set_link_down(a, b, down=True)
+        self.log.append((self.env.now, "partition", (a, b)))
+
+    def heal_link(self, a, b):
+        """Restore the path between two nodes now."""
+        self.fabric.set_link_down(a, b, down=False)
+        self.log.append((self.env.now, "heal", (a, b)))
+
+    # -- scheduled ---------------------------------------------------------
+
+    def schedule_crash(self, node_id, at):
+        """Crash ``node_id`` at absolute simulated time ``at``."""
+
+        def plan():
+            yield self.env.timeout(max(0.0, at - self.env.now))
+            self.crash_node(node_id)
+
+        return self.env.process(plan(), name="crash:{}".format(node_id))
+
+    def schedule_recovery(self, node_id, at):
+        """Recover ``node_id`` at absolute simulated time ``at``."""
+
+        def plan():
+            yield self.env.timeout(max(0.0, at - self.env.now))
+            self.recover_node(node_id)
+
+        return self.env.process(plan(), name="recover:{}".format(node_id))
+
+    def schedule_partition(self, a, b, at, heal_at=None):
+        """Partition ``a``/``b`` at ``at``; optionally heal at ``heal_at``."""
+
+        def plan():
+            yield self.env.timeout(max(0.0, at - self.env.now))
+            self.partition_link(a, b)
+            if heal_at is not None:
+                yield self.env.timeout(max(0.0, heal_at - self.env.now))
+                self.heal_link(a, b)
+
+        return self.env.process(plan(), name="partition:{}-{}".format(a, b))

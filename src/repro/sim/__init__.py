@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free kernel in the style of SimPy: an
+:class:`~repro.sim.engine.Environment` drives a time-ordered event heap,
+and *processes* are Python generators that ``yield`` events to wait on
+them.  The kernel provides:
+
+* :class:`~repro.sim.events.Event` — one-shot events with success /
+  failure outcomes and callback chains;
+* :class:`~repro.sim.events.Timeout` — events scheduled at a relative
+  simulated delay;
+* :class:`~repro.sim.events.AllOf` / :class:`~repro.sim.events.AnyOf` —
+  composite conditions;
+* :class:`~repro.sim.process.Process` — generator-based coroutines with
+  interruption support;
+* :mod:`~repro.sim.resources` — FIFO and priority resources, counting
+  containers and object stores for modelling contention;
+* :class:`~repro.sim.rng.RngStreams` — named, independently seeded
+  random streams so experiments are reproducible stream-by-stream.
+
+The simulated clock is a float; all repro models interpret it as
+**seconds**.
+"""
+
+from repro.sim.engine import Environment
+from repro.sim.errors import Interrupt, SimulationError, StopProcess
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "Timeout",
+]

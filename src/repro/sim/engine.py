@@ -1,0 +1,125 @@
+"""The simulation environment: clock + event heap + run loop."""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Scheduling priorities. Events pushed at the same timestamp fire in
+#: priority order, then insertion order, which keeps runs deterministic.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class EmptySchedule(SimulationError):
+    """``run()`` was asked to advance but no events remain."""
+
+
+class Environment:
+    """Coordinates simulated time and event execution.
+
+    The environment is the single mutable hub of a simulation: models
+    create events through it, processes are registered on it, and
+    :meth:`run` advances the clock by firing events in timestamp order.
+
+    Determinism: two runs with the same model code and the same RNG
+    seeds produce identical event orders — ties are broken by
+    (priority, insertion sequence).
+    """
+
+    def __init__(self, initial_time=0.0):
+        self.now = float(initial_time)
+        self._heap = []
+        self._seq = count()
+        self.active_process = None
+
+    # -- event construction ------------------------------------------------
+
+    def event(self, name=None):
+        """Create a new pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None):
+        """Create an event that succeeds ``delay`` time units from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator, name=None):
+        """Register ``generator`` as a new :class:`Process` starting now."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Condition event succeeding when all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Condition event succeeding when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _push(self, event, delay=0.0, priority=PRIORITY_NORMAL):
+        """Put a triggered event on the heap, to fire after ``delay``."""
+        heapq.heappush(
+            self._heap, (self.now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self):
+        """Timestamp of the next event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self):
+        """Fire the single next event; advances ``now`` to its timestamp."""
+        if not self._heap:
+            raise EmptySchedule("no scheduled events")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain; a number — run until
+            the clock reaches that time; an :class:`Event` — run until
+            that event fires, returning (or raising) its outcome.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self.now:
+            raise ValueError(
+                "until ({}) is in the past (now={})".format(deadline, self.now)
+            )
+        while self._heap and self.peek() <= deadline:
+            self.step()
+        self.now = deadline
+        return None
+
+    def _run_until_event(self, event):
+        finished = []
+        if event.callbacks is None:
+            # Already fired; report its outcome directly.
+            finished.append(event)
+        else:
+            event.callbacks.append(finished.append)
+        while not finished:
+            if not self._heap:
+                raise EmptySchedule(
+                    "event {!r} can never fire: schedule is empty".format(event)
+                )
+            self.step()
+        if event._ok:
+            return event._value
+        # Mark as handled for Process events so defused errors do not
+        # re-raise; then surface the failure to the caller.
+        raise event._value

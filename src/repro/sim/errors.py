@@ -1,0 +1,36 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopProcess(SimulationError):
+    """Raised inside a process to terminate it early with a value.
+
+    ``return value`` inside the generator is the idiomatic way to finish
+    a process; ``raise StopProcess(value)`` exists for helper functions
+    that need to end the *calling* process without returning through
+    every stack frame.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process that another process interrupted.
+
+    The interrupted process may catch the interrupt and continue; the
+    ``cause`` attribute carries an arbitrary object describing why the
+    interrupt happened (e.g. a failure notice).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""

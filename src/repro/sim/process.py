@@ -1,0 +1,113 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  Each value the generator yields
+must be an :class:`~repro.sim.events.Event`; the process sleeps until
+the event fires and is resumed with the event's value (or has the
+event's exception thrown into it).  A process is itself an event that
+triggers when the generator returns, so processes can wait on each
+other simply by yielding them.
+"""
+
+from repro.sim import engine as _engine
+from repro.sim.errors import Interrupt, StopProcess
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """A running simulation process (also an event: fires on completion)."""
+
+    def __init__(self, env, generator, name=None):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                "process() expects a generator, got {!r}".format(generator)
+            )
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._target = None
+        # Kick the generator off via an already-successful init event so
+        # the first body statement runs at the current simulated time.
+        init = Event(env, name="init:{}".format(self.name))
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._push(init, priority=_engine.PRIORITY_URGENT)
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`~repro.sim.errors.Interrupt` into the process.
+
+        The process may catch the interrupt and keep running (e.g. to
+        handle a failure notice and retry).  Interrupting a finished
+        process raises ``RuntimeError``.
+        """
+        if self.triggered:
+            raise RuntimeError("cannot interrupt finished process {!r}".format(self))
+        # Detach from whatever the process is currently waiting on so it
+        # is not resumed twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        poke = Event(self.env, name="interrupt:{}".format(self.name))
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke.callbacks.append(self._resume)
+        self.env._push(poke, priority=_engine.PRIORITY_URGENT)
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume(self, event):
+        self.env.active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as exc:
+            self.succeed(exc.value)
+            return
+        except StopProcess as exc:
+            self.succeed(exc.value)
+            return
+        except Interrupt as exc:
+            # The generator let an interrupt escape: treat as failure.
+            self.fail(exc)
+            if not self.callbacks:
+                raise
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            if not self.callbacks:
+                # Nobody is waiting on this process; crash loudly rather
+                # than losing the error.
+                raise
+            return
+        finally:
+            self.env.active_process = None
+
+        if not isinstance(target, Event):
+            error = RuntimeError(
+                "process {!r} yielded a non-event: {!r}".format(self.name, target)
+            )
+            self.fail(error)
+            raise error
+        if target.callbacks is not None:
+            # Pending, or triggered but not yet fired: hook its callback
+            # chain directly.
+            target.callbacks.append(self._resume)
+            self._target = target
+        else:
+            # The event already fired; resume at the current timestamp
+            # with the same outcome via a proxy event.
+            proxy = Event(self.env, name="replay")
+            proxy._ok = target._ok
+            proxy._value = target._value
+            proxy.callbacks.append(self._resume)
+            self.env._push(proxy, priority=_engine.PRIORITY_URGENT)
+            self._target = proxy

@@ -1,0 +1,38 @@
+"""Swapping systems: the paper's in-memory paging evaluation targets.
+
+The paging substrate (:mod:`repro.swap.base`) models a virtual server's
+MMU under memory pressure: a resident set with LRU replacement, page
+faults, dirty tracking, a swap cache / prefetch buffer, and pluggable
+*swap backends* that decide where evicted pages go and what a swap-in
+costs.  The five backends compared in Section V:
+
+* :class:`~repro.swap.linux_swap.LinuxDiskSwap` — the kernel baseline:
+  swap slots on a rotational disk, cluster readahead on swap-in;
+* :class:`~repro.swap.zswap.Zswap` — a compressed RAM cache (zbud
+  allocator) in front of disk swap;
+* :class:`~repro.swap.remote_block.Nbdx` — a remote block device over
+  RDMA (per-page ops through the block layer);
+* :class:`~repro.swap.remote_block.Infiniswap` — decentralized remote
+  paging over NBDX-style block I/O with power-of-two slab placement;
+* :class:`~repro.swap.fastswap.FastSwap` — the paper's hybrid system:
+  node shared-memory pool first, then batched + compressed RDMA remote
+  memory, then disk; with proactive batch swap-in (PBS).
+"""
+
+from repro.swap.base import PagingStats, SwapBackend, VirtualMemory
+from repro.swap.fastswap import FastSwap, FastSwapConfig
+from repro.swap.linux_swap import LinuxDiskSwap
+from repro.swap.remote_block import Infiniswap, Nbdx
+from repro.swap.zswap import Zswap
+
+__all__ = [
+    "FastSwap",
+    "FastSwapConfig",
+    "Infiniswap",
+    "LinuxDiskSwap",
+    "Nbdx",
+    "PagingStats",
+    "SwapBackend",
+    "VirtualMemory",
+    "Zswap",
+]

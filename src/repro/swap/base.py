@@ -1,0 +1,237 @@
+"""The paging substrate: resident set, faults, and the backend contract.
+
+:class:`VirtualMemory` models the guest MMU + kernel swap logic of one
+virtual server.  Page accesses either hit the resident set (cheap), hit
+the prefetch buffer / swap cache (a DRAM copy), or fault — at which
+point the configured :class:`SwapBackend` is charged for the swap-in,
+and LRU eviction may charge a swap-out.
+
+Design notes
+------------
+* Completion time is dominated by fault service; resident hits and
+  per-access compute are accumulated and charged in bulk right before
+  any I/O, which keeps the event count (and wall-clock runtime) low
+  without changing simulated time.
+* A page evicted clean whose swap copy is still valid costs nothing on
+  the way out (Linux swap-cache semantics); dirty pages always pay the
+  backend's write path.
+"""
+
+from collections import OrderedDict
+
+from repro.hw.latency import CpuSpec
+
+
+class PagingStats:
+    """Counters for one paging run."""
+
+    __slots__ = (
+        "accesses",
+        "resident_hits",
+        "prefetch_hits",
+        "major_faults",
+        "minor_faults",
+        "swap_ins",
+        "swap_outs",
+        "start_time",
+        "end_time",
+    )
+
+    def __init__(self):
+        self.accesses = 0
+        self.resident_hits = 0
+        self.prefetch_hits = 0
+        self.major_faults = 0
+        self.minor_faults = 0
+        self.swap_ins = 0
+        self.swap_outs = 0
+        self.start_time = 0.0
+        self.end_time = 0.0
+
+    @property
+    def completion_time(self):
+        return self.end_time - self.start_time
+
+    @property
+    def fault_rate(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.major_faults / self.accesses
+
+    def snapshot(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class SwapBackend:
+    """Contract every swap backend implements.
+
+    Backends are charged simulated time through their generator
+    methods; they never touch the resident set — that is
+    :class:`VirtualMemory`'s job.
+    """
+
+    name = "abstract"
+
+    def setup(self):
+        """Generator: one-time initialization (slab reservation etc.)."""
+        return
+        yield  # pragma: no cover
+
+    def swap_out(self, page):
+        """Generator: persist ``page`` out of DRAM."""
+        raise NotImplementedError
+
+    def swap_in(self, page):
+        """Generator: bring ``page`` back.  Returns a list of *extra*
+        pages the backend opportunistically fetched in the same request
+        (readahead / proactive batch swap-in); may be empty."""
+        raise NotImplementedError
+
+    def drain(self):
+        """Generator: flush any buffered writes (end-of-run barrier)."""
+        return
+        yield  # pragma: no cover
+
+    def discard(self, page):
+        """Invalidate the backend copy of ``page`` (freed by the guest)."""
+
+
+class VirtualMemory:
+    """One virtual server's memory under pressure.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    pages:
+        All pages of the working set (:class:`repro.mem.page.Page`).
+    capacity_pages:
+        Resident-set capacity; ``capacity / len(pages)`` is the paper's
+        "N% configuration".
+    backend:
+        The swap backend to charge for misses.
+    cpu:
+        :class:`~repro.hw.latency.CpuSpec` for fault-path costs.
+    prefetch_capacity:
+        Size of the prefetch buffer / swap cache, in pages.
+    """
+
+    #: Cost of a resident hit (TLB+cache-missing DRAM access).
+    HIT_TIME = 120e-9
+    #: Cost of promoting a prefetched page (DRAM page copy + map).
+    PROMOTE_TIME = 0.9e-6
+
+    def __init__(self, env, pages, capacity_pages, backend, cpu=None,
+                 prefetch_capacity=128, compute_per_access=1.0e-6,
+                 fault_histogram=None):
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1")
+        self.env = env
+        self.pages = {page.page_id: page for page in pages}
+        self.capacity_pages = capacity_pages
+        self.backend = backend
+        self.cpu = cpu or CpuSpec()
+        self.prefetch_capacity = prefetch_capacity
+        self.compute_per_access = compute_per_access
+        #: Optional :class:`repro.metrics.stats.Histogram`: when set,
+        #: every major fault's service time is recorded, so experiments
+        #: can report tail latency per backend.
+        self.fault_histogram = fault_histogram
+        self.resident = OrderedDict()
+        self.prefetch = OrderedDict()
+        self.swapped_valid = set()
+        self.stats = PagingStats()
+        self._pending_time = 0.0
+
+    # -- capacity (ballooning hook) ------------------------------------------
+
+    def grow_capacity(self, extra_pages):
+        """Balloon: grant the server ``extra_pages`` more resident frames."""
+        self.capacity_pages += extra_pages
+
+    # -- main entry point ------------------------------------------------------
+
+    def access(self, page_id, write=False):
+        """Generator: one memory access; charges whatever it costs."""
+        self.stats.accesses += 1
+        self._pending_time += self.compute_per_access
+        page = self.pages[page_id]
+
+        if page_id in self.resident:
+            self.resident.move_to_end(page_id)
+            self._pending_time += self.HIT_TIME
+            self.stats.resident_hits += 1
+            if write:
+                page.dirty = True
+                # Writing invalidates any swap-cache copy.
+                if page_id in self.swapped_valid:
+                    self.swapped_valid.discard(page_id)
+                    self.backend.discard(page)
+            return
+
+        if page_id in self.prefetch:
+            # Swap-cache hit: promote without backend I/O.
+            del self.prefetch[page_id]
+            self._pending_time += self.PROMOTE_TIME
+            self.stats.prefetch_hits += 1
+            self.stats.minor_faults += 1
+            yield from self._make_room()
+            self._insert_resident(page, write)
+            return
+
+        # Real fault.
+        self._pending_time += self.cpu.page_fault_overhead + self.cpu.context_switch
+        yield from self._flush_pending()
+        yield from self._make_room()
+        if page_id in self.swapped_valid:
+            self.stats.major_faults += 1
+            fault_started = self.env.now
+            extra = yield from self.backend.swap_in(page)
+            if self.fault_histogram is not None:
+                self.fault_histogram.record(self.env.now - fault_started)
+            self.stats.swap_ins += 1
+            self._absorb_prefetched(extra or ())
+        else:
+            # First touch: demand-zero fault, no backend involved.
+            self.stats.minor_faults += 1
+        self._insert_resident(page, write)
+
+    def flush(self):
+        """Generator: charge accumulated cheap-path time (end of run)."""
+        yield from self._flush_pending()
+        yield from self.backend.drain()
+
+    # -- internals ----------------------------------------------------------
+
+    def _flush_pending(self):
+        if self._pending_time > 0.0:
+            pending, self._pending_time = self._pending_time, 0.0
+            yield self.env.timeout(pending)
+
+    def _insert_resident(self, page, write):
+        if write:
+            page.dirty = True
+            # The swap copy (if any) is stale once the page is written.
+            if page.page_id in self.swapped_valid:
+                self.swapped_valid.discard(page.page_id)
+                self.backend.discard(page)
+        self.resident[page.page_id] = page
+
+    def _make_room(self):
+        while len(self.resident) >= self.capacity_pages:
+            victim_id, victim = self.resident.popitem(last=False)
+            if victim.dirty or victim_id not in self.swapped_valid:
+                yield from self.backend.swap_out(victim)
+                self.stats.swap_outs += 1
+                victim.dirty = False
+            self.swapped_valid.add(victim_id)
+
+    def _absorb_prefetched(self, extra_pages):
+        for page in extra_pages:
+            if page.page_id in self.resident or page.page_id in self.prefetch:
+                continue
+            self.prefetch[page.page_id] = page
+            # Prefetched pages keep their swap copy; dropping them from
+            # the buffer later costs nothing.
+            while len(self.prefetch) > self.prefetch_capacity:
+                self.prefetch.popitem(last=False)

@@ -1,0 +1,45 @@
+"""Construction of swap backends by name (used by every benchmark)."""
+
+from repro.hw.latency import MiB
+from repro.swap.fastswap import FastSwap, FastSwapConfig
+from repro.swap.linux_swap import LinuxDiskSwap
+from repro.swap.remote_block import Infiniswap, Nbdx
+from repro.swap.zswap import Zswap
+
+#: Baselines and systems compared across Section V ("xmempod" is the
+#: paper's reference [36]: FastSwap's cascade extended with an SSD tier).
+BACKEND_NAMES = ("linux", "zswap", "nbdx", "infiniswap", "fastswap", "xmempod")
+
+
+def make_swap_backend(name, node, directory, rng=None, fastswap_config=None,
+                      zswap_pool_bytes=8 * MiB, slabs_per_target=8):
+    """Build the named swap backend wired to ``node``.
+
+    Parameters mirror what the Section V experiments vary: a
+    :class:`~repro.swap.fastswap.FastSwapConfig` for the FastSwap
+    variants (FS-SM ... FS-RDMA, PBS on/off, compression on/off), the
+    zswap RAM pool size, and per-target slab reservations for the
+    remote backends.
+    """
+    cpu = node.config.calibration.cpu
+    if name == "linux":
+        return LinuxDiskSwap(node, cpu=cpu)
+    if name == "zswap":
+        return Zswap(node, pool_bytes=zswap_pool_bytes, cpu=cpu)
+    if name == "nbdx":
+        return Nbdx(node, directory, slabs_per_target=slabs_per_target, cpu=cpu)
+    if name == "infiniswap":
+        return Infiniswap(
+            node, directory, slabs_per_target=slabs_per_target, cpu=cpu, rng=rng
+        )
+    if name == "fastswap":
+        return FastSwap(node, directory, config=fastswap_config, cpu=cpu)
+    if name == "xmempod":
+        config = fastswap_config or FastSwapConfig()
+        from dataclasses import replace
+
+        backend = FastSwap(node, directory, config=replace(config, ssd_tier=True),
+                           cpu=cpu)
+        backend.name = "xmempod"
+        return backend
+    raise ValueError("unknown swap backend {!r}".format(name))

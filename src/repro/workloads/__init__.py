@@ -1,0 +1,46 @@
+"""Workload generators: the ten applications of the paper's Table 1.
+
+The paper evaluates ten memory-intensive applications (working sets
+25–30 GB, inputs 12–20 GB per virtual server); we reproduce each as a
+synthetic generator scaled down ~1000x, preserving what determines
+paging behaviour: the access pattern (iterative scans + skewed random
+access), the read/write mix, per-access compute, and page
+compressibility.
+
+* :mod:`repro.workloads.patterns` — reusable access-pattern primitives
+  (scans, Zipf, strides);
+* :mod:`repro.workloads.ml` — iterative analytics workloads (PageRank,
+  Logistic Regression, TunkRank, K-Means, SVM, Connected Components,
+  ALS) as page-reference traces;
+* :mod:`repro.workloads.kv` — key-value serving workloads (Memcached
+  ETC, Redis, VoltDB) as closed-loop clients with throughput windows;
+* :mod:`repro.workloads.catalog` — Table 1 itself: every application
+  with its (scaled) working set, input size and profile.
+"""
+
+from repro.workloads.catalog import (
+    APPLICATIONS,
+    ApplicationSpec,
+    get_application,
+    iter_applications,
+)
+from repro.workloads.kv import KvWorkloadSpec, KV_WORKLOADS
+from repro.workloads.ml import MlWorkloadSpec, ML_WORKLOADS
+from repro.workloads.patterns import ZipfSampler
+from repro.workloads.traces import RecordedTrace, load_trace, record_trace, save_trace
+
+__all__ = [
+    "APPLICATIONS",
+    "ApplicationSpec",
+    "KV_WORKLOADS",
+    "KvWorkloadSpec",
+    "ML_WORKLOADS",
+    "MlWorkloadSpec",
+    "RecordedTrace",
+    "ZipfSampler",
+    "get_application",
+    "iter_applications",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+]

@@ -1,0 +1,99 @@
+"""Table 1: the ten applications used in the paper's experiments.
+
+The paper's Table 1 lists ten memory-intensive applications with
+working sets of 25–30 GB and inputs of 12–20 GB per virtual server.
+Our simulation scales both down by SCALE (default 1024x) while keeping
+the working-set : input and working-set : resident-memory *ratios* —
+the quantities every figure actually depends on.
+"""
+
+from dataclasses import dataclass
+
+from repro.hw.latency import GiB, PAGE_SIZE
+from repro.workloads.kv import KV_WORKLOADS
+from repro.workloads.ml import ML_WORKLOADS
+
+#: Linear downscale applied to the paper's data sizes.
+SCALE = 1024
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """One row of Table 1."""
+
+    name: str
+    category: str  # "graph", "ml", "kv"
+    framework: str
+    #: The paper's (unscaled) sizes.
+    working_set_bytes: int
+    input_bytes: int
+    #: The generator driving the simulation.
+    workload_key: str
+    workload_kind: str  # "ml" or "kv"
+
+    @property
+    def scaled_working_set_bytes(self):
+        return self.working_set_bytes // SCALE
+
+    @property
+    def scaled_pages(self):
+        return max(1, self.scaled_working_set_bytes // PAGE_SIZE)
+
+    def workload(self):
+        """The trace-generator spec, sized to the scaled working set."""
+        if self.workload_kind == "ml":
+            spec = ML_WORKLOADS[self.workload_key]
+            return spec.with_overrides(pages=self.scaled_pages)
+        spec = KV_WORKLOADS[self.workload_key]
+        keys = max(1, self.scaled_pages // spec.pages_per_key)
+        return spec.with_overrides(keys=keys)
+
+
+def _gb(value):
+    return int(value * GiB)
+
+
+APPLICATIONS = {
+    "pagerank": ApplicationSpec(
+        "pagerank", "graph", "PowerGraph", _gb(28), _gb(18), "pagerank", "ml"
+    ),
+    "logistic_regression": ApplicationSpec(
+        "logistic_regression", "ml", "Spark", _gb(26), _gb(14),
+        "logistic_regression", "ml",
+    ),
+    "tunkrank": ApplicationSpec(
+        "tunkrank", "graph", "PowerGraph", _gb(30), _gb(20), "tunkrank", "ml"
+    ),
+    "kmeans": ApplicationSpec(
+        "kmeans", "ml", "Spark", _gb(25), _gb(12), "kmeans", "ml"
+    ),
+    "svm": ApplicationSpec(
+        "svm", "ml", "Spark", _gb(27), _gb(15), "svm", "ml"
+    ),
+    "connected_components": ApplicationSpec(
+        "connected_components", "graph", "Spark", _gb(26), _gb(16),
+        "connected_components", "ml",
+    ),
+    "als": ApplicationSpec(
+        "als", "ml", "Spark", _gb(29), _gb(19), "als", "ml"
+    ),
+    "memcached": ApplicationSpec(
+        "memcached", "kv", "Memcached", _gb(25), _gb(12), "memcached", "kv"
+    ),
+    "redis": ApplicationSpec(
+        "redis", "kv", "Redis", _gb(25), _gb(12), "redis", "kv"
+    ),
+    "voltdb": ApplicationSpec(
+        "voltdb", "kv", "VoltDB", _gb(26), _gb(13), "voltdb", "kv"
+    ),
+}
+
+
+def get_application(name):
+    """Look an application up by name."""
+    return APPLICATIONS[name]
+
+
+def iter_applications():
+    """All ten applications in a stable order."""
+    return [APPLICATIONS[name] for name in sorted(APPLICATIONS)]

@@ -1,0 +1,93 @@
+"""Key-value serving workloads: Memcached ETC, Redis, VoltDB.
+
+Figure 8 and Figure 9 measure serving *throughput* under memory
+pressure, so these workloads are closed-loop clients: each operation
+touches the pages backing the requested key, then the next operation
+issues immediately.  Throughput is recorded in fixed windows to produce
+the Figure 9 timeline.
+
+Profiles follow the published characterizations: Facebook's ETC pool is
+~95% GETs with strong Zipf skew; Redis is modelled as a read-mostly
+cache; VoltDB as an OLTP store with a heavy write mix and multi-page
+transactions.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.mem.compression import CompressibilityProfile
+from repro.workloads.patterns import ZipfSampler
+
+
+@dataclass
+class KvWorkloadSpec:
+    """Shape of one key-value serving workload."""
+
+    name: str
+    #: Keys in the store; each key's value occupies ``pages_per_key`` pages.
+    keys: int = 4096
+    pages_per_key: int = 1
+    #: Fraction of operations that are reads.
+    read_fraction: float = 0.95
+    #: Zipf skew of key popularity.
+    zipf_alpha: float = 1.0
+    #: CPU time to serve one operation beyond memory access.
+    compute_per_op: float = 6.0e-6
+    #: Similar-popularity keys per contiguous address block (slab
+    #: allocators co-locate same-class values; 1 = fully scattered).
+    locality_block: int = 1
+    compressibility: CompressibilityProfile = field(
+        default_factory=lambda: CompressibilityProfile("kv", 2.0)
+    )
+
+    @property
+    def pages(self):
+        return self.keys * self.pages_per_key
+
+    def operations(self, rng):
+        """Infinite stream of ``(first_page_id, page_count, is_write)``."""
+        zipf = ZipfSampler(self.keys, self.zipf_alpha, rng,
+                           locality_block=self.locality_block)
+        while True:
+            key = zipf.sample()
+            yield key * self.pages_per_key, self.pages_per_key, (
+                rng.random() >= self.read_fraction
+            )
+
+    def with_overrides(self, **kwargs):
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+def _profile(name, mean, sigma=0.4, incompressible=0.1):
+    return CompressibilityProfile(
+        name, mean_ratio=mean, sigma=sigma, incompressible_fraction=incompressible
+    )
+
+
+#: The three serving workloads of Table 1.
+KV_WORKLOADS = {
+    "memcached": KvWorkloadSpec(
+        name="memcached",
+        read_fraction=0.95,  # the ETC pool mix
+        zipf_alpha=1.05,
+        compute_per_op=5.0e-6,
+        locality_block=8,  # slab pages hold same-class (co-hot) values
+        compressibility=_profile("memcached", 2.2),
+    ),
+    "redis": KvWorkloadSpec(
+        name="redis",
+        read_fraction=0.9,
+        zipf_alpha=1.0,
+        compute_per_op=4.0e-6,
+        compressibility=_profile("redis", 2.5),
+    ),
+    "voltdb": KvWorkloadSpec(
+        name="voltdb",
+        read_fraction=0.5,
+        zipf_alpha=0.8,
+        pages_per_key=2,  # row + index page per transaction
+        compute_per_op=12.0e-6,
+        compressibility=_profile("voltdb", 1.9),
+    ),
+}

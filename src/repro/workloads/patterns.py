@@ -1,0 +1,90 @@
+"""Access-pattern primitives shared by the workload generators."""
+
+import bisect
+import itertools
+
+
+class ZipfSampler:
+    """Draws integers in ``[0, n)`` with Zipf(alpha) popularity.
+
+    Rank-1 is the most popular item; a random permutation decouples
+    popularity rank from address order so skew does not masquerade as
+    spatial locality.
+    """
+
+    def __init__(self, n, alpha, rng, permute=True, locality_block=1):
+        """``locality_block > 1`` permutes *blocks* of consecutive ranks
+        instead of single ranks, so similarly popular items end up on
+        adjacent addresses — the layout a slab allocator produces when
+        values of one size class fill contiguous slab pages."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        if locality_block < 1:
+            raise ValueError("locality_block must be >= 1")
+        self.n = n
+        self.alpha = alpha
+        weights = [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+        total = 0.0
+        self._cumulative = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+        if permute:
+            block = max(1, locality_block)
+            block_count = -(-n // block)
+            block_order = list(range(block_count))
+            rng.shuffle(block_order)
+            # Concatenate address blocks in shuffled order: consecutive
+            # popularity ranks land on consecutive addresses within a
+            # block, and the mapping stays a bijection even when the
+            # last block is ragged.
+            addresses = []
+            for block_index in block_order:
+                start = block_index * block
+                addresses.extend(range(start, min(n, start + block)))
+            self._mapping = addresses
+        else:
+            self._mapping = None
+        self._rng = rng
+
+    def sample(self):
+        """One draw."""
+        target = self._rng.random() * self._total
+        rank = bisect.bisect_left(self._cumulative, target)
+        rank = min(rank, self.n - 1)
+        return self._mapping[rank] if self._mapping else rank
+
+
+def sequential_scan(n, start=0):
+    """Yield ``n`` addresses in order, wrapping from ``start``."""
+    for i in range(n):
+        yield (start + i) % n
+
+
+def strided_scan(n, stride):
+    """Yield all ``n`` addresses with a fixed stride (coprime walks cover)."""
+    address = 0
+    for _ in range(n):
+        yield address
+        address = (address + stride) % n
+
+
+def interleave(primary, secondary, ratio, rng):
+    """Interleave two address streams: after each primary item, emit a
+    secondary item with probability ``ratio``."""
+    secondary = iter(secondary)
+    for item in primary:
+        yield item
+        if ratio > 0 and rng.random() < ratio:
+            nxt = next(secondary, None)
+            if nxt is None:
+                continue
+            yield nxt
+
+
+def take(iterable, count):
+    """The first ``count`` items of ``iterable`` as a list."""
+    return list(itertools.islice(iterable, count))

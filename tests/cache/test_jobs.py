@@ -1,0 +1,63 @@
+"""Tests for the Spark job runner (Figure 10 machinery)."""
+
+import pytest
+
+from repro.cache.jobs import SPARK_JOBS, SparkJobSpec, run_spark_job
+from repro.hw.latency import MiB
+
+FAST = SparkJobSpec(name="test-job", iterations=3)
+
+
+def test_invalid_system_rejected():
+    with pytest.raises(ValueError):
+        run_spark_job("flink", FAST, "small")
+
+
+def test_partition_sizing_by_category():
+    spec = SPARK_JOBS["logistic_regression"]
+    storage = 24 * MiB
+    small = spec.num_partitions("small", storage)
+    medium = spec.num_partitions("medium", storage)
+    large = spec.num_partitions("large", storage)
+    assert small < medium < large
+
+
+def test_small_dataset_no_speedup():
+    spark = run_spark_job("spark", FAST, "small", seed=4)
+    dahi = run_spark_job("dahi", FAST, "small", seed=4)
+    assert dahi.completion_time == pytest.approx(spark.completion_time, rel=0.02)
+
+
+def test_large_dataset_dahi_wins():
+    spark = run_spark_job("spark", FAST, "large", seed=4)
+    dahi = run_spark_job("dahi", FAST, "large", seed=4)
+    assert spark.completion_time / dahi.completion_time > 1.3
+
+
+def test_speedup_grows_with_dataset():
+    def speedup(cat):
+        spark = run_spark_job("spark", FAST, cat, seed=4)
+        dahi = run_spark_job("dahi", FAST, cat, seed=4)
+        return spark.completion_time / dahi.completion_time
+
+    assert speedup("small") < speedup("medium") < speedup("large")
+
+
+def test_all_four_jobs_run():
+    for name, spec in SPARK_JOBS.items():
+        quick = spec
+        quick = SparkJobSpec(
+            name=spec.name,
+            iterations=2,
+            iter_compute_per_partition=spec.iter_compute_per_partition,
+            parse_time_per_partition=spec.parse_time_per_partition,
+        )
+        result = run_spark_job("dahi", quick, "medium", seed=4)
+        assert result.completion_time > 0
+        assert result.job == name
+
+
+def test_deterministic():
+    a = run_spark_job("dahi", FAST, "large", seed=9)
+    b = run_spark_job("dahi", FAST, "large", seed=9)
+    assert a.completion_time == b.completion_time

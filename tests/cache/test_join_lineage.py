@@ -1,0 +1,83 @@
+"""Tests for multi-parent (join) lineage and its recompute cost."""
+
+import pytest
+
+from repro.cache.rdd import Rdd
+from repro.cache.spark import ExecutorStore
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.hw.latency import MiB
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(
+        ClusterConfig(num_nodes=2, servers_per_node=1,
+                      server_memory_bytes=16 * MiB, seed=6)
+    )
+
+
+def test_join_requires_co_partitioning():
+    left = Rdd.from_storage("l", 4, 1024)
+    right = Rdd.from_storage("r", 8, 1024)
+    with pytest.raises(ValueError):
+        left.join(right, "j", 1e-3)
+
+
+def test_join_links_both_parents():
+    left = Rdd.from_storage("l", 4, 1000)
+    right = Rdd.from_storage("r", 4, 3000)
+    joined = left.join(right, "j", 1e-3)
+    assert joined.parents == (left, right)
+    assert joined.parent is left
+    assert joined.partition_bytes == 2000
+    assert joined.lineage_depth() == 1
+
+
+def test_parent_and_parents_mutually_exclusive():
+    root = Rdd.from_storage("root", 2, 1024)
+    with pytest.raises(ValueError):
+        Rdd("bad", 2, 1024, parent=root, parents=(root,))
+
+
+def test_lineage_depth_uses_longest_chain():
+    root = Rdd.from_storage("root", 2, 1024)
+    deep = root.transform("a", 1e-3).transform("b", 1e-3)
+    joined = deep.join(root, "j", 1e-3)
+    assert joined.lineage_depth() == 3
+
+
+def test_join_recompute_scans_both_inputs(cluster):
+    node = cluster.nodes()[0]
+    store = ExecutorStore(cluster.env, node, 16 * MiB)
+    left = Rdd.from_storage("l", 2, 1 * MiB)
+    right = Rdd.from_storage("r", 2, 1 * MiB)
+    joined = left.join(right, "j", 1e-3).cache()
+
+    def job():
+        yield from store.get_partition(joined.partitions[0])
+        return True
+
+    cluster.run_process(job())
+    # Materializing the joined partition scanned both input splits.
+    assert store.stats.storage_scans == 2
+    assert node.hdd.stats.reads == 2
+
+
+def test_cached_parent_short_circuits_recompute(cluster):
+    node = cluster.nodes()[0]
+    store = ExecutorStore(cluster.env, node, 16 * MiB)
+    left = Rdd.from_storage("l", 2, 1 * MiB)
+    right = Rdd.from_storage("r", 2, 1 * MiB)
+    left_cached = left.transform("lc", 1e-3).cache()
+    joined = left_cached.join(right, "j", 1e-3).cache()
+
+    def job():
+        # Warm the left side into the block store first.
+        yield from store.get_partition(left_cached.partitions[0])
+        scans_before = store.stats.storage_scans
+        yield from store.get_partition(joined.partitions[0])
+        return scans_before
+
+    scans_before = cluster.run_process(job())
+    # Only the right input needed a storage scan.
+    assert store.stats.storage_scans == scans_before + 1

@@ -1,0 +1,47 @@
+"""Unit tests for RDDs and lineage."""
+
+import pytest
+
+from repro.cache.rdd import Rdd
+
+
+def test_from_storage_builds_partitions():
+    rdd = Rdd.from_storage("input", 8, 1024)
+    assert len(rdd.partitions) == 8
+    assert rdd.storage_read
+    assert rdd.parent is None
+    assert all(p.size_bytes == 1024 for p in rdd.partitions)
+
+
+def test_partition_keys_unique():
+    a = Rdd.from_storage("a", 4, 1024)
+    b = Rdd.from_storage("b", 4, 1024)
+    keys = {p.key for p in a.partitions} | {p.key for p in b.partitions}
+    assert len(keys) == 8
+
+
+def test_transform_links_parent():
+    root = Rdd.from_storage("input", 4, 1024)
+    child = root.transform("mapped", compute_time_per_partition=1e-3)
+    assert child.parent is root
+    assert len(child.partitions) == 4
+    assert child.lineage_depth() == 1
+    assert root.lineage_depth() == 0
+
+
+def test_transform_size_factor():
+    root = Rdd.from_storage("input", 4, 1000)
+    child = root.transform("projected", 1e-3, size_factor=0.5)
+    assert child.partition_bytes == 500
+
+
+def test_cache_flag():
+    rdd = Rdd.from_storage("input", 2, 1024)
+    assert not rdd.cached
+    assert rdd.cache() is rdd
+    assert rdd.cached
+
+
+def test_invalid_partition_count():
+    with pytest.raises(ValueError):
+        Rdd("bad", 0, 1024)

@@ -1,0 +1,169 @@
+"""Tests for the vanilla executor store and the DAHI store."""
+
+import pytest
+
+from repro.cache.dahi import DahiStore
+from repro.cache.rdd import Rdd
+from repro.cache.spark import ExecutorStore, StorageLevel
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.hw.latency import MiB
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(
+        ClusterConfig(
+            num_nodes=3,
+            servers_per_node=1,
+            server_memory_bytes=32 * MiB,
+            donation_fraction=0.4,
+            receive_pool_slabs=16,
+            replication_factor=1,
+            seed=5,
+        )
+    )
+
+
+def make_rdd(partitions=8, partition_bytes=1 * MiB):
+    root = Rdd.from_storage("input", partitions, partition_bytes)
+    return root.transform("working", 1e-3).cache()
+
+
+def drive(cluster, store, rdd, sweeps=1):
+    def job():
+        for _ in range(sweeps):
+            for partition in rdd.partitions:
+                yield from store.get_partition(partition)
+        return True
+
+    return cluster.run_process(job())
+
+
+def test_storage_level_validation(cluster):
+    node = cluster.nodes()[0]
+    with pytest.raises(ValueError):
+        ExecutorStore(cluster.env, node, 1 * MiB, storage_level="ram_only")
+
+
+def test_everything_fits_all_hits_after_warmup(cluster):
+    node = cluster.nodes()[0]
+    store = ExecutorStore(cluster.env, node, 16 * MiB)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd, sweeps=3)
+    # Sweep 1 recomputes everything once; sweeps 2-3 hit.
+    assert store.stats.recomputes == 8
+    assert store.stats.hits == 16
+
+
+def test_same_rdd_partitions_never_evicted(cluster):
+    node = cluster.nodes()[0]
+    store = ExecutorStore(cluster.env, node, 4 * MiB)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd, sweeps=2)
+    # 4 partitions stay cached; the rest overflow and recompute again.
+    assert len(store.cached) == 4
+    assert store.stats.hits == 4
+
+
+def test_memory_only_recomputes_from_storage(cluster):
+    node = cluster.nodes()[0]
+    store = ExecutorStore(cluster.env, node, 4 * MiB,
+                          storage_level=StorageLevel.MEMORY_ONLY)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd, sweeps=2)
+    assert store.stats.recomputes == 12  # 8 warmup + 4 overflow again
+    assert store.stats.storage_scans == 12
+
+
+def test_memory_and_disk_spills_and_rereads(cluster):
+    node = cluster.nodes()[0]
+    store = ExecutorStore(cluster.env, node, 4 * MiB,
+                          storage_level=StorageLevel.MEMORY_AND_DISK)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd, sweeps=2)
+    assert store.stats.disk_reads > 0
+    assert node.hdd.stats.writes > 0
+
+
+def test_other_rdd_blocks_are_evictable(cluster):
+    node = cluster.nodes()[0]
+    store = ExecutorStore(cluster.env, node, 4 * MiB)
+    old = make_rdd(partitions=4)
+    new = make_rdd(partitions=4)
+    drive(cluster, store, old)
+    drive(cluster, store, new)
+    assert store.stats.evictions >= 4
+    assert all(key[0] == new.rdd_id for key in store.cached)
+
+
+def test_dahi_parks_overflow_offheap(cluster):
+    node = cluster.nodes()[0]
+    server = node.servers[0]
+    store = DahiStore(cluster.env, node, 4 * MiB, server)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd, sweeps=2)
+    assert len(store.offheap_keys) == 4
+    # Second sweep served overflow from off-heap, not recompute.
+    assert store.stats.offheap_fetches == 4
+    assert store.stats.recomputes == 8  # warmup only
+
+
+def test_dahi_faster_than_vanilla_under_pressure(cluster):
+    node = cluster.nodes()[0]
+
+    def run(store):
+        rdd = make_rdd(partitions=8)
+        start = cluster.env.now
+        drive(cluster, store, rdd, sweeps=3)
+        return cluster.env.now - start
+
+    vanilla_time = run(ExecutorStore(cluster.env, node, 4 * MiB))
+    dahi_time = run(DahiStore(cluster.env, node, 4 * MiB, node.servers[0]))
+    assert dahi_time < vanilla_time
+
+
+def test_dahi_immutable_partitions_not_rewritten(cluster):
+    node = cluster.nodes()[0]
+    server = node.servers[0]
+    store = DahiStore(cluster.env, node, 4 * MiB, server)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd, sweeps=3)
+    shm_puts = node.shared_pool.puts
+    drive(cluster, store, rdd, sweeps=1)
+    # Another sweep re-fetches but never re-parks unchanged partitions.
+    assert node.shared_pool.puts == shm_puts
+
+
+def test_dahi_release_offheap(cluster):
+    node = cluster.nodes()[0]
+    server = node.servers[0]
+    store = DahiStore(cluster.env, node, 4 * MiB, server)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd)
+    assert store.offheap_keys
+
+    def teardown():
+        yield from store.release_offheap()
+        return True
+
+    cluster.run_process(teardown())
+    assert not store.offheap_keys
+    assert node.shared_pool.used_bytes == 0
+
+
+def test_dahi_survives_offheap_loss(cluster):
+    node = cluster.nodes()[0]
+    server = node.servers[0]
+    store = DahiStore(cluster.env, node, 4 * MiB, server)
+    rdd = make_rdd(partitions=8)
+    drive(cluster, store, rdd)
+    # Wipe the parked copies behind DAHI's back.
+    def wipe():
+        for key in list(store.offheap_keys):
+            yield from store.ldmc.remove(("dahi", key))
+        return True
+
+    cluster.run_process(wipe())
+    drive(cluster, store, rdd, sweeps=1)
+    # Falls back to recompute rather than erroring out.
+    assert store.stats.recomputes > 8

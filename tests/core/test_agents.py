@@ -1,0 +1,200 @@
+"""Edge-case tests for the LDMS/RDMC/RDMS agents and control plane."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.core.errors import ControlTimeout, NoRemoteCapacity
+from repro.core.memory_map import Location
+from repro.hw.latency import KiB, MiB
+
+
+def build(**overrides):
+    base = dict(
+        num_nodes=4,
+        servers_per_node=1,
+        server_memory_bytes=8 * MiB,
+        donation_fraction=0.0,  # every put goes remote
+        receive_pool_slabs=8,
+        replication_factor=2,
+        seed=17,
+    )
+    base.update(overrides)
+    return DisaggregatedCluster.build(ClusterConfig(**base))
+
+
+def test_control_call_roundtrip_costs_time():
+    cluster = build()
+    node = cluster.nodes_by_id["node0"]
+
+    def scenario():
+        start = cluster.env.now
+        reply = yield from node.rdmc.control_call(
+            "node1", {"op": "reserve", "key": "k", "nbytes": 4 * KiB}
+        )
+        return reply, cluster.env.now - start
+
+    reply, elapsed = cluster.run_process(scenario())
+    assert reply["ok"]
+    assert elapsed > 2e-6  # request + processing + reply wire time
+    assert node.rdmc.control_calls == 1
+
+
+def test_control_call_times_out_when_reply_path_is_partitioned():
+    cluster = build()
+    node = cluster.nodes_by_id["node0"]
+
+    def scenario():
+        # Connect first so the request itself succeeds; then cut only
+        # the reply direction (asymmetric partition).
+        yield from node.device.connect(cluster.device_of("node1"))
+        cluster.fabric.set_link_down("node1", "node0", symmetric=False)
+        with pytest.raises(ControlTimeout):
+            yield from node.rdmc.control_call(
+                "node1", {"op": "reserve", "key": "k", "nbytes": 4 * KiB}
+            )
+        return True
+
+    assert cluster.run_process(scenario())
+    assert node.rdmc.control_timeouts == 1
+
+
+def test_rdms_unknown_op_rejected():
+    cluster = build()
+    node = cluster.nodes_by_id["node0"]
+
+    def scenario():
+        reply = yield from node.rdmc.control_call(
+            "node1", {"op": "teleport"}
+        )
+        return reply
+
+    reply = cluster.run_process(scenario())
+    assert not reply["ok"]
+    assert "unknown op" in reply["error"]
+
+
+def test_rdms_reserve_replaces_duplicate_key():
+    cluster = build()
+    node0 = cluster.nodes_by_id["node0"]
+    node1 = cluster.nodes_by_id["node1"]
+
+    def scenario():
+        for nbytes in (4 * KiB, 8 * KiB):
+            reply = yield from node0.rdmc.control_call(
+                "node1", {"op": "reserve", "key": "dup", "nbytes": nbytes}
+            )
+            assert reply["ok"]
+        return True
+
+    assert cluster.run_process(scenario())
+    assert node1.rdms.entries["dup"].nbytes == 8 * KiB
+    assert node1.rdms.hosted_bytes == 8 * KiB
+
+
+def test_remote_put_commits_with_surviving_replicas():
+    cluster = build(num_nodes=5, replication_factor=3)
+    node = cluster.nodes_by_id["node0"]
+    # Kill one candidate: placement must route around it.
+    cluster.crash_node("node2")
+
+    def scenario():
+        replicas = yield from node.rdmc.remote_put(("s", "k"), 4 * KiB)
+        return replicas
+
+    replicas = cluster.run_process(scenario())
+    assert len(replicas) == 3
+    assert "node2" not in replicas
+
+
+def test_remote_put_degrades_below_factor_when_cluster_small():
+    cluster = build(num_nodes=3, replication_factor=3)
+    node = cluster.nodes_by_id["node0"]
+
+    def scenario():
+        return (yield from node.rdmc.remote_put(("s", "k"), 4 * KiB))
+
+    replicas = cluster.run_process(scenario())
+    assert len(replicas) == 2  # only two peers exist
+
+
+def test_remote_put_fails_when_no_peer_alive():
+    cluster = build(num_nodes=2)
+    cluster.crash_node("node1")
+    node = cluster.nodes_by_id["node0"]
+
+    def scenario():
+        with pytest.raises(NoRemoteCapacity):
+            yield from node.rdmc.remote_put(("s", "k"), 4 * KiB)
+        return True
+
+    assert cluster.run_process(scenario())
+
+
+def test_replica_eviction_rereplicates_to_fresh_node():
+    cluster = build(num_nodes=5, replication_factor=2)
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "hot", 4 * KiB)
+    node0 = cluster.nodes_by_id["node0"]
+    server_map = node0.ldms.map_for(server)
+    key = (server.server_id, "hot")
+    record = server_map.lookup(key)
+    lost = record.replica_nodes[0]
+    cluster.nodes_by_id[lost].rdms._release(key)
+
+    def scenario():
+        yield from node0.ldms.handle_replica_eviction(key, lost)
+        return True
+
+    assert cluster.run_process(scenario())
+    updated = server_map.lookup(key)
+    assert lost not in updated.replica_nodes
+    assert len(updated.replica_nodes) == 2
+
+
+def test_replica_eviction_demotes_to_disk_as_last_resort():
+    cluster = build(num_nodes=2, replication_factor=1)
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "only", 4 * KiB)
+    node0 = cluster.nodes_by_id["node0"]
+    key = (server.server_id, "only")
+    # The sole replica is evicted and no other peer exists.
+    cluster.nodes_by_id["node1"].rdms._release(key)
+    cluster.nodes_by_id["node1"].receive_pool.shrink(100)
+
+    def scenario():
+        yield from node0.ldms.handle_replica_eviction(key, "node1")
+        return True
+
+    assert cluster.run_process(scenario())
+    record = node0.ldms.map_for(server).lookup(key)
+    assert record.location == Location.DISK
+    assert node0.disk_puts == 1
+
+
+def test_replica_eviction_for_unknown_key_is_noop():
+    cluster = build()
+    node0 = cluster.nodes_by_id["node0"]
+
+    def scenario():
+        yield from node0.ldms.handle_replica_eviction(("vm", "ghost"), "node1")
+        return True
+
+    assert cluster.run_process(scenario())
+
+
+def test_rdms_evict_entries_returns_oldest_first():
+    cluster = build()
+    node0 = cluster.nodes_by_id["node0"]
+    node1 = cluster.nodes_by_id["node1"]
+
+    def scenario():
+        for i in range(4):
+            yield from node0.rdmc.control_call(
+                "node1", {"op": "reserve", "key": ("e", i), "nbytes": 64 * KiB}
+            )
+        return True
+
+    cluster.run_process(scenario())
+    evicted = node1.rdms.evict_entries(128 * KiB)
+    assert [entry.key for entry in evicted] == [("e", 0), ("e", 1)]
+    assert node1.rdms.hosted_bytes == 128 * KiB

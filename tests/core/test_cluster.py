@@ -1,0 +1,185 @@
+"""Integration tests for the wired disaggregated memory cluster."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.core.errors import EntryLost, UnknownKey
+from repro.core.memory_map import Location
+from repro.hw.latency import KiB, MiB
+
+
+def small_config(**overrides):
+    base = dict(
+        num_nodes=4,
+        servers_per_node=1,
+        server_memory_bytes=8 * MiB,
+        donation_fraction=0.25,
+        receive_pool_slabs=4,
+        send_pool_slabs=2,
+        seed=7,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(small_config())
+
+
+def fill_shared_pool(cluster, server):
+    """Put entries until the node shared pool overflows to remote."""
+    n = 0
+    location = Location.SHARED_MEMORY
+    while location == Location.SHARED_MEMORY:
+        location = cluster.put(server, ("fill", n), 64 * KiB)
+        n += 1
+        assert n < 10_000, "pool never overflowed"
+    return n, location
+
+
+def test_put_lands_in_shared_memory_first(cluster):
+    server = cluster.virtual_servers[0]
+    assert cluster.put(server, "k", 4 * KiB) == Location.SHARED_MEMORY
+    assert server.ldmc.location_of("k") == Location.SHARED_MEMORY
+
+
+def test_get_roundtrip(cluster):
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "k", 4 * KiB)
+    assert cluster.get(server, "k") == 4 * KiB
+
+
+def test_get_unknown_key_raises(cluster):
+    server = cluster.virtual_servers[0]
+    with pytest.raises(UnknownKey):
+        cluster.get(server, "missing")
+
+
+def test_remove_frees_entry(cluster):
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "k", 4 * KiB)
+    assert cluster.remove(server, "k") == 4 * KiB
+    with pytest.raises(UnknownKey):
+        cluster.get(server, "k")
+
+
+def test_put_is_upsert(cluster):
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "k", 4 * KiB)
+    cluster.put(server, "k", 8 * KiB)
+    assert cluster.get(server, "k") == 8 * KiB
+
+
+def test_overflow_goes_remote_with_triple_replicas(cluster):
+    server = cluster.virtual_servers[0]
+    n, location = fill_shared_pool(cluster, server)
+    assert location == Location.REMOTE
+    record = cluster.nodes()[0].ldms.map_for(server).lookup(
+        (server.server_id, ("fill", n - 1))
+    )
+    assert len(record.replica_nodes) == 3
+    assert cluster.nodes_by_id["node0"].node_id not in record.replica_nodes
+
+
+def test_remote_get_reads_back(cluster):
+    server = cluster.virtual_servers[0]
+    n, _location = fill_shared_pool(cluster, server)
+    assert cluster.get(server, ("fill", n - 1)) == 64 * KiB
+    assert cluster.stats()["remote_gets"] == 1
+
+
+def test_remote_read_fails_over_to_replica(cluster):
+    server = cluster.virtual_servers[0]
+    n, _location = fill_shared_pool(cluster, server)
+    key = ("fill", n - 1)
+    record = cluster.nodes()[0].ldms.map_for(server).lookup((server.server_id, key))
+    cluster.crash_node(record.replica_nodes[0])
+    assert cluster.get(server, key) == 64 * KiB
+
+
+def test_all_replicas_lost_raises(cluster):
+    server = cluster.virtual_servers[0]
+    n, _location = fill_shared_pool(cluster, server)
+    key = ("fill", n - 1)
+    record = cluster.nodes()[0].ldms.map_for(server).lookup((server.server_id, key))
+    for node_id in record.replica_nodes:
+        cluster.crash_node(node_id)
+    with pytest.raises(EntryLost):
+        cluster.get(server, key)
+
+
+def test_spills_to_disk_when_cluster_is_full():
+    cluster = DisaggregatedCluster.build(
+        small_config(receive_pool_slabs=1, replication_factor=1)
+    )
+    server = cluster.virtual_servers[0]
+    seen = set()
+    for n in range(10_000):
+        seen.add(cluster.put(server, ("fill", n), 256 * KiB))
+        if Location.DISK in seen:
+            break
+    assert Location.DISK in seen
+    assert cluster.stats()["disk_puts"] >= 1
+
+
+def test_remote_entries_freed_on_remove(cluster):
+    server = cluster.virtual_servers[0]
+    n, _location = fill_shared_pool(cluster, server)
+    key = ("fill", n - 1)
+    hosted_before = cluster.stats()["hosted_remote_bytes"]
+    cluster.remove(server, key)
+    assert cluster.stats()["hosted_remote_bytes"] < hosted_before
+
+
+def test_shared_memory_faster_than_remote(cluster):
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "local", 4 * KiB)
+    start = cluster.env.now
+    cluster.get(server, "local")
+    local_time = cluster.env.now - start
+    n, _ = fill_shared_pool(cluster, server)
+    start = cluster.env.now
+    cluster.get(server, ("fill", n - 1))
+    remote_time = cluster.env.now - start
+    assert local_time < remote_time
+
+
+def test_replication_factor_one():
+    cluster = DisaggregatedCluster.build(small_config(replication_factor=1))
+    server = cluster.virtual_servers[0]
+    n, _ = fill_shared_pool(cluster, server)
+    record = cluster.nodes()[0].ldms.map_for(server).lookup(
+        (server.server_id, ("fill", n - 1))
+    )
+    assert len(record.replica_nodes) == 1
+
+
+def test_group_restricts_placement():
+    cluster = DisaggregatedCluster.build(
+        small_config(num_nodes=6, group_size=3, replication_factor=2)
+    )
+    server = cluster.virtual_servers[0]
+    n, _ = fill_shared_pool(cluster, server)
+    record = cluster.nodes()[0].ldms.map_for(server).lookup(
+        (server.server_id, ("fill", n - 1))
+    )
+    group_members = set(cluster.groups.group_of("node0").members)
+    assert set(record.replica_nodes) <= group_members
+
+
+def test_stats_shape(cluster):
+    stats = cluster.stats()
+    for field in ("remote_puts", "disk_puts", "network_bytes", "elections"):
+        assert field in stats
+
+
+def test_crashed_node_skipped_for_placement(cluster):
+    server = cluster.virtual_servers[0]
+    cluster.crash_node("node2")
+    n, location = fill_shared_pool(cluster, server)
+    assert location == Location.REMOTE
+    record = cluster.nodes()[0].ldms.map_for(server).lookup(
+        (server.server_id, ("fill", n - 1))
+    )
+    assert "node2" not in record.replica_nodes

@@ -1,0 +1,108 @@
+"""Unit tests for leader election."""
+
+import pytest
+
+from repro.core import GroupManager, LeaderElection
+from repro.net import Fabric
+from repro.sim import Environment
+
+
+def build(num_nodes=4, group_size=0, free_bytes=None):
+    env = Environment()
+    fabric = Fabric(env)
+    node_ids = ["node{}".format(i) for i in range(num_nodes)]
+    for node_id in node_ids:
+        fabric.add_node(node_id)
+    free_bytes = free_bytes or {}
+
+    def free_of(node_id):
+        return free_bytes.get(node_id, 0)
+
+    groups = GroupManager(node_ids, group_size)
+    election = LeaderElection(
+        env, fabric, groups, free_of, heartbeat_period=0.1, heartbeat_timeout=0.35
+    )
+    return env, fabric, groups, election
+
+
+def test_elects_node_with_max_free_memory():
+    _env, _fabric, groups, election = build(
+        free_bytes={"node0": 10, "node1": 99, "node2": 50, "node3": 1}
+    )
+    leaders = election.elect_all()
+    assert leaders[0] == "node1"
+    assert groups.groups[0].leader == "node1"
+    assert groups.groups[0].term == 1
+
+
+def test_tie_broken_deterministically():
+    _env, _fabric, _groups, election = build(free_bytes={})
+    first = election.elect_all()
+    second = build(free_bytes={})[3].elect_all()
+    assert first == second
+
+
+def test_down_nodes_not_elected():
+    _env, fabric, _groups, election = build(
+        free_bytes={"node0": 10, "node1": 99, "node2": 50}
+    )
+    fabric.set_node_down("node1")
+    assert election.elect_all()[0] == "node2"
+
+
+def test_all_down_yields_no_leader():
+    _env, fabric, groups, election = build(num_nodes=2)
+    fabric.set_node_down("node0")
+    fabric.set_node_down("node1")
+    assert election.elect_all()[0] is None
+    assert groups.groups[0].leader is None
+
+
+def test_per_group_leaders():
+    _env, _fabric, groups, election = build(
+        num_nodes=4,
+        group_size=2,
+        free_bytes={"node0": 1, "node1": 2, "node2": 3, "node3": 4},
+    )
+    leaders = election.elect_all()
+    assert leaders[0] == "node1"
+    assert leaders[1] == "node3"
+
+
+def test_heartbeats_flow_while_leader_alive():
+    env, _fabric, _groups, election = build(free_bytes={"node0": 9})
+    election.elect_all()
+    election.start()
+    env.run(until=1.0)
+    assert election.heartbeats_sent > 0
+    assert election.elections_held == 1  # no re-election needed
+
+
+def test_reelection_after_leader_crash():
+    env, fabric, groups, election = build(
+        free_bytes={"node0": 10, "node1": 99, "node2": 50, "node3": 1}
+    )
+    election.elect_all()
+    assert groups.groups[0].leader == "node1"
+    election.start()
+    env.run(until=0.5)
+    fabric.set_node_down("node1")
+    env.run(until=2.0)
+    assert groups.groups[0].leader == "node2"
+    assert election.elections_held >= 2
+
+
+def test_leader_of():
+    _env, _fabric, _groups, election = build(free_bytes={"node2": 7})
+    election.elect_all()
+    assert election.leader_of("node0") == "node2"
+
+
+def test_invalid_timeout_rejected():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_node("n")
+    groups = GroupManager(["n"], 0)
+    with pytest.raises(ValueError):
+        LeaderElection(env, fabric, groups, lambda n: 0,
+                       heartbeat_period=1.0, heartbeat_timeout=0.5)

@@ -1,0 +1,99 @@
+"""Tests for the Section IV-F eviction and ballooning policies."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.core.memory_map import Location
+from repro.hw.latency import KiB, MiB
+
+
+def build_cluster(**overrides):
+    base = dict(
+        num_nodes=4,
+        servers_per_node=1,
+        server_memory_bytes=8 * MiB,
+        donation_fraction=0.5,
+        receive_pool_slabs=4,
+        send_pool_slabs=2,
+        balloon_request_rate=10.0,  # low threshold so tests trip it
+        seed=3,
+    )
+    base.update(overrides)
+    return DisaggregatedCluster.build(ClusterConfig(**base), start_services=True)
+
+
+def hammer(cluster, server, count, nbytes=64 * KiB):
+    """Issue many puts back-to-back to drive the request rate up."""
+
+    def workload():
+        for n in range(count):
+            yield from server.ldmc.put(("h", n), nbytes)
+        return True
+
+    return cluster.run_process(workload())
+
+
+def test_balloon_recommendation_fires():
+    cluster = build_cluster()
+    server = cluster.virtual_servers[0]
+    hammer(cluster, server, 200)
+    cluster.env.run(until=cluster.env.now + 2.0)
+    assert cluster.eviction.recommendations, "no balloon recommendation"
+    recommendation = cluster.eviction.recommendations[0]
+    assert recommendation.server_id == server.server_id
+    assert recommendation.granted_bytes > 0
+
+
+def test_balloon_listener_called():
+    cluster = build_cluster()
+    server = cluster.virtual_servers[0]
+    grants = []
+    cluster.eviction.on_balloon(lambda srv, nbytes: grants.append((srv, nbytes)))
+    hammer(cluster, server, 200)
+    cluster.env.run(until=cluster.env.now + 2.0)
+    assert grants and grants[0][0] is server
+
+
+def test_receive_pool_shrinks_under_remote_pressure():
+    cluster = build_cluster(donation_fraction=0.05)
+    server = cluster.virtual_servers[0]
+    node = cluster.nodes_by_id["node0"]
+    before = node.receive_pool.capacity_bytes
+    # Overflow the tiny shared pool so puts go remote at a high rate.
+    hammer(cluster, server, 300)
+    cluster.env.run(until=cluster.env.now + 2.0)
+    assert node.receive_pool.capacity_bytes < before
+    assert cluster.eviction.slab_evictions >= 1
+
+
+def test_idle_cluster_triggers_nothing():
+    cluster = build_cluster()
+    cluster.env.run(until=5.0)
+    assert not cluster.eviction.recommendations
+    assert cluster.eviction.slab_evictions == 0
+
+
+def test_rereplication_after_entry_eviction():
+    """Displaced hosted entries get a replacement replica elsewhere."""
+    cluster = build_cluster(
+        num_nodes=5,
+        donation_fraction=0.02,
+        receive_pool_slabs=2,
+        replication_factor=2,
+    )
+    server = cluster.virtual_servers[0]
+    # Push enough remote entries that receive pools are busy, then keep
+    # hammering so the eviction policy displaces hosted entries.
+    hammer(cluster, server, 400, nbytes=128 * KiB)
+    cluster.env.run(until=cluster.env.now + 3.0)
+    server_map = cluster.nodes_by_id["node0"].ldms.map_for(server)
+    remote_records = [
+        server_map.lookup((server.server_id, ("h", n)))
+        for n in range(400)
+    ]
+    remote_records = [
+        r for r in remote_records if r is not None and r.location == Location.REMOTE
+    ]
+    assert remote_records, "expected remote entries to exist"
+    # Every remote record still has at least one replica registered.
+    assert all(len(r.replica_nodes) >= 1 for r in remote_records)

@@ -1,0 +1,83 @@
+"""The paper's Figure 2 walkthrough, step by step.
+
+Figure 2 narrates how node A uses disaggregated memory donated by node
+B: the virtual server's put overflows the node pool, node A stages the
+entry in its send buffer pool, reserves space in B's receive buffer
+pool over the control plane, RDMA-writes the data, records the location
+in the disaggregated memory map — and a later read issues an RDMA READ
+against B.  This test pins each observable step.
+"""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.core.memory_map import Location
+from repro.hw.latency import KiB, MiB
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(
+        ClusterConfig(
+            num_nodes=2,
+            servers_per_node=1,
+            server_memory_bytes=8 * MiB,
+            donation_fraction=0.0,  # node pool empty: overflow instantly
+            receive_pool_slabs=4,
+            replication_factor=1,
+            seed=33,
+        )
+    )
+
+
+def test_figure2_write_then_read(cluster):
+    node_a = cluster.nodes_by_id["node0"]
+    node_b = cluster.nodes_by_id["node1"]
+    server = node_a.servers[0]
+
+    requests_before = node_b.rdms.requests_served
+    b_received_before = cluster.fabric.nic("node1").bytes_received
+
+    # (1) The virtual server's LDMC put overflows node A's (empty)
+    #     shared pool and goes to the cluster level.
+    tier = cluster.put(server, "entry-7", 64 * KiB)
+    assert tier == Location.REMOTE
+
+    # (2) Node A's RDMC asked node B's RDMS to reserve receive-pool
+    #     space over the control plane (SEND/RECV).
+    assert node_b.rdms.requests_served == requests_before + 1
+    entry = node_b.rdms.entries[(server.server_id, "entry-7")]
+    assert entry.owner_node_id == "node0"
+    assert entry.nbytes == 64 * KiB
+    assert node_b.receive_pool.used_bytes >= 64 * KiB
+
+    # (3) The data moved A -> B with a one-sided write: B's NIC received
+    #     the payload but B's CPU served only the one control request.
+    assert (
+        cluster.fabric.nic("node1").bytes_received - b_received_before
+        >= 64 * KiB
+    )
+    assert node_b.rdms.requests_served == requests_before + 1
+
+    # (4) The disaggregated memory map on node A records where the
+    #     entry lives, committed only after the transfer finished.
+    record = node_a.ldms.map_for(server).lookup((server.server_id, "entry-7"))
+    assert record.location == Location.REMOTE
+    assert record.replica_nodes == ("node1",)
+
+    # (5) A later read consults the map and issues an RDMA READ to B:
+    #     data flows B -> A without involving B's control plane.
+    a_received_before = cluster.fabric.nic("node0").bytes_received
+    nbytes = cluster.get(server, "entry-7")
+    assert nbytes == 64 * KiB
+    assert (
+        cluster.fabric.nic("node0").bytes_received - a_received_before
+        >= 64 * KiB
+    )
+    assert node_b.rdms.requests_served == requests_before + 1  # unchanged
+
+    # (6) Removing the entry frees B's receive-pool space via a control
+    #     message.
+    cluster.remove(server, "entry-7")
+    assert (server.server_id, "entry-7") not in node_b.rdms.entries
+    assert node_b.receive_pool.used_bytes == 0

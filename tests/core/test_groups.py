@@ -1,0 +1,80 @@
+"""Unit tests for hierarchical group management."""
+
+import pytest
+
+from repro.core import GroupManager
+
+
+def node_ids(n):
+    return ["node{}".format(i) for i in range(n)]
+
+
+def test_flat_group_when_size_zero():
+    manager = GroupManager(node_ids(8), group_size=0)
+    assert len(manager.groups) == 1
+    assert len(manager.group_of("node3")) == 8
+
+
+def test_partitioning_into_groups():
+    manager = GroupManager(node_ids(8), group_size=4)
+    assert len(manager.groups) == 2
+    assert manager.group_of("node0") is not manager.group_of("node7")
+
+
+def test_lonely_remainder_folded():
+    manager = GroupManager(node_ids(9), group_size=4)
+    sizes = sorted(len(g) for g in manager.groups.values())
+    assert sizes == [4, 5]
+
+
+def test_peers_excludes_self():
+    manager = GroupManager(node_ids(4), group_size=0)
+    peers = manager.peers_of("node1")
+    assert "node1" not in peers
+    assert len(peers) == 3
+
+
+def test_group_size_larger_than_cluster():
+    manager = GroupManager(node_ids(3), group_size=10)
+    assert len(manager.groups) == 1
+
+
+def test_merge_groups():
+    manager = GroupManager(node_ids(8), group_size=4)
+    group_a = manager.group_of("node0")
+    group_b = manager.group_of("node7")
+    group_a.leader = "node0"
+    merged = manager.merge_groups(group_a.group_id, group_b.group_id)
+    assert len(merged) == 8
+    assert manager.group_of("node7") is merged
+    assert merged.leader is None  # leadership must be re-established
+    assert manager.regroup_events == 1
+
+
+def test_merge_with_self_rejected():
+    manager = GroupManager(node_ids(8), group_size=4)
+    with pytest.raises(ValueError):
+        manager.merge_groups(0, 0)
+
+
+def test_remove_node():
+    manager = GroupManager(node_ids(4), group_size=0)
+    group = manager.group_of("node0")
+    group.leader = "node0"
+    manager.remove_node("node0")
+    assert "node0" not in group.members
+    assert group.leader is None
+    with pytest.raises(KeyError):
+        manager.group_of("node0")
+
+
+def test_tier2_members():
+    manager = GroupManager(node_ids(8), group_size=4)
+    for i, group in enumerate(manager.groups.values()):
+        group.leader = group.members[0]
+    assert sorted(manager.tier2_members()) == ["node0", "node4"]
+
+
+def test_negative_group_size_rejected():
+    with pytest.raises(ValueError):
+        GroupManager(node_ids(4), group_size=-1)

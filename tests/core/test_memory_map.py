@@ -1,0 +1,80 @@
+"""Unit tests for the disaggregated memory map."""
+
+import pytest
+
+from repro.core import DisaggregatedMemoryMap, EntryRecord, Location, map_overhead_bytes
+from repro.hw.latency import GiB, TiB
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        EntryRecord("k", "nowhere", 4096)
+    with pytest.raises(ValueError):
+        EntryRecord("k", Location.REMOTE, 4096, replica_nodes=())
+
+
+def test_begin_commit_visibility():
+    memory_map = DisaggregatedMemoryMap("vm-1")
+    memory_map.begin("k", Location.SHARED_MEMORY, 4096)
+    assert memory_map.lookup("k") is None  # pending entries invisible
+    record = memory_map.commit("k", now=1.5)
+    assert memory_map.lookup("k") is record
+    assert record.committed_at == 1.5
+    assert memory_map.commits == 1
+
+
+def test_abort_discards():
+    memory_map = DisaggregatedMemoryMap("vm-1")
+    memory_map.begin("k", Location.DISK, 4096)
+    memory_map.abort("k")
+    assert memory_map.lookup("k") is None
+    assert memory_map.aborts == 1
+    with pytest.raises(KeyError):
+        memory_map.commit("k")
+
+
+def test_remove():
+    memory_map = DisaggregatedMemoryMap("vm-1")
+    memory_map.begin("k", Location.DISK, 4096)
+    memory_map.commit("k")
+    assert memory_map.remove("k").key == "k"
+    assert memory_map.remove("k") is None
+    assert len(memory_map) == 0
+
+
+def test_entries_at_node():
+    memory_map = DisaggregatedMemoryMap("vm-1")
+    memory_map.begin("a", Location.REMOTE, 4096, replica_nodes=("n1", "n2"))
+    memory_map.commit("a")
+    memory_map.begin("b", Location.REMOTE, 4096, replica_nodes=("n2", "n3"))
+    memory_map.commit("b")
+    memory_map.begin("c", Location.SHARED_MEMORY, 4096)
+    memory_map.commit("c")
+    keys = {record.key for record in memory_map.entries_at("n2")}
+    assert keys == {"a", "b"}
+
+
+def test_replace_replica():
+    memory_map = DisaggregatedMemoryMap("vm-1")
+    memory_map.begin("a", Location.REMOTE, 4096, replica_nodes=("n1", "n2", "n3"))
+    memory_map.commit("a")
+    record = memory_map.replace_replica("a", "n2", "n9")
+    assert record.replica_nodes == ("n1", "n9", "n3")
+
+
+def test_metadata_grows_with_entries():
+    memory_map = DisaggregatedMemoryMap("vm-1")
+    empty = memory_map.metadata_bytes()
+    for i in range(100):
+        memory_map.begin(i, Location.DISK, 4096)
+        memory_map.commit(i)
+    assert memory_map.metadata_bytes() > empty
+
+
+def test_paper_scalability_example():
+    """Section IV-C: ~5 GB of map per node for 2 TB, ~25 GB for 10 TB."""
+    two_tb = map_overhead_bytes(2 * TiB)
+    ten_tb = map_overhead_bytes(10 * TiB)
+    assert 4 * GiB <= two_tb <= 6 * GiB
+    assert 20 * GiB <= ten_tb <= 30 * GiB
+    assert ten_tb == 5 * two_tb

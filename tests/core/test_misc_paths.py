@@ -1,0 +1,117 @@
+"""Coverage for less-travelled core paths."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.core.memory_map import Location
+from repro.hw.latency import KiB, MiB
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(
+        ClusterConfig(
+            num_nodes=3,
+            servers_per_node=1,
+            server_memory_bytes=8 * MiB,
+            donation_fraction=0.25,
+            receive_pool_slabs=4,
+            replication_factor=1,
+            seed=44,
+        )
+    )
+
+
+def test_disk_entry_read_back(cluster):
+    """An entry demoted to disk is still readable (at disk cost)."""
+    # Exhaust both fast tiers.
+    for node in cluster.nodes():
+        node.receive_pool.shrink(100)
+    server = cluster.virtual_servers[0]
+    location = Location.SHARED_MEMORY
+    n = 0
+    while location != Location.DISK:
+        location = cluster.put(server, ("d", n), 256 * KiB)
+        n += 1
+    start = cluster.env.now
+    nbytes = cluster.get(server, ("d", n - 1))
+    elapsed = cluster.env.now - start
+    assert nbytes == 256 * KiB
+    assert elapsed > 1e-3  # disk access dominated
+    assert cluster.stats()["disk_gets"] == 1
+
+
+def test_remove_unknown_key_raises(cluster):
+    from repro.core.errors import UnknownKey
+
+    server = cluster.virtual_servers[0]
+    with pytest.raises(UnknownKey):
+        cluster.remove(server, "never-stored")
+
+
+def test_ldmc_location_of(cluster):
+    server = cluster.virtual_servers[0]
+    assert server.ldmc.location_of("nothing") is None
+    cluster.put(server, "here", 4 * KiB)
+    assert server.ldmc.location_of("here") == Location.SHARED_MEMORY
+
+
+def test_all_maps_exposes_per_server_maps(cluster):
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "x", 4 * KiB)
+    maps = cluster.nodes()[0].ldms.all_maps()
+    assert server.server_id in maps
+    assert len(maps[server.server_id]) == 1
+
+
+def test_whole_cluster_run_is_deterministic():
+    def run_once():
+        cluster = DisaggregatedCluster.build(
+            ClusterConfig(num_nodes=3, servers_per_node=1,
+                          server_memory_bytes=8 * MiB, seed=77,
+                          donation_fraction=0.1, receive_pool_slabs=4)
+        )
+        server = cluster.virtual_servers[0]
+        for i in range(50):
+            cluster.put(server, ("k", i), 64 * KiB)
+        for i in range(0, 50, 3):
+            cluster.get(server, ("k", i))
+        return cluster.env.now, cluster.stats()
+
+    assert run_once() == run_once()
+
+
+def test_recover_node_rejoins_placement(cluster):
+    server = cluster.virtual_servers[0]
+    cluster.crash_node("node1")
+    cluster.recover_node("node1")
+
+    # node1's receive pool was wiped by the crash; re-grow it.
+    def regrow():
+        yield from cluster.nodes_by_id["node1"].receive_pool.grow(4)
+
+    cluster.run_process(regrow())
+    placements = set()
+    for i in range(40):
+        location = cluster.put(server, ("r", i), 256 * KiB)
+        if location == Location.REMOTE:
+            record = cluster.nodes()[0].ldms.map_for(server).lookup(
+                (server.server_id, ("r", i))
+            )
+            placements.update(record.replica_nodes)
+    assert "node1" in placements
+
+
+def test_retract_below_usage_blocks_new_puts_only(cluster):
+    node = cluster.nodes()[0]
+    server = node.servers[0]
+    cluster.put(server, "kept", 4 * KiB)
+    # Retract everything; the existing entry must stay readable.
+    node.shared_pool.retract(server.server_id, server.donated_bytes)
+    assert cluster.get(server, "kept") == 4 * KiB
+
+
+def test_stats_time_advances(cluster):
+    before = cluster.stats()["time"]
+    cluster.put(cluster.virtual_servers[0], "t", 4 * KiB)
+    assert cluster.stats()["time"] > before

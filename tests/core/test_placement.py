@@ -1,0 +1,102 @@
+"""Unit tests for placement policies."""
+
+import random
+
+import pytest
+
+from repro.core.placement import (
+    CandidateView,
+    PowerOfTwoChoices,
+    RandomPlacement,
+    RoundRobinPlacement,
+    WeightedRoundRobin,
+    make_placement_policy,
+)
+
+
+def candidates(*free):
+    return [CandidateView("n{}".format(i), f) for i, f in enumerate(free)]
+
+
+def test_factory():
+    rng = random.Random(0)
+    for name in ("random", "round_robin", "weighted_round_robin", "power_of_two"):
+        policy = make_placement_policy(name, rng)
+        assert policy.name == name
+    with pytest.raises(ValueError):
+        make_placement_policy("bogus", rng)
+
+
+def test_viability_filter():
+    policy = RandomPlacement(random.Random(0))
+    chosen = policy.select(candidates(100, 5000, 100), k=3, nbytes=1000)
+    assert chosen == ["n1"]
+
+
+def test_random_selects_distinct():
+    policy = RandomPlacement(random.Random(0))
+    chosen = policy.select(candidates(*([1000] * 10)), k=3, nbytes=100)
+    assert len(chosen) == 3
+    assert len(set(chosen)) == 3
+
+
+def test_round_robin_cycles():
+    policy = RoundRobinPlacement()
+    pool = candidates(1000, 1000, 1000)
+    first = policy.select(pool, k=1, nbytes=100)
+    second = policy.select(pool, k=1, nbytes=100)
+    third = policy.select(pool, k=1, nbytes=100)
+    fourth = policy.select(pool, k=1, nbytes=100)
+    assert [first[0], second[0], third[0]] == ["n0", "n1", "n2"]
+    assert fourth == first
+
+
+def test_round_robin_k_greater_than_candidates():
+    policy = RoundRobinPlacement()
+    assert len(policy.select(candidates(1000, 1000), k=5, nbytes=1)) == 2
+
+
+def test_weighted_round_robin_prefers_free_nodes():
+    policy = WeightedRoundRobin()
+    pool = candidates(9000, 1000)
+    picks = [policy.select(pool, k=1, nbytes=1)[0] for _ in range(10)]
+    assert picks.count("n0") == 9
+    assert picks.count("n1") == 1
+
+
+def test_weighted_round_robin_empty_when_no_capacity():
+    policy = WeightedRoundRobin()
+    assert policy.select(candidates(0, 0), k=1, nbytes=1) == []
+
+
+def test_power_of_two_balances_better_than_random():
+    """The classic result: d=2 probes keep the maximum load far lower."""
+    rng_random = random.Random(42)
+    rng_p2 = random.Random(42)
+    random_policy = RandomPlacement(rng_random)
+    p2_policy = PowerOfTwoChoices(rng_p2)
+    for policy in (random_policy, p2_policy):
+        load = {"n{}".format(i): 0 for i in range(20)}
+        for _ in range(2000):
+            view = [
+                CandidateView(node, 10_000_000 - load[node]) for node in load
+            ]
+            chosen = policy.select(view, k=1, nbytes=1)[0]
+            load[chosen] += 1
+        spread = max(load.values()) - min(load.values())
+        if policy is random_policy:
+            random_spread = spread
+        else:
+            p2_spread = spread
+    assert p2_spread < random_spread
+
+
+def test_power_of_two_distinct_choices():
+    policy = PowerOfTwoChoices(random.Random(1))
+    chosen = policy.select(candidates(*([1000] * 5)), k=3, nbytes=1)
+    assert len(set(chosen)) == 3
+
+
+def test_power_of_two_single_candidate():
+    policy = PowerOfTwoChoices(random.Random(1))
+    assert policy.select(candidates(1000), k=2, nbytes=1) == ["n0"]

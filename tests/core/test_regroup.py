@@ -1,0 +1,67 @@
+"""Dynamic re-grouping integration (paper Section IV-C)."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.core.memory_map import Location
+from repro.hw.latency import KiB, MiB
+
+
+@pytest.fixture
+def cluster():
+    # Two groups of 3; group 0 donates almost nothing to the cluster.
+    config = ClusterConfig(
+        num_nodes=6,
+        servers_per_node=1,
+        server_memory_bytes=8 * MiB,
+        donation_fraction=0.0,
+        receive_pool_slabs=1,
+        replication_factor=1,
+        group_size=3,
+        seed=21,
+    )
+    cluster = DisaggregatedCluster.build(config)
+    # Make the second group's nodes rich donors.
+    def enrich():
+        for node_id in ("node3", "node4", "node5"):
+            yield from cluster.nodes_by_id[node_id].receive_pool.grow(8)
+
+    cluster.run_process(enrich())
+    return cluster
+
+
+def fill_group_capacity(cluster, server):
+    """Consume group-0 remote capacity until entries start hitting disk."""
+    n = 0
+    while True:
+        location = cluster.put(server, ("fill", n), 512 * KiB)
+        n += 1
+        if location == Location.DISK:
+            return n
+        assert n < 1000
+
+
+def test_regroup_unlocks_remote_capacity(cluster):
+    server = cluster.virtual_servers[0]
+    fill_group_capacity(cluster, server)
+    # Group 0 is exhausted; without re-grouping further puts hit disk.
+    assert cluster.put(server, "stuck", 512 * KiB) == Location.DISK
+    merged = cluster.maybe_regroup("node0", min_free_bytes=1 * MiB)
+    assert merged is not None
+    assert len(merged) == 6
+    assert merged.leader is not None
+    # The rich donors are now reachable: the next put goes remote.
+    assert cluster.put(server, "unstuck", 512 * KiB) == Location.REMOTE
+    assert cluster.groups.regroup_events == 1
+
+
+def test_no_regroup_when_group_has_capacity(cluster):
+    assert cluster.maybe_regroup("node3", min_free_bytes=1 * MiB) is None
+    assert cluster.groups.regroup_events == 0
+
+
+def test_regroup_with_single_group_is_noop():
+    config = ClusterConfig(num_nodes=3, group_size=0, donation_fraction=0.0,
+                           receive_pool_slabs=0, seed=1)
+    cluster = DisaggregatedCluster.build(config)
+    assert cluster.maybe_regroup("node0", min_free_bytes=1 * MiB) is None

@@ -1,0 +1,46 @@
+"""Second-tier (leader-of-leaders) election tests."""
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+
+
+def build():
+    return DisaggregatedCluster.build(
+        ClusterConfig(num_nodes=6, group_size=2, seed=8,
+                      receive_pool_slabs=4)
+    )
+
+
+def test_tier2_elects_among_group_leaders():
+    cluster = build()
+    coordinator = cluster.election.elect_tier2()
+    leaders = set(cluster.groups.tier2_members())
+    assert coordinator in leaders
+    assert len(leaders) == 3  # one leader per group
+
+
+def test_tier2_skips_down_leaders():
+    cluster = build()
+    first = cluster.election.elect_tier2()
+    cluster.crash_node(first)
+    second = cluster.election.elect_tier2()
+    assert second != first
+
+
+def test_tier2_none_when_all_leaders_down():
+    cluster = build()
+    for leader in list(cluster.groups.tier2_members()):
+        cluster.crash_node(leader)
+        # Clear leadership as the heartbeat timeout eventually would.
+        cluster.groups.group_of(leader).leader = None
+    assert cluster.election.elect_tier2() is None
+
+
+def test_tier2_prefers_most_free_memory():
+    cluster = build()
+
+    def enrich():
+        yield from cluster.nodes_by_id["node4"].receive_pool.grow(32)
+
+    cluster.run_process(enrich())
+    cluster.election.elect_all()
+    assert cluster.election.elect_tier2() == "node4"

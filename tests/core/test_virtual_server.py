@@ -1,0 +1,55 @@
+"""Unit tests for virtual servers."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.core.virtual_server import VirtualServer
+from repro.hw.latency import MiB
+
+
+def test_kind_validation():
+    with pytest.raises(ValueError):
+        VirtualServer("s", None, 1024, kind="mainframe")
+    with pytest.raises(ValueError):
+        VirtualServer("s", None, 0)
+    with pytest.raises(ValueError):
+        VirtualServer("s", None, 1024, donation_fraction=2.0)
+
+
+def test_donation_math():
+    server = VirtualServer("s", None, 100 * MiB, donation_fraction=0.25)
+    assert server.donated_bytes == 25 * MiB
+    assert server.private_bytes == 75 * MiB
+
+
+def test_balloon_reclaims_donation():
+    cluster = DisaggregatedCluster.build(
+        ClusterConfig(num_nodes=1, servers_per_node=1, donation_fraction=0.5,
+                      server_memory_bytes=8 * MiB)
+    )
+    server = cluster.virtual_servers[0]
+    donated = server.donated_bytes
+    granted = server.balloon(1 * MiB)
+    assert granted == 1 * MiB
+    assert server.donated_bytes == donated - 1 * MiB
+    assert server.node.shared_pool.capacity_bytes == donated - 1 * MiB
+
+
+def test_balloon_bounded_by_donation():
+    cluster = DisaggregatedCluster.build(
+        ClusterConfig(num_nodes=1, servers_per_node=1, donation_fraction=0.25,
+                      server_memory_bytes=8 * MiB)
+    )
+    server = cluster.virtual_servers[0]
+    granted = server.balloon(100 * MiB)
+    assert granted == 2 * MiB
+    assert server.balloon(1) == 0  # nothing left to reclaim
+
+
+def test_request_rate_window():
+    server = VirtualServer("s", None, 1024)
+    server.disaggregated_requests = 100
+    assert server.request_rate_since_last_check(10.0) == 10.0
+    server.disaggregated_requests = 150
+    assert server.request_rate_since_last_check(5.0) == 10.0
+    assert server.request_rate_since_last_check(0.0) == 0.0

@@ -1,0 +1,107 @@
+"""Smoke tests: every experiment module runs at tiny scale and keeps
+its qualitative shape.  (The benchmarks run the same code at a larger
+scale; these tests guard the harness itself.)"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig3_compression_ratio,
+    fig4_compression_effect,
+    fig5_compression_app_perf,
+    fig6_batching_pbs,
+    fig7_ml_completion,
+    fig8_distribution_ratio,
+    fig9_memcached_timeline,
+    fig10_dahi_spark,
+    table1_applications,
+)
+
+TINY = 0.1
+
+
+def test_table1():
+    result = table1_applications.run()
+    assert len(result["rows"]) == 10
+
+
+def test_fig3():
+    result = fig3_compression_ratio.run(scale=TINY)
+    for row in result["rows"]:
+        assert row["fastswap_4gran"] >= row["zswap"]
+
+
+def test_fig4():
+    result = fig4_compression_effect.run(scale=TINY)
+    rows = result["rows"]
+    assert rows[0]["disk_completion_s"] > rows[-1]["disk_completion_s"]
+
+
+def test_fig5():
+    result = fig5_compression_app_perf.run(scale=TINY)
+    assert all(row["speedup"] > 1.0 for row in result["rows"])
+
+
+def test_fig6():
+    result = fig6_batching_pbs.run(scale=TINY, include_linux=False)
+    for row in result["rows"]:
+        assert row["fastswap_pbs_s"] < row["infiniswap_s"]
+
+
+def test_fig7():
+    result = fig7_ml_completion.run(scale=TINY)
+    assert all(row["speedup_vs_linux"] > 5 for row in result["rows"])
+
+
+def test_fig8():
+    result = fig8_distribution_ratio.run(scale=TINY, duration=2.0)
+    for row in result["rows"]:
+        assert row["fs_sm"] > row["linux"]
+        assert row["fs_sm"] >= row["fs_rdma"]
+
+
+def test_fig9():
+    result = fig9_memcached_timeline.run(scale=TINY)
+    systems = {row["system"] for row in result["rows"]}
+    assert systems == {"fastswap_pbs", "fastswap_nopbs", "infiniswap"}
+    assert result["peak_ops_s"] > 0
+
+
+def test_fig10():
+    result = fig10_dahi_spark.run(scale=0.5)
+    large = [row for row in result["rows"] if row["dataset"] == "large"]
+    assert all(row["speedup"] > 1.2 for row in large)
+
+
+def test_ablation_placement():
+    result = ablations.run_placement(scale=TINY)
+    assert len(result["rows"]) == 4
+
+
+def test_ablation_replication():
+    result = ablations.run_replication(scale=TINY)
+    rows = {row["replicas"]: row for row in result["rows"]}
+    assert rows[3]["readable_after_crash"] == rows[3]["total_entries"]
+
+
+def test_ablation_batching():
+    result = ablations.run_batching(scale=TINY)
+    assert len(result["rows"]) == 16
+
+
+def test_ablation_groups():
+    result = ablations.run_groups(scale=TINY)
+    assert len(result["rows"]) == 4
+
+
+def test_ablation_donation():
+    result = ablations.run_donation(scale=TINY)
+    assert result["rows"][0]["completion_s"] >= result["rows"][-1]["completion_s"]
+
+
+def test_runner_rejects_bad_fit():
+    from repro.experiments.runner import run_kv_workload
+    from repro.workloads.kv import KV_WORKLOADS
+
+    with pytest.raises(ValueError):
+        run_kv_workload("linux", KV_WORKLOADS["redis"], 0.0)

@@ -1,0 +1,32 @@
+"""Tests for the multi-tenant contention experiment."""
+
+from repro.experiments import multi_tenant
+
+TINY = 0.12
+
+
+def test_orderings_survive_contention():
+    result = multi_tenant.run(scale=TINY, tenants=3)
+    rows = {row["system"]: row for row in result["rows"]}
+    assert (
+        rows["fastswap"]["makespan_s"]
+        < rows["infiniswap"]["makespan_s"]
+        < rows["linux"]["makespan_s"]
+    )
+    # FastSwap actually uses the donated pools; Linux cannot.
+    assert rows["fastswap"]["mean_pool_utilization"] > 0
+    assert rows["linux"]["mean_pool_utilization"] == 0
+
+
+def test_fairness_reported():
+    result = multi_tenant.run(scale=TINY, tenants=2)
+    for row in result["rows"]:
+        assert row["fairness"] >= 1.0
+
+
+def test_scaling_is_sublinear_for_fastswap():
+    result = multi_tenant.run_scaling(scale=TINY, tenant_counts=(1, 4))
+    fastswap = [row for row in result["rows"] if row["system"] == "fastswap"]
+    single, quad = fastswap[0], fastswap[1]
+    # 4x the tenants costs far less than 4x the makespan.
+    assert quad["makespan_s"] < 2 * single["makespan_s"]

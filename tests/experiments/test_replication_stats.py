@@ -1,0 +1,64 @@
+"""Multi-seed stability of the headline results."""
+
+import pytest
+
+from repro.experiments.replication_stats import (
+    coefficient_of_variation,
+    replicate,
+    replicate_ratio,
+)
+from repro.experiments.runner import run_paging_workload
+from repro.workloads.ml import ML_WORKLOADS
+
+SPEC = ML_WORKLOADS["logistic_regression"].with_overrides(
+    pages=512, iterations=2
+)
+SEEDS = (1, 2, 3, 4)
+
+
+def completion(backend):
+    def fn(seed):
+        return run_paging_workload(backend, SPEC, 0.5, seed=seed)
+
+    return fn
+
+
+def test_replicate_aggregates():
+    stats, values = replicate(
+        completion("fastswap"), SEEDS,
+        extract=lambda result: result.completion_time,
+    )
+    assert stats.count == len(SEEDS)
+    assert len(values) == len(SEEDS)
+    assert stats.minimum <= stats.mean <= stats.maximum
+
+
+def test_fastswap_result_is_stable_across_seeds():
+    stats, _values = replicate(
+        completion("fastswap"), SEEDS,
+        extract=lambda result: result.completion_time,
+    )
+    # Different seeds draw different compressibility/trace randomness,
+    # but the result must not swing wildly.
+    assert coefficient_of_variation(stats) < 0.15
+
+
+def test_headline_ratio_stable_and_in_band():
+    stats, ratios = replicate_ratio(
+        lambda seed: run_paging_workload(
+            "infiniswap", SPEC, 0.5, seed=seed
+        ).completion_time,
+        lambda seed: run_paging_workload(
+            "fastswap", SPEC, 0.5, seed=seed
+        ).completion_time,
+    seeds=SEEDS)
+    # Every seed agrees Infiniswap is ~2x slower.
+    assert all(ratio > 1.5 for ratio in ratios)
+    assert coefficient_of_variation(stats) < 0.2
+
+
+def test_cov_of_zero_mean():
+    from repro.metrics.stats import RunningStats
+
+    stats = RunningStats()
+    assert coefficient_of_variation(stats) == 0.0

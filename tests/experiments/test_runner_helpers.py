@@ -1,0 +1,52 @@
+"""Tests for runner result types and cluster-config defaults."""
+
+import pytest
+
+from repro.experiments.runner import (
+    KvRunResult,
+    PagingRunResult,
+    default_cluster_config,
+)
+
+
+def test_paging_result_row():
+    result = PagingRunResult(
+        backend="fastswap",
+        workload="lr",
+        fit_fraction=0.5,
+        completion_time=1.25,
+        stats={"major_faults": 42},
+    )
+    row = result.row()
+    assert row == {
+        "backend": "fastswap",
+        "workload": "lr",
+        "fit": 0.5,
+        "completion_s": 1.25,
+        "major_faults": 42,
+    }
+
+
+def test_kv_result_defaults():
+    result = KvRunResult(
+        backend="linux", workload="redis", fit_fraction=0.5,
+        mean_throughput=100.0,
+    )
+    assert result.timeline == []
+    assert result.operations == 0
+
+
+def test_default_cluster_config_overridable():
+    config = default_cluster_config(seed=9, num_nodes=7,
+                                    donation_fraction=0.1)
+    assert config.seed == 9
+    assert config.num_nodes == 7
+    assert config.donation_fraction == 0.1
+    # Untouched defaults survive.
+    assert config.replication_factor == 1
+
+
+def test_default_cluster_config_is_fresh_each_call():
+    first = default_cluster_config()
+    second = default_cluster_config(num_nodes=9)
+    assert first.num_nodes != second.num_nodes

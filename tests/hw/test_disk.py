@@ -1,0 +1,100 @@
+"""Unit tests for the HDD/SSD models."""
+
+import pytest
+
+from repro.hw import Hdd, Ssd
+from repro.hw.latency import KiB
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def run_io(env, generator):
+    def wrapper():
+        yield from generator
+        return env.now
+
+    return env.run(until=env.process(wrapper()))
+
+
+def test_hdd_random_read_cost(env):
+    hdd = Hdd(env)
+    elapsed = run_io(env, hdd.read(0, 4 * KiB))
+    expected = hdd.spec.access_time + 4 * KiB / hdd.spec.bandwidth
+    assert elapsed == pytest.approx(expected)
+    assert hdd.stats.reads == 1
+    assert hdd.stats.bytes_read == 4 * KiB
+
+
+def test_hdd_sequential_read_skips_seek(env):
+    hdd = Hdd(env)
+
+    def sequence():
+        yield from hdd.read(0, 4 * KiB)
+        first_done = env.now
+        yield from hdd.read(4 * KiB, 4 * KiB)  # contiguous with previous
+        return env.now - first_done
+
+    second_cost = env.run(until=env.process(sequence()))
+    expected = hdd.spec.sequential_access_time + 4 * KiB / hdd.spec.bandwidth
+    assert second_cost == pytest.approx(expected)
+    assert hdd.stats.sequential_hits == 1
+
+
+def test_hdd_nonsequential_pays_full_seek(env):
+    hdd = Hdd(env)
+
+    def sequence():
+        yield from hdd.read(0, 4 * KiB)
+        yield from hdd.read(100 * KiB, 4 * KiB)
+
+    env.run(until=env.process(sequence()))
+    assert hdd.stats.sequential_hits == 0
+
+
+def test_hdd_single_queue_serializes(env):
+    hdd = Hdd(env)
+    finished = []
+
+    def reader(offset):
+        yield from hdd.read(offset, 4 * KiB)
+        finished.append(env.now)
+
+    env.process(reader(0))
+    env.process(reader(1000 * KiB))
+    env.run()
+    assert finished[1] > finished[0]
+
+
+def test_ssd_much_faster_than_hdd(env):
+    hdd = Hdd(env)
+    ssd = Ssd(env)
+    assert ssd.service_time(4 * KiB) < hdd.service_time(4 * KiB) / 10
+
+
+def test_ssd_parallel_queue(env):
+    ssd = Ssd(env)
+    finished = []
+
+    def reader(offset):
+        yield from ssd.read(offset, 4 * KiB)
+        finished.append(env.now)
+
+    for i in range(ssd.spec.queue_depth):
+        env.process(reader(i * 1000 * KiB))
+    env.run()
+    # All fit in the device queue; they finish at the same time.
+    assert len(set(finished)) == 1
+
+
+def test_write_stats(env):
+    hdd = Hdd(env)
+    run_io(env, hdd.write(0, 8 * KiB))
+    assert hdd.stats.writes == 1
+    assert hdd.stats.bytes_written == 8 * KiB
+    assert hdd.stats.busy_time > 0
+    snapshot = hdd.stats.snapshot()
+    assert snapshot["writes"] == 1

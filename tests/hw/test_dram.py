@@ -1,0 +1,73 @@
+"""Unit tests for the DRAM model."""
+
+import pytest
+
+from repro.hw import DramModule
+from repro.hw.dram import OutOfMemory
+from repro.hw.latency import GiB, KiB
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_allocate_and_release(env):
+    dram = DramModule(env, capacity_bytes=1 * GiB)
+    dram.allocate(512 * KiB)
+    assert dram.allocated_bytes == 512 * KiB
+    dram.release(512 * KiB)
+    assert dram.free_bytes == 1 * GiB
+
+
+def test_allocate_beyond_capacity_raises(env):
+    dram = DramModule(env, capacity_bytes=1024)
+    with pytest.raises(OutOfMemory):
+        dram.allocate(2048)
+
+
+def test_release_more_than_allocated_raises(env):
+    dram = DramModule(env, capacity_bytes=1024)
+    dram.allocate(100)
+    with pytest.raises(ValueError):
+        dram.release(200)
+
+
+def test_negative_amounts_rejected(env):
+    dram = DramModule(env, capacity_bytes=1024)
+    with pytest.raises(ValueError):
+        dram.allocate(-1)
+    with pytest.raises(ValueError):
+        dram.release(-1)
+
+
+def test_copy_takes_expected_time(env):
+    dram = DramModule(env, capacity_bytes=1 * GiB)
+
+    def copier():
+        yield from dram.copy(4 * KiB)
+        return env.now
+
+    process = env.process(copier())
+    elapsed = env.run(until=process)
+    expected = dram.spec.access_time + 4 * KiB / dram.spec.copy_bandwidth
+    assert elapsed == pytest.approx(expected)
+    assert dram.bytes_copied == 4 * KiB
+
+
+def test_copies_contend_on_channels(env):
+    dram = DramModule(env, capacity_bytes=1 * GiB)
+    finish_times = []
+
+    def copier():
+        yield from dram.copy(4 * KiB)
+        finish_times.append(env.now)
+
+    # More concurrent copies than channels: the extras must queue.
+    for _ in range(dram.spec.channels + 1):
+        env.process(copier())
+    env.run()
+    single = dram.copy_time(4 * KiB)
+    assert max(finish_times) == pytest.approx(2 * single)
+    assert sorted(finish_times)[0] == pytest.approx(single)

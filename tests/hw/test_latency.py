@@ -1,0 +1,64 @@
+"""Tests for the calibration table."""
+
+import pytest
+
+from repro.hw.latency import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    DiskSpec,
+    NetworkSpec,
+    PAGE_SIZE,
+)
+
+
+def test_page_size_is_4k():
+    assert PAGE_SIZE == 4096
+
+
+def test_hierarchy_ordering():
+    """The paper's Section VI ladder must hold in the defaults."""
+    cal = DEFAULT_CALIBRATION
+    assert cal.dram.access_time < cal.nvm.read_latency
+    assert cal.nvm.read_latency < cal.network.rdma_latency
+    assert cal.network.rdma_latency < cal.ssd.access_time
+    assert cal.ssd.access_time < cal.hdd.access_time
+    assert cal.network.rdma_latency < cal.network.tcp_latency
+
+
+def test_bandwidth_ordering():
+    cal = DEFAULT_CALIBRATION
+    assert cal.dram.copy_bandwidth > cal.network.bandwidth
+    assert cal.network.bandwidth > cal.network.tcp_bandwidth
+    assert cal.network.tcp_bandwidth > cal.ssd.bandwidth
+    assert cal.ssd.bandwidth > cal.hdd.bandwidth
+
+
+def test_with_overrides_replaces_only_named_fields():
+    fast_net = NetworkSpec(rdma_latency=0.5e-6)
+    cal = DEFAULT_CALIBRATION.with_overrides(network=fast_net)
+    assert cal.network.rdma_latency == 0.5e-6
+    assert cal.hdd is DEFAULT_CALIBRATION.hdd
+    # The default instance is untouched (frozen dataclasses).
+    assert DEFAULT_CALIBRATION.network.rdma_latency == 1.5e-6
+
+
+def test_calibrations_are_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CALIBRATION.page_size = 8192
+
+
+def test_independent_calibration_instances():
+    a = Calibration()
+    b = Calibration(hdd=DiskSpec(access_time=1e-3))
+    assert a.hdd.access_time != b.hdd.access_time
+
+
+def test_sequential_cheaper_than_random_for_disks():
+    cal = DEFAULT_CALIBRATION
+    assert cal.hdd.sequential_access_time < cal.hdd.access_time
+    assert cal.ssd.sequential_access_time < cal.ssd.access_time
+
+
+def test_compression_decompress_faster_than_compress():
+    cal = DEFAULT_CALIBRATION
+    assert cal.compression.decompress_bandwidth > cal.compression.compress_bandwidth

@@ -1,0 +1,51 @@
+"""Unit tests for the NVM tier."""
+
+import pytest
+
+from repro.hw import NvmDevice
+from repro.hw.latency import KiB, MiB
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_capacity_reservation(env):
+    nvm = NvmDevice(env, capacity_bytes=1 * MiB)
+    assert nvm.reserve(512 * KiB)
+    assert nvm.free_bytes == 512 * KiB
+    assert not nvm.reserve(1 * MiB)
+    nvm.free(512 * KiB)
+    assert nvm.free_bytes == 1 * MiB
+
+
+def test_free_more_than_reserved_raises(env):
+    nvm = NvmDevice(env, capacity_bytes=1 * MiB)
+    with pytest.raises(ValueError):
+        nvm.free(1)
+
+
+def test_write_slower_than_read(env):
+    nvm = NvmDevice(env, capacity_bytes=1 * MiB)
+    assert nvm.write_time(4 * KiB) > nvm.read_time(4 * KiB)
+
+
+def test_timed_read(env):
+    nvm = NvmDevice(env, capacity_bytes=1 * MiB)
+
+    def reader():
+        yield from nvm.read(4 * KiB)
+        return env.now
+
+    elapsed = env.run(until=env.process(reader()))
+    assert elapsed == pytest.approx(nvm.read_time(4 * KiB))
+    assert nvm.reads == 1
+
+
+def test_nvm_between_dram_and_ssd():
+    from repro.hw.latency import DEFAULT_CALIBRATION
+
+    cal = DEFAULT_CALIBRATION
+    assert cal.dram.access_time < cal.nvm.read_latency < cal.ssd.access_time

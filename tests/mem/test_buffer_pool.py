@@ -1,0 +1,108 @@
+"""Unit tests for RDMA buffer pools."""
+
+import pytest
+
+from repro.hw.latency import KiB, MiB
+from repro.mem import RdmaBufferPool
+from repro.net import Fabric, RdmaDevice
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    fabric = Fabric(env)
+    device = RdmaDevice(env, fabric, "node-a")
+    return env, device
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_role_validation(setup):
+    _env, device = setup
+    with pytest.raises(ValueError):
+        RdmaBufferPool(device, role="middle")
+
+
+def test_grow_registers_regions(setup):
+    env, device = setup
+    pool = RdmaBufferPool(device, role="receive")
+
+    def scenario():
+        yield from pool.grow(3)
+        return env.now
+
+    elapsed = run(env, scenario())
+    assert pool.capacity_bytes == 3 * MiB
+    assert len(pool.regions) == 3
+    assert device.registered_bytes == 3 * MiB
+    assert elapsed == pytest.approx(3 * device.fabric.spec.registration_time)
+
+
+def test_reserve_and_release(setup):
+    env, device = setup
+    pool = RdmaBufferPool(device, role="send")
+
+    def scenario():
+        yield from pool.grow(1)
+        chunk = pool.reserve(4 * KiB)
+        assert chunk is not None
+        assert pool.used_bytes == 4 * KiB
+        pool.release(chunk)
+        assert pool.used_bytes == 0
+        return True
+
+    assert run(env, scenario())
+
+
+def test_reserve_when_empty_returns_none(setup):
+    _env, device = setup
+    pool = RdmaBufferPool(device, role="send")
+    assert pool.reserve(4 * KiB) is None
+
+
+def test_shrink_deregisters(setup):
+    env, device = setup
+    pool = RdmaBufferPool(device, role="receive")
+
+    def scenario():
+        yield from pool.grow(2)
+        removed = pool.shrink(5)
+        return removed
+
+    removed = run(env, scenario())
+    assert removed == 2
+    assert pool.capacity_bytes == 0
+    assert device.registered_bytes == 0
+    assert pool.deregistrations == 2
+
+
+def test_shrink_spares_busy_slabs(setup):
+    env, device = setup
+    pool = RdmaBufferPool(device, role="receive")
+
+    def scenario():
+        yield from pool.grow(2)
+        chunk = pool.reserve(4 * KiB)
+        removed = pool.shrink(2)
+        assert removed == 1  # the busy slab stays
+        pool.release(chunk)
+        return pool.capacity_bytes
+
+    assert run(env, scenario()) == 1 * MiB
+
+
+def test_any_region(setup):
+    env, device = setup
+    pool = RdmaBufferPool(device, role="receive")
+    assert pool.any_region() is None
+
+    def scenario():
+        yield from pool.grow(1)
+        return pool.any_region()
+
+    region = run(env, scenario())
+    assert region is not None
+    assert region.owner_node_id == "node-a"

@@ -1,0 +1,111 @@
+"""Unit tests for the compression models."""
+
+import random
+
+import pytest
+
+from repro.hw.latency import PAGE_SIZE
+from repro.mem import CompressibilityProfile, CompressionEngine, GranularityStore, ZbudStore
+from repro.mem.page import Page, make_pages
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        CompressibilityProfile("x", mean_ratio=0.5)
+    with pytest.raises(ValueError):
+        CompressibilityProfile("x", mean_ratio=2.0, incompressible_fraction=1.5)
+
+
+def test_profile_sampler_respects_floor():
+    profile = CompressibilityProfile("x", mean_ratio=1.1, sigma=1.0)
+    draw = profile.sampler(random.Random(3))
+    assert all(draw() >= 1.0 for _ in range(500))
+
+
+def test_profile_incompressible_fraction():
+    profile = CompressibilityProfile(
+        "x", mean_ratio=4.0, sigma=0.01, incompressible_fraction=0.5
+    )
+    draw = profile.sampler(random.Random(3))
+    samples = [draw() for _ in range(2000)]
+    ones = sum(1 for s in samples if s == 1.0)
+    assert 0.4 < ones / len(samples) < 0.6
+
+
+def test_engine_costs_scale_with_size():
+    engine = CompressionEngine()
+    assert engine.compress_time(8192) > engine.compress_time(4096)
+    assert engine.decompress_time(4096) < engine.compress_time(4096)
+
+
+def test_granularity_rounding():
+    store = GranularityStore([512, 1024, 2048, 4096])
+    assert store.charged_size(100) == 512
+    assert store.charged_size(512) == 512
+    assert store.charged_size(513) == 1024
+    assert store.charged_size(4000) == 4096
+
+
+def test_granularity_effective_ratio():
+    store = GranularityStore([512, 1024, 2048, 4096])
+    # Page compressing 4:1 -> 1024 chunk -> ratio 4.
+    store.store(Page(1, compressibility=4.0))
+    assert store.effective_ratio() == pytest.approx(4.0)
+
+
+def test_four_granularities_beat_two():
+    rng = random.Random(11)
+    profile = CompressibilityProfile("ml", mean_ratio=3.0, sigma=0.4)
+    pages = make_pages(2000, compressibility_sampler=profile.sampler(rng))
+    two = GranularityStore([2048, 4096])
+    four = GranularityStore([512, 1024, 2048, 4096])
+    for page in pages:
+        two.store(page)
+        four.store(page)
+    assert four.effective_ratio() > two.effective_ratio()
+
+
+def test_granularity_validation():
+    with pytest.raises(ValueError):
+        GranularityStore([])
+    with pytest.raises(ValueError):
+        GranularityStore([512], page_size=PAGE_SIZE)
+
+
+def test_zbud_ratio_capped_at_two():
+    store = ZbudStore()
+    # Even extremely compressible pages cannot push zbud past 2x.
+    for page_id in range(1000):
+        store.store(Page(page_id, compressibility=8.0))
+    assert store.effective_ratio() <= 2.0
+    assert store.effective_ratio() == pytest.approx(2.0, rel=0.01)
+
+
+def test_zbud_incompressible_page_costs_full_page():
+    store = ZbudStore()
+    charged = store.store(Page(1, compressibility=1.0))
+    assert charged == PAGE_SIZE
+
+
+def test_zbud_pairing():
+    store = ZbudStore()
+    first = store.store(Page(1, compressibility=4.0))
+    second = store.store(Page(2, compressibility=4.0))
+    # First page opens a zbud page, the second slots in for free.
+    assert first == PAGE_SIZE
+    assert second == 0
+
+
+def test_fastswap_beats_zswap_on_ml_profile():
+    """The Figure 3 ordering: 4-gran >= 2-gran >= zswap."""
+    rng = random.Random(5)
+    profile = CompressibilityProfile("ml", mean_ratio=3.2, sigma=0.45)
+    pages = make_pages(3000, compressibility_sampler=profile.sampler(rng))
+    zswap = ZbudStore()
+    two = GranularityStore([2048, 4096])
+    four = GranularityStore([512, 1024, 2048, 4096])
+    for page in pages:
+        zswap.store(page)
+        two.store(page)
+        four.store(page)
+    assert four.effective_ratio() >= two.effective_ratio() >= zswap.effective_ratio()

@@ -1,0 +1,48 @@
+"""Unit tests for pages."""
+
+import random
+
+import pytest
+
+from repro.hw.latency import PAGE_SIZE
+from repro.mem import Page, make_pages
+from repro.mem.compression import CompressibilityProfile
+
+
+def test_page_defaults():
+    page = Page(7)
+    assert page.size == PAGE_SIZE
+    assert page.compressed_size == PAGE_SIZE
+    assert not page.dirty
+
+
+def test_compressed_size_scales_with_ratio():
+    page = Page(1, compressibility=4.0)
+    assert page.compressed_size == PAGE_SIZE // 4
+
+
+def test_compressibility_below_one_rejected():
+    with pytest.raises(ValueError):
+        Page(1, compressibility=0.5)
+
+
+def test_make_pages_count_and_ids():
+    pages = make_pages(10, owner="vm-1")
+    assert len(pages) == 10
+    assert [p.page_id for p in pages] == list(range(10))
+    assert all(p.owner == "vm-1" for p in pages)
+
+
+def test_make_pages_with_sampler():
+    profile = CompressibilityProfile("ml", mean_ratio=3.0, incompressible_fraction=0.0)
+    rng = random.Random(1)
+    pages = make_pages(200, compressibility_sampler=profile.sampler(rng))
+    mean = sum(p.compressibility for p in pages) / len(pages)
+    assert 2.0 < mean < 4.5
+
+
+def test_pages_reproducible_given_seed():
+    profile = CompressibilityProfile("ml", mean_ratio=2.0)
+    a = make_pages(50, compressibility_sampler=profile.sampler(random.Random(9)))
+    b = make_pages(50, compressibility_sampler=profile.sampler(random.Random(9)))
+    assert [p.compressibility for p in a] == [p.compressibility for p in b]

@@ -1,0 +1,129 @@
+"""Unit tests for the node-coordinated shared memory pool."""
+
+import pytest
+
+from repro.hw.latency import KiB, MiB, SharedMemorySpec
+from repro.mem import SharedMemoryPool
+from repro.mem.shared_pool import PoolFull
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pool(env):
+    pool = SharedMemoryPool(env, SharedMemorySpec())
+    pool.donate("vm-1", 2 * MiB)
+    pool.donate("vm-2", 2 * MiB)
+    return pool
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_donations_build_capacity(pool):
+    assert pool.capacity_bytes == 4 * MiB
+    assert pool.donations == {"vm-1": 2 * MiB, "vm-2": 2 * MiB}
+
+
+def test_retract_reduces_capacity(pool):
+    pool.retract("vm-1", 1 * MiB)
+    assert pool.capacity_bytes == 3 * MiB
+    with pytest.raises(ValueError):
+        pool.retract("vm-1", 10 * MiB)
+
+
+def test_put_get_roundtrip(env, pool):
+    def scenario():
+        slot = yield from pool.put(("vm-1", 7), 4 * KiB)
+        assert slot.nbytes == 4 * KiB
+        nbytes = yield from pool.get(("vm-1", 7))
+        return nbytes, env.now
+
+    nbytes, elapsed = run(env, scenario())
+    assert nbytes == 4 * KiB
+    assert elapsed == pytest.approx(2 * pool.op_time(4 * KiB))
+    assert pool.puts == 1 and pool.gets == 1
+
+
+def test_duplicate_key_rejected(env, pool):
+    def scenario():
+        yield from pool.put("k", 4 * KiB)
+        with pytest.raises(KeyError):
+            yield from pool.put("k", 4 * KiB)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_get_missing_key_raises(env, pool):
+    def scenario():
+        with pytest.raises(KeyError):
+            yield from pool.get("missing")
+        return True
+
+    assert run(env, scenario())
+
+
+def test_pool_full_raises(env):
+    pool = SharedMemoryPool(env, SharedMemorySpec(), slab_bytes=1 * MiB)
+    pool.donate("vm-1", 1 * MiB)
+
+    def scenario():
+        for i in range(256):
+            yield from pool.put(i, 4 * KiB)
+        with pytest.raises(PoolFull):
+            yield from pool.put("overflow", 4 * KiB)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_remove_frees_space(env, pool):
+    def scenario():
+        yield from pool.put("k", 4 * KiB)
+        freed = pool.remove("k")
+        assert freed == 4 * KiB
+        assert not pool.contains("k")
+        return pool.used_bytes
+
+    assert run(env, scenario()) == 0
+
+
+def test_evict_lru_order(env, pool):
+    def scenario():
+        yield from pool.put("old", 4 * KiB)
+        yield from pool.put("new", 4 * KiB)
+        yield from pool.get("old")  # touch: "new" becomes LRU
+        return pool.evict_lru()
+
+    key, nbytes = run(env, scenario())
+    assert key == "new"
+    assert nbytes == 4 * KiB
+    assert pool.evictions == 1
+
+
+def test_evict_empty_pool_returns_none(pool):
+    assert pool.evict_lru() is None
+
+
+def test_compressed_entries_pack_tighter(env):
+    pool = SharedMemoryPool(env, SharedMemorySpec(), slab_bytes=1 * MiB)
+    pool.donate("vm-1", 1 * MiB)
+
+    def scenario():
+        # 512-byte compressed pages: 8x as many fit vs raw 4 KiB pages.
+        for i in range(2048):
+            yield from pool.put(i, 512)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_negative_donation_rejected(pool):
+    with pytest.raises(ValueError):
+        pool.donate("vm-3", -1)

@@ -1,0 +1,39 @@
+"""Unit tests for text reporting."""
+
+from repro.metrics import format_series, format_table
+
+
+def test_format_table_alignment():
+    rows = [
+        {"name": "alpha", "value": 1.0},
+        {"name": "b", "value": 123.456},
+    ]
+    text = format_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_empty():
+    assert "(empty)" in format_table([], title="nothing")
+    assert format_table([]) == "(empty)"
+
+
+def test_format_table_explicit_columns():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_format_table_missing_cell():
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    text = format_table(rows, columns=["a", "b"])
+    assert text  # no crash; missing cells render empty
+
+
+def test_format_series():
+    text = format_series([(0.0, 10.0), (1.0, 20.0)], title="tput",
+                         x_label="t", y_label="ops")
+    assert "tput" in text
+    assert "t" in text.splitlines()[1]

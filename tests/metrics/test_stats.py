@@ -1,0 +1,79 @@
+"""Unit tests for metrics primitives."""
+
+import pytest
+
+from repro.metrics import Counter, Histogram, RunningStats, TimeSeries
+
+
+def test_counter():
+    counter = Counter("ops")
+    counter.increment()
+    counter.increment(5)
+    assert counter.value == 6
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+
+
+def test_running_stats_mean_variance():
+    stats = RunningStats()
+    for value in (2.0, 4.0, 6.0):
+        stats.record(value)
+    assert stats.mean == pytest.approx(4.0)
+    assert stats.variance == pytest.approx(4.0)
+    assert stats.stdev == pytest.approx(2.0)
+    assert stats.minimum == 2.0
+    assert stats.maximum == 6.0
+
+
+def test_running_stats_empty():
+    stats = RunningStats()
+    assert stats.mean == 0.0
+    assert stats.variance == 0.0
+    assert stats.snapshot()["min"] is None
+
+
+def test_running_stats_single_sample():
+    stats = RunningStats()
+    stats.record(7.0)
+    assert stats.mean == 7.0
+    assert stats.variance == 0.0
+
+
+def test_histogram_percentiles():
+    histogram = Histogram(least=1.0, factor=2.0, buckets=10)
+    for value in (1, 2, 4, 8, 16):
+        histogram.record(value)
+    assert histogram.percentile(0.0) <= histogram.percentile(1.0)
+    assert histogram.percentile(1.0) >= 16
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram(least=0)
+    histogram = Histogram()
+    with pytest.raises(ValueError):
+        histogram.percentile(2.0)
+    assert histogram.percentile(0.5) == 0.0  # empty
+
+
+def test_histogram_overflow_bucket():
+    histogram = Histogram(least=1.0, factor=2.0, buckets=2)
+    histogram.record(1e9)
+    assert histogram.total == 1
+    assert histogram.percentile(1.0) == histogram.bounds[-1]
+
+
+def test_timeseries_window_means():
+    series = TimeSeries()
+    for t in range(10):
+        series.record(t * 0.1, float(t))
+    windows = series.window_means(0.5)
+    assert len(windows) >= 2
+    assert windows[0][1] < windows[-1][1]
+
+
+def test_timeseries_empty_and_validation():
+    series = TimeSeries()
+    assert series.window_means(1.0) == []
+    with pytest.raises(ValueError):
+        series.window_means(0)

@@ -1,0 +1,67 @@
+"""Tests for the cluster utilization monitor."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.hw.latency import KiB, MiB
+from repro.metrics.utilization import ClusterUtilizationMonitor
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(
+        ClusterConfig(num_nodes=2, servers_per_node=1,
+                      server_memory_bytes=8 * MiB, donation_fraction=0.5,
+                      receive_pool_slabs=2, seed=2)
+    )
+
+
+def test_period_validation(cluster):
+    with pytest.raises(ValueError):
+        ClusterUtilizationMonitor(cluster, period=0)
+
+
+def test_sample_now_reflects_pool_state(cluster):
+    monitor = ClusterUtilizationMonitor(cluster)
+    empty = monitor.sample_now()
+    assert empty.pool_utilization == 0.0
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "k", 64 * KiB)
+    used = monitor.sample_now()
+    assert used.pool_utilization > 0.0
+    assert used.pool_capacity == 8 * MiB  # two 4 MiB donations
+
+
+def test_background_sampling(cluster):
+    monitor = ClusterUtilizationMonitor(cluster, period=0.1)
+    monitor.start()
+    cluster.env.run(until=1.0)
+    assert 9 <= len(monitor.samples) <= 11  # float drift at the boundary
+    assert monitor.pool_series.samples
+
+
+def test_summary_shape(cluster):
+    monitor = ClusterUtilizationMonitor(cluster)
+    assert monitor.summary()["samples"] == 0
+    assert monitor.mean_pool_utilization() == 0.0
+    monitor.sample_now()
+    summary = monitor.summary()
+    assert summary["samples"] == 1
+    assert 0.0 <= summary["mean_pool_utilization"] <= 1.0
+    assert monitor.peak_pool_utilization() >= summary["mean_pool_utilization"] - 1e-12
+
+
+def test_receive_utilization_counts_hosted_bytes(cluster):
+    monitor = ClusterUtilizationMonitor(cluster)
+    node0 = cluster.nodes()[0]
+
+    def scenario():
+        reply = yield from node0.rdmc.control_call(
+            "node1", {"op": "reserve", "key": "r", "nbytes": 256 * KiB}
+        )
+        assert reply["ok"]
+        return True
+
+    cluster.run_process(scenario())
+    sample = monitor.sample_now()
+    assert sample.receive_utilization > 0.0

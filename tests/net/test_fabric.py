@@ -1,0 +1,144 @@
+"""Unit tests for the cluster fabric."""
+
+import pytest
+
+from repro.hw.latency import KiB
+from repro.net import Fabric, LinkDown, RemoteNodeDown
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def fabric(env):
+    fabric = Fabric(env)
+    for node in ("a", "b", "c"):
+        fabric.add_node(node)
+    return fabric
+
+
+def run_transfer(env, fabric, src, dst, nbytes):
+    def mover():
+        yield from fabric.transfer(src, dst, nbytes)
+        return env.now
+
+    return env.run(until=env.process(mover()))
+
+
+def test_duplicate_node_rejected(env, fabric):
+    with pytest.raises(ValueError):
+        fabric.add_node("a")
+
+
+def test_transfer_time(env, fabric):
+    elapsed = run_transfer(env, fabric, "a", "b", 4 * KiB)
+    expected = fabric.spec.rdma_latency + 4 * KiB / fabric.spec.bandwidth
+    assert elapsed == pytest.approx(expected)
+    assert fabric.total_bytes == 4 * KiB
+    assert fabric.nic("a").bytes_sent == 4 * KiB
+    assert fabric.nic("b").bytes_received == 4 * KiB
+
+
+def test_transfers_from_same_sender_serialize(env, fabric):
+    finish = []
+
+    def mover(dst):
+        yield from fabric.transfer("a", dst, 1024 * KiB)
+        finish.append(env.now)
+
+    env.process(mover("b"))
+    env.process(mover("c"))
+    env.run()
+    single = fabric.transfer_time(1024 * KiB)
+    assert finish[0] == pytest.approx(single)
+    assert finish[1] == pytest.approx(2 * single)
+
+
+def test_transfers_between_disjoint_pairs_parallel(env, fabric):
+    finish = []
+
+    def mover(src, dst):
+        yield from fabric.transfer(src, dst, 1024 * KiB)
+        finish.append(env.now)
+
+    env.process(mover("a", "b"))
+    env.process(mover("c", "a"))  # different lanes: a.tx vs a.rx
+    env.run()
+    assert finish[0] == pytest.approx(finish[1])
+
+
+def test_transfer_to_down_node_fails(env, fabric):
+    fabric.set_node_down("b")
+
+    def mover():
+        with pytest.raises(RemoteNodeDown):
+            yield from fabric.transfer("a", "b", 4 * KiB)
+        return True
+
+    assert env.run(until=env.process(mover()))
+
+
+def test_transfer_over_down_link_fails(env, fabric):
+    fabric.set_link_down("a", "b")
+
+    def mover():
+        with pytest.raises(LinkDown):
+            yield from fabric.transfer("a", "b", 4 * KiB)
+        return True
+
+    assert env.run(until=env.process(mover()))
+
+
+def test_link_partition_is_symmetric_by_default(env, fabric):
+    fabric.set_link_down("a", "b")
+    assert not fabric.is_reachable("a", "b")
+    assert not fabric.is_reachable("b", "a")
+    assert fabric.is_reachable("a", "c")
+
+
+def test_asymmetric_partition(env, fabric):
+    fabric.set_link_down("a", "b", symmetric=False)
+    assert not fabric.is_reachable("a", "b")
+    assert fabric.is_reachable("b", "a")
+
+
+def test_midflight_crash_loses_transfer(env, fabric):
+    def mover():
+        with pytest.raises(RemoteNodeDown):
+            yield from fabric.transfer("a", "b", 1024 * 1024 * KiB)
+        return env.now
+
+    def crasher():
+        yield env.timeout(1e-6)
+        fabric.set_node_down("b")
+
+    mover_process = env.process(mover())
+    env.process(crasher())
+    env.run(until=mover_process)
+    assert fabric.total_bytes == 0
+
+
+def test_recovery_restores_reachability(env, fabric):
+    fabric.set_node_down("b")
+    fabric.set_node_down("b", down=False)
+    assert fabric.is_reachable("a", "b")
+
+
+def test_many_crossing_transfers_complete_without_deadlock(env, fabric):
+    done = []
+
+    def mover(src, dst):
+        yield from fabric.transfer(src, dst, 256 * KiB)
+        done.append((src, dst))
+
+    pairs = [
+        ("a", "b"), ("b", "a"), ("b", "c"), ("c", "b"),
+        ("c", "a"), ("a", "c"), ("a", "b"), ("c", "b"),
+    ]
+    for src, dst in pairs:
+        env.process(mover(src, dst))
+    env.run()
+    assert len(done) == len(pairs)

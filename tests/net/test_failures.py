@@ -1,0 +1,68 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.net import Fabric, FailureInjector
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    fabric = Fabric(env)
+    for node in ("a", "b"):
+        fabric.add_node(node)
+    return env, fabric, FailureInjector(env, fabric)
+
+
+def test_crash_and_recover(setup):
+    env, fabric, injector = setup
+    injector.crash_node("a")
+    assert fabric.is_node_down("a")
+    injector.recover_node("a")
+    assert not fabric.is_node_down("a")
+    kinds = [kind for _t, kind, _d in injector.log]
+    assert kinds == ["crash", "recover"]
+
+
+def test_crash_listeners_invoked(setup):
+    _env, _fabric, injector = setup
+    crashed = []
+    injector.on_crash(crashed.append)
+    injector.crash_node("b")
+    assert crashed == ["b"]
+
+
+def test_scheduled_crash_fires_at_time(setup):
+    env, fabric, injector = setup
+    injector.schedule_crash("a", at=5.0)
+    env.run(until=4.0)
+    assert not fabric.is_node_down("a")
+    env.run(until=6.0)
+    assert fabric.is_node_down("a")
+    assert injector.log[0][0] == 5.0
+
+
+def test_scheduled_recovery(setup):
+    env, fabric, injector = setup
+    injector.crash_node("a")
+    injector.schedule_recovery("a", at=3.0)
+    env.run()
+    assert not fabric.is_node_down("a")
+
+
+def test_partition_and_heal(setup):
+    env, fabric, injector = setup
+    injector.partition_link("a", "b")
+    assert not fabric.is_reachable("a", "b")
+    injector.heal_link("a", "b")
+    assert fabric.is_reachable("a", "b")
+
+
+def test_scheduled_partition_with_heal(setup):
+    env, fabric, injector = setup
+    injector.schedule_partition("a", "b", at=1.0, heal_at=2.0)
+    env.run(until=1.5)
+    assert not fabric.is_reachable("a", "b")
+    env.run(until=3.0)
+    assert fabric.is_reachable("a", "b")

@@ -1,0 +1,224 @@
+"""Unit tests for the RDMA verbs layer."""
+
+import pytest
+
+from repro.hw.latency import KiB, MiB
+from repro.net import ConnectionFailed, Fabric, QueuePair, RdmaDevice
+from repro.net.rdma import RemoteAccessError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pair(env):
+    fabric = Fabric(env)
+    a = RdmaDevice(env, fabric, "a")
+    b = RdmaDevice(env, fabric, "b")
+    return fabric, a, b
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_registration_costs_time(env, pair):
+    _fabric, a, _b = pair
+
+    def register():
+        region = yield from a.register_memory(1 * MiB)
+        return region, env.now
+
+    region, elapsed = run(env, register())
+    assert elapsed == pytest.approx(a.fabric.spec.registration_time)
+    assert region.valid
+    assert a.registered_bytes == 1 * MiB
+
+
+def test_registration_rejects_nonpositive(env, pair):
+    _fabric, a, _b = pair
+    with pytest.raises(ValueError):
+        run(env, a.register_memory(0))
+
+
+def test_deregister_revokes(env, pair):
+    _fabric, a, _b = pair
+
+    def scenario():
+        region = yield from a.register_memory(1 * MiB)
+        a.deregister_memory(region)
+        return region
+
+    region = run(env, scenario())
+    assert not region.valid
+    assert a.registered_bytes == 0
+
+
+def test_connect_creates_ready_qp(env, pair):
+    _fabric, a, b = pair
+
+    def scenario():
+        qp = yield from a.connect(b)
+        return qp
+
+    qp = run(env, scenario())
+    assert qp.state == QueuePair.STATE_READY
+    assert qp.remote is b
+
+
+def test_connect_is_cached(env, pair):
+    _fabric, a, b = pair
+
+    def scenario():
+        first = yield from a.connect(b)
+        second = yield from a.connect(b)
+        return first is second
+
+    assert run(env, scenario())
+
+
+def test_connect_to_down_node_fails(env, pair):
+    fabric, a, b = pair
+    fabric.set_node_down("b")
+
+    def scenario():
+        with pytest.raises(ConnectionFailed):
+            yield from a.connect(b)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_one_sided_write_and_read(env, pair):
+    _fabric, a, b = pair
+
+    def scenario():
+        region = yield from b.register_memory(1 * MiB)
+        qp = yield from a.connect(b)
+        start = env.now
+        yield from qp.write(region, 4 * KiB)
+        write_time = env.now - start
+        start = env.now
+        yield from qp.read(region, 4 * KiB)
+        read_time = env.now - start
+        return write_time, read_time, qp.ops_completed
+
+    write_time, read_time, ops = run(env, scenario())
+    spec = a.fabric.spec
+    expected = (
+        spec.per_message_overhead + spec.rdma_latency + 4 * KiB / spec.bandwidth
+    )
+    assert write_time == pytest.approx(expected)
+    assert read_time == pytest.approx(expected)
+    assert ops == 2
+
+
+def test_write_to_revoked_region_fails(env, pair):
+    _fabric, a, b = pair
+
+    def scenario():
+        region = yield from b.register_memory(1 * MiB)
+        qp = yield from a.connect(b)
+        b.deregister_memory(region)
+        with pytest.raises(RemoteAccessError):
+            yield from qp.write(region, 4 * KiB)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_write_beyond_region_fails(env, pair):
+    _fabric, a, b = pair
+
+    def scenario():
+        region = yield from b.register_memory(4 * KiB)
+        qp = yield from a.connect(b)
+        with pytest.raises(RemoteAccessError):
+            yield from qp.write(region, 8 * KiB)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_write_to_foreign_region_fails(env, pair):
+    fabric, a, b = pair
+    c = RdmaDevice(env, fabric, "c")
+
+    def scenario():
+        region = yield from c.register_memory(1 * MiB)
+        qp = yield from a.connect(b)
+        with pytest.raises(RemoteAccessError):
+            yield from qp.write(region, 4 * KiB)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_peer_crash_moves_qp_to_error(env, pair):
+    fabric, a, b = pair
+
+    def scenario():
+        region = yield from b.register_memory(1 * MiB)
+        qp = yield from a.connect(b)
+        fabric.set_node_down("b")
+        with pytest.raises(Exception):
+            yield from qp.write(region, 4 * KiB)
+        assert qp.state == QueuePair.STATE_ERROR
+        # Further ops fail fast with ConnectionFailed.
+        with pytest.raises(ConnectionFailed):
+            yield from qp.write(region, 4 * KiB)
+        return True
+
+    assert run(env, scenario())
+
+
+def test_send_recv_delivery(env, pair):
+    _fabric, a, b = pair
+
+    def sender():
+        qp = yield from a.connect(b)
+        yield from qp.send({"op": "ping"}, 128)
+
+    def receiver():
+        message = yield b.recv()
+        return message
+
+    env.process(sender())
+    message = run(env, receiver())
+    assert message.body == {"op": "ping"}
+    assert message.src == "a"
+
+
+def test_send_slower_than_one_sided_write(env, pair):
+    _fabric, a, b = pair
+
+    def scenario():
+        region = yield from b.register_memory(1 * MiB)
+        qp = yield from a.connect(b)
+        start = env.now
+        yield from qp.write(region, 4 * KiB)
+        write_time = env.now - start
+        start = env.now
+        yield from qp.send("payload", 4 * KiB)
+        send_time = env.now - start
+        return write_time, send_time
+
+    write_time, send_time = run(env, scenario())
+    assert send_time > write_time
+
+
+def test_crash_method_clears_state(env, pair):
+    _fabric, a, b = pair
+
+    def scenario():
+        region = yield from b.register_memory(1 * MiB)
+        qp = yield from a.connect(b)
+        b.crash()
+        assert not region.valid
+        assert qp.state == QueuePair.STATE_ERROR
+        return True
+
+    assert run(env, scenario())

@@ -1,0 +1,118 @@
+"""Unit tests for the Accelio-style batched RPC layer."""
+
+import pytest
+
+from repro.hw.latency import KiB, MiB
+from repro.net import Fabric, RdmaDevice, RpcEndpoint
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    fabric = Fabric(env)
+    a = RdmaDevice(env, fabric, "a")
+    b = RdmaDevice(env, fabric, "b")
+    return env, fabric, a, b
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def test_message_count_ceiling(setup):
+    env, _fabric, a, _b = setup
+    endpoint = RpcEndpoint(a, message_bytes=8 * KiB)
+    assert endpoint.message_count(0) == 0
+    assert endpoint.message_count(1) == 1
+    assert endpoint.message_count(8 * KiB) == 1
+    assert endpoint.message_count(8 * KiB + 1) == 2
+    assert endpoint.message_count(1 * MiB) == 128
+
+
+def test_invalid_parameters(setup):
+    _env, _fabric, a, _b = setup
+    with pytest.raises(ValueError):
+        RpcEndpoint(a, message_bytes=0)
+    with pytest.raises(ValueError):
+        RpcEndpoint(a, message_bytes=2 * MiB)
+    with pytest.raises(ValueError):
+        RpcEndpoint(a, window=0)
+
+
+def test_batched_transfer_faster_than_unbatched(setup):
+    env, _fabric, a, b = setup
+    unbatched = RpcEndpoint(a, message_bytes=8 * KiB, window=1)
+    batched = RpcEndpoint(a, message_bytes=8 * KiB, window=16)
+
+    def scenario():
+        qp = yield from a.connect(b)
+        start = env.now
+        yield from unbatched.transfer(qp, 1 * MiB)
+        unbatched_time = env.now - start
+        start = env.now
+        yield from batched.transfer(qp, 1 * MiB)
+        batched_time = env.now - start
+        return unbatched_time, batched_time
+
+    unbatched_time, batched_time = run(env, scenario())
+    assert batched_time < unbatched_time
+    # 128 messages vs 8 windows: fixed costs dominate the gap.
+    assert unbatched.messages_sent == 128
+    assert batched.messages_sent == 128
+    assert batched.windows_sent == 8
+
+
+def test_transfer_direction_read(setup):
+    env, fabric, a, b = setup
+    endpoint = RpcEndpoint(a, window=4)
+
+    def scenario():
+        qp = yield from a.connect(b)
+        yield from endpoint.transfer(qp, 64 * KiB, direction="read")
+        return True
+
+    assert run(env, scenario())
+    # Data flowed b -> a.
+    assert fabric.nic("b").bytes_sent == 64 * KiB
+
+
+def test_transfer_rejects_bad_direction(setup):
+    env, _fabric, a, b = setup
+    endpoint = RpcEndpoint(a)
+
+    def scenario():
+        qp = yield from a.connect(b)
+        with pytest.raises(ValueError):
+            yield from endpoint.transfer(qp, 1, direction="sideways")
+        return True
+
+    assert run(env, scenario())
+
+
+def test_zero_byte_transfer_is_free(setup):
+    env, _fabric, a, b = setup
+    endpoint = RpcEndpoint(a)
+
+    def scenario():
+        qp = yield from a.connect(b)
+        start = env.now
+        yield from endpoint.transfer(qp, 0)
+        return env.now - start
+
+    assert run(env, scenario()) == 0.0
+
+
+def test_time_estimate_matches_simulation(setup):
+    env, _fabric, a, b = setup
+    endpoint = RpcEndpoint(a, message_bytes=8 * KiB, window=8)
+
+    def scenario():
+        qp = yield from a.connect(b)
+        start = env.now
+        yield from endpoint.transfer(qp, 256 * KiB)
+        return env.now - start
+
+    simulated = run(env, scenario())
+    estimate = endpoint.transfer_time_estimate(256 * KiB)
+    assert simulated == pytest.approx(estimate, rel=0.05)

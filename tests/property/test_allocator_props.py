@@ -1,0 +1,101 @@
+"""Property-based tests for the slab allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.allocator import AllocationError, SlabAllocator
+
+SIZE_CLASSES = (512, 1024, 2048, 4096)
+SLAB = 64 * 1024
+CAPACITY = 8 * SLAB
+
+
+def fresh():
+    return SlabAllocator(CAPACITY, SIZE_CLASSES, slab_bytes=SLAB)
+
+
+@st.composite
+def operations(draw):
+    """A sequence of allocate(nbytes) / free(index of live chunk) ops."""
+    ops = []
+    for _ in range(draw(st.integers(0, 120))):
+        if draw(st.booleans()):
+            ops.append(("alloc", draw(st.integers(1, 4096))))
+        else:
+            ops.append(("free", draw(st.integers(0, 200))))
+    return ops
+
+
+@given(operations())
+@settings(max_examples=60)
+def test_accounting_invariants(ops):
+    allocator = fresh()
+    live = []
+    for op, value in ops:
+        if op == "alloc":
+            try:
+                live.append(allocator.allocate(value))
+            except AllocationError:
+                pass
+        elif live:
+            allocator.free(live.pop(value % len(live)))
+    # Counters always match the live set.
+    assert allocator.allocated_chunks == len(live)
+    assert allocator.stored_payload_bytes == sum(c.payload_bytes for c in live)
+    assert allocator.stored_chunk_bytes == sum(c.chunk_size for c in live)
+    # Bytes are conserved and bounded.
+    assert 0 <= allocator.free_bytes <= allocator.capacity_bytes
+    assert allocator.stored_chunk_bytes + allocator.free_bytes <= (
+        allocator.capacity_bytes
+    )
+    assert 0.0 <= allocator.utilization() <= 1.0
+    assert 0.0 <= allocator.internal_fragmentation() < 1.0
+    # Freeing everything returns the pool to pristine state.
+    for chunk in live:
+        allocator.free(chunk)
+    assert allocator.free_bytes == allocator.capacity_bytes
+    assert allocator.internal_fragmentation() == 0.0
+
+
+@given(st.integers(1, 4096))
+@settings(max_examples=60)
+def test_chunk_always_fits_payload(nbytes):
+    allocator = fresh()
+    chunk = allocator.allocate(nbytes)
+    assert chunk.chunk_size >= nbytes
+    assert chunk.chunk_size in SIZE_CLASSES
+    # Smallest fitting class is used.
+    smaller = [c for c in SIZE_CLASSES if c < chunk.chunk_size]
+    assert all(c < nbytes for c in smaller)
+
+
+@given(st.integers(1, 300 * 1024))
+@settings(max_examples=60)
+def test_entry_allocation_covers_payload(nbytes):
+    allocator = fresh()
+    try:
+        chunks = allocator.allocate_entry(nbytes)
+    except AllocationError:
+        return
+    assert sum(c.payload_bytes for c in chunks) == nbytes
+    assert all(c.chunk_size >= c.payload_bytes for c in chunks)
+    allocator.free_entry(chunks)
+    assert allocator.free_bytes == allocator.capacity_bytes
+
+
+@given(st.lists(st.integers(1, 4096), min_size=1, max_size=100))
+@settings(max_examples=40)
+def test_alloc_free_alloc_is_stable(sizes):
+    """After freeing, the same allocation sequence succeeds again."""
+    allocator = fresh()
+    first = []
+    for nbytes in sizes:
+        try:
+            first.append(allocator.allocate(nbytes))
+        except AllocationError:
+            break
+    count = len(first)
+    for chunk in first:
+        allocator.free(chunk)
+    second = [allocator.allocate(nbytes) for nbytes in sizes[:count]]
+    assert len(second) == count

@@ -1,0 +1,60 @@
+"""Property-based tests for the compression store models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.latency import PAGE_SIZE
+from repro.mem.compression import GranularityStore, ZbudStore
+from repro.mem.page import Page
+
+ratios = st.floats(min_value=1.0, max_value=32.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(ratios, min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_granularity_store_invariants(page_ratios):
+    store = GranularityStore([512, 1024, 2048, 4096])
+    for page_id, ratio in enumerate(page_ratios):
+        page = Page(page_id, compressibility=ratio)
+        charged = store.store(page)
+        assert charged >= page.compressed_size
+        assert charged in store.granularities
+    assert store.pages_stored == len(page_ratios)
+    assert store.raw_bytes == len(page_ratios) * PAGE_SIZE
+    # Effective ratio bounded by [1, page_size / smallest granularity].
+    assert 1.0 <= store.effective_ratio() <= PAGE_SIZE / 512
+
+
+@given(st.lists(ratios, min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_finer_granularities_never_lose(page_ratios):
+    coarse = GranularityStore([2048, 4096])
+    fine = GranularityStore([512, 1024, 2048, 4096])
+    for page_id, ratio in enumerate(page_ratios):
+        page = Page(page_id, compressibility=ratio)
+        assert fine.store(page) <= coarse.store(page)
+    assert fine.effective_ratio() >= coarse.effective_ratio()
+
+
+@given(st.lists(ratios, min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_zbud_invariants(page_ratios):
+    store = ZbudStore()
+    for page_id, ratio in enumerate(page_ratios):
+        charged = store.store(Page(page_id, compressibility=ratio))
+        assert charged in (0, PAGE_SIZE // 2, PAGE_SIZE)
+    # zbud never pairs more than two pages per physical page.
+    assert 1.0 <= store.effective_ratio() <= 2.0
+    # At most one page can be waiting for a buddy.
+    assert store._unbuddied in (0, 1)
+    # Physical pages charged cover every stored page at <= 2 per page.
+    assert store.charged_bytes * 2 >= store.pages_stored * (PAGE_SIZE // 2)
+
+
+@given(ratios)
+@settings(max_examples=60)
+def test_compressed_size_monotone_in_ratio(ratio):
+    lower = Page(1, compressibility=ratio)
+    higher = Page(2, compressibility=ratio + 1.0)
+    assert higher.compressed_size <= lower.compressed_size

@@ -1,0 +1,66 @@
+"""Property-based tests for the disaggregated memory map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory_map import DisaggregatedMemoryMap, Location
+
+keys = st.integers(0, 30)
+
+
+@st.composite
+def scripts(draw):
+    """Random sequences of begin/commit/abort/remove on a small keyspace."""
+    ops = []
+    for _ in range(draw(st.integers(0, 80))):
+        op = draw(st.sampled_from(["begin", "commit", "abort", "remove"]))
+        ops.append((op, draw(keys)))
+    return ops
+
+
+@given(scripts())
+@settings(max_examples=80)
+def test_visibility_protocol(ops):
+    memory_map = DisaggregatedMemoryMap("vm")
+    pending = set()
+    committed = set()
+    for op, key in ops:
+        if op == "begin":
+            memory_map.begin(key, Location.DISK, 4096)
+            pending.add(key)
+        elif op == "commit":
+            if key in pending:
+                memory_map.commit(key)
+                pending.discard(key)
+                committed.add(key)
+            else:
+                try:
+                    memory_map.commit(key)
+                    raise AssertionError("commit of non-pending key succeeded")
+                except KeyError:
+                    pass
+        elif op == "abort":
+            memory_map.abort(key)  # always safe
+            pending.discard(key)
+        elif op == "remove":
+            removed = memory_map.remove(key)
+            assert (removed is not None) == (key in committed)
+            committed.discard(key)
+    # Reader view == model view.
+    for key in range(31):
+        assert (memory_map.lookup(key) is not None) == (key in committed)
+    assert len(memory_map) == len(committed)
+    assert memory_map.metadata_bytes() >= len(committed) * 8
+
+
+@given(st.lists(st.tuples(keys, st.sampled_from(["n1", "n2", "n3"])),
+                min_size=1, max_size=40, unique_by=lambda t: t[0]))
+@settings(max_examples=40)
+def test_entries_at_partitions_by_replica(entries):
+    memory_map = DisaggregatedMemoryMap("vm")
+    for key, node in entries:
+        memory_map.begin(key, Location.REMOTE, 4096, replica_nodes=(node,))
+        memory_map.commit(key)
+    for node in ("n1", "n2", "n3"):
+        expected = {key for key, n in entries if n == node}
+        assert {r.key for r in memory_map.entries_at(node)} == expected

@@ -1,0 +1,100 @@
+"""Property-based tests for the network layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Fabric, RdmaDevice, RpcEndpoint
+from repro.sim import Environment
+
+transfers = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(1, 1 << 20)),
+    min_size=1,
+    max_size=20,
+).map(lambda items: [(s, d, n) for s, d, n in items if s != d])
+
+
+@given(transfers)
+@settings(max_examples=50, deadline=None)
+def test_byte_conservation(flows):
+    """Sum of NIC tx == sum of NIC rx == fabric total, always."""
+    env = Environment()
+    fabric = Fabric(env)
+    for i in range(4):
+        fabric.add_node("n{}".format(i))
+
+    def mover(src, dst, nbytes):
+        yield from fabric.transfer("n{}".format(src), "n{}".format(dst), nbytes)
+
+    for src, dst, nbytes in flows:
+        env.process(mover(src, dst, nbytes))
+    env.run()
+    sent = sum(fabric.nic("n{}".format(i)).bytes_sent for i in range(4))
+    received = sum(fabric.nic("n{}".format(i)).bytes_received for i in range(4))
+    assert sent == received == fabric.total_bytes
+    assert fabric.total_bytes == sum(n for _s, _d, n in flows)
+    assert fabric.total_messages == len(flows)
+
+
+@given(transfers, st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_core_limit_never_loses_transfers(flows, core):
+    env = Environment()
+    fabric = Fabric(env, core_concurrency=core)
+    for i in range(4):
+        fabric.add_node("n{}".format(i))
+
+    def mover(src, dst, nbytes):
+        yield from fabric.transfer("n{}".format(src), "n{}".format(dst), nbytes)
+
+    for src, dst, nbytes in flows:
+        env.process(mover(src, dst, nbytes))
+    env.run()
+    assert fabric.total_messages == len(flows)
+
+
+@given(st.integers(1, 4 << 20), st.integers(1, 256), st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_rpc_message_arithmetic(total_bytes, message_kib, window):
+    """Message counts, window counts and transfer bytes always agree."""
+    env = Environment()
+    fabric = Fabric(env)
+    a = RdmaDevice(env, fabric, "a")
+    b = RdmaDevice(env, fabric, "b")
+    endpoint = RpcEndpoint(a, message_bytes=message_kib * 1024, window=window)
+    expected_messages = endpoint.message_count(total_bytes)
+
+    def move():
+        qp = yield from a.connect(b)
+        sent = yield from endpoint.transfer(qp, total_bytes)
+        return sent
+
+    sent = env.run(until=env.process(move()))
+    assert sent == expected_messages
+    assert endpoint.messages_sent == expected_messages
+    assert endpoint.windows_sent == -(-expected_messages // window)
+    # All payload bytes crossed the wire exactly once (handshake adds
+    # its fixed three messages).
+    handshake = 3 * RdmaDevice.HANDSHAKE_MESSAGE_BYTES
+    assert fabric.total_bytes == total_bytes + handshake
+
+
+@given(st.integers(1, 4 << 20), st.integers(1, 64))
+@settings(max_examples=40, deadline=None)
+def test_batched_transfer_never_slower(total_bytes, window):
+    """More batching never makes a transfer slower."""
+    def timed(window_size):
+        env = Environment()
+        fabric = Fabric(env)
+        a = RdmaDevice(env, fabric, "a")
+        b = RdmaDevice(env, fabric, "b")
+        endpoint = RpcEndpoint(a, window=window_size)
+
+        def move():
+            qp = yield from a.connect(b)
+            start = env.now
+            yield from endpoint.transfer(qp, total_bytes)
+            return env.now - start
+
+        return env.run(until=env.process(move()))
+
+    assert timed(window) <= timed(1) + 1e-12

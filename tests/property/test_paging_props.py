@@ -1,0 +1,89 @@
+"""Property-based tests on the paging MMU invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.page import make_pages
+from repro.sim import Environment
+from repro.swap.base import SwapBackend, VirtualMemory
+
+NPAGES = 24
+
+
+class NullBackend(SwapBackend):
+    """Zero-cost backend that faithfully tracks what it holds."""
+
+    name = "null"
+
+    def __init__(self, env):
+        self.env = env
+        self.held = set()
+
+    def swap_out(self, page):
+        self.held.add(page.page_id)
+        yield self.env.timeout(1e-6)
+
+    def swap_in(self, page):
+        assert page.page_id in self.held, "swap-in of a page never swapped out"
+        yield self.env.timeout(1e-6)
+        return []
+
+    def discard(self, page):
+        self.held.discard(page.page_id)
+
+
+@st.composite
+def access_scripts(draw):
+    return [
+        (draw(st.integers(0, NPAGES - 1)), draw(st.booleans()))
+        for _ in range(draw(st.integers(1, 200)))
+    ]
+
+
+@given(access_scripts(), st.integers(1, NPAGES))
+@settings(max_examples=80, deadline=None)
+def test_mmu_invariants(script, capacity):
+    env = Environment()
+    backend = NullBackend(env)
+    pages = make_pages(NPAGES)
+    mmu = VirtualMemory(env, pages, capacity, backend, prefetch_capacity=4)
+
+    def driver():
+        for page_id, write in script:
+            yield from mmu.access(page_id, write=write)
+            # Resident set never exceeds capacity.
+            assert len(mmu.resident) <= mmu.capacity_pages
+            # A page is never resident and in the prefetch buffer at once.
+            assert not (set(mmu.resident) & set(mmu.prefetch))
+        yield from mmu.flush()
+
+    env.run(until=env.process(driver()))
+    stats = mmu.stats
+    # Every access is classified exactly once.
+    assert stats.accesses == len(script)
+    assert stats.accesses == (
+        stats.resident_hits + stats.major_faults + stats.minor_faults
+    )
+    assert stats.prefetch_hits <= stats.minor_faults
+    assert stats.swap_ins == stats.major_faults
+    # The most recently touched page is resident.
+    last_page = script[-1][0]
+    assert last_page in mmu.resident
+
+
+@given(access_scripts())
+@settings(max_examples=40, deadline=None)
+def test_full_capacity_never_faults_major(script):
+    env = Environment()
+    backend = NullBackend(env)
+    pages = make_pages(NPAGES)
+    mmu = VirtualMemory(env, pages, NPAGES, backend)
+
+    def driver():
+        for page_id, write in script:
+            yield from mmu.access(page_id, write=write)
+        yield from mmu.flush()
+
+    env.run(until=env.process(driver()))
+    assert mmu.stats.major_faults == 0
+    assert mmu.stats.swap_outs == 0

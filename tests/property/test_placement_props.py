@@ -1,0 +1,60 @@
+"""Property-based tests for placement policies."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import CandidateView, make_placement_policy
+
+POLICIES = ("random", "round_robin", "weighted_round_robin", "power_of_two")
+
+candidate_lists = st.lists(
+    st.integers(0, 10_000_000), min_size=0, max_size=12
+)
+
+
+@given(
+    st.sampled_from(POLICIES),
+    candidate_lists,
+    st.integers(1, 5),
+    st.integers(1, 1_000_000),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=120)
+def test_selection_contract(policy_name, free_bytes, k, nbytes, seed):
+    policy = make_placement_policy(policy_name, random.Random(seed))
+    candidates = [
+        CandidateView("n{}".format(i), free) for i, free in enumerate(free_bytes)
+    ]
+    chosen = policy.select(candidates, k, nbytes)
+    # Never more than k, never duplicates, never a non-viable node.
+    assert len(chosen) <= k
+    assert len(set(chosen)) == len(chosen)
+    viable = {c.node_id for c in candidates if c.free_bytes >= nbytes}
+    assert set(chosen) <= viable
+    # If anything was viable, something is chosen.
+    if viable:
+        assert chosen or policy_name == "weighted_round_robin"
+        # (weighted RR returns empty only when total weight is zero)
+        if policy_name == "weighted_round_robin":
+            total = sum(c.free_bytes for c in candidates
+                        if c.free_bytes >= nbytes)
+            if total > 0:
+                assert chosen
+
+
+@given(candidate_lists, st.integers(1, 5), st.integers(0, 2**32 - 1))
+@settings(max_examples=60)
+def test_policies_deterministic_given_seed(free_bytes, k, seed):
+    candidates = [
+        CandidateView("n{}".format(i), free) for i, free in enumerate(free_bytes)
+    ]
+    for name in POLICIES:
+        first = make_placement_policy(name, random.Random(seed)).select(
+            list(candidates), k, 1
+        )
+        second = make_placement_policy(name, random.Random(seed)).select(
+            list(candidates), k, 1
+        )
+        assert first == second

@@ -1,0 +1,74 @@
+"""Property-based tests for the shared memory pool."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.latency import SharedMemorySpec
+from repro.mem.shared_pool import PoolFull, SharedMemoryPool
+from repro.sim import Environment
+
+SLAB = 16 * 1024
+
+
+@st.composite
+def scripts(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 60))):
+        kind = draw(st.sampled_from(["put", "get", "remove", "evict"]))
+        ops.append((kind, draw(st.integers(0, 15)),
+                    draw(st.integers(1, 8192))))
+    return ops
+
+
+@given(scripts())
+@settings(max_examples=60, deadline=None)
+def test_pool_state_machine(ops):
+    env = Environment()
+    pool = SharedMemoryPool(env, SharedMemorySpec(), slab_bytes=SLAB)
+    pool.donate("vm", 4 * SLAB)
+    model = {}
+
+    def driver():
+        for kind, key, nbytes in ops:
+            if kind == "put" and key not in model:
+                try:
+                    yield from pool.put(key, nbytes)
+                    model[key] = nbytes
+                except PoolFull:
+                    pass
+            elif kind == "get" and key in model:
+                got = yield from pool.get(key)
+                assert got == model[key]
+            elif kind == "remove" and key in model:
+                assert pool.remove(key) == model.pop(key)
+            elif kind == "evict":
+                evicted = pool.evict_lru()
+                if evicted is not None:
+                    evicted_key, evicted_bytes = evicted
+                    assert model.pop(evicted_key) == evicted_bytes
+                else:
+                    assert not model
+            # Invariants hold after every step.
+            assert set(pool.keys()) == set(model)
+            assert 0 <= pool.used_bytes <= pool.capacity_bytes
+        return True
+
+    env.run(until=env.process(driver()))
+    # Draining the model empties the pool.
+    for key in list(model):
+        pool.remove(key)
+    assert pool.used_bytes == 0
+
+
+@given(st.integers(1, 6), st.integers(1, 6))
+@settings(max_examples=30)
+def test_donations_and_retractions_balance(donors, slabs_each):
+    env = Environment()
+    pool = SharedMemoryPool(env, SharedMemorySpec(), slab_bytes=SLAB)
+    for i in range(donors):
+        pool.donate("vm{}".format(i), slabs_each * SLAB)
+    assert pool.capacity_bytes == donors * slabs_each * SLAB
+    for i in range(donors):
+        pool.retract("vm{}".format(i), slabs_each * SLAB)
+    assert pool.capacity_bytes == 0
+    assert pool.free_bytes == 0

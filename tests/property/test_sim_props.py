@@ -1,0 +1,81 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+delays = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(delays, min_size=1, max_size=50))
+@settings(max_examples=60)
+def test_timeouts_fire_in_nondecreasing_time_order(delay_list):
+    env = Environment()
+    fired = []
+
+    def waiter(delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delay_list:
+        env.process(waiter(delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+    assert env.now == max(delay_list)
+
+
+@given(st.lists(delays, min_size=1, max_size=30), delays)
+@settings(max_examples=60)
+def test_run_until_never_overshoots(delay_list, horizon):
+    env = Environment()
+    fired = []
+
+    def waiter(delay):
+        yield env.timeout(delay)
+        fired.append(delay)
+
+    for delay in delay_list:
+        env.process(waiter(delay))
+    env.run(until=horizon)
+    assert env.now == horizon
+    assert all(delay <= horizon for delay in fired)
+    assert sorted(fired) == sorted(d for d in delay_list if d <= horizon)
+
+
+@given(st.lists(delays, min_size=2, max_size=20))
+@settings(max_examples=40)
+def test_all_of_fires_at_max_any_of_at_min(delay_list):
+    env = Environment()
+    timeouts = [env.timeout(delay) for delay in delay_list]
+    every = env.all_of(timeouts)
+    env.run(until=every)
+    assert env.now == max(delay_list)
+
+    env2 = Environment()
+    timeouts2 = [env2.timeout(delay) for delay in delay_list]
+    first = env2.any_of(timeouts2)
+    env2.run(until=first)
+    assert env2.now == min(delay_list)
+
+
+@given(st.lists(st.tuples(delays, st.integers(0, 1000)),
+                min_size=1, max_size=30))
+@settings(max_examples=40)
+def test_determinism_across_identical_runs(jobs):
+    def simulate():
+        env = Environment()
+        log = []
+
+        def waiter(delay, tag):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+
+        for delay, tag in jobs:
+            env.process(waiter(delay, tag))
+        env.run()
+        return log
+
+    assert simulate() == simulate()

@@ -1,0 +1,186 @@
+"""Unit tests for the simulation environment and event loop."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.engine import EmptySchedule
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.5)
+    env.run()
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+    env.run(until=20.0)
+    assert env.now == 20.0
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=2.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return "done"
+
+    process = env.process(proc())
+    assert env.run(until=process) == "done"
+    assert env.now == 1.0
+
+
+def test_run_until_unreachable_event_raises():
+    env = Environment()
+    orphan = env.event()
+    with pytest.raises(EmptySchedule):
+        env.run(until=orphan)
+
+
+def test_step_with_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    fired = []
+
+    def waiter(delay, tag):
+        yield env.timeout(delay)
+        fired.append(tag)
+
+    env.process(waiter(3.0, "c"))
+    env.process(waiter(1.0, "a"))
+    env.process(waiter(2.0, "b"))
+    env.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_timestamp_fifo_order():
+    env = Environment()
+    fired = []
+
+    def waiter(tag):
+        yield env.timeout(1.0)
+        fired.append(tag)
+
+    for tag in ("x", "y", "z"):
+        env.process(waiter(tag))
+    env.run()
+    assert fired == ["x", "y", "z"]
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(Exception):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(AttributeError):
+        _ = event.value
+
+
+def test_event_repr_states():
+    env = Environment()
+    event = env.event(name="probe")
+    assert "pending" in repr(event)
+    event.succeed()
+    assert "ok" in repr(event)
+
+
+def test_all_of_collects_values():
+    env = Environment()
+    first = env.timeout(1.0, value="a")
+    second = env.timeout(2.0, value="b")
+    both = env.all_of([first, second])
+    result = env.run(until=both)
+    assert set(result.values()) == {"a", "b"}
+    assert env.now == 2.0
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    fast = env.timeout(1.0, value="fast")
+    env.timeout(5.0, value="slow")
+    either = env.any_of([fast, env.timeout(5.0, value="slow")])
+    result = env.run(until=either)
+    assert "fast" in result.values()
+    assert env.now == 1.0
+
+
+def test_all_of_fails_fast():
+    env = Environment()
+
+    def failer():
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    def watcher():
+        process = env.process(failer())
+        both = env.all_of([process, env.timeout(10.0)])
+        with pytest.raises(RuntimeError):
+            yield both
+        return env.now
+
+    watch = env.process(watcher())
+    assert env.run(until=watch) == 1.0
+
+
+def test_run_until_event_already_triggered():
+    env = Environment()
+    event = env.event()
+    event.succeed("early")
+    assert env.run(until=event) == "early"
+
+
+def test_failed_event_raises_from_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        raise ValueError("expected failure")
+
+    process = env.process(proc())
+    with pytest.raises(ValueError, match="expected failure"):
+        env.run(until=process)

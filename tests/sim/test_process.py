@@ -1,0 +1,181 @@
+"""Unit tests for generator-based processes and interruption."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value + 1
+
+    assert env.run(until=env.process(parent())) == 43
+    assert env.now == 2.0
+
+
+def test_process_waits_on_already_finished_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return "x"
+
+    def parent(child_process):
+        yield env.timeout(5.0)
+        value = yield child_process
+        return (value, env.now)
+
+    child_process = env.process(child())
+    result = env.run(until=env.process(parent(child_process)))
+    assert result == ("x", 5.0)
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        raise KeyError("lost")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except KeyError:
+            return "caught"
+        return "missed"
+
+    assert env.run(until=env.process(parent())) == "caught"
+
+
+def test_unwatched_process_failure_crashes_run():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(child())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_interrupt_is_catchable():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, env.now)
+        return "slept"
+
+    def interrupter(victim):
+        yield env.timeout(3.0)
+        victim.interrupt(cause="failure-notice")
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    assert env.run(until=victim) == ("interrupted", "failure-notice", 3.0)
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        return env.now
+
+    def interrupter(victim):
+        yield env.timeout(2.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    assert env.run(until=victim) == 3.0
+
+
+def test_uncaught_interrupt_fails_process():
+    env = Environment()
+
+    def sleeper():
+        yield env.timeout(100.0)
+
+    def interrupter(victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    def watcher():
+        victim = env.process(sleeper())
+        env.process(interrupter(victim))
+        with pytest.raises(Interrupt):
+            yield victim
+        return True
+
+    assert env.run(until=env.process(watcher()))
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    process = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        process.interrupt()
+
+
+def test_is_alive():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    process = env.process(quick())
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_active_process_tracking():
+    env = Environment()
+    seen = []
+
+    def proc():
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+        seen.append(env.active_process)
+
+    process = env.process(proc())
+    env.run()
+    assert seen == [process, process]
+    assert env.active_process is None

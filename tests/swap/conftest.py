@@ -1,0 +1,37 @@
+"""Shared fixtures for swap-backend tests."""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.hw.latency import MiB
+from repro.mem.page import make_pages
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(
+        ClusterConfig(
+            num_nodes=4,
+            servers_per_node=1,
+            server_memory_bytes=32 * MiB,
+            donation_fraction=0.3,
+            receive_pool_slabs=16,
+            send_pool_slabs=4,
+            replication_factor=1,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture
+def node(cluster):
+    return cluster.nodes()[0]
+
+
+@pytest.fixture
+def pages():
+    return make_pages(256, owner="test", compressibility_sampler=lambda: 3.0)
+
+
+def run(cluster, generator):
+    return cluster.run_process(generator)

@@ -1,0 +1,157 @@
+"""Unit tests for the paging MMU (VirtualMemory)."""
+
+import pytest
+
+from repro.mem.page import make_pages
+from repro.sim import Environment
+from repro.swap.base import SwapBackend, VirtualMemory
+
+
+class RecordingBackend(SwapBackend):
+    """In-memory backend that records calls and charges fixed costs."""
+
+    name = "recording"
+
+    def __init__(self, env, in_cost=1e-3, out_cost=1e-3):
+        self.env = env
+        self.in_cost = in_cost
+        self.out_cost = out_cost
+        self.swapped_out = []
+        self.swapped_in = []
+        self.discarded = []
+        self.prefetch_payload = []
+
+    def swap_out(self, page):
+        self.swapped_out.append(page.page_id)
+        yield self.env.timeout(self.out_cost)
+
+    def swap_in(self, page):
+        self.swapped_in.append(page.page_id)
+        yield self.env.timeout(self.in_cost)
+        return list(self.prefetch_payload)
+
+    def discard(self, page):
+        self.discarded.append(page.page_id)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_mmu(env, npages=8, capacity=4, **kwargs):
+    pages = make_pages(npages)
+    backend = RecordingBackend(env)
+    mmu = VirtualMemory(env, pages, capacity, backend, **kwargs)
+    return mmu, backend, pages
+
+
+def drive(env, mmu, refs):
+    def proc():
+        for ref in refs:
+            if isinstance(ref, tuple):
+                page_id, write = ref
+            else:
+                page_id, write = ref, False
+            yield from mmu.access(page_id, write=write)
+        yield from mmu.flush()
+
+    env.run(until=env.process(proc()))
+
+
+def test_first_touch_is_minor_fault(env):
+    mmu, backend, _pages = make_mmu(env)
+    drive(env, mmu, [0, 1, 2])
+    assert mmu.stats.minor_faults == 3
+    assert mmu.stats.major_faults == 0
+    assert backend.swapped_in == []
+
+
+def test_resident_hit(env):
+    mmu, _backend, _pages = make_mmu(env)
+    drive(env, mmu, [0, 0, 0])
+    assert mmu.stats.resident_hits == 2
+
+
+def test_eviction_triggers_swap_out(env):
+    mmu, backend, _pages = make_mmu(env, capacity=2)
+    drive(env, mmu, [0, 1, 2])
+    assert backend.swapped_out == [0]
+
+
+def test_refault_is_major_and_swaps_in(env):
+    mmu, backend, _pages = make_mmu(env, capacity=2)
+    drive(env, mmu, [0, 1, 2, 0])
+    assert backend.swapped_in == [0]
+    assert mmu.stats.major_faults == 1
+
+
+def test_lru_order(env):
+    mmu, backend, _pages = make_mmu(env, capacity=2)
+    # Touch 0 again so 1 becomes the LRU victim.
+    drive(env, mmu, [0, 1, 0, 2])
+    assert backend.swapped_out == [1]
+
+
+def test_clean_reeviction_is_free(env):
+    mmu, backend, _pages = make_mmu(env, capacity=2)
+    drive(env, mmu, [0, 1, 2, 0, 3])
+    # 0 was swapped out once, came back clean, so its second eviction
+    # reuses the existing swap copy.
+    assert backend.swapped_out.count(0) == 1
+
+
+def test_dirty_reeviction_writes_again(env):
+    mmu, backend, _pages = make_mmu(env, capacity=2)
+    drive(env, mmu, [0, 1, 2, (0, True), 3, 1, 0])
+    assert backend.swapped_out.count(0) == 2
+
+
+def test_write_invalidation_discards_backend_copy(env):
+    mmu, backend, _pages = make_mmu(env, capacity=2)
+    drive(env, mmu, [0, 1, 2, 0, (0, True)])
+    assert backend.discarded == [0]
+
+
+def test_prefetched_pages_avoid_major_faults(env):
+    mmu, backend, pages = make_mmu(env, capacity=2)
+    drive(env, mmu, [0, 1, 2, 3])  # 0 and 1 now swapped
+    backend.prefetch_payload = [mmu.pages[1]]
+    drive(env, mmu, [0, 1])
+    assert backend.swapped_in == [0]  # 1 came via prefetch
+    assert mmu.stats.prefetch_hits == 1
+
+
+def test_prefetch_buffer_bounded(env):
+    mmu, backend, pages = make_mmu(env, npages=16, capacity=2,
+                                   prefetch_capacity=2)
+    drive(env, mmu, list(range(8)))
+    backend.prefetch_payload = [mmu.pages[i] for i in range(3, 6)]
+    drive(env, mmu, [0])
+    assert len(mmu.prefetch) <= 2
+
+
+def test_completion_time_includes_compute(env):
+    mmu, _backend, _pages = make_mmu(env, compute_per_access=1e-3)
+    start = env.now
+    drive(env, mmu, [0, 0, 0, 0])
+    assert env.now - start >= 4e-3
+
+
+def test_grow_capacity(env):
+    mmu, backend, _pages = make_mmu(env, capacity=2)
+    mmu.grow_capacity(2)
+    drive(env, mmu, [0, 1, 2, 3])
+    assert backend.swapped_out == []
+
+
+def test_capacity_validation(env):
+    pages = make_pages(4)
+    with pytest.raises(ValueError):
+        VirtualMemory(env, pages, 0, RecordingBackend(env))
+
+
+def test_fault_rate(env):
+    mmu, _backend, _pages = make_mmu(env, capacity=2)
+    drive(env, mmu, [0, 1, 2, 0])
+    assert mmu.stats.fault_rate == pytest.approx(1 / 4)

@@ -1,0 +1,110 @@
+"""Failure injection while a paging workload is running.
+
+The fault-tolerance promise of Section IV-D, exercised end-to-end: a
+remote node hosting swap slabs crashes mid-run; the workload must
+complete (slower, via disk backups), never crash, and account for the
+fallbacks.
+"""
+
+import pytest
+
+from repro.core import ClusterConfig, DisaggregatedCluster
+from repro.hw.latency import MiB
+from repro.mem.page import make_pages
+from repro.swap.base import VirtualMemory
+from repro.swap.factory import make_swap_backend
+from repro.swap.fastswap import FastSwap, FastSwapConfig
+from repro.workloads.ml import ML_WORKLOADS
+
+SPEC = ML_WORKLOADS["logistic_regression"].with_overrides(
+    pages=512, iterations=3
+)
+
+
+def run_with_crash(backend_name, crash_at, fs_config=None, seed=3):
+    config = ClusterConfig(
+        num_nodes=4,
+        servers_per_node=1,
+        server_memory_bytes=32 * MiB,
+        donation_fraction=0.0,  # force the remote tier
+        receive_pool_slabs=16,
+        replication_factor=1,
+        seed=seed,
+    )
+    cluster = DisaggregatedCluster.build(config)
+    node = cluster.nodes()[0]
+    backend = make_swap_backend(
+        backend_name, node, cluster, rng=cluster.rng.stream("b"),
+        fastswap_config=fs_config, slabs_per_target=8,
+    )
+    pages = make_pages(SPEC.pages, compressibility_sampler=lambda: 2.0)
+    mmu = VirtualMemory(
+        cluster.env, pages, SPEC.pages // 2, backend,
+        cpu=config.calibration.cpu,
+        compute_per_access=SPEC.compute_per_access,
+    )
+    if isinstance(backend, FastSwap):
+        backend.bind_page_table(mmu.pages, mmu.stats)
+
+    def crasher():
+        yield cluster.env.timeout(crash_at)
+        cluster.crash_node("node1")
+
+    def job():
+        yield from backend.setup()
+        mmu.stats.start_time = cluster.env.now
+        for page_id, is_write in SPEC.trace(cluster.rng.stream("t")):
+            yield from mmu.access(page_id, write=is_write)
+        yield from mmu.flush()
+        mmu.stats.end_time = cluster.env.now
+
+    cluster.env.process(crasher(), name="crasher")
+    cluster.run_process(job())
+    return cluster, backend, mmu
+
+
+def test_fastswap_survives_remote_crash():
+    cluster, backend, mmu = run_with_crash(
+        "fastswap", crash_at=0.02,
+        fs_config=FastSwapConfig(sm_fraction=0.0, slabs_per_target=8),
+    )
+    assert mmu.stats.completion_time > 0
+    assert mmu.stats.accesses == mmu.stats.resident_hits + \
+        mmu.stats.major_faults + mmu.stats.minor_faults
+    # Some reads or batches had to take the disk path.
+    assert backend.disk_fallback_reads + backend.disk_writes > 0
+
+
+def test_infiniswap_survives_remote_crash():
+    _cluster, backend, mmu = run_with_crash("infiniswap", crash_at=0.02)
+    assert mmu.stats.completion_time > 0
+    assert backend.disk_fallback_reads > 0
+
+
+def test_crash_makes_run_slower_not_wrong():
+    _c1, _b1, healthy = run_with_crash(
+        "fastswap", crash_at=1e9,  # never fires within the run
+        fs_config=FastSwapConfig(sm_fraction=0.0, slabs_per_target=8),
+    )
+    _c2, _b2, degraded = run_with_crash(
+        "fastswap", crash_at=0.02,
+        fs_config=FastSwapConfig(sm_fraction=0.0, slabs_per_target=8),
+    )
+    assert degraded.stats.accesses == healthy.stats.accesses
+    assert degraded.stats.completion_time >= healthy.stats.completion_time
+
+
+def test_fastswap_avoids_crashed_node_for_new_batches():
+    cluster, backend, _mmu = run_with_crash(
+        "fastswap", crash_at=0.02,
+        fs_config=FastSwapConfig(sm_fraction=0.0, slabs_per_target=8),
+    )
+    # After the crash, fresh batches route to surviving peers only;
+    # the crashed node's area stops growing.
+    crashed_area = backend.areas.get("node1")
+    if crashed_area is not None:
+        survivors_used = sum(
+            area.used_bytes for node_id, area in backend.areas.items()
+            if node_id != "node1"
+        )
+        assert survivors_used > 0

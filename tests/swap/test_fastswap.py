@@ -1,0 +1,217 @@
+"""Tests for the FastSwap hybrid backend."""
+
+import pytest
+
+from repro.mem.page import make_pages
+from repro.swap.fastswap import FastSwap, FastSwapConfig
+
+from tests.swap.conftest import run
+
+
+def setup_fastswap(cluster, node, config=None):
+    backend = FastSwap(node, cluster, config=config)
+
+    def scenario():
+        yield from backend.setup()
+
+    run(cluster, scenario())
+    return backend
+
+
+def test_adaptive_prefers_shared_memory(cluster, node, pages):
+    backend = setup_fastswap(cluster, node)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        return backend._where[pages[0].page_id][0]
+
+    assert run(cluster, scenario()) == "sm"
+    assert backend.sm_puts == 1
+
+
+def test_compression_reduces_pool_usage(cluster, node):
+    compressible = make_pages(32, compressibility_sampler=lambda: 4.0)
+    backend = setup_fastswap(cluster, node)
+
+    def scenario():
+        for page in compressible:
+            yield from backend.swap_out(page)
+        return node.shared_pool.used_bytes
+
+    used = run(cluster, scenario())
+    assert used == 32 * 1024  # 4 KiB pages at ratio 4 -> 1 KiB chunks
+
+
+def test_no_compression_stores_raw(cluster, node):
+    compressible = make_pages(8, compressibility_sampler=lambda: 4.0)
+    backend = setup_fastswap(cluster, node, FastSwapConfig(compression=False))
+
+    def scenario():
+        for page in compressible:
+            yield from backend.swap_out(page)
+        return node.shared_pool.used_bytes
+
+    assert run(cluster, scenario()) == 8 * 4096
+
+
+def test_fs_rdma_batches_remote_writes(cluster, node, pages):
+    config = FastSwapConfig(sm_fraction=0.0, window=8)
+    backend = setup_fastswap(cluster, node, config)
+
+    def scenario():
+        for page in pages[:16]:
+            yield from backend.swap_out(page)
+        return True
+
+    run(cluster, scenario())
+    assert backend.remote_batches == 2
+    assert backend.remote_pages_out == 16
+    assert backend.sm_puts == 0
+
+
+def test_buffered_page_readable_before_flush(cluster, node, pages):
+    config = FastSwapConfig(sm_fraction=0.0, window=8)
+    backend = setup_fastswap(cluster, node, config)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])  # stays in the batch buffer
+        start = cluster.env.now
+        yield from backend.swap_in(pages[0])
+        return cluster.env.now - start
+
+    elapsed = run(cluster, scenario())
+    assert elapsed == pytest.approx(FastSwap.BUFFER_HIT_TIME)
+
+
+def test_drain_flushes_partial_batch(cluster, node, pages):
+    config = FastSwapConfig(sm_fraction=0.0, window=8)
+    backend = setup_fastswap(cluster, node, config)
+
+    def scenario():
+        for page in pages[:3]:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        return backend._where[pages[0].page_id][0]
+
+    assert run(cluster, scenario()) == "remote"
+    assert backend.remote_batches == 1
+
+
+def test_pbs_prefetches_neighbours(cluster, node, pages):
+    config = FastSwapConfig(sm_fraction=0.0, window=8, pbs=True)
+    backend = setup_fastswap(cluster, node, config)
+    backend.bind_page_table({p.page_id: p for p in pages})
+
+    def scenario():
+        for page in pages[:8]:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    extra = run(cluster, scenario())
+    assert len(extra) == 7
+    assert backend.pbs_pages == 7
+
+
+def test_pbs_disabled_fetches_single_page(cluster, node, pages):
+    config = FastSwapConfig(sm_fraction=0.0, window=8, pbs=False)
+    backend = setup_fastswap(cluster, node, config)
+    backend.bind_page_table({p.page_id: p for p in pages})
+
+    def scenario():
+        for page in pages[:8]:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    assert run(cluster, scenario()) == []
+
+
+def test_sm_pbs_promotes_from_shared_pool(cluster, node, pages):
+    config = FastSwapConfig(sm_fraction=1.0, window=8, pbs=True)
+    backend = setup_fastswap(cluster, node, config)
+    backend.bind_page_table({p.page_id: p for p in pages})
+
+    def scenario():
+        for page in pages[:8]:
+            yield from backend.swap_out(page)
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    extra = run(cluster, scenario())
+    assert len(extra) == 7
+    assert backend.sm_gets == 1
+
+
+def test_fixed_ratio_splits_tiers(cluster, node):
+    pages = make_pages(256, compressibility_sampler=lambda: 2.0)
+    config = FastSwapConfig(sm_fraction=0.5, window=8)
+    backend = setup_fastswap(cluster, node, config)
+
+    def scenario():
+        for page in pages:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        return True
+
+    run(cluster, scenario())
+    tiers = [backend._where[p.page_id][0] for p in pages]
+    sm = tiers.count("sm")
+    remote = tiers.count("remote")
+    assert sm > 0 and remote > 0
+    assert 0.3 < sm / len(pages) < 0.7
+
+
+def test_fixed_ratio_is_deterministic(cluster, node):
+    config = FastSwapConfig(sm_fraction=0.5)
+    backend = setup_fastswap(cluster, node, config)
+    first = [backend._wants_shared_memory(i) for i in range(100)]
+    second = [backend._wants_shared_memory(i) for i in range(100)]
+    assert first == second
+
+
+def test_discard_frees_shared_pool_space(cluster, node, pages):
+    backend = setup_fastswap(cluster, node)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        backend.discard(pages[0])
+        return node.shared_pool.used_bytes
+
+    assert run(cluster, scenario()) == 0
+
+
+def test_remote_crash_falls_back_to_disk(cluster, node, pages):
+    config = FastSwapConfig(sm_fraction=0.0, window=4)
+    backend = setup_fastswap(cluster, node, config)
+
+    def scenario():
+        for page in pages[:4]:
+            yield from backend.swap_out(page)
+        target, _stored = backend._where[pages[0].page_id][1]
+        cluster.crash_node(target)
+        yield from backend.swap_in(pages[0])
+        return True
+
+    run(cluster, scenario())
+    assert backend.disk_fallback_reads == 1
+
+
+def test_cluster_full_spills_batches_to_disk(cluster, node):
+    pages = make_pages(64, compressibility_sampler=lambda: 1.0)
+    config = FastSwapConfig(sm_fraction=0.0, window=8, slabs_per_target=0)
+    backend = setup_fastswap(cluster, node, config)
+    assert not backend.areas  # nothing reserved
+
+    def scenario():
+        for page in pages:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        return True
+
+    run(cluster, scenario())
+    assert backend.disk_writes > 0
+    tiers = {backend._where[p.page_id][0] for p in pages}
+    assert tiers == {"disk"}

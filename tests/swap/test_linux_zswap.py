@@ -1,0 +1,154 @@
+"""Tests for the Linux disk swap and zswap backends."""
+
+import pytest
+
+from repro.hw.latency import MiB
+from repro.mem.page import Page, make_pages
+from repro.swap.linux_swap import LinuxDiskSwap
+from repro.swap.zswap import Zswap
+
+from tests.swap.conftest import run
+
+
+def test_linux_swap_roundtrip(cluster, node, pages):
+    backend = LinuxDiskSwap(node)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        yield from backend.drain()
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    run(cluster, scenario())
+    assert backend.writes == 1
+    assert backend.reads == 1
+    assert node.hdd.stats.reads == 1
+
+
+def test_linux_readahead_returns_neighbours(cluster, node, pages):
+    backend = LinuxDiskSwap(node)
+
+    def scenario():
+        for page in pages[:8]:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    extra = run(cluster, scenario())
+    # Pages 1..7 sit in adjacent slots: the readahead window covers them.
+    assert {p.page_id for p in extra} >= {1, 2, 3, 4, 5, 6, 7}
+
+
+def test_linux_writeback_is_coalesced(cluster, node, pages):
+    backend = LinuxDiskSwap(node)
+
+    def scenario():
+        for page in pages[: backend.WRITE_COALESCE_PAGES]:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        # Let the background bio complete.
+        yield cluster.env.timeout(1.0)
+
+    run(cluster, scenario())
+    assert node.hdd.stats.writes == 1  # one merged bio
+    assert backend.writes == backend.WRITE_COALESCE_PAGES
+
+
+def test_linux_swap_out_does_not_block_on_disk(cluster, node, pages):
+    backend = LinuxDiskSwap(node)
+
+    def scenario():
+        start = cluster.env.now
+        yield from backend.swap_out(pages[0])
+        return cluster.env.now - start
+
+    elapsed = run(cluster, scenario())
+    # Asynchronous writeback: only the submit cost is charged.
+    assert elapsed < 1e-4
+
+
+def test_linux_discard_releases_slot(cluster, node, pages):
+    backend = LinuxDiskSwap(node)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        backend.discard(pages[0])
+        return True
+
+    run(cluster, scenario())
+    assert pages[0].page_id not in backend._slot_of
+
+
+def test_zswap_pool_hit_avoids_disk(cluster, node):
+    backend = Zswap(node, pool_bytes=4 * MiB)
+    page = Page(1, compressibility=4.0)
+
+    def scenario():
+        yield from backend.swap_out(page)
+        yield from backend.swap_in(page)
+        return True
+
+    run(cluster, scenario())
+    assert backend.pool_hits == 1
+    assert node.hdd.stats.reads == 0
+
+
+def test_zswap_rejects_incompressible(cluster, node):
+    backend = Zswap(node, pool_bytes=4 * MiB)
+    page = Page(1, compressibility=1.0)
+
+    def scenario():
+        yield from backend.swap_out(page)
+        yield from backend.drain()
+        yield cluster.env.timeout(1.0)
+        return True
+
+    run(cluster, scenario())
+    assert backend.rejects == 1
+    assert node.hdd.stats.writes == 1
+
+
+def test_zswap_writeback_on_pressure(cluster, node):
+    # Pool fits exactly one compressed half-page pair.
+    backend = Zswap(node, pool_bytes=4096)
+    pages = make_pages(8, compressibility_sampler=lambda: 4.0)
+
+    def scenario():
+        for page in pages:
+            yield from backend.swap_out(page)
+        return True
+
+    run(cluster, scenario())
+    assert backend.writebacks > 0
+
+
+def test_zswap_miss_falls_through_to_disk(cluster, node):
+    backend = Zswap(node, pool_bytes=4096)
+    pages = make_pages(8, compressibility_sampler=lambda: 4.0)
+
+    def scenario():
+        for page in pages:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        yield cluster.env.timeout(1.0)
+        # The first page was written back to disk by now.
+        yield from backend.swap_in(pages[0])
+        return True
+
+    run(cluster, scenario())
+    assert backend.pool_misses == 1
+    assert node.hdd.stats.reads == 1
+
+
+def test_zswap_effective_ratio_capped(cluster, node):
+    backend = Zswap(node, pool_bytes=64 * MiB)
+    pages = make_pages(200, compressibility_sampler=lambda: 8.0)
+
+    def scenario():
+        for page in pages:
+            yield from backend.swap_out(page)
+        return True
+
+    run(cluster, scenario())
+    assert backend.store.effective_ratio() <= 2.0

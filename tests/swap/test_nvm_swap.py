@@ -1,0 +1,76 @@
+"""Tests for the NVM swap tier (paper Section VI)."""
+
+import pytest
+
+from repro.core.errors import NoRemoteCapacity
+from repro.hw.latency import MiB, PAGE_SIZE
+from repro.swap.nvm_swap import NvmSwap
+
+from tests.swap.conftest import run
+
+
+def test_roundtrip(cluster, node, pages):
+    backend = NvmSwap(node)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    assert run(cluster, scenario()) == []
+    assert backend.device.writes == 1
+    assert backend.device.reads == 1
+
+
+def test_capacity_enforced(cluster, node, pages):
+    backend = NvmSwap(node, capacity_bytes=2 * PAGE_SIZE)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        yield from backend.swap_out(pages[1])
+        with pytest.raises(NoRemoteCapacity):
+            yield from backend.swap_out(pages[2])
+        return True
+
+    assert run(cluster, scenario())
+
+
+def test_rewrite_reuses_reservation(cluster, node, pages):
+    backend = NvmSwap(node, capacity_bytes=1 * MiB)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        yield from backend.swap_out(pages[0])
+        return backend.device.used_bytes
+
+    assert run(cluster, scenario()) == PAGE_SIZE
+
+
+def test_discard_frees_capacity(cluster, node, pages):
+    backend = NvmSwap(node, capacity_bytes=1 * MiB)
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        backend.discard(pages[0])
+        return backend.device.used_bytes
+
+    assert run(cluster, scenario()) == 0
+
+
+def test_nvm_slower_than_shm_faster_than_ssd(cluster, node, pages):
+    """The §VI ladder at the single-op level."""
+    backend = NvmSwap(node)
+    calibration = node.config.calibration
+
+    def scenario():
+        start = cluster.env.now
+        yield from backend.swap_out(pages[0])
+        yield from backend.swap_in(pages[0])
+        return cluster.env.now - start
+
+    nvm_time = run(cluster, scenario())
+    shm_time = 2 * node.shared_pool.op_time(PAGE_SIZE)
+    ssd_time = 2 * (
+        calibration.ssd.access_time + PAGE_SIZE / calibration.ssd.bandwidth
+    )
+    assert shm_time < nvm_time < ssd_time

@@ -1,0 +1,104 @@
+"""Tests for the PBS feedback window (readahead-style scaling)."""
+
+from repro.mem.page import make_pages
+from repro.swap.base import PagingStats
+from repro.swap.fastswap import FastSwap, FastSwapConfig
+
+from tests.swap.conftest import run
+
+
+def setup(cluster, node, window=8):
+    backend = FastSwap(
+        node, cluster, config=FastSwapConfig(sm_fraction=0.0, window=window)
+    )
+
+    def scenario():
+        yield from backend.setup()
+
+    run(cluster, scenario())
+    return backend
+
+
+def test_window_starts_at_maximum(cluster, node):
+    backend = setup(cluster, node, window=8)
+    assert backend._pbs_window == 7
+
+
+def test_window_shrinks_on_wasted_prefetch(cluster, node):
+    backend = setup(cluster, node)
+    stats = PagingStats()
+    backend.bind_page_table({}, stats)
+    # 512 issued prefetch pages, zero hits -> halve.
+    backend._pbs_feedback(512)
+    assert backend._pbs_window == 3
+    backend._pbs_feedback(512)
+    assert backend._pbs_window == 1
+    backend._pbs_feedback(512)
+    assert backend._pbs_window == 1  # floor
+
+
+def test_window_grows_back_on_effective_prefetch(cluster, node):
+    backend = setup(cluster, node)
+    stats = PagingStats()
+    backend.bind_page_table({}, stats)
+    backend._pbs_feedback(512)  # collapse first
+    backend._pbs_feedback(512)
+    assert backend._pbs_window == 1
+    stats.prefetch_hits += 400  # 400/512 > grow threshold
+    backend._pbs_feedback(512)
+    assert backend._pbs_window == 2
+    stats.prefetch_hits += 400
+    backend._pbs_feedback(512)
+    assert backend._pbs_window == 4
+
+
+def test_window_capped_at_config(cluster, node):
+    backend = setup(cluster, node, window=4)
+    stats = PagingStats()
+    backend.bind_page_table({}, stats)
+    stats.prefetch_hits = 10_000
+    backend._pbs_feedback(512)
+    assert backend._pbs_window <= 3
+
+
+def test_feedback_needs_epoch_volume(cluster, node):
+    backend = setup(cluster, node)
+    stats = PagingStats()
+    backend.bind_page_table({}, stats)
+    backend._pbs_feedback(100)  # below the 512-page epoch
+    assert backend._pbs_window == 7
+
+
+def test_no_stats_means_static_window(cluster, node):
+    backend = setup(cluster, node)
+    backend.bind_page_table({})  # no stats handle
+    backend._pbs_feedback(10_000)
+    assert backend._pbs_window == 7
+
+
+def test_scan_keeps_window_random_shrinks_it(cluster, node):
+    """End to end: a scan stream sustains the window; random collapses it."""
+    from repro.sim import RngStreams
+    from repro.swap.base import VirtualMemory
+
+    pages = make_pages(2048, compressibility_sampler=lambda: 2.0)
+    backend = setup(cluster, node)
+    mmu = VirtualMemory(cluster.env, pages, 512, backend,
+                        prefetch_capacity=256)
+    backend.bind_page_table(mmu.pages, mmu.stats)
+    rng = RngStreams(4).stream("r")
+
+    def scan_then_random():
+        for _ in range(2):
+            for page_id in range(2048):
+                yield from mmu.access(page_id)
+        yield from mmu.flush()
+        window_after_scan = backend._pbs_window
+        for _ in range(6000):
+            yield from mmu.access(rng.randrange(2048))
+        yield from mmu.flush()
+        return window_after_scan, backend._pbs_window
+
+    after_scan, after_random = run(cluster, scan_then_random())
+    assert after_scan == 7
+    assert after_random < after_scan

@@ -1,0 +1,104 @@
+"""Tests for the NBDX and Infiniswap backends."""
+
+import pytest
+
+from repro.swap.remote_block import Infiniswap, Nbdx
+
+from tests.swap.conftest import run
+
+
+def setup_backend(cluster, node, cls, **kwargs):
+    backend = cls(node, cluster, **kwargs)
+
+    def scenario():
+        yield from backend.setup()
+
+    run(cluster, scenario())
+    return backend
+
+
+def test_nbdx_uses_single_server(cluster, node):
+    backend = setup_backend(cluster, node, Nbdx, slabs_per_target=2)
+    assert len(backend.areas) == 1
+
+
+def test_infiniswap_stripes_over_peers(cluster, node):
+    backend = setup_backend(
+        cluster, node, Infiniswap, slabs_per_target=2,
+        rng=cluster.rng.stream("t"),
+    )
+    assert len(backend.areas) == 3  # all group peers
+
+
+def test_swap_roundtrip_charges_network(cluster, node, pages):
+    backend = setup_backend(cluster, node, Infiniswap, slabs_per_target=2,
+                            rng=cluster.rng.stream("t"))
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    extra = run(cluster, scenario())
+    assert extra == []
+    assert backend.remote_writes == 1
+    assert backend.remote_reads == 1
+    assert cluster.fabric.total_bytes > 4096
+
+
+def test_swap_area_exhaustion_degrades_to_disk(cluster, node, pages):
+    backend = setup_backend(cluster, node, Nbdx, slabs_per_target=1)
+    # Fill every reserved area to force exhaustion.
+    for area in backend.areas.values():
+        area.used_bytes = area.capacity_bytes
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        extra = yield from backend.swap_in(pages[0])
+        return extra
+
+    assert run(cluster, scenario()) == []
+    assert backend.disk_fallback_writes == 1
+    assert backend.disk_fallback_reads == 1
+    assert node.hdd.stats.writes == 1
+
+
+def test_remote_failure_falls_back_to_disk(cluster, node, pages):
+    backend = setup_backend(cluster, node, Infiniswap, slabs_per_target=2,
+                            rng=cluster.rng.stream("t"))
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        target = backend._location[pages[0].page_id]
+        cluster.crash_node(target)
+        yield from backend.swap_in(pages[0])
+        return True
+
+    run(cluster, scenario())
+    assert backend.disk_fallback_reads == 1
+    assert node.hdd.stats.reads == 1
+
+
+def test_discard_frees_area_bytes(cluster, node, pages):
+    backend = setup_backend(cluster, node, Infiniswap, slabs_per_target=2,
+                            rng=cluster.rng.stream("t"))
+
+    def scenario():
+        yield from backend.swap_out(pages[0])
+        return True
+
+    run(cluster, scenario())
+    used_before = sum(a.used_bytes for a in backend.areas.values())
+    backend.discard(pages[0])
+    assert sum(a.used_bytes for a in backend.areas.values()) < used_before
+
+
+def test_infiniswap_slower_than_fastswap_per_page(cluster, node):
+    """Block-layer overhead makes per-page remote ops pricier."""
+    from repro.swap.fastswap import FastSwap
+
+    assert Infiniswap.EXTRA_OP_OVERHEAD > Nbdx.EXTRA_OP_OVERHEAD
+    assert (
+        node.config.calibration.cpu.block_layer_overhead
+        > FastSwap.REMOTE_PER_PAGE_OVERHEAD
+    )

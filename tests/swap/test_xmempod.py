@@ -1,0 +1,77 @@
+"""Tests for the XMemPod SSD-tier cascade."""
+
+from repro.mem.page import make_pages
+from repro.swap.factory import make_swap_backend
+from repro.swap.fastswap import FastSwapConfig
+
+from tests.swap.conftest import run
+
+
+def make_xmempod(cluster, node, **config_kwargs):
+    backend = make_swap_backend(
+        "xmempod", node, cluster,
+        fastswap_config=FastSwapConfig(**config_kwargs),
+    )
+
+    def scenario():
+        yield from backend.setup()
+
+    run(cluster, scenario())
+    return backend
+
+
+def test_factory_builds_ssd_variant(cluster, node):
+    backend = make_xmempod(cluster, node)
+    assert backend.name == "xmempod"
+    assert backend.config.ssd_tier
+
+
+def test_overflow_goes_to_ssd_not_hdd(cluster, node):
+    pages = make_pages(32, compressibility_sampler=lambda: 1.0)
+    backend = make_xmempod(cluster, node, sm_fraction=0.0, window=8,
+                           slabs_per_target=0)
+
+    def scenario():
+        for page in pages:
+            yield from backend.swap_out(page)
+        yield from backend.drain()
+        yield from backend.swap_in(pages[0])
+        return True
+
+    run(cluster, scenario())
+    assert backend.ssd_writes > 0
+    assert backend.ssd_reads == 1
+    assert backend.disk_writes == 0
+    assert node.ssd.stats.writes > 0
+    assert node.hdd.stats.writes == 0
+    tiers = {backend._where[p.page_id][0] for p in pages}
+    assert tiers == {"ssd"}
+
+
+def test_ssd_tier_faster_than_hdd_tier(cluster, node):
+    pages = make_pages(32, compressibility_sampler=lambda: 1.0)
+
+    def timed(backend):
+        def scenario():
+            yield from backend.setup()
+            start = cluster.env.now
+            for page in pages:
+                yield from backend.swap_out(page)
+            yield from backend.drain()
+            for page in pages:
+                yield from backend.swap_in(page)
+            return cluster.env.now - start
+
+        return run(cluster, scenario())
+
+    ssd_backend = make_swap_backend(
+        "xmempod", node, cluster,
+        fastswap_config=FastSwapConfig(sm_fraction=0.0, slabs_per_target=0),
+    )
+    ssd_time = timed(ssd_backend)
+    hdd_backend = make_swap_backend(
+        "fastswap", node, cluster,
+        fastswap_config=FastSwapConfig(sm_fraction=0.0, slabs_per_target=0),
+    )
+    hdd_time = timed(hdd_backend)
+    assert ssd_time < hdd_time / 5

@@ -1,0 +1,89 @@
+"""Unit tests for access-pattern primitives."""
+
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    ZipfSampler,
+    interleave,
+    sequential_scan,
+    strided_scan,
+    take,
+)
+
+
+def test_zipf_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, rng)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -1.0, rng)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, 1.0, rng, locality_block=0)
+
+
+def test_zipf_range():
+    sampler = ZipfSampler(100, 1.0, random.Random(1))
+    draws = [sampler.sample() for _ in range(1000)]
+    assert all(0 <= d < 100 for d in draws)
+
+
+def test_zipf_skew():
+    sampler = ZipfSampler(1000, 1.2, random.Random(1), permute=False)
+    draws = [sampler.sample() for _ in range(5000)]
+    top_ten = sum(1 for d in draws if d < 10)
+    assert top_ten / len(draws) > 0.3  # heavy head
+
+
+def test_zipf_alpha_zero_is_uniformish():
+    sampler = ZipfSampler(10, 0.0, random.Random(1), permute=False)
+    draws = [sampler.sample() for _ in range(10000)]
+    counts = [draws.count(i) for i in range(10)]
+    assert max(counts) < 2 * min(counts)
+
+
+def test_zipf_permutation_decorrelates_rank_and_address():
+    no_permute = ZipfSampler(1000, 1.2, random.Random(1), permute=False)
+    permute = ZipfSampler(1000, 1.2, random.Random(1), permute=True)
+    hot_no = {no_permute.sample() for _ in range(200)}
+    hot_yes = {permute.sample() for _ in range(200)}
+    assert hot_no != hot_yes
+
+
+def test_zipf_locality_block_clusters_hot_addresses():
+    sampler = ZipfSampler(1024, 1.2, random.Random(3), locality_block=8)
+    draws = [sampler.sample() for _ in range(2000)]
+    hot = sorted(set(draws), key=draws.count, reverse=True)[:32]
+    # Hot addresses come from few distinct blocks.
+    blocks = {address // 8 for address in hot}
+    assert len(blocks) < len(hot)
+
+
+def test_zipf_mapping_is_bijective():
+    sampler = ZipfSampler(100, 1.0, random.Random(2), locality_block=8)
+    assert sorted(sampler._mapping) == list(range(100))
+
+
+def test_sequential_scan():
+    assert list(sequential_scan(4)) == [0, 1, 2, 3]
+    assert list(sequential_scan(4, start=2)) == [2, 3, 0, 1]
+
+
+def test_strided_scan_covers_with_coprime_stride():
+    assert sorted(strided_scan(8, 3)) == list(range(8))
+
+
+def test_interleave_ratio_zero():
+    rng = random.Random(0)
+    assert list(interleave([1, 2, 3], iter([9, 9]), 0.0, rng)) == [1, 2, 3]
+
+
+def test_interleave_ratio_one():
+    rng = random.Random(0)
+    out = list(interleave([1, 2], iter([8, 9]), 1.0, rng))
+    assert out == [1, 8, 2, 9]
+
+
+def test_take():
+    assert take(iter(range(100)), 3) == [0, 1, 2]

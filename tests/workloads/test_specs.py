@@ -1,0 +1,88 @@
+"""Unit tests for workload specs and the Table 1 catalog."""
+
+import random
+
+import pytest
+
+from repro.workloads.catalog import APPLICATIONS, get_application, iter_applications
+from repro.workloads.kv import KV_WORKLOADS
+from repro.workloads.ml import ML_WORKLOADS
+
+
+def test_catalog_has_ten_applications():
+    assert len(APPLICATIONS) == 10
+    assert len(iter_applications()) == 10
+
+
+def test_catalog_sizes_match_paper_ranges():
+    for app in iter_applications():
+        assert 25 <= app.working_set_bytes / 2**30 <= 30
+        assert 12 <= app.input_bytes / 2**30 <= 20
+
+
+def test_catalog_lookup():
+    assert get_application("pagerank").framework == "PowerGraph"
+    with pytest.raises(KeyError):
+        get_application("minesweeper")
+
+
+def test_catalog_workload_scaled_to_spec():
+    app = get_application("pagerank")
+    workload = app.workload()
+    assert workload.pages == app.scaled_pages
+
+
+def test_catalog_kv_workloads_resolve():
+    app = get_application("voltdb")
+    workload = app.workload()
+    assert workload.pages_per_key == 2
+    assert workload.pages <= app.scaled_pages
+
+
+def test_ml_trace_shape():
+    spec = ML_WORKLOADS["kmeans"].with_overrides(pages=64, iterations=2)
+    trace = list(spec.trace(random.Random(0)))
+    page_ids = [page_id for page_id, _w in trace]
+    assert max(page_ids) < 64
+    assert min(page_ids) == 0
+    # Each iteration scans the whole set at least once.
+    assert len(trace) >= 2 * 64
+
+
+def test_ml_trace_write_fraction():
+    spec = ML_WORKLOADS["kmeans"].with_overrides(
+        pages=256, iterations=4, write_fraction=0.5
+    )
+    trace = list(spec.trace(random.Random(0)))
+    writes = sum(1 for _p, w in trace if w)
+    assert 0.4 < writes / len(trace) < 0.6
+
+
+def test_ml_trace_deterministic():
+    spec = ML_WORKLOADS["svm"].with_overrides(pages=64, iterations=1)
+    a = list(spec.trace(random.Random(5)))
+    b = list(spec.trace(random.Random(5)))
+    assert a == b
+
+
+def test_ml_approximate_accesses():
+    spec = ML_WORKLOADS["pagerank"].with_overrides(pages=1000, iterations=2)
+    trace_length = len(list(spec.trace(random.Random(0))))
+    assert trace_length == pytest.approx(spec.approximate_accesses, rel=0.15)
+
+
+def test_kv_operations_stream():
+    spec = KV_WORKLOADS["voltdb"].with_overrides(keys=32)
+    stream = spec.operations(random.Random(0))
+    for _ in range(100):
+        first_page, count, is_write = next(stream)
+        assert count == 2
+        assert 0 <= first_page < spec.pages
+        assert first_page % 2 == 0
+
+
+def test_kv_read_fraction():
+    spec = KV_WORKLOADS["memcached"].with_overrides(keys=64)
+    stream = spec.operations(random.Random(1))
+    writes = sum(1 for _ in range(2000) if next(stream)[2])
+    assert writes / 2000 == pytest.approx(0.05, abs=0.02)
