@@ -28,6 +28,7 @@ from repro.experiments import (
     fig10_dahi_spark,
     table1_applications,
 )
+from repro.experiments.runner import TIER_REGISTRY
 from repro.metrics.reporting import format_table
 
 EXPERIMENTS = {
@@ -55,8 +56,9 @@ def _list():
     print(format_table(rows, title="available experiments"))
 
 
-def _run(name, scale, seed):
+def _run(name, scale, seed, tiers=False):
     module, _description = EXPERIMENTS[name]
+    TIER_REGISTRY.clear()
     if name == "table1":
         module.main()
         return
@@ -70,6 +72,13 @@ def _run(name, scale, seed):
             print(format_table(result["rows"], title=name))
     else:
         module.main()
+    if tiers:
+        rows = TIER_REGISTRY.rows()
+        if rows:
+            print()
+            print(format_table(
+                rows, title="{} — per-tier breakdown".format(name)
+            ))
 
 
 def main(argv=None):
@@ -81,19 +90,23 @@ def main(argv=None):
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--scale", type=float, default=1.0)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--tiers", action="store_true",
+                            help="print the per-tier cascade breakdown")
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", type=float, default=1.0)
     all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument("--tiers", action="store_true",
+                            help="print the per-tier cascade breakdown")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         _list()
     elif args.command == "run":
-        _run(args.experiment, args.scale, args.seed)
+        _run(args.experiment, args.scale, args.seed, tiers=args.tiers)
     elif args.command == "all":
         for name in EXPERIMENTS:
             print("\n===== {} =====".format(name))
-            _run(name, args.scale, args.seed)
+            _run(name, args.scale, args.seed, tiers=args.tiers)
     return 0
 
 

@@ -38,7 +38,6 @@ def run_tier_ladder(scale=1.0, seed=0):
     from repro.mem.page import make_pages
     from repro.swap.base import VirtualMemory
     from repro.swap.factory import make_swap_backend
-    from repro.swap.fastswap import FastSwap
     from repro.swap.nvm_swap import NvmSwap
 
     spec = _spec(scale)
@@ -81,7 +80,7 @@ def run_tier_ladder(scale=1.0, seed=0):
             cpu=config.calibration.cpu,
             compute_per_access=spec.compute_per_access,
         )
-        if isinstance(backend, FastSwap):
+        if hasattr(backend, "bind_page_table"):
             backend.bind_page_table(mmu.pages, mmu.stats)
 
         def job():

@@ -82,7 +82,7 @@ def run(scale=1.0, seed=0, workload="logistic_regression",
             cpu=cluster.config.calibration.cpu,
             compute_per_access=spec.compute_per_access,
         )
-        if isinstance(backend, FastSwap):
+        if hasattr(backend, "bind_page_table"):
             backend.bind_page_table(mmu.pages, mmu.stats)
 
         def job():

@@ -20,7 +20,6 @@ from repro.metrics.reporting import format_table
 from repro.metrics.utilization import ClusterUtilizationMonitor
 from repro.swap.base import VirtualMemory
 from repro.swap.factory import make_swap_backend
-from repro.swap.fastswap import FastSwap
 from repro.workloads.ml import ML_WORKLOADS
 
 SYSTEMS = ("fastswap", "infiniswap", "linux")
@@ -50,7 +49,7 @@ def _run_system(system, spec, tenants, seed):
             cpu=config.calibration.cpu,
             compute_per_access=spec.compute_per_access,
         )
-        if isinstance(backend, FastSwap):
+        if hasattr(backend, "bind_page_table"):
             backend.bind_page_table(mmu.pages, mmu.stats)
         mmus.append(mmu)
 

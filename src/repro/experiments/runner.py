@@ -13,7 +13,6 @@ from repro.hw.latency import MiB
 from repro.mem.page import make_pages
 from repro.swap.base import VirtualMemory
 from repro.swap.factory import make_swap_backend
-from repro.swap.fastswap import FastSwap
 
 
 def default_cluster_config(seed=0, **overrides):
@@ -47,6 +46,10 @@ class PagingRunResult:
     completion_time: float
     stats: dict = field(default_factory=dict)
     backend_stats: dict = field(default_factory=dict)
+    #: Per-tier rows from the cascade's metrics registry (top tier first).
+    tier_stats: list = field(default_factory=list)
+    #: Human-readable tier stack, e.g. ``sm -> remote -> disk``.
+    tier_stack: str = ""
 
     def row(self):
         return {
@@ -68,6 +71,10 @@ class KvRunResult:
     mean_throughput: float
     timeline: list = field(default_factory=list)  # (window_end_s, ops_per_s)
     operations: int = 0
+    #: Per-tier rows from the cascade's metrics registry (top tier first).
+    tier_stats: list = field(default_factory=list)
+    #: Human-readable tier stack, e.g. ``sm -> remote -> disk``.
+    tier_stack: str = ""
 
 
 def _build(backend_name, cluster_config, fastswap_config, slabs_per_target):
@@ -97,6 +104,48 @@ def _collect_backend_stats(backend):
         for name in interesting
         if hasattr(backend, name)
     }
+
+
+def _collect_tier_stats(backend):
+    """Per-tier breakdown rows and stack description, if a cascade."""
+    if not hasattr(backend, "tier_breakdown"):
+        return [], ""
+    return backend.tier_breakdown(), backend.describe_stack()
+
+
+class TierRegistry:
+    """Unified per-tier metrics registry fed by every runner invocation.
+
+    Each paging/KV run appends its cascade's per-tier rows here, so an
+    experiment module — which typically keeps only completion times —
+    can still report the tier breakdown of everything it ran
+    (``python -m repro.experiments run <name> --tiers``).
+    """
+
+    def __init__(self):
+        self._rows = []
+
+    def record(self, backend_name, workload, fit_fraction, tier_stack,
+               tier_stats):
+        for tier_row in tier_stats:
+            row = {
+                "backend": backend_name,
+                "workload": workload,
+                "fit": fit_fraction,
+                "stack": tier_stack,
+            }
+            row.update(tier_row)
+            self._rows.append(row)
+
+    def rows(self):
+        return list(self._rows)
+
+    def clear(self):
+        self._rows.clear()
+
+
+#: Process-wide registry: cleared/rendered by the experiments CLI.
+TIER_REGISTRY = TierRegistry()
 
 
 def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
@@ -136,7 +185,7 @@ def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
         compute_per_access=spec.compute_per_access,
         fault_histogram=fault_histogram,
     )
-    if isinstance(backend, FastSwap):
+    if hasattr(backend, "bind_page_table"):
         backend.bind_page_table(mmu.pages, mmu.stats)
 
     def job():
@@ -148,6 +197,10 @@ def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
         mmu.stats.end_time = cluster.env.now
 
     cluster.run_process(job(), name="paging:{}".format(backend_name))
+    tier_stats, tier_stack = _collect_tier_stats(backend)
+    TIER_REGISTRY.record(
+        backend_name, spec.name, fit_fraction, tier_stack, tier_stats
+    )
     result = PagingRunResult(
         backend=backend_name,
         workload=spec.name,
@@ -155,6 +208,8 @@ def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
         completion_time=mmu.stats.completion_time,
         stats=mmu.stats.snapshot(),
         backend_stats=_collect_backend_stats(backend),
+        tier_stats=tier_stats,
+        tier_stack=tier_stack,
     )
     if fault_histogram is not None:
         result.stats["fault_p50_s"] = fault_histogram.percentile(0.5)
@@ -198,7 +253,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, duration=5.0,
         compute_per_access=spec.compute_per_op,
         prefetch_capacity=prefetch_capacity,
     )
-    if isinstance(backend, FastSwap):
+    if hasattr(backend, "bind_page_table"):
         backend.bind_page_table(mmu.pages, mmu.stats)
     timeline = []
     completed = {"ops": 0}
@@ -231,6 +286,10 @@ def run_kv_workload(backend_name, spec, fit_fraction, duration=5.0,
 
     cluster.run_process(client(), name="kv:{}".format(backend_name))
     mean = completed["ops"] / duration
+    tier_stats, tier_stack = _collect_tier_stats(backend)
+    TIER_REGISTRY.record(
+        backend_name, spec.name, fit_fraction, tier_stack, tier_stats
+    )
     return KvRunResult(
         backend=backend_name,
         workload=spec.name,
@@ -238,6 +297,8 @@ def run_kv_workload(backend_name, spec, fit_fraction, duration=5.0,
         mean_throughput=mean,
         timeline=timeline,
         operations=completed["ops"],
+        tier_stats=tier_stats,
+        tier_stack=tier_stack,
     )
 
 

@@ -7,7 +7,11 @@
   figures plot.
 """
 
-from repro.metrics.reporting import format_series, format_table
+from repro.metrics.reporting import (
+    format_series,
+    format_table,
+    format_tier_breakdown,
+)
 from repro.metrics.stats import Counter, Histogram, RunningStats, TimeSeries
 
 __all__ = [
@@ -17,4 +21,5 @@ __all__ = [
     "TimeSeries",
     "format_series",
     "format_table",
+    "format_tier_breakdown",
 ]

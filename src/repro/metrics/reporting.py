@@ -12,6 +12,8 @@ def format_table(rows, columns=None, title=None, float_format="{:.4g}"):
         columns = list(rows[0].keys())
 
     def cell(value):
+        if value is None:
+            return ""
         if isinstance(value, float):
             return float_format.format(value)
         return str(value)
@@ -30,6 +32,21 @@ def format_table(rows, columns=None, title=None, float_format="{:.4g}"):
     for line in rendered:
         lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
     return "\n".join(lines)
+
+
+def format_tier_breakdown(result, float_format="{:.4g}"):
+    """Render a run result's per-tier cascade breakdown as a table.
+
+    ``result`` is any run result carrying ``tier_stats`` rows (from
+    :meth:`~repro.tiers.cascade.TierCascade.tier_breakdown`) and a
+    ``tier_stack`` description; returns ``""`` when the backend exposed
+    no tiers.
+    """
+    rows = getattr(result, "tier_stats", None)
+    if not rows:
+        return ""
+    title = "{} tiers: {}".format(result.backend, result.tier_stack)
+    return format_table(rows, title=title, float_format=float_format)
 
 
 def format_series(series, title=None, x_label="t", y_label="value",

@@ -4,35 +4,59 @@ The paging substrate (:mod:`repro.swap.base`) models a virtual server's
 MMU under memory pressure: a resident set with LRU replacement, page
 faults, dirty tracking, a swap cache / prefetch buffer, and pluggable
 *swap backends* that decide where evicted pages go and what a swap-in
-costs.  The five backends compared in Section V:
+costs.  Every backend is a :class:`~repro.tiers.cascade.TierCascade` —
+an ordered stack of :mod:`repro.tiers` with spill-on-full, demotion and
+pluggable placement / compression / failover policies.  The backends
+compared in Section V, as tier stacks:
 
-* :class:`~repro.swap.linux_swap.LinuxDiskSwap` — the kernel baseline:
-  swap slots on a rotational disk, cluster readahead on swap-in;
-* :class:`~repro.swap.zswap.Zswap` — a compressed RAM cache (zbud
-  allocator) in front of disk swap;
-* :class:`~repro.swap.remote_block.Nbdx` — a remote block device over
-  RDMA (per-page ops through the block layer);
-* :class:`~repro.swap.remote_block.Infiniswap` — decentralized remote
-  paging over NBDX-style block I/O with power-of-two slab placement;
-* :class:`~repro.swap.fastswap.FastSwap` — the paper's hybrid system:
-  node shared-memory pool first, then batched + compressed RDMA remote
-  memory, then disk; with proactive batch swap-in (PBS).
+* :class:`~repro.swap.linux_swap.LinuxDiskSwap` — ``disk``: the kernel
+  baseline, swap slots on a rotational disk with cluster readahead;
+* :class:`~repro.swap.zswap.Zswap` — ``pool → disk``: a compressed RAM
+  cache (zbud allocator) in front of disk swap;
+* :class:`~repro.swap.remote_block.Nbdx` — ``remote → disk-backup``: a
+  remote block device over RDMA (per-page ops through the block layer);
+* :class:`~repro.swap.remote_block.Infiniswap` — ``remote →
+  disk-backup``: decentralized remote paging over NBDX-style block I/O
+  with power-of-two slab placement;
+* :class:`~repro.swap.fastswap.FastSwap` — ``sm → remote → disk``: the
+  paper's hybrid system with batching, multi-granularity compression
+  and proactive batch swap-in (PBS);
+* :class:`~repro.swap.nvm_swap.NvmSwap` — ``nvm``: the Section VI
+  local persistent-memory tier.
+
+:func:`~repro.swap.factory.make_swap_backend` also assembles
+cascade-only design points ("nvm-remote", "zswap-remote") that have no
+dedicated class.
 """
 
-from repro.swap.base import PagingStats, SwapBackend, VirtualMemory
-from repro.swap.fastswap import FastSwap, FastSwapConfig
-from repro.swap.linux_swap import LinuxDiskSwap
-from repro.swap.remote_block import Infiniswap, Nbdx
-from repro.swap.zswap import Zswap
+import importlib
 
-__all__ = [
-    "FastSwap",
-    "FastSwapConfig",
-    "Infiniswap",
-    "LinuxDiskSwap",
-    "Nbdx",
-    "PagingStats",
-    "SwapBackend",
-    "VirtualMemory",
-    "Zswap",
-]
+# Exports resolve lazily (PEP 562): the concrete backends subclass
+# repro.tiers.TierCascade, which itself imports repro.swap.base, so an
+# eager import here would be circular whenever repro.tiers loads first.
+_EXPORTS = {
+    "FastSwap": "repro.swap.fastswap",
+    "FastSwapConfig": "repro.swap.fastswap",
+    "Infiniswap": "repro.swap.remote_block",
+    "LinuxDiskSwap": "repro.swap.linux_swap",
+    "Nbdx": "repro.swap.remote_block",
+    "NvmSwap": "repro.swap.nvm_swap",
+    "PagingStats": "repro.swap.base",
+    "SwapBackend": "repro.swap.base",
+    "VirtualMemory": "repro.swap.base",
+    "Zswap": "repro.swap.zswap",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module {!r} has no attribute {!r}".format(__name__, name)
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value

@@ -1,14 +1,96 @@
-"""Construction of swap backends by name (used by every benchmark)."""
+"""Construction of swap backends by name (used by every benchmark).
+
+Every backend is a :class:`~repro.tiers.cascade.TierCascade`; the named
+classics keep their historical classes (and counters), while the
+cascade-only design points the paper discusses but no shipped system
+implements — an NVM-before-remote hybrid, a compressed-remote-only
+store — are assembled declaratively right here.
+"""
+
+from dataclasses import replace
 
 from repro.hw.latency import MiB
+from repro.mem.compression import CompressionEngine, GranularityStore
 from repro.swap.fastswap import FastSwap, FastSwapConfig
 from repro.swap.linux_swap import LinuxDiskSwap
+from repro.swap.nvm_swap import NvmSwap
 from repro.swap.remote_block import Infiniswap, Nbdx
 from repro.swap.zswap import Zswap
+from repro.tiers.cascade import TierCascade
+from repro.tiers.compressed import CompressedPoolTier, CompressionLayer
+from repro.tiers.disk import BatchSpillTier
+from repro.tiers.nvm import NvmTier
+from repro.tiers.pbs import PbsController
+from repro.tiers.remote import RemoteRdmaTier
+from repro.tiers.remote_block import DiskBackupTier, RemoteBlockTier
 
 #: Baselines and systems compared across Section V ("xmempod" is the
-#: paper's reference [36]: FastSwap's cascade extended with an SSD tier).
-BACKEND_NAMES = ("linux", "zswap", "nbdx", "infiniswap", "fastswap", "xmempod")
+#: paper's reference [36]: FastSwap's cascade extended with an SSD
+#: tier), the Section VI NVM tier, and two cascade-only design points.
+BACKEND_NAMES = (
+    "linux",
+    "zswap",
+    "nbdx",
+    "infiniswap",
+    "fastswap",
+    "xmempod",
+    "nvm",
+    "nvm-remote",
+    "zswap-remote",
+)
+
+
+def _make_nvm_remote(node, directory, slabs_per_target, cpu):
+    """NVM-before-remote hybrid (Section VI): a design point no shipped
+    system implements — compressed pages fill a small local NVM device
+    first, overflow to batched RDMA remote memory with PBS, and only a
+    full cluster spills to disk."""
+    engine = CompressionEngine(node.config.calibration.compression)
+    store = GranularityStore((512, 1024, 2048, 4096))
+    return TierCascade(
+        node,
+        [
+            NvmTier(node, capacity_bytes=8 * node.config.slab_bytes),
+            RemoteRdmaTier(
+                node,
+                directory,
+                slabs_per_target=slabs_per_target,
+                reserve_tag="nvm-remote-slab",
+            ),
+            BatchSpillTier(node, node.hdd, "disk", cpu=cpu),
+        ],
+        name="nvm-remote",
+        compression=CompressionLayer(node.env, engine, store),
+        pbs=PbsController(8),
+    )
+
+
+def _make_zswap_remote(node, directory, pool_bytes, slabs_per_target, cpu,
+                       rng):
+    """Compressed-remote-only store: a zbud RAM pool whose writebacks
+    and rejects land in remote memory (power-of-two placement) instead
+    of the local swap device; disk serves only as failure backup."""
+    return TierCascade(
+        node,
+        [
+            CompressedPoolTier(node, pool_bytes),
+            RemoteBlockTier(
+                node,
+                directory,
+                backend_name="zswap-remote",
+                slabs_per_target=slabs_per_target,
+                extra_op_overhead=Nbdx.EXTRA_OP_OVERHEAD,
+                cpu=cpu,
+                rng=rng,
+                power_of_two=True,
+            ),
+            DiskBackupTier(
+                node,
+                op_overhead=cpu.block_layer_overhead + Nbdx.EXTRA_OP_OVERHEAD,
+            ),
+        ],
+        name="zswap-remote",
+    )
 
 
 def make_swap_backend(name, node, directory, rng=None, fastswap_config=None,
@@ -21,6 +103,12 @@ def make_swap_backend(name, node, directory, rng=None, fastswap_config=None,
     zswap RAM pool size, and per-target slab reservations for the
     remote backends.
     """
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            "unknown swap backend {!r}; valid backends: {}".format(
+                name, ", ".join(sorted(BACKEND_NAMES))
+            )
+        )
     cpu = node.config.calibration.cpu
     if name == "linux":
         return LinuxDiskSwap(node, cpu=cpu)
@@ -36,10 +124,15 @@ def make_swap_backend(name, node, directory, rng=None, fastswap_config=None,
         return FastSwap(node, directory, config=fastswap_config, cpu=cpu)
     if name == "xmempod":
         config = fastswap_config or FastSwapConfig()
-        from dataclasses import replace
-
         backend = FastSwap(node, directory, config=replace(config, ssd_tier=True),
                            cpu=cpu)
         backend.name = "xmempod"
         return backend
-    raise ValueError("unknown swap backend {!r}".format(name))
+    if name == "nvm":
+        return NvmSwap(node, cpu=cpu)
+    if name == "nvm-remote":
+        return _make_nvm_remote(node, directory, slabs_per_target, cpu)
+    assert name == "zswap-remote"
+    return _make_zswap_remote(
+        node, directory, zswap_pool_bytes, slabs_per_target, cpu, rng
+    )

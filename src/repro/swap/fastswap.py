@@ -1,32 +1,43 @@
 """FastSwap: the paper's hybrid disaggregated-memory swapping system.
 
-FastSwap combines every mechanism Sections III–IV argue for:
+FastSwap combines every mechanism Sections III–IV argue for, expressed
+as a three-level :class:`~repro.tiers.cascade.TierCascade`:
 
 * **hybrid tiers** — evicted pages go to the node-coordinated shared
   memory pool first (DRAM speed), then to remote memory over RDMA, then
-  to disk;
+  to disk (:class:`~repro.tiers.shared_pool.SharedPoolTier` →
+  :class:`~repro.tiers.remote.RemoteRdmaTier` →
+  :class:`~repro.tiers.disk.BatchSpillTier`);
 * **multi-granularity compression** (Section IV-H, Figures 3–5) —
+  a cascade-wide :class:`~repro.tiers.compressed.CompressionLayer`:
   pages are LZO-compressed and charged at 512 B / 1 K / 2 K / 4 K
   granularity, so the same pools hold several times more pages;
 * **window-based batching** (Figure 6) — remote swap-outs accumulate in
   the send buffer and ship as one RDMA transfer per window;
-* **proactive batch swap-in, PBS** (Figures 6 and 9) — a remote fault
-  fetches a window of neighbouring swapped pages in the same one-sided
-  read and parks them in the swap cache;
+* **proactive batch swap-in, PBS** (Figures 6 and 9) — a shared
+  :class:`~repro.tiers.pbs.PbsController`: a fault fetches a window of
+  neighbouring swapped pages in the same operation and parks them in
+  the swap cache;
 * a **distribution-ratio knob** (Figure 8) — FS-SM / FS-9:1 / FS-7:3 /
   FS-5:5 / FS-RDMA fix the fraction of swap traffic served by the node
-  shared pool vs. cluster remote memory.
+  shared pool vs. cluster remote memory
+  (:class:`~repro.tiers.cascade.FixedRatioPlacement`).
 """
 
 from dataclasses import dataclass
 
-from repro.core.errors import ControlTimeout
-from repro.hw.latency import PAGE_SIZE, CpuSpec
+from repro.hw.latency import CpuSpec
 from repro.mem.compression import CompressionEngine, GranularityStore
-from repro.mem.shared_pool import PoolFull
-from repro.net.errors import NetworkError
-from repro.net.rdma import RemoteAccessError
-from repro.swap.base import SwapBackend
+from repro.tiers.cascade import (
+    AdaptivePlacement,
+    FixedRatioPlacement,
+    TierCascade,
+)
+from repro.tiers.compressed import CompressionLayer
+from repro.tiers.disk import BatchSpillTier
+from repro.tiers.pbs import PbsController
+from repro.tiers.remote import RemoteRdmaTier
+from repro.tiers.shared_pool import SharedPoolTier
 
 
 @dataclass
@@ -49,387 +60,113 @@ class FastSwapConfig:
     #: peer's receive pool actually donates).
     slabs_per_target: int = 24
     #: Spill overflowing batches to the local SSD before the HDD — the
-    #: XMemPod tier cascade (shared memory → remote → SSD → HDD).
+    #: XMemPod tier cascade (shared memory → remote → SSD).
     ssd_tier: bool = False
 
 
-class _RemoteArea:
-    __slots__ = ("node_id", "capacity_bytes", "used_bytes")
-
-    def __init__(self, node_id, capacity_bytes):
-        self.node_id = node_id
-        self.capacity_bytes = capacity_bytes
-        self.used_bytes = 0
-
-    @property
-    def free_bytes(self):
-        return self.capacity_bytes - self.used_bytes
-
-
-class FastSwap(SwapBackend):
+class FastSwap(TierCascade):
     """The hybrid node-level + cluster-level swap backend."""
 
     name = "fastswap"
 
     #: Serving a page still sitting in the local send buffer: DRAM copy.
-    BUFFER_HIT_TIME = 0.8e-6
-    #: Per-page software cost on the remote path (work-request build +
-    #: completion handling); batching amortizes the doorbell/latency but
-    #: not this, which is what keeps node-level SM ahead of FS-RDMA.
-    REMOTE_PER_PAGE_OVERHEAD = 1.2e-6
+    BUFFER_HIT_TIME = RemoteRdmaTier.BUFFER_HIT_TIME
+    #: Per-page software cost on the remote path; see
+    #: :class:`~repro.tiers.remote.RemoteRdmaTier`.
+    REMOTE_PER_PAGE_OVERHEAD = RemoteRdmaTier.REMOTE_PER_PAGE_OVERHEAD
 
     def __init__(self, node, directory, config=None, cpu=None):
-        self.node = node
-        self.env = node.env
         self.directory = directory
         self.config = config or FastSwapConfig()
         self.cpu = cpu or CpuSpec()
         self.engine = CompressionEngine(node.config.calibration.compression)
         self.store_model = GranularityStore(self.config.granularities)
-        self.areas = {}
-        self.page_table = None  # set via bind_page_table (enables PBS)
-        self._mmu_stats = None
-        # PBS window scales with observed prefetch effectiveness, like
-        # the kernel's VMA-based swap readahead: sequential streams keep
-        # the full window, random access shrinks it to a probe.
-        self._pbs_window = max(1, (config or FastSwapConfig()).window - 1)
-        self._pbs_epoch_issued = 0
-        self._pbs_epoch_base_hits = 0
-        self._where = {}  # page_id -> (tier, meta)
-        self._pending = []  # [(page, stored_bytes)] awaiting batch flush
-        self._pending_bytes = 0
-        self._flush_cursor = 0
-        self._out_counter = 0
-        # Counters for reports and tests.
-        self.sm_puts = 0
-        self.sm_gets = 0
-        self.remote_batches = 0
-        self.remote_pages_out = 0
-        self.remote_reads = 0
-        self.pbs_pages = 0
-        self.disk_writes = 0
-        self.disk_reads = 0
-        self.ssd_writes = 0
-        self.ssd_reads = 0
-        self.disk_fallback_reads = 0
-
-    # -- setup ---------------------------------------------------------------
-
-    def setup(self):
-        """Generator: reserve remote slab areas on live group peers."""
-        slab_bytes = self.node.config.slab_bytes
-        for peer in self.directory.peers_of(self.node.node_id):
-            if self.directory.is_down(peer):
-                continue
-            desired = self.config.slabs_per_target * slab_bytes
-            available = self.directory.free_receive_bytes(peer)
-            nbytes = min(desired, (available // slab_bytes) * slab_bytes)
-            if nbytes <= 0:
-                continue
-            key = ("fastswap-slab", self.node.node_id, peer)
-            try:
-                reply = yield from self.node.rdmc.control_call(
-                    peer, {"op": "reserve", "key": key, "nbytes": nbytes}
-                )
-            except (NetworkError, ControlTimeout):
-                continue
-            if reply.get("ok"):
-                self.areas[peer] = _RemoteArea(peer, nbytes)
-
-    # -- helpers -----------------------------------------------------------
-
-    def _stored_size(self, page):
-        if not self.config.compression:
-            return PAGE_SIZE
-        return self.store_model.charged_size(page.compressed_size)
-
-    def _sm_key(self, page_id):
-        return ("fswap", self.node.node_id, page_id)
-
-    def _wants_shared_memory(self, page_id):
-        fraction = self.config.sm_fraction
-        if fraction is None:
-            return True  # adaptive: always try SM first
-        # Fixed-ratio mode: window-aligned blocks of the address space
-        # are pinned to one tier, so batch/PBS adjacency survives the
-        # split (per-page round-robin would shred every window).
-        block = page_id // max(1, self.config.window)
-        # Knuth multiplicative hash: stable across processes (unlike
-        # built-in hash(), which is salted).
-        bucket = (block * 2654435761) % 4294967296
-        return bucket < fraction * 4294967296
-
-    # -- swap-out path ----------------------------------------------------------
-
-    def swap_out(self, page):
-        """Generator: compress, pick a tier, store (batching remote I/O)."""
-        stored = self._stored_size(page)
+        compression = None
         if self.config.compression:
-            yield self.env.timeout(self.engine.compress_time(page.size))
-            self.store_model.store(page)
-        self._forget(page.page_id)
-        if self._wants_shared_memory(page.page_id):
-            placed = yield from self._try_shared_memory(page, stored)
-            if placed:
-                return
-        yield from self._queue_remote(page, stored)
-
-    def _try_shared_memory(self, page, stored):
-        pool = self.node.shared_pool
-        key = self._sm_key(page.page_id)
-        try:
-            yield from pool.put(key, stored)
-        except PoolFull:
-            if self.config.sm_fraction is None:
-                return False
-            # Fixed-ratio mode keeps hot pages in SM: displace the LRU
-            # entry to remote memory, then retry once.
-            victim = pool.evict_lru()
-            if victim is None:
-                return False
-            victim_key, victim_bytes = victim
-            victim_page_id = victim_key[2]
-            victim_page = _Displaced(victim_page_id, victim_bytes)
-            yield from self._queue_remote(victim_page, victim_bytes)
-            try:
-                yield from pool.put(key, stored)
-            except PoolFull:
-                return False
-        self._where[page.page_id] = ("sm", stored)
-        self.sm_puts += 1
-        return True
-
-    def _queue_remote(self, page, stored):
-        self._pending.append((page, stored))
-        self._pending_bytes += stored
-        self._where[page.page_id] = ("buffer", stored)
-        if len(self._pending) >= self.config.window:
-            yield from self._flush_batch()
-
-    def _flush_batch(self):
-        """Ship the pending batch as one RDMA write to one target."""
-        if not self._pending:
-            return
-        batch, self._pending = self._pending, []
-        nbytes, self._pending_bytes = self._pending_bytes, 0
-        area = self._pick_area(nbytes)
-        if area is None:
-            # Cluster full: the compressed batch cascades down a tier.
-            yield from self._spill_batch(batch, nbytes)
-            return
-        try:
-            yield self.env.timeout(self.REMOTE_PER_PAGE_OVERHEAD * len(batch))
-            yield from self._one_sided(area.node_id, nbytes, write=True)
-        except (NetworkError, RemoteAccessError):
-            # Target died mid-batch: cascade this batch down a tier.
-            yield from self._spill_batch(batch, nbytes)
-            return
-        area.used_bytes += nbytes
-        for page, stored in batch:
-            self._where[page.page_id] = ("remote", (area.node_id, stored))
-        self.remote_batches += 1
-        self.remote_pages_out += len(batch)
-
-    def _spill_batch(self, batch, nbytes):
-        """Write an overflowing batch to the next storage tier down.
-
-        With ``ssd_tier`` enabled this is the XMemPod cascade: shared
-        memory → remote memory → SSD → HDD; otherwise straight to HDD.
-        """
-        offset = self.node.alloc_disk_span(nbytes)
-        yield self.env.timeout(self.cpu.block_layer_overhead)
-        if self.config.ssd_tier:
-            yield from self.node.ssd.write(offset, nbytes)
-            tier = "ssd"
-            self.ssd_writes += 1
+            compression = CompressionLayer(
+                node.env, self.engine, self.store_model
+            )
+        if self.config.sm_fraction is None:
+            placement = AdaptivePlacement()
         else:
-            yield from self.node.hdd.write(offset, nbytes)
-            tier = "disk"
-            self.disk_writes += 1
-        for page, stored in batch:
-            self._where[page.page_id] = (tier, stored)
-
-    def _pick_area(self, nbytes):
-        live = [
-            area
-            for area in self.areas.values()
-            if area.free_bytes >= nbytes and not self.directory.is_down(area.node_id)
-        ]
-        if not live:
-            return None
-        area = live[self._flush_cursor % len(live)]
-        self._flush_cursor += 1
-        return area
-
-    # -- swap-in path ------------------------------------------------------------
-
-    def swap_in(self, page):
-        """Generator: fetch from its tier; PBS batches remote reads."""
-        tier, meta = self._where.get(page.page_id, (None, None))
-        if tier == "buffer":
-            # Still staged locally: a DRAM copy suffices.
-            yield self.env.timeout(self.BUFFER_HIT_TIME)
-            return []
-        if tier == "sm":
-            return (yield from self._sm_swap_in(page))
-        if tier == "remote":
-            return (yield from self._remote_swap_in(page, meta))
-        if tier == "ssd":
-            stored = meta
-            yield self.env.timeout(self.cpu.block_layer_overhead)
-            yield from self.node.ssd.read(self.node.alloc_disk_span(0), stored)
-            if self.config.compression:
-                yield self.env.timeout(self.engine.decompress_time(page.size))
-            self.ssd_reads += 1
-            return []
-        if tier == "disk":
-            stored = meta
-            yield self.env.timeout(self.cpu.block_layer_overhead)
-            yield from self.node.hdd.read(self.node.alloc_disk_span(0), stored)
-            if self.config.compression:
-                yield self.env.timeout(self.engine.decompress_time(page.size))
-            self.disk_reads += 1
-            return []
-        raise KeyError("page {} not in FastSwap".format(page.page_id))
-
-    def _sm_swap_in(self, page):
-        """Fetch from the shared pool; PBS promotes neighbours too."""
-        batch = [page]
-        if self.config.pbs:
-            batch.extend(
-                neighbour
-                for neighbour, _stored in self._neighbours(page.page_id, "sm")
+            placement = FixedRatioPlacement(
+                self.config.sm_fraction, self.config.window
             )
-        for fetched in batch:
-            yield from self.node.shared_pool.get(self._sm_key(fetched.page_id))
-            if self.config.compression:
-                yield self.env.timeout(self.engine.decompress_time(fetched.size))
-        self.sm_gets += 1
-        self.pbs_pages += len(batch) - 1
-        self._pbs_feedback(len(batch) - 1)
-        return batch[1:]
+        self._sm = SharedPoolTier(node)
+        self._remote = RemoteRdmaTier(
+            node,
+            directory,
+            window=self.config.window,
+            slabs_per_target=self.config.slabs_per_target,
+        )
+        if self.config.ssd_tier:
+            self._spill = BatchSpillTier(node, node.ssd, "ssd", cpu=self.cpu)
+        else:
+            self._spill = BatchSpillTier(node, node.hdd, "disk", cpu=self.cpu)
+        super().__init__(
+            node,
+            [self._sm, self._remote, self._spill],
+            placement=placement,
+            compression=compression,
+            pbs=PbsController(self.config.window, enabled=self.config.pbs),
+        )
 
-    def _remote_swap_in(self, page, meta):
-        target, stored = meta
-        batch = [(page, stored)]
-        if self.config.pbs:
-            batch.extend(self._neighbours(page.page_id, "remote", target))
-        nbytes = sum(s for _p, s in batch)
-        try:
-            yield self.env.timeout(self.REMOTE_PER_PAGE_OVERHEAD * len(batch))
-            yield from self._one_sided(target, nbytes, write=False)
-        except (NetworkError, RemoteAccessError):
-            # Remote gone: the asynchronous disk backup serves the page.
-            yield from self.node.hdd.read(
-                self.node.alloc_disk_span(0), PAGE_SIZE
-            )
-            self.disk_fallback_reads += 1
-            return []
-        if self.config.compression:
-            for fetched, _stored in batch:
-                yield self.env.timeout(
-                    self.engine.decompress_time(fetched.size)
-                )
-        self.remote_reads += 1
-        self.pbs_pages += len(batch) - 1
-        self._pbs_feedback(len(batch) - 1)
-        return [p for p, _s in batch[1:]]
+    # -- compatibility surface (reports, tests, experiments) -----------------
 
-    def _neighbours(self, page_id, want_tier, target=None):
-        """Adjacent swapped pages in the same tier (PBS batch mates).
+    @property
+    def areas(self):
+        return self._remote.areas
 
-        For the remote tier only pages co-located on ``target`` qualify
-        (one one-sided read covers them); for the shared-memory tier
-        adjacency in page-id space is enough.
-        """
-        neighbours = []
-        if self.page_table is None:
-            return neighbours
-        for offset in range(1, self._pbs_window + 1):
-            neighbour_id = page_id + offset
-            tier, meta = self._where.get(neighbour_id, (None, None))
-            if tier != want_tier:
-                break
-            if want_tier == "remote" and meta[0] != target:
-                break
-            neighbour = self.page_table.get(neighbour_id)
-            if neighbour is None:
-                break
-            stored = meta[1] if want_tier == "remote" else meta
-            neighbours.append((neighbour, stored))
-        return neighbours
+    @property
+    def sm_puts(self):
+        return self._sm.stats.puts.value
 
-    # -- misc -----------------------------------------------------------------
+    @property
+    def sm_gets(self):
+        return self._sm.stats.gets.value
 
-    def bind_page_table(self, pages_by_id, mmu_stats=None):
-        """Give PBS access to page objects (set by the workload runner).
+    @property
+    def remote_batches(self):
+        return self._remote.batches
 
-        ``mmu_stats`` (a :class:`~repro.swap.base.PagingStats`) enables
-        the readahead-style feedback that scales the PBS window.
-        """
-        self.page_table = pages_by_id
-        self._mmu_stats = mmu_stats
+    @property
+    def remote_pages_out(self):
+        return self._remote.pages_out
+
+    @property
+    def remote_reads(self):
+        return self._remote.reads
+
+    @property
+    def pbs_pages(self):
+        return self.pbs.pages
+
+    @property
+    def disk_writes(self):
+        return self._spill.writes if self._spill.name == "disk" else 0
+
+    @property
+    def disk_reads(self):
+        return self._spill.reads if self._spill.name == "disk" else 0
+
+    @property
+    def ssd_writes(self):
+        return self._spill.writes if self._spill.name == "ssd" else 0
+
+    @property
+    def ssd_reads(self):
+        return self._spill.reads if self._spill.name == "ssd" else 0
+
+    @property
+    def disk_fallback_reads(self):
+        return self._remote.fallback_reads
+
+    @property
+    def _pbs_window(self):
+        return self.pbs.window
 
     def _pbs_feedback(self, issued):
-        """Scale the PBS window by observed prefetch effectiveness."""
-        if self._mmu_stats is None or issued == 0:
-            return
-        self._pbs_epoch_issued += issued
-        if self._pbs_epoch_issued < 512:
-            return
-        # Hits lag issuance by up to a buffer's worth of accesses, so
-        # the thresholds are deliberately forgiving: shrink only when
-        # prefetches are clearly wasted, grow as soon as they pay.
-        hits = self._mmu_stats.prefetch_hits - self._pbs_epoch_base_hits
-        effectiveness = hits / self._pbs_epoch_issued
-        if effectiveness < 0.15:
-            self._pbs_window = max(1, self._pbs_window // 2)
-        elif effectiveness > 0.35:
-            self._pbs_window = min(
-                max(1, self.config.window - 1), self._pbs_window * 2
-            )
-        self._pbs_epoch_base_hits = self._mmu_stats.prefetch_hits
-        self._pbs_epoch_issued = 0
+        self.pbs.feedback(issued)
 
-    def drain(self):
-        """Generator: flush any partially filled remote batch."""
-        yield from self._flush_batch()
-
-    def discard(self, page):
-        self._forget(page.page_id)
-
-    def _forget(self, page_id):
-        tier, meta = self._where.pop(page_id, (None, None))
-        if tier == "sm":
-            self.node.shared_pool.remove(self._sm_key(page_id))
-        elif tier == "remote":
-            target, stored = meta
-            area = self.areas.get(target)
-            if area is not None:
-                area.used_bytes -= stored
-        elif tier == "buffer":
-            for index, (pending_page, stored) in enumerate(self._pending):
-                if pending_page.page_id == page_id:
-                    self._pending.pop(index)
-                    self._pending_bytes -= stored
-                    break
-
-    def _one_sided(self, target, nbytes, write):
-        region = self.directory.receive_region_of(target)
-        if region is None:
-            raise RemoteAccessError("no region on {!r}".format(target))
-        qp = yield from self.node.device.connect(self.directory.device_of(target))
-        if write:
-            yield from qp.write(region, nbytes)
-        else:
-            yield from qp.read(region, nbytes)
-
-
-class _Displaced:
-    """Stand-in for a page displaced from SM whose object we no longer hold."""
-
-    __slots__ = ("page_id", "size")
-
-    def __init__(self, page_id, stored_bytes):
-        self.page_id = page_id
-        self.size = PAGE_SIZE
+    def _wants_shared_memory(self, page_id):
+        return self.placement.first_tier(self, page_id) == 0

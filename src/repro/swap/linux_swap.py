@@ -1,6 +1,8 @@
 """Linux disk swap: the slowest baseline of Section V.
 
-Models the kernel swap path onto a rotational disk:
+A single-tier :class:`~repro.tiers.cascade.TierCascade` around
+:class:`~repro.tiers.disk.DiskSwapTier`, which models the kernel swap
+path onto a rotational disk:
 
 * swap-slot allocation is clustered (next free slot), so swap-out
   bursts are mostly sequential writes;
@@ -9,12 +11,11 @@ Models the kernel swap path onto a rotational disk:
   parked in the swap cache (the MMU's prefetch buffer).
 """
 
-from repro.hw.latency import PAGE_SIZE, CpuSpec
-from repro.sim import Resource
-from repro.swap.base import SwapBackend
+from repro.tiers.cascade import TierCascade
+from repro.tiers.disk import DiskSwapTier
 
 
-class LinuxDiskSwap(SwapBackend):
+class LinuxDiskSwap(TierCascade):
     """Swap to a local HDD/SSD block device.
 
     Swap-out is *asynchronous*: kswapd writes dirty pages back in the
@@ -27,101 +28,32 @@ class LinuxDiskSwap(SwapBackend):
 
     name = "linux"
 
-    #: Effective swap readahead in pages.  The block layer's default
-    #: device readahead is 128 KB (read_ahead_kb) = 32 pages, which is
-    #: what sequential swap-in streams settle at.
-    DEFAULT_READAHEAD = 32
-    #: Contiguous swap-out pages merged into one writeback bio (the
-    #: block layer merges adjacent requests; slots are log-allocated so
-    #: eviction bursts are contiguous).
-    WRITE_COALESCE_PAGES = 32
-    #: In-flight writeback bios before eviction throttles.
-    WRITEBACK_WINDOW = 8
+    DEFAULT_READAHEAD = DiskSwapTier.DEFAULT_READAHEAD
+    WRITE_COALESCE_PAGES = DiskSwapTier.WRITE_COALESCE_PAGES
+    WRITEBACK_WINDOW = DiskSwapTier.WRITEBACK_WINDOW
 
     def __init__(self, node, readahead=DEFAULT_READAHEAD, cpu=None):
-        self.node = node
-        self.env = node.env
-        self.disk = node.hdd
-        self.readahead = readahead
-        self.cpu = cpu or CpuSpec()
-        self._slot_of = {}  # page_id -> slot index
-        self._page_at = {}  # slot index -> Page
-        self._free_slots = []
-        self._next_slot = 0
-        self._writeback = Resource(
-            node.env, capacity=self.WRITEBACK_WINDOW, name="writeback"
-        )
-        self._pending_write_slots = []
-        self.reads = 0
-        self.writes = 0
+        self._disk = DiskSwapTier(node, readahead=readahead, cpu=cpu)
+        super().__init__(node, [self._disk])
 
-    def _allocate_slot(self, page):
-        # Log-structured slot allocation: the kernel's cluster allocator
-        # hands out contiguous runs, so the writeback stream stays
-        # sequential; freed slots are reclaimed lazily (the swap area is
-        # provisioned much larger than the working set).
-        slot = self._next_slot
-        self._next_slot += 1
-        self._slot_of[page.page_id] = slot
-        self._page_at[slot] = page
-        return slot
+    # -- compatibility surface -----------------------------------------------
 
-    def _release_slot(self, page_id):
-        slot = self._slot_of.pop(page_id, None)
-        if slot is not None:
-            self._page_at.pop(slot, None)
-            self._free_slots.append(slot)
+    @property
+    def disk(self):
+        return self._disk.disk
 
-    def swap_out(self, page):
-        """Generator: submit the page for background writeback."""
-        # Rewrites get a fresh slot at the log head (the old copy was
-        # invalidated when the page was dirtied), keeping writeback
-        # sequential.
-        self._release_slot(page.page_id)
-        slot = self._allocate_slot(page)
-        yield self.env.timeout(self.cpu.block_layer_overhead)
-        self._pending_write_slots.append(slot)
-        self.writes += 1
-        if len(self._pending_write_slots) >= self.WRITE_COALESCE_PAGES:
-            yield from self._submit_writeback()
+    @property
+    def readahead(self):
+        return self._disk.readahead
 
-    def drain(self):
-        """Generator: push out any partially merged writeback bio."""
-        if self._pending_write_slots:
-            yield from self._submit_writeback()
+    @property
+    def reads(self):
+        return self._disk.reads
 
-    def _submit_writeback(self):
-        slots, self._pending_write_slots = self._pending_write_slots, []
-        window_slot = self._writeback.request()
-        yield window_slot  # dirty throttling: stall when backlogged
-        self.env.process(
-            self._writeback_io(slots, window_slot), name="kswapd-write"
-        )
+    @property
+    def writes(self):
+        return self._disk.writes
 
-    def _writeback_io(self, slots, window_slot):
-        try:
-            # Slots from one eviction burst are contiguous: one merged bio.
-            yield from self.disk.write(min(slots) * PAGE_SIZE,
-                                       len(slots) * PAGE_SIZE)
-        finally:
-            self._writeback.release(window_slot)
-
-    def swap_in(self, page):
-        """Generator: read the page (+ readahead cluster) from disk."""
-        slot = self._slot_of[page.page_id]
-        # Cluster readahead: the whole extent is read in one request
-        # (one seek, sequential transfer); slots that still hold valid
-        # pages land in the swap cache, holes are just wasted bytes.
-        extra = [
-            neighbour
-            for offset in range(1, self.readahead)
-            for neighbour in (self._page_at.get(slot + offset),)
-            if neighbour is not None
-        ]
-        yield self.env.timeout(self.cpu.block_layer_overhead)
-        yield from self.disk.read(slot * PAGE_SIZE, self.readahead * PAGE_SIZE)
-        self.reads += 1
-        return extra
-
-    def discard(self, page):
-        self._release_slot(page.page_id)
+    @property
+    def _slot_of(self):
+        return self._disk._slot_of

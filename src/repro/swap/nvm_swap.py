@@ -2,50 +2,29 @@
 
 The paper's discussion section places emerging non-volatile memories
 (PCM, 3D-XPoint) between DRAM and SSD and asks which combinations of
-memory, network and storage make sense.  ``NvmSwap`` swaps pages to a
-local byte-addressable NVM device, so the tiering ablation can place it
-against the node shared pool, cluster remote memory, SSD and HDD.
+memory, network and storage make sense.  ``NvmSwap`` is a single-tier
+cascade around :class:`~repro.tiers.nvm.NvmTier`: pages swap to a local
+byte-addressable NVM device, so the tiering ablation can place it
+against the node shared pool, cluster remote memory, SSD and HDD (and
+the ``nvm-remote`` factory backend stacks the same tier *above* remote
+memory).
 """
 
-from repro.core.errors import NoRemoteCapacity
-from repro.hw.latency import PAGE_SIZE, CpuSpec
-from repro.hw.nvm import NvmDevice
-from repro.swap.base import SwapBackend
+from repro.hw.latency import CpuSpec
+from repro.tiers.cascade import TierCascade
+from repro.tiers.nvm import NvmTier
 
 
-class NvmSwap(SwapBackend):
+class NvmSwap(TierCascade):
     """Paging onto local persistent memory."""
 
     name = "nvm"
 
     def __init__(self, node, capacity_bytes=None, cpu=None):
-        self.node = node
-        self.env = node.env
         self.cpu = cpu or CpuSpec()
-        capacity = capacity_bytes or 4 * node.config.slab_bytes * 64
-        self.device = NvmDevice(
-            node.env,
-            capacity,
-            spec=node.config.calibration.nvm,
-            name="nvm:{}".format(node.node_id),
-        )
-        self._held = set()
+        self._nvm = NvmTier(node, capacity_bytes=capacity_bytes)
+        super().__init__(node, [self._nvm])
 
-    def swap_out(self, page):
-        """Generator: store the page on NVM (byte-addressable, no block
-        layer — the DAX path)."""
-        if page.page_id not in self._held:
-            if not self.device.reserve(PAGE_SIZE):
-                raise NoRemoteCapacity("nvm swap area full")
-            self._held.add(page.page_id)
-        yield from self.device.write(PAGE_SIZE)
-
-    def swap_in(self, page):
-        """Generator: load the page back from NVM."""
-        yield from self.device.read(PAGE_SIZE)
-        return []
-
-    def discard(self, page):
-        if page.page_id in self._held:
-            self._held.discard(page.page_id)
-            self.device.free(PAGE_SIZE)
+    @property
+    def device(self):
+        return self._nvm.device

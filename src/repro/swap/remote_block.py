@@ -2,7 +2,9 @@
 
 Both systems expose remote memory as a block device, so every 4 KB page
 pays the kernel block layer on top of the RDMA round trip, and neither
-compresses nor batches — exactly the overheads FastSwap removes.
+compresses nor batches — exactly the overheads FastSwap removes.  As
+cascades they are :class:`~repro.tiers.remote_block.RemoteBlockTier`
+over :class:`~repro.tiers.remote_block.DiskBackupTier`.
 
 * **NBDX** — a network block device over Accelio/RDMA with a fixed
   remote server; the paper describes it as the substrate Infiniswap
@@ -13,171 +15,78 @@ compresses nor batches — exactly the overheads FastSwap removes.
   backup covers remote failures (reads fall back to disk).
 """
 
-from repro.core.errors import ControlTimeout, NoRemoteCapacity
-from repro.hw.latency import PAGE_SIZE, CpuSpec
-from repro.net.errors import NetworkError
-from repro.net.rdma import RemoteAccessError
-from repro.swap.base import SwapBackend
+from repro.hw.latency import CpuSpec
+from repro.tiers.cascade import TierCascade
+from repro.tiers.remote_block import DiskBackupTier, RemoteBlockTier
 
 
-class _RemoteSlabArea:
-    """Bookkeeping for slab space reserved on one remote node."""
-
-    __slots__ = ("node_id", "capacity_bytes", "used_bytes")
-
-    def __init__(self, node_id, capacity_bytes):
-        self.node_id = node_id
-        self.capacity_bytes = capacity_bytes
-        self.used_bytes = 0
-
-    @property
-    def free_bytes(self):
-        return self.capacity_bytes - self.used_bytes
-
-
-class RemoteBlockSwap(SwapBackend):
+class RemoteBlockSwap(TierCascade):
     """Shared machinery for block-device-style remote paging."""
 
     name = "remote-block"
     #: Extra per-request software cost beyond the generic block layer
     #: (slab lookup, bio remapping); subclasses override.
     EXTRA_OP_OVERHEAD = 0.0
+    #: NBDX keeps every slab on one fixed server; Infiniswap stripes.
+    SINGLE_SERVER = False
+    #: Power-of-two-choices slab placement (Infiniswap).
+    POWER_OF_TWO = False
 
-    def __init__(self, node, directory, slabs_per_target=4, cpu=None):
-        self.node = node
-        self.env = node.env
+    def __init__(self, node, directory, slabs_per_target=4, cpu=None,
+                 rng=None):
         self.directory = directory
-        self.slabs_per_target = slabs_per_target
         self.cpu = cpu or CpuSpec()
-        self.areas = {}  # node_id -> _RemoteSlabArea
-        self._location = {}  # page_id -> node_id
-        self._on_disk = set()  # pages living only in the disk backup
-        self.remote_reads = 0
-        self.remote_writes = 0
-        self.disk_fallback_reads = 0
-        self.disk_fallback_writes = 0
-
-    # -- setup ---------------------------------------------------------------
-
-    def _targets(self):
-        """Remote nodes to stripe the swap area over (subclass hook)."""
-        raise NotImplementedError
-
-    def setup(self):
-        """Generator: reserve slab space on the chosen remote targets."""
-        slab_bytes = self.node.config.slab_bytes
-        for target in self._targets():
-            desired = self.slabs_per_target * slab_bytes
-            # Clamp to what the target actually donates (the group
-            # leader would report this in the real protocol).
-            available = self.directory.free_receive_bytes(target)
-            nbytes = min(desired, (available // slab_bytes) * slab_bytes)
-            if nbytes <= 0:
-                continue
-            key = ("{}-slab".format(self.name), self.node.node_id, target)
-            try:
-                reply = yield from self.node.rdmc.control_call(
-                    target, {"op": "reserve", "key": key, "nbytes": nbytes}
-                )
-            except (NetworkError, ControlTimeout):
-                continue
-            if reply.get("ok"):
-                self.areas[target] = _RemoteSlabArea(target, nbytes)
-        if not self.areas:
-            raise NoRemoteCapacity(
-                "{}: no remote slab space obtained".format(self.name)
-            )
-
-    # -- placement ------------------------------------------------------------
-
-    def _place(self, page):
-        """Pick the slab area for a page (subclass hook). ``None`` = full."""
-        raise NotImplementedError
-
-    # -- data path -------------------------------------------------------------
-
-    def _live_areas(self):
-        return [
-            area for area in self.areas.values()
-            if not self.directory.is_down(area.node_id)
-        ]
-
-    def swap_out(self, page):
-        """Generator: one block write = block layer + RDMA WRITE.
-
-        A dead or full remote target degrades to the disk backup (which
-        Infiniswap maintains asynchronously anyway) instead of failing
-        the eviction.
-        """
-        self._on_disk.discard(page.page_id)
-        target = self._location.get(page.page_id)
-        if target is None or self.directory.is_down(target):
-            self._evacuate(page.page_id)
-            area = self._place(page)
-            if area is None:
-                yield from self._disk_write(page)
-                return
-            area.used_bytes += PAGE_SIZE
-            target = area.node_id
-            self._location[page.page_id] = target
-        yield self.env.timeout(
-            self.cpu.block_layer_overhead + self.EXTRA_OP_OVERHEAD
+        self.rng = rng
+        self._remote = RemoteBlockTier(
+            node,
+            directory,
+            backend_name=self.name,
+            slabs_per_target=slabs_per_target,
+            extra_op_overhead=self.EXTRA_OP_OVERHEAD,
+            cpu=self.cpu,
+            rng=rng,
+            single_server=self.SINGLE_SERVER,
+            power_of_two=self.POWER_OF_TWO,
         )
-        try:
-            yield from self._one_sided(target, PAGE_SIZE, write=True)
-            self.remote_writes += 1
-        except (NetworkError, RemoteAccessError):
-            self._evacuate(page.page_id)
-            yield from self._disk_write(page)
-
-    def swap_in(self, page):
-        """Generator: one block read; disk backup on remote failure."""
-        yield self.env.timeout(
-            self.cpu.block_layer_overhead + self.EXTRA_OP_OVERHEAD
+        self._backup = DiskBackupTier(
+            node,
+            op_overhead=self.cpu.block_layer_overhead + self.EXTRA_OP_OVERHEAD,
         )
-        target = self._location.get(page.page_id)
-        if page.page_id in self._on_disk or target is None:
-            yield from self.node.hdd.read(
-                self.node.alloc_disk_span(PAGE_SIZE), PAGE_SIZE
-            )
-            self.disk_fallback_reads += 1
-            return []
-        try:
-            yield from self._one_sided(target, PAGE_SIZE, write=False)
-            self.remote_reads += 1
-        except (NetworkError, RemoteAccessError):
-            # Asynchronous disk backup saves the day at disk cost.
-            yield from self.node.hdd.read(
-                self.node.alloc_disk_span(PAGE_SIZE), PAGE_SIZE
-            )
-            self.disk_fallback_reads += 1
-        return []
+        super().__init__(node, [self._remote, self._backup])
 
-    def _disk_write(self, page):
-        yield from self.node.hdd.write(
-            self.node.alloc_disk_span(PAGE_SIZE), PAGE_SIZE
-        )
-        self._on_disk.add(page.page_id)
-        self.disk_fallback_writes += 1
+    # -- compatibility surface -----------------------------------------------
 
-    def _evacuate(self, page_id):
-        target = self._location.pop(page_id, None)
-        if target is not None and target in self.areas:
-            self.areas[target].used_bytes -= PAGE_SIZE
+    @property
+    def areas(self):
+        return self._remote.areas
 
-    def discard(self, page):
-        self._on_disk.discard(page.page_id)
-        self._evacuate(page.page_id)
+    @property
+    def slabs_per_target(self):
+        return self._remote.slabs_per_target
 
-    def _one_sided(self, target, nbytes, write):
-        region = self.directory.receive_region_of(target)
-        if region is None:
-            raise RemoteAccessError("no region on {!r}".format(target))
-        qp = yield from self.node.device.connect(self.directory.device_of(target))
-        if write:
-            yield from qp.write(region, nbytes)
-        else:
-            yield from qp.read(region, nbytes)
+    @property
+    def _location(self):
+        return {
+            page_id: meta
+            for page_id, (label, meta) in self._where.items()
+            if label == "remote"
+        }
+
+    @property
+    def remote_reads(self):
+        return self._remote.reads
+
+    @property
+    def remote_writes(self):
+        return self._remote.writes
+
+    @property
+    def disk_fallback_reads(self):
+        return self._remote.fallback_reads + self._backup.reads
+
+    @property
+    def disk_fallback_writes(self):
+        return self._backup.writes
 
 
 class Nbdx(RemoteBlockSwap):
@@ -185,26 +94,7 @@ class Nbdx(RemoteBlockSwap):
 
     name = "nbdx"
     EXTRA_OP_OVERHEAD = 1.0e-6
-
-    def _targets(self):
-        for peer in self.directory.peers_of(self.node.node_id):
-            if not self.directory.is_down(peer):
-                # All slabs on the single chosen server.
-                return [peer]
-        return []
-
-    def setup(self):
-        # One server hosts the whole device: scale the reservation up.
-        self.slabs_per_target *= max(
-            1, len(self.directory.peers_of(self.node.node_id))
-        )
-        yield from super().setup()
-
-    def _place(self, page):
-        for area in self._live_areas():
-            if area.free_bytes >= PAGE_SIZE:
-                return area
-        return None
+    SINGLE_SERVER = True
 
 
 class Infiniswap(RemoteBlockSwap):
@@ -212,23 +102,4 @@ class Infiniswap(RemoteBlockSwap):
 
     name = "infiniswap"
     EXTRA_OP_OVERHEAD = 3.0e-6
-
-    def __init__(self, node, directory, slabs_per_target=4, cpu=None, rng=None):
-        super().__init__(node, directory, slabs_per_target, cpu)
-        self.rng = rng
-
-    def _targets(self):
-        return [
-            peer
-            for peer in self.directory.peers_of(self.node.node_id)
-            if not self.directory.is_down(peer)
-        ]
-
-    def _place(self, page):
-        viable = [a for a in self._live_areas() if a.free_bytes >= PAGE_SIZE]
-        if not viable:
-            return None
-        if len(viable) == 1 or self.rng is None:
-            return viable[0]
-        first, second = self.rng.sample(viable, 2)
-        return first if first.free_bytes >= second.free_bytes else second
+    POWER_OF_TWO = True

@@ -1,102 +1,56 @@
 """zswap: a compressed RAM cache for disk-based swap (Figure 3 baseline).
 
-Pages on their way to the swap device are compressed and kept in a
-zbud-managed RAM pool; only on pool pressure do the oldest compressed
-pages get written back to disk.  The zbud allocator pairs at most two
-compressed pages per physical page, capping the effective compression
-ratio at 2 — which is exactly why FastSwap's multi-granularity store
-wins Figure 3.
+A two-tier :class:`~repro.tiers.cascade.TierCascade`:
+:class:`~repro.tiers.compressed.CompressedPoolTier` over
+:class:`~repro.tiers.disk.DiskSwapTier`.  Pages on their way to the
+swap device are compressed and kept in a zbud-managed RAM pool; only on
+pool pressure do the oldest compressed pages get written back to disk.
+The zbud allocator pairs at most two compressed pages per physical
+page, capping the effective compression ratio at 2 — which is exactly
+why FastSwap's multi-granularity store wins Figure 3.
 """
 
-from collections import OrderedDict
-
-from repro.hw.latency import PAGE_SIZE, CpuSpec
-from repro.mem.compression import CompressionEngine, ZbudStore
-from repro.swap.linux_swap import LinuxDiskSwap
-from repro.swap.base import SwapBackend
+from repro.tiers.cascade import TierCascade
+from repro.tiers.compressed import CompressedPoolTier
+from repro.tiers.disk import DiskSwapTier
 
 
-class Zswap(SwapBackend):
-    """Compressed RAM front (zbud) over :class:`LinuxDiskSwap`."""
+class Zswap(TierCascade):
+    """Compressed RAM front (zbud) over kernel disk swap."""
 
     name = "zswap"
 
     def __init__(self, node, pool_bytes, cpu=None, compression=None):
-        self.node = node
-        self.env = node.env
-        self.cpu = cpu or CpuSpec()
-        self.engine = compression or CompressionEngine(
-            node.config.calibration.compression
-        )
-        self.pool_bytes = pool_bytes
-        self.store = ZbudStore()
-        self.disk_swap = LinuxDiskSwap(node, cpu=cpu)
-        self._pool = OrderedDict()  # page_id -> charged bytes
-        self._pool_used = 0
-        self.pool_hits = 0
-        self.pool_misses = 0
-        self.writebacks = 0
-        self.rejects = 0
+        self._pool = CompressedPoolTier(node, pool_bytes, engine=compression)
+        self._disk = DiskSwapTier(node, cpu=cpu)
+        super().__init__(node, [self._pool, self._disk])
 
-    def swap_out(self, page):
-        """Generator: compress into the pool; write back oldest on pressure."""
-        yield self.env.timeout(self.engine.compress_time(page.size))
-        charged = self.store.charged_size(page.compressed_size)
-        if charged >= PAGE_SIZE:
-            # Incompressible page: zswap rejects it straight to disk.
-            self.rejects += 1
-            yield from self.disk_swap.swap_out(page)
-            return
-        while self._pool_used + charged > self.pool_bytes and self._pool:
-            yield from self._writeback_oldest()
-        if self._pool_used + charged > self.pool_bytes:
-            yield from self.disk_swap.swap_out(page)
-            return
-        previous = self._pool.pop(page.page_id, None)
-        if previous is not None:
-            self._pool_used -= previous
-        self._pool[page.page_id] = charged
-        self._pool_used += charged
-        self.store.store(page)
+    # -- compatibility surface -----------------------------------------------
 
-    def swap_in(self, page):
-        """Generator: decompress from the pool, or fall through to disk."""
-        charged = self._pool.get(page.page_id)
-        if charged is not None:
-            # Entry stays in the pool (swap-cache semantics); only a
-            # decompress is charged.
-            yield self.env.timeout(self.engine.decompress_time(page.size))
-            self.pool_hits += 1
-            return []
-        self.pool_misses += 1
-        extra = yield from self.disk_swap.swap_in(page)
-        return extra
+    @property
+    def engine(self):
+        return self._pool.engine
 
-    def drain(self):
-        yield from self.disk_swap.drain()
+    @property
+    def pool_bytes(self):
+        return self._pool.pool_bytes
 
-    def discard(self, page):
-        charged = self._pool.pop(page.page_id, None)
-        if charged is not None:
-            self._pool_used -= charged
-        self.disk_swap.discard(page)
+    @property
+    def store(self):
+        return self._pool.store
 
-    def _writeback_oldest(self):
-        page_id, charged = self._pool.popitem(last=False)
-        self._pool_used -= charged
-        # Decompress + write the raw page to the swap device.
-        yield self.env.timeout(self.engine.decompress_time(PAGE_SIZE))
-        victim = _PagePlaceholder(page_id)
-        yield from self.disk_swap.swap_out(victim)
-        self.writebacks += 1
+    @property
+    def pool_hits(self):
+        return self._pool.stats.gets.value
 
+    @property
+    def pool_misses(self):
+        return self._disk.stats.gets.value
 
-class _PagePlaceholder:
-    """Minimal page stand-in for writeback of an already-evicted page."""
+    @property
+    def writebacks(self):
+        return self._pool.writebacks
 
-    __slots__ = ("page_id", "size", "dirty")
-
-    def __init__(self, page_id):
-        self.page_id = page_id
-        self.size = PAGE_SIZE
-        self.dirty = True
+    @property
+    def rejects(self):
+        return self._pool.rejects

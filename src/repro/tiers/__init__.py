@@ -1,0 +1,63 @@
+"""Composable memory tiers: the unifying abstraction of the paper.
+
+Every disaggregated-memory design in the paper is a choice of *which
+tier serves a page* — local DRAM, node shared pool, cluster remote
+memory over RDMA, NVM, SSD, disk — plus policies for placement,
+compression and failure.  This package factors those choices out of
+the swap backends:
+
+* :class:`~repro.tiers.base.Tier` — the per-level protocol (put/get
+  generators charging simulated time, per-tier stats, spill/failover
+  hooks);
+* :class:`~repro.tiers.cascade.TierCascade` — a
+  :class:`~repro.swap.base.SwapBackend` assembled from an ordered tier
+  stack with spill-on-full, demotion and pluggable placement /
+  compression / failover policies;
+* concrete tiers wrapping the existing primitives: shared pool,
+  batched RDMA remote memory (+PBS), kernel disk swap, batch spill
+  (SSD/HDD), NVM, and a zswap-style compressed pool.
+
+Every backend in :mod:`repro.swap` is a declarative cascade built from
+these parts (see :func:`repro.swap.factory.make_swap_backend`).
+"""
+
+from repro.tiers.base import DisplacedPage, Tier, TierFull, TierStats
+from repro.tiers.cascade import (
+    AdaptivePlacement,
+    CascadeFull,
+    FailFastFailover,
+    FixedRatioPlacement,
+    SpillDownFailover,
+    TierCascade,
+)
+from repro.tiers.compressed import CompressedPoolTier, CompressionLayer
+from repro.tiers.disk import BatchSpillTier, DiskSwapTier
+from repro.tiers.nvm import NvmTier
+from repro.tiers.pbs import PbsController
+from repro.tiers.remote import RemoteArea, RemoteRdmaTier
+from repro.tiers.remote_block import DiskBackupTier, RemoteBlockTier
+from repro.tiers.shared_pool import SharedPoolTier
+
+__all__ = [
+    "AdaptivePlacement",
+    "BatchSpillTier",
+    "CascadeFull",
+    "CompressedPoolTier",
+    "CompressionLayer",
+    "DiskBackupTier",
+    "DiskSwapTier",
+    "DisplacedPage",
+    "FailFastFailover",
+    "FixedRatioPlacement",
+    "NvmTier",
+    "PbsController",
+    "RemoteArea",
+    "RemoteBlockTier",
+    "RemoteRdmaTier",
+    "SharedPoolTier",
+    "SpillDownFailover",
+    "Tier",
+    "TierCascade",
+    "TierFull",
+    "TierStats",
+]

@@ -1,0 +1,170 @@
+"""The memory-tier protocol: what one level of a swap cascade provides.
+
+Every disaggregated-memory design in the paper is, at bottom, a choice
+of *which tier serves a page*: local DRAM, the node-coordinated shared
+pool, cluster remote memory over RDMA, NVM, SSD or disk.  A
+:class:`Tier` wraps one such level behind a uniform contract so a
+:class:`~repro.tiers.cascade.TierCascade` can compose an ordered stack
+with spill-on-full, demotion and failover — instead of every swap
+backend hand-rolling its own tier ordering.
+
+A tier *stores pages, charges simulated time, and keeps stats*; it
+never touches the resident set and never decides placement order — the
+cascade does.  Placement metadata lives in the cascade's page-location
+map: a tier receives back, on ``get``/``forget``, exactly the
+``(label, meta)`` it recorded on ``put``.
+"""
+
+from repro.hw.latency import PAGE_SIZE
+from repro.metrics.stats import Counter, RunningStats
+
+
+class TierFull(Exception):
+    """The tier cannot take this page; the cascade should try the next."""
+
+
+class TierStats:
+    """Per-tier counters and latency stats for the unified registry.
+
+    Built on :mod:`repro.metrics.stats` primitives; every cascade
+    exposes one of these per tier through
+    :meth:`~repro.tiers.cascade.TierCascade.tier_breakdown`, which is
+    what experiment reports render.
+    """
+
+    __slots__ = (
+        "tier",
+        "puts",
+        "gets",
+        "bytes_in",
+        "bytes_out",
+        "spills",
+        "failovers",
+        "discards",
+        "put_latency",
+        "get_latency",
+    )
+
+    def __init__(self, tier):
+        self.tier = tier
+        self.puts = Counter("puts")
+        self.gets = Counter("gets")
+        self.bytes_in = Counter("bytes_in")
+        self.bytes_out = Counter("bytes_out")
+        #: Pages this tier refused (full/reject) that fell to a lower tier.
+        self.spills = Counter("spills")
+        #: Operations that hit the tier's failure path (dead peer, NIC error).
+        self.failovers = Counter("failovers")
+        self.discards = Counter("discards")
+        self.put_latency = RunningStats()
+        self.get_latency = RunningStats()
+
+    def row(self):
+        """One flat dict for table rendering / JSON reporting."""
+        put = self.put_latency.snapshot()
+        get = self.get_latency.snapshot()
+        return {
+            "tier": self.tier,
+            "puts": self.puts.value,
+            "gets": self.gets.value,
+            "bytes_in": self.bytes_in.value,
+            "bytes_out": self.bytes_out.value,
+            "spills": self.spills.value,
+            "failovers": self.failovers.value,
+            "discards": self.discards.value,
+            "put_mean_s": put["mean"] if put["count"] else None,
+            "put_max_s": put["max"],
+            "get_mean_s": get["mean"] if get["count"] else None,
+            "get_max_s": get["max"],
+        }
+
+
+class Tier:
+    """Contract one level of a swap cascade implements.
+
+    Attributes
+    ----------
+    name:
+        The tier's primary label, unique within its cascade.
+    labels:
+        Every page-location label the tier owns (a tier may track pages
+        in more than one internal state, e.g. the remote tier's
+        ``buffer`` vs ``remote``).
+    """
+
+    name = "abstract"
+
+    def __init__(self):
+        self.stats = TierStats(self.name)
+        self.cascade = None
+        self.index = None
+
+    @property
+    def labels(self):
+        return (self.name,)
+
+    def attach(self, cascade, index):
+        """Wire the tier into its cascade (called by the cascade)."""
+        self.cascade = cascade
+        self.index = index
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def setup(self):
+        """Generator: one-time initialization (slab reservation etc.)."""
+        return
+        yield  # pragma: no cover
+
+    def drain(self):
+        """Generator: flush buffered writes (end-of-run barrier)."""
+        return
+        yield  # pragma: no cover
+
+    # -- data path -----------------------------------------------------------
+
+    def put(self, page, nbytes):
+        """Generator: store ``page`` (``nbytes`` charged size).
+
+        Must record the page's location via ``cascade.record`` on
+        success and raise :class:`TierFull` when the tier cannot take
+        the page (the cascade then tries the next tier down).
+        """
+        raise NotImplementedError
+
+    def put_batch(self, batch, nbytes):
+        """Generator: store a whole ``[(page, stored)]`` batch.
+
+        The default stores pages one by one; tiers with a cheaper bulk
+        path (one merged device write per batch) override this.
+        """
+        for page, stored in batch:
+            yield from self.put(page, stored)
+
+    def get(self, page, label, meta):
+        """Generator: fetch ``page`` back; returns extra prefetched pages."""
+        raise NotImplementedError
+
+    def forget(self, page_id, label, meta):
+        """Release the tier's copy of ``page_id`` (no simulated time)."""
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self):
+        """The tier's stats row for the cascade-wide breakdown."""
+        return self.stats.row()
+
+
+class DisplacedPage:
+    """Stand-in for a page displaced from a tier whose object is gone.
+
+    Demotions (SM LRU displacement, compressed-pool writeback) move
+    pages whose :class:`~repro.mem.page.Page` object the tier never
+    held — only identity and charged size survive the move.
+    """
+
+    __slots__ = ("page_id", "size", "dirty")
+
+    def __init__(self, page_id, size=PAGE_SIZE):
+        self.page_id = page_id
+        self.size = size
+        self.dirty = True

@@ -1,0 +1,49 @@
+"""Byte-addressable NVM as a cascade tier (paper Section VI).
+
+The paper's discussion section places emerging non-volatile memories
+(PCM, 3D-XPoint) between DRAM and SSD.  The tier swaps pages over the
+DAX path — no block layer — and raises tier-full when the device's
+reserved capacity runs out, letting a cascade put NVM *above* remote
+memory or SSD (the hybrid designs of Section VI).
+"""
+
+from repro.hw.nvm import NvmDevice
+from repro.tiers.base import Tier, TierFull
+
+
+class NvmTier(Tier):
+    """Paging onto local persistent memory."""
+
+    name = "nvm"
+
+    def __init__(self, node, capacity_bytes=None):
+        super().__init__()
+        self.node = node
+        self.env = node.env
+        capacity = capacity_bytes or 4 * node.config.slab_bytes * 64
+        self.device = NvmDevice(
+            node.env,
+            capacity,
+            spec=node.config.calibration.nvm,
+            name="nvm:{}".format(node.node_id),
+        )
+
+    def put(self, page, nbytes):
+        """Generator: store the page on NVM (byte-addressable, no block
+        layer — the DAX path)."""
+        if not self.device.reserve(nbytes):
+            raise TierFull("nvm swap area full")
+        self.cascade.record(page.page_id, self.name, nbytes)
+        self.stats.puts.increment()
+        self.stats.bytes_in.increment(nbytes)
+        yield from self.device.write(nbytes)
+
+    def get(self, page, label, meta):
+        """Generator: load the page back from NVM."""
+        yield from self.device.read(meta)
+        yield from self.cascade.decompress(page)
+        self.stats.bytes_out.increment(meta)
+        return []
+
+    def forget(self, page_id, label, meta):
+        self.device.free(meta)

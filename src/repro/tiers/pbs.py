@@ -1,0 +1,88 @@
+"""Proactive batch swap-in (PBS) shared across cascade tiers.
+
+One fault fetches a whole window of neighbouring swapped pages in the
+same operation (Figures 6 and 9).  The controller owns the adaptive
+window: it scales with observed prefetch effectiveness like the
+kernel's VMA-based swap readahead — sequential streams keep the full
+window, random access shrinks it to a probe.
+
+Any tier whose fetch path can cover several pages at once (shared pool,
+batched RDMA) asks the controller for *neighbours*: adjacent page ids
+resident in the same tier (and, where it matters, co-located on the
+same target so one one-sided read covers them).
+"""
+
+
+class PbsController:
+    """Adaptive prefetch-window state shared by a cascade's tiers."""
+
+    #: Issued prefetch pages per feedback epoch.
+    EPOCH_PAGES = 512
+    #: Below this hit rate the window halves (prefetches clearly wasted).
+    SHRINK_BELOW = 0.15
+    #: Above this hit rate the window doubles (prefetches paying off).
+    GROW_ABOVE = 0.35
+
+    def __init__(self, window, enabled=True):
+        #: Hard cap: one fault plus (window - 1) neighbours fill a batch.
+        self.cap = max(1, window - 1)
+        self.window = self.cap
+        self.enabled = enabled
+        self.cascade = None
+        #: Total pages prefetched on behalf of faults (reporting).
+        self.pages = 0
+        self._epoch_issued = 0
+        self._epoch_base_hits = 0
+
+    def attach(self, cascade):
+        self.cascade = cascade
+
+    def neighbours(self, page_id, label, match=None):
+        """Adjacent swapped pages in the same tier (PBS batch mates).
+
+        Returns ``[(page, meta)]`` for up to ``window`` pages directly
+        following ``page_id`` whose location label equals ``label`` and
+        whose meta satisfies ``match`` (e.g. co-location on one remote
+        target).  The scan stops at the first mismatch — PBS only ever
+        extends a contiguous run.
+        """
+        neighbours = []
+        if not self.enabled or self.cascade.page_table is None:
+            return neighbours
+        for offset in range(1, self.window + 1):
+            neighbour_id = page_id + offset
+            found_label, meta = self.cascade.location(neighbour_id)
+            if found_label != label:
+                break
+            if match is not None and not match(meta):
+                break
+            neighbour = self.cascade.page_table.get(neighbour_id)
+            if neighbour is None:
+                break
+            neighbours.append((neighbour, meta))
+        return neighbours
+
+    def note(self, issued):
+        """Account ``issued`` prefetched pages and feed the window."""
+        self.pages += issued
+        self.feedback(issued)
+
+    def feedback(self, issued):
+        """Scale the window by observed prefetch effectiveness."""
+        stats = self.cascade._mmu_stats
+        if stats is None or issued == 0:
+            return
+        self._epoch_issued += issued
+        if self._epoch_issued < self.EPOCH_PAGES:
+            return
+        # Hits lag issuance by up to a buffer's worth of accesses, so
+        # the thresholds are deliberately forgiving: shrink only when
+        # prefetches are clearly wasted, grow as soon as they pay.
+        hits = stats.prefetch_hits - self._epoch_base_hits
+        effectiveness = hits / self._epoch_issued
+        if effectiveness < self.SHRINK_BELOW:
+            self.window = max(1, self.window // 2)
+        elif effectiveness > self.GROW_ABOVE:
+            self.window = min(self.cap, self.window * 2)
+        self._epoch_base_hits = stats.prefetch_hits
+        self._epoch_issued = 0

@@ -1,0 +1,220 @@
+"""Cluster remote memory over RDMA, with batching and PBS.
+
+The paper's cluster-level tier (Sections IV-C, IV-G): swap-outs
+accumulate in a local send buffer and ship as one RDMA write per
+window; faults on remote pages fetch a whole window of neighbours in
+the same one-sided read (PBS).  Pages track through two labels:
+
+* ``buffer`` — still staged locally awaiting a batch flush (a DRAM
+  copy serves a fault);
+* ``remote`` — shipped to a peer's reserved slab area.
+
+A full cluster or a dead target cascades the *whole batch* down to the
+next tier (one merged device write), which is what keeps the XMemPod
+SSD tier and the HDD fallback cheap.
+"""
+
+from repro.core.errors import ControlTimeout
+from repro.hw.latency import PAGE_SIZE
+from repro.net.errors import NetworkError
+from repro.net.rdma import RemoteAccessError
+from repro.tiers.base import Tier
+
+
+class RemoteArea:
+    """Bookkeeping for slab space reserved on one remote node."""
+
+    __slots__ = ("node_id", "capacity_bytes", "used_bytes")
+
+    def __init__(self, node_id, capacity_bytes):
+        self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+
+    @property
+    def free_bytes(self):
+        return self.capacity_bytes - self.used_bytes
+
+
+class RemoteRdmaTier(Tier):
+    """Batched one-sided RDMA to peer-donated slab areas."""
+
+    name = "remote"
+
+    #: Serving a page still sitting in the local send buffer: DRAM copy.
+    BUFFER_HIT_TIME = 0.8e-6
+    #: Per-page software cost on the remote path (work-request build +
+    #: completion handling); batching amortizes the doorbell/latency but
+    #: not this, which is what keeps node-level SM ahead of FS-RDMA.
+    REMOTE_PER_PAGE_OVERHEAD = 1.2e-6
+
+    def __init__(self, node, directory, window=8, slabs_per_target=24,
+                 reserve_tag="fastswap-slab"):
+        super().__init__()
+        self.node = node
+        self.env = node.env
+        self.directory = directory
+        self.window = window
+        self.slabs_per_target = slabs_per_target
+        self.reserve_tag = reserve_tag
+        self.areas = {}  # node_id -> RemoteArea
+        self._pending = []  # [(page, stored_bytes)] awaiting batch flush
+        self._pending_bytes = 0
+        self._flush_cursor = 0
+        # Counters for reports and tests.
+        self.batches = 0
+        self.pages_out = 0
+        self.reads = 0
+        self.fallback_reads = 0
+
+    @property
+    def labels(self):
+        return ("buffer", self.name)
+
+    # -- setup ---------------------------------------------------------------
+
+    def setup(self):
+        """Generator: reserve remote slab areas on live group peers."""
+        slab_bytes = self.node.config.slab_bytes
+        for peer in self.directory.peers_of(self.node.node_id):
+            if self.directory.is_down(peer):
+                continue
+            desired = self.slabs_per_target * slab_bytes
+            available = self.directory.free_receive_bytes(peer)
+            nbytes = min(desired, (available // slab_bytes) * slab_bytes)
+            if nbytes <= 0:
+                continue
+            key = (self.reserve_tag, self.node.node_id, peer)
+            try:
+                reply = yield from self.node.rdmc.control_call(
+                    peer, {"op": "reserve", "key": key, "nbytes": nbytes}
+                )
+            except (NetworkError, ControlTimeout):
+                continue
+            if reply.get("ok"):
+                self.areas[peer] = RemoteArea(peer, nbytes)
+
+    # -- swap-out path -------------------------------------------------------
+
+    def put(self, page, nbytes):
+        """Generator: stage the page in the send buffer; flush per window."""
+        self._pending.append((page, nbytes))
+        self._pending_bytes += nbytes
+        self.cascade.record(page.page_id, "buffer", nbytes)
+        self.stats.puts.increment()
+        self.stats.bytes_in.increment(nbytes)
+        if len(self._pending) >= self.window:
+            yield from self._flush_batch()
+
+    def _flush_batch(self):
+        """Ship the pending batch as one RDMA write to one target."""
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        nbytes, self._pending_bytes = self._pending_bytes, 0
+        area = self._pick_area(nbytes)
+        if area is None:
+            # Cluster full: the compressed batch cascades down a tier.
+            self.stats.spills.increment(len(batch))
+            yield from self.cascade.place_batch(batch, nbytes, self.index + 1)
+            return
+        try:
+            yield self.env.timeout(self.REMOTE_PER_PAGE_OVERHEAD * len(batch))
+            yield from self._one_sided(area.node_id, nbytes, write=True)
+        except (NetworkError, RemoteAccessError):
+            # Target died mid-batch: cascade this batch down a tier.
+            self.stats.failovers.increment(len(batch))
+            if not self.cascade.failover.spill_on_failure:
+                raise
+            yield from self.cascade.place_batch(batch, nbytes, self.index + 1)
+            return
+        area.used_bytes += nbytes
+        for page, stored in batch:
+            self.cascade.record(page.page_id, self.name, (area.node_id, stored))
+        self.batches += 1
+        self.pages_out += len(batch)
+
+    def _pick_area(self, nbytes):
+        live = [
+            area
+            for area in self.areas.values()
+            if area.free_bytes >= nbytes
+            and not self.directory.is_down(area.node_id)
+        ]
+        if not live:
+            return None
+        area = live[self._flush_cursor % len(live)]
+        self._flush_cursor += 1
+        return area
+
+    # -- swap-in path --------------------------------------------------------
+
+    def get(self, page, label, meta):
+        """Generator: buffer hit, or a (PBS-batched) one-sided read."""
+        if label == "buffer":
+            # Still staged locally: a DRAM copy suffices.
+            yield self.env.timeout(self.BUFFER_HIT_TIME)
+            return []
+        target, stored = meta
+        batch = [(page, stored)]
+        pbs = self.cascade.pbs
+        if pbs is not None:
+            batch.extend(
+                (neighbour, neighbour_meta[1])
+                for neighbour, neighbour_meta in pbs.neighbours(
+                    page.page_id, self.name,
+                    match=lambda m: m[0] == target,
+                )
+            )
+        nbytes = sum(s for _p, s in batch)
+        try:
+            yield self.env.timeout(self.REMOTE_PER_PAGE_OVERHEAD * len(batch))
+            yield from self._one_sided(target, nbytes, write=False)
+        except (NetworkError, RemoteAccessError):
+            self.stats.failovers.increment()
+            if not self.cascade.failover.spill_on_failure:
+                raise
+            # Remote gone: the asynchronous disk backup serves the page.
+            yield from self.node.hdd.read(
+                self.node.alloc_disk_span(0), PAGE_SIZE
+            )
+            self.fallback_reads += 1
+            return []
+        for fetched, _stored in batch:
+            yield from self.cascade.decompress(fetched)
+        self.reads += 1
+        self.stats.bytes_out.increment(nbytes)
+        if pbs is not None:
+            pbs.note(len(batch) - 1)
+        return [fetched for fetched, _stored in batch[1:]]
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def forget(self, page_id, label, meta):
+        if label == "buffer":
+            for index, (pending_page, stored) in enumerate(self._pending):
+                if pending_page.page_id == page_id:
+                    self._pending.pop(index)
+                    self._pending_bytes -= stored
+                    break
+        else:
+            target, stored = meta
+            area = self.areas.get(target)
+            if area is not None:
+                area.used_bytes -= stored
+
+    def drain(self):
+        """Generator: flush any partially filled remote batch."""
+        yield from self._flush_batch()
+
+    def _one_sided(self, target, nbytes, write):
+        region = self.directory.receive_region_of(target)
+        if region is None:
+            raise RemoteAccessError("no region on {!r}".format(target))
+        qp = yield from self.node.device.connect(
+            self.directory.device_of(target)
+        )
+        if write:
+            yield from qp.write(region, nbytes)
+        else:
+            yield from qp.read(region, nbytes)

@@ -1,0 +1,69 @@
+"""The node-coordinated shared memory pool as a cascade tier."""
+
+from repro.mem.shared_pool import PoolFull
+from repro.tiers.base import DisplacedPage, Tier, TierFull
+
+
+class SharedPoolTier(Tier):
+    """Pages parked in the node's shared DRAM pool (Section IV-B).
+
+    The fastest place an evicted page can live: a shared-memory copy on
+    put/get, no network, no block layer.  Under a fixed-ratio placement
+    the tier keeps hot pages by displacing its LRU entry down the
+    cascade and retrying once; under adaptive placement a full pool
+    simply spills the incoming page.
+    """
+
+    name = "sm"
+
+    def __init__(self, node, key_tag="fswap"):
+        super().__init__()
+        self.node = node
+        self.env = node.env
+        self.pool = node.shared_pool
+        self.key_tag = key_tag
+
+    def _key(self, page_id):
+        return (self.key_tag, self.node.node_id, page_id)
+
+    def put(self, page, nbytes):
+        key = self._key(page.page_id)
+        try:
+            yield from self.pool.put(key, nbytes)
+        except PoolFull:
+            if not self.cascade.placement.displace_on_full:
+                raise TierFull("shared pool full") from None
+            # Keep hot pages in SM: displace the LRU entry down the
+            # cascade, then retry once.
+            victim = self.pool.evict_lru()
+            if victim is None:
+                raise TierFull("shared pool full, nothing to displace") \
+                    from None
+            victim_key, victim_bytes = victim
+            victim_page = DisplacedPage(victim_key[2])
+            yield from self.cascade.place(
+                victim_page, victim_bytes, self.index + 1
+            )
+            try:
+                yield from self.pool.put(key, nbytes)
+            except PoolFull:
+                raise TierFull("shared pool still full") from None
+        self.cascade.record(page.page_id, self.name, nbytes)
+        self.stats.puts.increment()
+        self.stats.bytes_in.increment(nbytes)
+
+    def get(self, page, label, meta):
+        batch = [(page, meta)]
+        pbs = self.cascade.pbs
+        if pbs is not None:
+            batch.extend(pbs.neighbours(page.page_id, self.name))
+        for fetched, stored in batch:
+            yield from self.pool.get(self._key(fetched.page_id))
+            yield from self.cascade.decompress(fetched)
+            self.stats.bytes_out.increment(stored)
+        if pbs is not None:
+            pbs.note(len(batch) - 1)
+        return [fetched for fetched, _stored in batch[1:]]
+
+    def forget(self, page_id, label, meta):
+        self.pool.remove(self._key(page_id))

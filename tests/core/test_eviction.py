@@ -1,6 +1,5 @@
 """Tests for the Section IV-F eviction and ballooning policies."""
 
-import pytest
 
 from repro.core import ClusterConfig, DisaggregatedCluster
 from repro.core.memory_map import Location

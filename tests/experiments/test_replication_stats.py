@@ -1,6 +1,5 @@
 """Multi-seed stability of the headline results."""
 
-import pytest
 
 from repro.experiments.replication_stats import (
     coefficient_of_variation,

@@ -1,6 +1,5 @@
 """Tests for runner result types and cluster-config defaults."""
 
-import pytest
 
 from repro.experiments.runner import (
     KvRunResult,

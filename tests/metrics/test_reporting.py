@@ -37,3 +37,13 @@ def test_format_series():
                          x_label="t", y_label="ops")
     assert "tput" in text
     assert "t" in text.splitlines()[1]
+
+
+def test_format_table_renders_none_as_blank():
+    rows = [
+        {"tier": "disk", "get_mean_s": None, "gets": 0},
+        {"tier": "sm", "get_mean_s": 1.5e-6, "gets": 3},
+    ]
+    text = format_table(rows)
+    assert "None" not in text
+    assert "1.5e-06" in text

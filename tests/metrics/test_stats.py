@@ -1,5 +1,7 @@
 """Unit tests for metrics primitives."""
 
+import math
+
 import pytest
 
 from repro.metrics import Counter, Histogram, RunningStats, TimeSeries
@@ -77,3 +79,26 @@ def test_timeseries_empty_and_validation():
     assert series.window_means(1.0) == []
     with pytest.raises(ValueError):
         series.window_means(0)
+
+
+def test_empty_snapshot_has_no_infinities():
+    # An idle tier's latency stats must render cleanly: None min/max
+    # (blank table cells), never +/-inf leaking out of the seed values.
+    snapshot = RunningStats().snapshot()
+    assert snapshot == {
+        "count": 0, "mean": 0.0, "stdev": 0.0, "min": None, "max": None,
+    }
+    assert not any(
+        isinstance(v, float) and math.isinf(v) for v in snapshot.values()
+    )
+
+
+def test_snapshot_round_trip_after_records():
+    stats = RunningStats()
+    for value in (2.0, 4.0, 9.0):
+        stats.record(value)
+    snapshot = stats.snapshot()
+    assert snapshot["count"] == 3
+    assert snapshot["min"] == 2.0
+    assert snapshot["max"] == 9.0
+    assert snapshot["mean"] == pytest.approx(5.0)

@@ -6,7 +6,6 @@ complete (slower, via disk backups), never crash, and account for the
 fallbacks.
 """
 
-import pytest
 
 from repro.core import ClusterConfig, DisaggregatedCluster
 from repro.hw.latency import MiB

@@ -1,0 +1,203 @@
+"""Golden regression: the cascade port must not move a single number.
+
+Every value here was captured from the pre-cascade backends (one class
+per system, hand-rolled tier ordering) on the standard scaled-down
+testbed.  The tier refactor is purely structural, so completion times
+must match *bit-identically* — any drift means a timeout, resource
+operation or rng draw changed order or magnitude.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_kv_workload, run_paging_workload
+from repro.swap.fastswap import FastSwapConfig
+from repro.workloads.kv import KV_WORKLOADS
+from repro.workloads.ml import ML_WORKLOADS
+
+SEED = 7
+FIT = 0.6
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ML_WORKLOADS["logistic_regression"].with_overrides(
+        pages=512, iterations=2
+    )
+
+
+def run(spec, backend, **kwargs):
+    return run_paging_workload(backend, spec, FIT, seed=SEED, **kwargs)
+
+
+def test_linux_golden(spec):
+    result = run(spec, "linux")
+    assert result.completion_time == 0.5425969866666702
+    assert result.stats["major_faults"] == 46
+    assert result.stats["minor_faults"] == 972
+    assert result.backend_stats["reads"] == 46
+    assert result.backend_stats["writes"] == 546
+
+
+def test_zswap_golden(spec):
+    result = run(spec, "zswap")
+    assert result.completion_time == 0.11900403131835877
+    assert result.stats["major_faults"] == 417
+    assert result.stats["minor_faults"] == 601
+    assert result.backend_stats["pool_hits"] == 408
+    assert result.backend_stats["pool_misses"] == 9
+
+
+def test_nbdx_golden(spec):
+    result = run(spec, "nbdx")
+    assert result.completion_time == 0.029503043587237886
+    assert result.stats["major_faults"] == 506
+    assert result.backend_stats["remote_reads"] == 506
+    assert result.backend_stats["remote_writes"] == 546
+
+
+def test_infiniswap_golden(spec):
+    result = run(spec, "infiniswap")
+    assert result.completion_time == 0.03160704358723879
+    assert result.stats["major_faults"] == 506
+    assert result.backend_stats["remote_reads"] == 506
+    assert result.backend_stats["remote_writes"] == 546
+
+
+def test_fastswap_golden(spec):
+    result = run(spec, "fastswap")
+    assert result.completion_time == 0.014138907995605368
+    assert result.stats["major_faults"] == 88
+    assert result.stats["minor_faults"] == 930
+    assert result.backend_stats["sm_puts"] == 546
+    assert result.backend_stats["sm_gets"] == 88
+    assert result.backend_stats["pbs_pages"] == 478
+
+
+def test_xmempod_matches_fastswap_when_sm_absorbs_all(spec):
+    result = run(spec, "xmempod")
+    assert result.completion_time == 0.014138907995605368
+
+
+def test_fastswap_split_ratio_golden(spec):
+    result = run(
+        spec, "fastswap", fastswap_config=FastSwapConfig(sm_fraction=0.5)
+    )
+    assert result.completion_time == 0.015050983567301158
+    assert result.stats["major_faults"] == 134
+    assert result.backend_stats["remote_reads"] == 81
+    assert result.backend_stats["sm_puts"] == 281
+    assert result.backend_stats["sm_gets"] == 51
+    assert result.backend_stats["remote_batches"] == 33
+    assert result.backend_stats["remote_pages_out"] == 264
+    assert result.backend_stats["pbs_pages"] == 425
+
+
+def test_fastswap_rdma_only_golden(spec):
+    result = run(
+        spec, "fastswap", fastswap_config=FastSwapConfig(sm_fraction=0.0)
+    )
+    assert result.completion_time == 0.01574944699706996
+    assert result.stats["major_faults"] == 129
+    assert result.backend_stats["remote_reads"] == 128
+    assert result.backend_stats["remote_batches"] == 69
+    assert result.backend_stats["remote_pages_out"] == 545
+    assert result.backend_stats["pbs_pages"] == 409
+
+
+def test_fastswap_no_compression_golden(spec):
+    result = run(
+        spec,
+        "fastswap",
+        fastswap_config=FastSwapConfig(sm_fraction=0.0, compression=False),
+    )
+    assert result.completion_time == 0.014284117073567502
+    assert result.stats["major_faults"] == 129
+
+
+def test_fastswap_no_pbs_golden(spec):
+    result = run(
+        spec,
+        "fastswap",
+        fastswap_config=FastSwapConfig(sm_fraction=0.0, pbs=False),
+    )
+    assert result.completion_time == 0.017466044272867375
+    assert result.stats["major_faults"] == 506
+    assert result.backend_stats["remote_reads"] == 505
+
+
+def test_fastswap_disk_spill_golden(spec):
+    # No remote capacity at all: everything spills to the disk tier.
+    config = FastSwapConfig(sm_fraction=0.0, slabs_per_target=0)
+    result = run(spec, "fastswap", fastswap_config=config)
+    assert result.completion_time == 4.094557058329159
+    assert result.stats["major_faults"] == 506
+    assert result.backend_stats["disk_writes"] == 69
+    assert result.backend_stats["disk_reads"] == 505
+
+
+def test_xmempod_ssd_spill_golden(spec):
+    config = FastSwapConfig(sm_fraction=0.0, slabs_per_target=0)
+    result = run(spec, "xmempod", fastswap_config=config)
+    assert result.completion_time == 0.07555453228759597
+    assert result.backend_stats["ssd_writes"] == 69
+    assert result.backend_stats["ssd_reads"] == 505
+
+
+def test_nvm_golden():
+    from repro.core.cluster import DisaggregatedCluster
+    from repro.experiments.runner import default_cluster_config
+    from repro.mem.page import make_pages
+    from repro.swap.base import VirtualMemory
+    from repro.swap.nvm_swap import NvmSwap
+
+    spec = ML_WORKLOADS["logistic_regression"].with_overrides(
+        pages=512, iterations=2
+    )
+    cluster = DisaggregatedCluster.build(default_cluster_config(seed=SEED))
+    node = cluster.nodes()[0]
+    backend = NvmSwap(node)
+    rng = cluster.rng
+    pages = make_pages(
+        spec.pages,
+        owner="nvm",
+        compressibility_sampler=spec.compressibility.sampler(
+            rng.stream("pages")
+        ),
+    )
+    mmu = VirtualMemory(
+        cluster.env,
+        pages,
+        max(1, int(spec.pages * FIT)),
+        backend,
+        cpu=cluster.config.calibration.cpu,
+        prefetch_capacity=128,
+        compute_per_access=spec.compute_per_access,
+    )
+
+    def job():
+        yield from backend.setup()
+        mmu.stats.start_time = cluster.env.now
+        for page_id, is_write in spec.trace(rng.stream("trace")):
+            yield from mmu.access(page_id, write=is_write)
+        yield from mmu.flush()
+        mmu.stats.end_time = cluster.env.now
+
+    cluster.run_process(job())
+    assert mmu.stats.completion_time == 0.015548130761718825
+    assert mmu.stats.major_faults == 506
+    assert mmu.stats.minor_faults == 512
+    assert backend.device.reads == 506
+    assert backend.device.writes == 546
+
+
+def test_kv_goldens():
+    spec = KV_WORKLOADS["memcached"].with_overrides(keys=512)
+    fast = run_kv_workload("fastswap", spec, 0.5, duration=2.0, seed=SEED)
+    assert fast.mean_throughput == 166411.5
+    assert fast.operations == 332823
+    inf = run_kv_workload("infiniswap", spec, 0.5, duration=2.0, seed=SEED)
+    assert inf.mean_throughput == 123963.0
+    assert inf.operations == 247926
+    z = run_kv_workload("zswap", spec, 0.5, duration=2.0, seed=SEED)
+    assert z.mean_throughput == 5396.0
+    assert z.operations == 10792

@@ -1,6 +1,5 @@
 """Tests for the Linux disk swap and zswap backends."""
 
-import pytest
 
 from repro.hw.latency import MiB
 from repro.mem.page import Page, make_pages

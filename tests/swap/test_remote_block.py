@@ -1,6 +1,5 @@
 """Tests for the NBDX and Infiniswap backends."""
 
-import pytest
 
 from repro.swap.remote_block import Infiniswap, Nbdx
 

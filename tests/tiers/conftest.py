@@ -1,0 +1,54 @@
+"""Shared helpers for tier-cascade tests.
+
+The cascade's placement logic (spill-on-full, demotion, conservation)
+is pure bookkeeping — no simulated time — so these tests drive it with
+stub tiers of bounded capacity and a stub node, no cluster required.
+"""
+
+from repro.tiers.base import Tier, TierFull
+
+
+class StubEnv:
+    now = 0.0
+
+
+class StubNode:
+    env = StubEnv()
+
+
+class StubTier(Tier):
+    """An in-memory tier holding at most ``capacity`` pages."""
+
+    def __init__(self, name, capacity):
+        self.name = name
+        super().__init__()
+        self.capacity = capacity
+        self.held = {}
+
+    def put(self, page, nbytes):
+        if len(self.held) >= self.capacity:
+            raise TierFull(self.name)
+        self.held[page.page_id] = nbytes
+        self.cascade.record(page.page_id, self.name, nbytes)
+        self.stats.puts.increment()
+        self.stats.bytes_in.increment(nbytes)
+        return
+        yield  # pragma: no cover
+
+    def get(self, page, label, meta):
+        assert page.page_id in self.held, "get for a page the tier lost"
+        self.stats.bytes_out.increment(meta)
+        return []
+        yield  # pragma: no cover
+
+    def forget(self, page_id, label, meta):
+        self.held.pop(page_id, None)
+
+
+def drive(generator):
+    """Run a no-wait cascade generator to completion, return its value."""
+    try:
+        while True:
+            next(generator)
+    except StopIteration as stop:
+        return stop.value

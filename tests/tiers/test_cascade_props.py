@@ -1,0 +1,144 @@
+"""Property tests for TierCascade's structural invariants.
+
+Three guarantees the whole swap port leans on:
+
+* **conservation** — every swapped-out, undiscarded page lives in
+  exactly one tier at all times (no duplicates, no losses);
+* **no page lost on tier-full** — a full tier spills downward; a page
+  is only refused (``CascadeFull``) when *every* tier is full;
+* **deterministic spill ordering** — placement is a pure function of
+  the operation sequence: a page always lands in the first non-full
+  tier from its start index, and replaying a sequence reproduces the
+  identical placement map.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiers.base import DisplacedPage
+from repro.tiers.cascade import CascadeFull, TierCascade
+from tests.tiers.conftest import StubNode, StubTier, drive
+
+PAGE_IDS = st.integers(0, 23)
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(0, 80))):
+        kind = draw(st.sampled_from(("out", "in", "discard")))
+        ops.append((kind, draw(PAGE_IDS)))
+    return ops
+
+
+@st.composite
+def capacities(draw):
+    n_tiers = draw(st.integers(1, 4))
+    return [draw(st.integers(0, 8)) for _ in range(n_tiers)]
+
+
+def build(caps):
+    tiers = [StubTier("t{}".format(i), cap) for i, cap in enumerate(caps)]
+    return TierCascade(StubNode(), tiers, name="stub"), tiers
+
+
+def apply_ops(cascade, tiers, ops):
+    """Run ops against the cascade and a reference model in lockstep.
+
+    The model is the spec: a page swaps out into the first tier (top
+    down) with spare capacity, or the whole cascade refuses it.
+    """
+    model = {}  # page_id -> tier index
+
+    def model_placement():
+        counts = [0] * len(tiers)
+        for index in model.values():
+            counts[index] += 1
+        for index, tier in enumerate(tiers):
+            if counts[index] < tier.capacity:
+                return index
+        return None
+
+    for kind, page_id in ops:
+        page = DisplacedPage(page_id)
+        if kind == "out":
+            expected = None
+            if page_id in model:  # re-swap-out displaces the old copy
+                del model[page_id]
+            expected = model_placement()
+            if expected is None:
+                try:
+                    drive(cascade.swap_out(page))
+                except CascadeFull:
+                    continue
+                raise AssertionError("cascade accepted a page with no room")
+            drive(cascade.swap_out(page))
+            model[page_id] = expected
+        elif kind == "in" and page_id in model:
+            assert drive(cascade.swap_in(page)) == []
+        elif kind == "discard":
+            cascade.discard(page)
+            model.pop(page_id, None)
+    return model
+
+
+@given(capacities(), operations())
+@settings(max_examples=80)
+def test_conservation_and_spill_ordering(caps, ops):
+    cascade, tiers = build(caps)
+    model = apply_ops(cascade, tiers, ops)
+
+    held = cascade.pages_held()
+    # Conservation: the cascade holds exactly the model's pages.
+    assert set(held) == set(model)
+    # Each page lives in exactly one tier, the one the spec placed it in.
+    for page_id, index in model.items():
+        assert held[page_id] == "t{}".format(index)
+        assert page_id in tiers[index].held
+        for other in tiers:
+            if other is not tiers[index]:
+                assert page_id not in other.held
+    # No tier exceeds its capacity.
+    for tier in tiers:
+        assert len(tier.held) <= tier.capacity
+
+
+@given(capacities(), operations())
+@settings(max_examples=40)
+def test_replay_is_deterministic(caps, ops):
+    first, first_tiers = build(caps)
+    second, second_tiers = build(caps)
+    apply_ops(first, first_tiers, ops)
+    apply_ops(second, second_tiers, ops)
+    assert first.pages_held() == second.pages_held()
+    assert [t.held for t in first_tiers] == [t.held for t in second_tiers]
+
+
+@given(st.integers(1, 4), st.integers(1, 8))
+@settings(max_examples=30)
+def test_no_page_lost_on_tier_full(n_tiers, per_tier):
+    cascade, tiers = build([per_tier] * n_tiers)
+    total = n_tiers * per_tier
+    for page_id in range(total):
+        drive(cascade.swap_out(DisplacedPage(page_id)))
+    # Every page landed somewhere, in stack order.
+    assert len(cascade.pages_held()) == total
+    for index, tier in enumerate(tiers):
+        assert set(tier.held) == set(
+            range(index * per_tier, (index + 1) * per_tier)
+        )
+        assert tier.stats.puts.value == per_tier
+    # Spill counters account every refusal top-down.
+    for index, tier in enumerate(tiers):
+        assert tier.stats.spills.value == (len(tiers) - 1 - index) * per_tier
+    # One page beyond total capacity is refused loudly, not dropped.
+    try:
+        drive(cascade.swap_out(DisplacedPage(total)))
+    except CascadeFull:
+        pass
+    else:
+        raise AssertionError("expected CascadeFull")
+    assert total not in cascade.pages_held()
+    # ...and every page is still fetchable afterwards.
+    for page_id in range(total):
+        assert drive(cascade.swap_in(DisplacedPage(page_id))) == []

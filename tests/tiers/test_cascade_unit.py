@@ -1,0 +1,121 @@
+"""Unit tests for cascade policies, metrics registry and factory wiring."""
+
+import pytest
+
+from repro.core.errors import NoRemoteCapacity
+from repro.tiers.base import DisplacedPage, TierStats
+from repro.tiers.cascade import (
+    AdaptivePlacement,
+    CascadeFull,
+    FailFastFailover,
+    FixedRatioPlacement,
+    SpillDownFailover,
+    TierCascade,
+)
+from tests.tiers.conftest import StubNode, StubTier, drive
+
+
+def test_cascade_requires_a_tier():
+    with pytest.raises(ValueError):
+        TierCascade(StubNode(), [])
+
+
+def test_duplicate_tier_labels_rejected():
+    with pytest.raises(ValueError, match="duplicate tier label"):
+        TierCascade(StubNode(), [StubTier("x", 1), StubTier("x", 1)])
+
+
+def test_cascade_full_is_no_remote_capacity():
+    # Callers that caught NoRemoteCapacity before the refactor still do.
+    assert issubclass(CascadeFull, NoRemoteCapacity)
+
+
+def test_swap_in_unknown_page_raises_key_error():
+    cascade = TierCascade(StubNode(), [StubTier("t0", 4)], name="c")
+    with pytest.raises(KeyError, match="page 9 not in c"):
+        drive(cascade.swap_in(DisplacedPage(9)))
+
+
+def test_fixed_ratio_placement_bounds():
+    with pytest.raises(ValueError):
+        FixedRatioPlacement(1.5)
+    with pytest.raises(ValueError):
+        FixedRatioPlacement(-0.1)
+
+
+def test_fixed_ratio_extremes_and_block_alignment():
+    cascade = TierCascade(
+        StubNode(), [StubTier("top", 64), StubTier("low", 64)]
+    )
+    all_top = FixedRatioPlacement(1.0, window=8)
+    all_low = FixedRatioPlacement(0.0, window=8)
+    half = FixedRatioPlacement(0.5, window=8)
+    for page_id in range(64):
+        assert all_top.first_tier(cascade, page_id) == 0
+        assert all_low.first_tier(cascade, page_id) == 1
+        # Window-aligned blocks map as a unit (batching survives).
+        block_start = (page_id // 8) * 8
+        assert half.first_tier(cascade, page_id) == half.first_tier(
+            cascade, block_start
+        )
+
+
+def test_policy_descriptions():
+    assert AdaptivePlacement().describe() == "adaptive"
+    assert FixedRatioPlacement(0.25).describe() == "fixed-ratio 25%"
+    assert SpillDownFailover().describe() == "spill-down"
+    assert SpillDownFailover().spill_on_failure
+    assert FailFastFailover().describe() == "fail-fast"
+    assert not FailFastFailover().spill_on_failure
+
+
+def test_describe_stack_and_breakdown_rows():
+    cascade = TierCascade(
+        StubNode(), [StubTier("sm", 2), StubTier("disk", 2)], name="demo"
+    )
+    assert cascade.describe_stack() == "sm -> disk"
+    for page_id in range(3):  # third put spills to disk
+        drive(cascade.swap_out(DisplacedPage(page_id)))
+    drive(cascade.swap_in(DisplacedPage(0)))
+    rows = cascade.tier_breakdown()
+    assert [row["tier"] for row in rows] == ["sm", "disk"]
+    sm, disk = rows
+    assert sm["puts"] == 2 and sm["gets"] == 1 and sm["spills"] == 1
+    assert disk["puts"] == 1 and disk["gets"] == 0
+    assert sm["bytes_in"] == 2 * 4096 and disk["bytes_in"] == 4096
+    # Latency columns exist and are None-safe when a tier saw no gets.
+    assert disk["get_mean_s"] is None and disk["get_max_s"] is None
+    assert sm["get_mean_s"] is not None
+
+
+def test_tier_stats_row_shape():
+    row = TierStats("x").row()
+    assert set(row) == {
+        "tier", "puts", "gets", "bytes_in", "bytes_out", "spills",
+        "failovers", "discards", "put_mean_s", "put_max_s", "get_mean_s",
+        "get_max_s",
+    }
+
+
+def test_discard_then_refetch_fails():
+    cascade = TierCascade(StubNode(), [StubTier("t0", 4)])
+    page = DisplacedPage(1)
+    drive(cascade.swap_out(page))
+    cascade.discard(page)
+    assert cascade.pages_held() == {}
+    with pytest.raises(KeyError):
+        drive(cascade.swap_in(page))
+
+
+def test_reswap_out_moves_not_duplicates():
+    # A page re-swapped while the cascade still holds a stale copy must
+    # end with exactly one live copy (the MMU's discard-on-write can
+    # race ahead of writeback in degenerate schedules).
+    cascade = TierCascade(StubNode(), [StubTier("a", 1), StubTier("b", 4)])
+    page = DisplacedPage(5)
+    drive(cascade.swap_out(page))
+    drive(cascade.swap_out(page))
+    held = cascade.pages_held()
+    assert held == {5: "a"}
+    assert 5 in cascade.tiers[0].held
+    assert 5 not in cascade.tiers[1].held
