@@ -1,0 +1,17 @@
+"""Benchmark: the experiment engine's cache — cold sweep vs all-hits rerun."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments.engine import ResultCache, run_experiment
+
+
+def test_bench_engine_cached_rerun(run_once, benchmark, tmp_path):
+    cache = ResultCache(tmp_path, salt="bench")
+    cold = run_experiment("fig3", scale=SCALE, cache=cache)
+    assert cold.stats.cache_misses == len(cold.specs)
+    warm = run_once(run_experiment, "fig3", scale=SCALE, cache=cache)
+    # The timed run touched no simulator: every cell came from the cache.
+    assert warm.stats.cache_hits == len(warm.specs)
+    assert warm.stats.cache_misses == 0
+    assert warm.result == cold.result
+    benchmark.extra_info["cells"] = warm.stats.cells
+    benchmark.extra_info["cache_bytes"] = cache.size_bytes()

@@ -1,13 +1,18 @@
 """The experiment harness: one module per table/figure of the paper.
 
-Every module exposes a ``run(scale=1.0, seed=0)`` entry point returning
-a plain-dict result (rows/series matching what the paper reports) and a
-``main()`` that pretty-prints it.  The benchmarks under ``benchmarks/``
-call the same ``run`` functions, so
+Every module implements the declarative experiment contract (see
+``repro.experiments.registry``): ``cells()`` declares the sweep's
+independent cells as :class:`~repro.experiments.engine.RunSpec`s,
+``compute()`` runs one cell, ``report()`` folds the cell payloads into
+the paper's rows, and ``run(scale=1.0, seed=0)`` /  ``main()`` are the
+serial conveniences built on top.  The engine
+(``repro.experiments.engine``) executes the same cells in parallel
+with a content-addressed result cache, so
 
     python -m repro.experiments.fig7_ml_completion
+    python -m repro.experiments run fig7 --jobs 8
 
-and the pytest-benchmark target measure the same code.
+and the pytest-benchmark target all measure the same code.
 
 Index (see DESIGN.md for the full mapping):
 
@@ -24,9 +29,15 @@ fig10  vanilla Spark vs DAHI speedups
 ====== ======================================================
 """
 
+from repro.experiments.engine import (
+    ResultCache,
+    RunSpec,
+    run_experiment,
+)
 from repro.experiments.runner import (
     KvRunResult,
     PagingRunResult,
+    RunContext,
     default_cluster_config,
     run_kv_timeline,
     run_kv_workload,
@@ -36,7 +47,11 @@ from repro.experiments.runner import (
 __all__ = [
     "KvRunResult",
     "PagingRunResult",
+    "ResultCache",
+    "RunContext",
+    "RunSpec",
     "default_cluster_config",
+    "run_experiment",
     "run_kv_timeline",
     "run_kv_workload",
     "run_paging_workload",

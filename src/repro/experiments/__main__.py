@@ -4,81 +4,91 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run fig7 [--scale 0.5] [--seed 3]
-    python -m repro.experiments all  [--scale 0.25]
+                                         [--jobs 8] [--no-cache] [--json]
+                                         [--tiers]
+    python -m repro.experiments all  [--scale 0.25] [--jobs 8] [--json]
+    python -m repro.experiments cache [--clear]
 
-``run`` prints the same report as ``python -m repro.experiments.<module>``;
-``all`` runs every registered experiment in order.
+``run`` executes one experiment through the parallel engine: the sweep's
+cells fan out across ``--jobs`` worker processes (default: all CPUs) and
+land in the content-addressed result cache (``.repro-cache/`` or
+``$REPRO_CACHE_DIR``), so re-running a figure recomputes only changed
+cells.  ``all`` runs every registered experiment in order; ``--json``
+emits one machine-readable document instead of tables.  Reports are
+assembled in cell order, so any ``--jobs`` value prints byte-identical
+tables.
 """
 
 import argparse
+import json
+import os
 import sys
 
-from repro.experiments import (
-    ablations,
-    discussion_sweeps,
-    motivation_imbalance,
-    multi_tenant,
-    fig3_compression_ratio,
-    fig4_compression_effect,
-    fig5_compression_app_perf,
-    fig6_batching_pbs,
-    fig7_ml_completion,
-    fig8_distribution_ratio,
-    fig9_memcached_timeline,
-    fig10_dahi_spark,
-    table1_applications,
-)
-from repro.experiments.runner import TIER_REGISTRY
+from repro.experiments import engine, registry
 from repro.metrics.reporting import format_table
 
-EXPERIMENTS = {
-    "table1": (table1_applications, "applications used in the experiments"),
-    "fig3": (fig3_compression_ratio, "compression ratios vs zswap"),
-    "fig4": (fig4_compression_effect, "compressibility vs completion time"),
-    "fig5": (fig5_compression_app_perf, "compression on/off app performance"),
-    "fig6": (fig6_batching_pbs, "window batching + PBS"),
-    "fig7": (fig7_ml_completion, "ML completion: FastSwap/Infiniswap/Linux"),
-    "fig8": (fig8_distribution_ratio, "FS-SM..FS-RDMA throughput"),
-    "fig9": (fig9_memcached_timeline, "Memcached ETC recovery timeline"),
-    "fig10": (fig10_dahi_spark, "vanilla Spark vs DAHI"),
-    "ablations": (ablations, "Section IV design-choice ablations"),
-    "discussion": (discussion_sweeps, "Section III/VI sweeps"),
-    "motivation": (motivation_imbalance, "Section I imbalance scenario"),
-    "multi_tenant": (multi_tenant, "concurrent tenants under contention"),
-}
+#: Back-compat alias (old callers imported EXPERIMENTS from here).
+EXPERIMENTS = registry.EXPERIMENTS
 
 
 def _list():
     rows = [
-        {"experiment": name, "description": description}
-        for name, (_module, description) in EXPERIMENTS.items()
+        {"experiment": name, "description": registry.description(name)}
+        for name in registry.names()
     ]
     print(format_table(rows, title="available experiments"))
 
 
-def _run(name, scale, seed, tiers=False):
-    module, _description = EXPERIMENTS[name]
-    TIER_REGISTRY.clear()
-    if name == "table1":
-        module.main()
+def _run_one(name, args, cache):
+    return engine.run_experiment(
+        name, scale=args.scale, seed=args.seed, jobs=args.jobs, cache=cache
+    )
+
+
+def _print_run(name, run, show_tiers):
+    module = registry.load(name)
+    print(module.render(run.result))
+    if show_tiers and run.tier_rows:
+        print()
+        print(format_table(
+            run.tier_rows, title="{} — per-tier breakdown".format(name)
+        ))
+
+
+def _cache_command(args):
+    cache = engine.ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print("evicted {} cached cell(s) from {}".format(removed, cache.root))
         return
-    if hasattr(module, "run"):
-        # Modules with a single run(): reuse their main() at scale 1,
-        # or call run() directly for custom scales.
-        if scale == 1.0 and seed == 0:
-            module.main()
-        else:
-            result = module.run(scale=scale, seed=seed)
-            print(format_table(result["rows"], title=name))
-    else:
-        module.main()
-    if tiers:
-        rows = TIER_REGISTRY.rows()
-        if rows:
-            print()
-            print(format_table(
-                rows, title="{} — per-tier breakdown".format(name)
-            ))
+    entries = cache.entries()
+    print(format_table(
+        [{
+            "cache_dir": str(cache.root),
+            "entries": len(entries),
+            "bytes": cache.size_bytes(),
+            "code_version": cache.salt,
+        }],
+        title="result cache",
+    ))
+
+
+def _add_run_arguments(parser):
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="worker processes for sweep cells "
+                             "(default: CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="compute every cell; do not read or write "
+                             "the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a JSON document instead of tables")
+    parser.add_argument("--tiers", action="store_true",
+                        help="print the per-tier cascade breakdown")
 
 
 def main(argv=None):
@@ -87,26 +97,45 @@ def main(argv=None):
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     run_parser = sub.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    run_parser.add_argument("--scale", type=float, default=1.0)
-    run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument("--tiers", action="store_true",
-                            help="print the per-tier cascade breakdown")
+    run_parser.add_argument("experiment", choices=sorted(registry.names()))
+    _add_run_arguments(run_parser)
     all_parser = sub.add_parser("all", help="run every experiment")
-    all_parser.add_argument("--scale", type=float, default=1.0)
-    all_parser.add_argument("--seed", type=int, default=0)
-    all_parser.add_argument("--tiers", action="store_true",
-                            help="print the per-tier cascade breakdown")
+    _add_run_arguments(all_parser)
+    cache_parser = sub.add_parser("cache", help="inspect the result cache")
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="evict every cached cell")
+    cache_parser.add_argument("--cache-dir", default=None)
     args = parser.parse_args(argv)
 
     if args.command == "list":
         _list()
-    elif args.command == "run":
-        _run(args.experiment, args.scale, args.seed, tiers=args.tiers)
+        return 0
+    if args.command == "cache":
+        _cache_command(args)
+        return 0
+
+    cache = None if args.no_cache else engine.ResultCache(args.cache_dir)
+    if args.command == "run":
+        run = _run_one(args.experiment, args, cache)
+        if args.as_json:
+            print(json.dumps(run.to_json()))
+        else:
+            _print_run(args.experiment, run, args.tiers)
     elif args.command == "all":
-        for name in EXPERIMENTS:
-            print("\n===== {} =====".format(name))
-            _run(name, args.scale, args.seed, tiers=args.tiers)
+        documents = []
+        for name in registry.names():
+            run = _run_one(name, args, cache)
+            if args.as_json:
+                documents.append(run.to_json())
+            else:
+                print("\n===== {} =====".format(name))
+                _print_run(name, run, args.tiers)
+        if args.as_json:
+            print(json.dumps({
+                "scale": args.scale,
+                "seed": args.seed,
+                "experiments": documents,
+            }))
     return 0
 
 

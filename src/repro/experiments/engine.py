@@ -1,0 +1,341 @@
+"""Parallel experiment engine with a content-addressed result cache.
+
+Every Section V figure is a sweep of independent simulator runs: a
+fresh cluster per cell, deterministic from the seed.  The engine turns
+that independence into speed twice over:
+
+* **Fan-out** — a sweep is declared as a list of :class:`RunSpec`
+  cells; :func:`execute` computes them across a
+  ``ProcessPoolExecutor`` (``jobs`` workers).  Results are collected
+  by cell index, so reports are byte-identical whatever the completion
+  order — ``all --jobs 8`` prints exactly what ``--jobs 1`` prints.
+* **Memoization** — each cell's payload is cached on disk under a
+  content address: a SHA-256 over the canonical RunSpec JSON plus a
+  code-version salt (a hash of the ``repro`` source tree).  Re-running
+  a figure recomputes only cells whose spec *or* code changed; editing
+  any source file invalidates the whole cache.
+
+Payloads are plain JSON data (the engine normalizes them through a
+JSON round-trip), so a cache hit and a fresh compute are
+indistinguishable byte-for-byte downstream.
+"""
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
+from functools import lru_cache, partial
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment sweep, fully described and picklable.
+
+    ``overrides`` holds experiment-specific knobs as a canonical JSON
+    string (sorted keys), which keeps the spec hashable and its cache
+    key stable; build specs through :meth:`make` and read the knobs
+    back through :attr:`options`.
+    """
+
+    experiment: str
+    backend: str = ""
+    workload: str = ""
+    fit: float = 0.0
+    seed: int = 0
+    scale: float = 1.0
+    overrides: str = "{}"
+
+    @classmethod
+    def make(cls, experiment, backend="", workload="", fit=0.0, seed=0,
+             scale=1.0, **overrides):
+        """Build a spec, freezing ``overrides`` into canonical JSON."""
+        return cls(
+            experiment=experiment,
+            backend=backend,
+            workload=workload,
+            fit=fit,
+            seed=seed,
+            scale=scale,
+            overrides=json.dumps(overrides, sort_keys=True),
+        )
+
+    @property
+    def options(self):
+        """The experiment-specific overrides, thawed back to a dict."""
+        return json.loads(self.overrides)
+
+    def to_dict(self):
+        doc = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        doc["overrides"] = self.options
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc):
+        doc = dict(doc)
+        doc["overrides"] = json.dumps(doc.get("overrides", {}), sort_keys=True)
+        return cls(**doc)
+
+    def cache_key(self, salt=""):
+        """Content address: canonical spec JSON + code-version salt."""
+        doc = json.dumps(
+            {"salt": salt, "spec": self.to_dict()}, sort_keys=True
+        )
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version():
+    """Hash of the ``repro`` source tree — the cache's code salt.
+
+    Any edit to any module invalidates every cached cell; that is the
+    cheap, always-correct invalidation rule (simulator outputs can
+    depend on arbitrarily distant code).
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of cell payloads.
+
+    One JSON file per cell under ``root`` (default: ``.repro-cache/``
+    in the working directory, overridable via the ``REPRO_CACHE_DIR``
+    environment variable).  Files are immutable once written — the key
+    embeds everything the payload depends on — so eviction is simply
+    deleting files (``clear()`` or ``rm -r``).
+    """
+
+    def __init__(self, root=None, salt=None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.salt = code_version() if salt is None else salt
+
+    def path_for(self, spec):
+        return self.root / (spec.cache_key(self.salt) + ".json")
+
+    def load(self, spec):
+        """The cached payload for ``spec``, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return entry.get("payload")
+
+    def store(self, spec, payload):
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "salt": self.salt,
+            "spec": spec.to_dict(),
+            "payload": payload,
+        }
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp.{}".format(os.getpid()))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, path)
+
+    def entries(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def size_bytes(self):
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self):
+        """Evict everything; returns the number of entries removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+@dataclass
+class EngineStats:
+    """What one :func:`execute` sweep did (surfaced by ``--json``)."""
+
+    jobs: int = 1
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self):
+        return {
+            "jobs": self.jobs,
+            "cells": self.cells,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def merge(self, other):
+        self.cells += other.cells
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+
+def normalize(payload):
+    """Force ``payload`` onto the JSON wire shape.
+
+    Both freshly computed and cache-loaded payloads pass through the
+    same JSON round-trip, so reports cannot distinguish them (tuples
+    become lists, dict keys become strings, floats survive exactly).
+    """
+    return json.loads(json.dumps(payload))
+
+
+def _registry_compute(spec):
+    """Default cell compute: dispatch to the registered module."""
+    from repro.experiments import registry
+
+    module = registry.load(spec.experiment)
+    return module.compute(spec)
+
+
+def _compute_entry(compute, spec_doc):
+    """Worker-process entry point: dict in, normalized payload out."""
+    spec = RunSpec.from_dict(spec_doc)
+    return normalize(compute(spec))
+
+
+def execute(specs, jobs=1, cache=None, compute=None):
+    """Compute every cell; returns ``(payloads, stats)`` in cell order.
+
+    Cache hits are served without computing; remaining cells run in
+    spec order (``jobs == 1``) or across ``jobs`` worker processes.
+    Duplicate specs within one sweep are computed once.
+    """
+    specs = list(specs)
+    compute = compute or _registry_compute
+    stats = EngineStats(jobs=jobs, cells=len(specs))
+    payloads = [None] * len(specs)
+    pending = []  # first index per distinct uncached spec
+    duplicates = {}  # index -> first index with the same spec
+    first_seen = {}
+    for index, spec in enumerate(specs):
+        if spec in first_seen:
+            duplicates[index] = first_seen[spec]
+            continue
+        first_seen[spec] = index
+        if cache is not None:
+            hit = cache.load(spec)
+            if hit is not None:
+                payloads[index] = hit
+                stats.cache_hits += 1
+                continue
+        pending.append(index)
+    if pending:
+        entry = partial(_compute_entry, compute)
+        if jobs > 1 and len(pending) > 1:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(
+                    pool.map(entry, [specs[i].to_dict() for i in pending])
+                )
+        else:
+            computed = [entry(specs[i].to_dict()) for i in pending]
+        for index, payload in zip(pending, computed):
+            payloads[index] = payload
+            stats.cache_misses += 1
+            if cache is not None:
+                cache.store(specs[index], payload)
+    pending_set = set(pending)
+    for index, source in duplicates.items():
+        payloads[index] = payloads[source]
+        # Keep hits + misses == cells: a duplicate shares its source's fate.
+        if source in pending_set:
+            stats.cache_misses += 1
+        else:
+            stats.cache_hits += 1
+    return payloads, stats
+
+
+def run_serial(module, scale=1.0, seed=0, **opts):
+    """Serial, uncached sweep — the body of every module's ``run()``."""
+    specs = module.cells(scale=scale, seed=seed, **opts)
+    results = [(spec, normalize(module.compute(spec))) for spec in specs]
+    return module.report(results)
+
+
+def tier_rows_from(specs, payloads):
+    """Per-tier breakdown rows carried back in cell payloads.
+
+    Runner-based cells serialize their full run result (including
+    ``tier_stats``/``tier_stack``) either as the payload itself or
+    under a ``"run"`` key; this reassembles the same rows the old
+    process-global registry used to collect, but from data that
+    traveled through the cache/worker boundary.
+    """
+    rows = []
+    for spec, payload in zip(specs, payloads):
+        if not isinstance(payload, dict):
+            continue
+        run_doc = payload
+        if not run_doc.get("tier_stats") and isinstance(
+            payload.get("run"), dict
+        ):
+            run_doc = payload["run"]
+        for tier_row in run_doc.get("tier_stats") or []:
+            row = {
+                "backend": run_doc.get("backend", spec.backend),
+                "workload": run_doc.get("workload", spec.workload),
+                "fit": run_doc.get("fit_fraction", spec.fit),
+                "stack": run_doc.get("tier_stack", ""),
+            }
+            row.update(tier_row)
+            rows.append(row)
+    return rows
+
+
+@dataclass
+class ExperimentRun:
+    """Everything one engine invocation produced."""
+
+    name: str
+    specs: list
+    payloads: list
+    result: dict
+    stats: EngineStats
+    tier_rows: list = field(default_factory=list)
+
+    def to_json(self):
+        return {
+            "experiment": self.name,
+            "engine": self.stats.as_dict(),
+            "result": self.result,
+        }
+
+
+def run_experiment(name, scale=1.0, seed=0, jobs=1, cache=None, **opts):
+    """Run one registered experiment end to end through the engine."""
+    from repro.experiments import registry
+
+    module = registry.load(name)
+    specs = module.cells(scale=scale, seed=seed, **opts)
+    payloads, stats = execute(specs, jobs=jobs, cache=cache)
+    result = module.report(list(zip(specs, payloads)))
+    return ExperimentRun(
+        name=name,
+        specs=specs,
+        payloads=payloads,
+        result=result,
+        stats=stats,
+        tier_rows=tier_rows_from(specs, payloads),
+    )

@@ -11,47 +11,84 @@ K-Means 2.5x / 3.1x, CC 1.3x / 1.9x.  Expected shape: speedup 1.0 on
 small, growing with dataset size, CC smallest, SVM largest.
 """
 
-from repro.cache.jobs import SPARK_JOBS, run_spark_job
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
 from repro.hw.latency import MiB
 from repro.metrics.reporting import format_table
 
+EXPERIMENT = "fig10"
 JOBS = ("logistic_regression", "svm", "kmeans", "connected_components")
 CATEGORIES = ("small", "medium", "large")
+SYSTEMS = ("spark", "dahi")
 
 
-def run(scale=1.0, seed=0):
-    """Completion times and speedups per (job, category)."""
-    storage = max(4 * MiB, int(24 * MiB * scale))
+def cells(scale=1.0, seed=0):
+    """One cell per (job, dataset category, system)."""
+    return [
+        RunSpec.make(EXPERIMENT, backend=system, workload=job, seed=seed,
+                     scale=scale, category=category)
+        for job in JOBS
+        for category in CATEGORIES
+        for system in SYSTEMS
+    ]
+
+
+def compute(spec):
+    from repro.cache.jobs import SPARK_JOBS, run_spark_job
+
+    storage = max(4 * MiB, int(24 * MiB * spec.scale))
+    result = run_spark_job(
+        spec.backend, SPARK_JOBS[spec.workload], spec.options["category"],
+        storage_bytes=storage, seed=spec.seed,
+    )
+    return {
+        "system": result.system,
+        "job": result.job,
+        "category": result.category,
+        "completion_time": result.completion_time,
+        "stats": result.stats,
+    }
+
+
+def report(results):
+    times = {
+        (spec.workload, spec.options["category"], spec.backend):
+            payload["completion_time"]
+        for spec, payload in results
+    }
     rows = []
     for job in JOBS:
-        spec = SPARK_JOBS[job]
         for category in CATEGORIES:
-            spark = run_spark_job(
-                "spark", spec, category, storage_bytes=storage, seed=seed
-            )
-            dahi = run_spark_job(
-                "dahi", spec, category, storage_bytes=storage, seed=seed
-            )
+            spark = times[(job, category, "spark")]
+            dahi = times[(job, category, "dahi")]
             rows.append(
                 {
                     "job": job,
                     "dataset": category,
-                    "spark_s": spark.completion_time,
-                    "dahi_s": dahi.completion_time,
-                    "speedup": spark.completion_time / dahi.completion_time,
+                    "spark_s": spark,
+                    "dahi_s": dahi,
+                    "speedup": spark / dahi,
                 }
             )
     return {"rows": rows}
 
 
+def run(scale=1.0, seed=0):
+    """Completion times and speedups per (job, category)."""
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed)
+
+
+def render(result):
+    return format_table(
+        result["rows"],
+        title="Figure 10 — vanilla Spark vs DAHI (completion time)",
+    )
+
+
 def main():
     result = run()
-    print(
-        format_table(
-            result["rows"],
-            title="Figure 10 — vanilla Spark vs DAHI (completion time)",
-        )
-    )
+    print(render(result))
     return result
 
 

@@ -10,44 +10,71 @@ Expected shape: 4-granularity >= 2-granularity >= zswap for every
 workload, with the gap largest for highly compressible (graph) data.
 """
 
-from repro.mem.compression import GranularityStore, ZbudStore
-from repro.mem.page import make_pages
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
 from repro.metrics.reporting import format_table
-from repro.sim import RngStreams
-from repro.workloads.catalog import iter_applications
+
+EXPERIMENT = "fig3"
+
+
+def cells(scale=1.0, seed=0, pages_per_app=4000):
+    """One cell per application in catalog order."""
+    from repro.workloads.catalog import iter_applications
+
+    count = max(200, int(pages_per_app * scale))
+    return [
+        RunSpec.make(EXPERIMENT, workload=app.name, seed=seed, scale=scale,
+                     pages=count)
+        for app in iter_applications()
+    ]
+
+
+def compute(spec):
+    from repro.mem.compression import GranularityStore, ZbudStore
+    from repro.mem.page import make_pages
+    from repro.sim import RngStreams
+    from repro.workloads.catalog import iter_applications
+
+    app = next(a for a in iter_applications() if a.name == spec.workload)
+    profile = app.workload().compressibility
+    rng = RngStreams(spec.seed).spawn(app.name).stream("pages")
+    pages = make_pages(
+        spec.options["pages"], compressibility_sampler=profile.sampler(rng)
+    )
+    zswap = ZbudStore()
+    two = GranularityStore([2048, 4096])
+    four = GranularityStore([512, 1024, 2048, 4096])
+    for page in pages:
+        zswap.store(page)
+        two.store(page)
+        four.store(page)
+    return {
+        "workload": app.name,
+        "zswap": zswap.effective_ratio(),
+        "fastswap_2gran": two.effective_ratio(),
+        "fastswap_4gran": four.effective_ratio(),
+    }
+
+
+def report(results):
+    return {"rows": [payload for _spec, payload in results]}
 
 
 def run(scale=1.0, seed=0, pages_per_app=4000):
     """Effective compression ratios per application and store."""
-    count = max(200, int(pages_per_app * scale))
-    streams = RngStreams(seed)
-    rows = []
-    for app in iter_applications():
-        profile = app.workload().compressibility
-        rng = streams.spawn(app.name).stream("pages")
-        pages = make_pages(count, compressibility_sampler=profile.sampler(rng))
-        zswap = ZbudStore()
-        two = GranularityStore([2048, 4096])
-        four = GranularityStore([512, 1024, 2048, 4096])
-        for page in pages:
-            zswap.store(page)
-            two.store(page)
-            four.store(page)
-        rows.append(
-            {
-                "workload": app.name,
-                "zswap": zswap.effective_ratio(),
-                "fastswap_2gran": two.effective_ratio(),
-                "fastswap_4gran": four.effective_ratio(),
-            }
-        )
-    return {"rows": rows}
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed,
+                      pages_per_app=pages_per_app)
+
+
+def render(result):
+    return format_table(result["rows"],
+                        title="Figure 3 — effective compression ratio")
 
 
 def main():
     result = run()
-    print(format_table(result["rows"],
-                       title="Figure 3 — effective compression ratio"))
+    print(render(result))
     return result
 
 

@@ -14,16 +14,21 @@ falls as pages compress better (capacity effect + fewer wire bytes),
 and the disk backend is both far slower and far more ratio-sensitive.
 """
 
-from repro.experiments.runner import default_cluster_config, run_paging_workload
-from repro.mem.compression import CompressibilityProfile
-from repro.metrics.reporting import format_table
-from repro.swap.fastswap import FastSwapConfig
-from repro.workloads.ml import ML_WORKLOADS
+import sys
 
+from repro.experiments.engine import RunSpec, run_serial
+from repro.experiments.runner import default_cluster_config, run_paging_workload
+from repro.metrics.reporting import format_table
+
+EXPERIMENT = "fig4"
 RATIOS = (1.3, 2.0, 3.0, 4.0)
+TARGETS = ("remote", "disk")
 
 
 def _spec(ratio, scale):
+    from repro.mem.compression import CompressibilityProfile
+    from repro.workloads.ml import ML_WORKLOADS
+
     base = ML_WORKLOADS["logistic_regression"]
     # The working set stays fixed (the pool:working-set ratio is the
     # experiment); ``scale`` only trims iterations.
@@ -39,53 +44,83 @@ def _spec(ratio, scale):
     )
 
 
-def run(scale=1.0, seed=0):
-    """Completion time per (target, ratio); targets: remote, disk."""
-    rows = []
+def cells(scale=1.0, seed=0):
+    """One cell per (compression ratio, overflow target)."""
+    return [
+        RunSpec.make(EXPERIMENT, backend="fastswap",
+                     workload="logistic_regression", fit=0.5, seed=seed,
+                     scale=scale, ratio=ratio, target=target)
+        for ratio in RATIOS
+        for target in TARGETS
+    ]
+
+
+def compute(spec):
+    from repro.swap.fastswap import FastSwapConfig
+
+    options = spec.options
+    workload = _spec(options["ratio"], spec.scale)
     # A shared pool too small for the raw overflow: the compression
     # ratio decides how much of the swapped set stays node-local.
     # Note the 2.0 and 3.0 points share a granularity class (both round
     # to 2 KB chunks), so they plateau — a real FastSwap property.
     tight = dict(donation_fraction=0.04)
-    for ratio in RATIOS:
-        spec = _spec(ratio, scale)
-        remote = run_paging_workload(
-            "fastswap",
-            spec,
-            0.5,
-            seed=seed,
-            cluster_config=default_cluster_config(seed=seed, **tight),
+    if options["target"] == "remote":
+        result = run_paging_workload(
+            spec.backend,
+            workload,
+            spec.fit,
+            seed=spec.seed,
+            cluster_config=default_cluster_config(seed=spec.seed, **tight),
         )
-        disk = run_paging_workload(
-            "fastswap",
-            spec,
-            0.5,
-            seed=seed,
+    else:
+        result = run_paging_workload(
+            spec.backend,
+            workload,
+            spec.fit,
+            seed=spec.seed,
             # No remote slab reservations: overflow batches fall to disk.
             fastswap_config=FastSwapConfig(slabs_per_target=0),
             cluster_config=default_cluster_config(
-                seed=seed, receive_pool_slabs=1, **tight
+                seed=spec.seed, receive_pool_slabs=1, **tight
             ),
         )
-        rows.append(
-            {
-                "compress_ratio": ratio,
-                "remote_completion_s": remote.completion_time,
-                "disk_completion_s": disk.completion_time,
-            }
-        )
+    return result.to_json()
+
+
+def report(results):
+    times = {
+        (spec.options["ratio"], spec.options["target"]):
+            payload["completion_time"]
+        for spec, payload in results
+    }
+    rows = [
+        {
+            "compress_ratio": ratio,
+            "remote_completion_s": times[(ratio, "remote")],
+            "disk_completion_s": times[(ratio, "disk")],
+        }
+        for ratio in RATIOS
+    ]
     return {"rows": rows}
+
+
+def run(scale=1.0, seed=0):
+    """Completion time per (target, ratio); targets: remote, disk."""
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed)
+
+
+def render(result):
+    return format_table(
+        result["rows"],
+        title="Figure 4 — compression ratio vs completion time "
+              "(LR, 50% config)",
+    )
 
 
 def main():
     result = run()
-    print(
-        format_table(
-            result["rows"],
-            title="Figure 4 — compression ratio vs completion time "
-                  "(LR, 50% config)",
-        )
-    )
+    print(render(result))
     return result
 
 

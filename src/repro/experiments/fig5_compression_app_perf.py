@@ -10,11 +10,13 @@ Expected shape: compression wins on every workload, with the margin
 tracking the workload's compressibility.
 """
 
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
 from repro.experiments.runner import default_cluster_config, run_paging_workload
 from repro.metrics.reporting import format_table
-from repro.swap.fastswap import FastSwapConfig
-from repro.workloads.ml import ML_WORKLOADS
 
+EXPERIMENT = "fig5"
 WORKLOADS = ("pagerank", "logistic_regression", "kmeans", "svm",
              "connected_components")
 
@@ -29,52 +31,73 @@ def _tight_cluster(seed):
     )
 
 
-def run(scale=1.0, seed=0):
-    """Completion time with/without compression per workload."""
+def cells(scale=1.0, seed=0):
+    """One cell per (workload, compression on/off)."""
+    return [
+        RunSpec.make(EXPERIMENT, backend="fastswap", workload=name, fit=0.5,
+                     seed=seed, scale=scale, compression=compression)
+        for name in WORKLOADS
+        for compression in (True, False)
+    ]
+
+
+def compute(spec):
+    from repro.swap.fastswap import FastSwapConfig
+    from repro.workloads.ml import ML_WORKLOADS
+
+    # The working set stays fixed (capacity binding is the whole
+    # experiment); ``scale`` only trims iterations.
+    workload = ML_WORKLOADS[spec.workload].with_overrides(
+        pages=2048, iterations=max(2, round(3 * spec.scale))
+    )
+    result = run_paging_workload(
+        spec.backend,
+        workload,
+        spec.fit,
+        seed=spec.seed,
+        cluster_config=_tight_cluster(spec.seed),
+        fastswap_config=FastSwapConfig(
+            compression=spec.options["compression"], slabs_per_target=1
+        ),
+    )
+    return result.to_json()
+
+
+def report(results):
+    times = {
+        (spec.workload, spec.options["compression"]):
+            payload["completion_time"]
+        for spec, payload in results
+    }
     rows = []
     for name in WORKLOADS:
-        # The working set stays fixed (capacity binding is the whole
-        # experiment); ``scale`` only trims iterations.
-        spec = ML_WORKLOADS[name].with_overrides(
-            pages=2048, iterations=max(2, round(3 * scale))
-        )
-        on = run_paging_workload(
-            "fastswap",
-            spec,
-            0.5,
-            seed=seed,
-            cluster_config=_tight_cluster(seed),
-            fastswap_config=FastSwapConfig(compression=True,
-                                           slabs_per_target=1),
-        )
-        off = run_paging_workload(
-            "fastswap",
-            spec,
-            0.5,
-            seed=seed,
-            cluster_config=_tight_cluster(seed),
-            fastswap_config=FastSwapConfig(compression=False,
-                                           slabs_per_target=1),
-        )
+        on, off = times[(name, True)], times[(name, False)]
         rows.append(
             {
                 "workload": name,
-                "compressed_s": on.completion_time,
-                "uncompressed_s": off.completion_time,
-                "speedup": off.completion_time / on.completion_time,
+                "compressed_s": on,
+                "uncompressed_s": off,
+                "speedup": off / on,
             }
         )
     return {"rows": rows}
 
 
+def run(scale=1.0, seed=0):
+    """Completion time with/without compression per workload."""
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed)
+
+
+def render(result):
+    return format_table(
+        result["rows"],
+        title="Figure 5 — compression on/off application performance",
+    )
+
+
 def main():
     result = run()
-    print(
-        format_table(
-            result["rows"],
-            title="Figure 5 — compression on/off application performance",
-        )
-    )
+    print(render(result))
     return result
 
 

@@ -9,55 +9,98 @@ every size, with the PBS advantage growing as more of the working set
 lives remotely.
 """
 
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
 from repro.experiments.runner import run_paging_workload
 from repro.metrics.reporting import format_table
-from repro.swap.fastswap import FastSwapConfig
-from repro.workloads.ml import ML_WORKLOADS
+
+EXPERIMENT = "fig6"
 
 #: Working-set sizes (pages) before scaling — the "4 sizes" of Fig. 6.
 SIZES = (1024, 2048, 3072, 4096)
 
+#: label -> (backend, FastSwapConfig kwargs or None)
+SYSTEMS = {
+    "fastswap_pbs": ("fastswap", dict(sm_fraction=0.0, pbs=True)),
+    "fastswap_nopbs": ("fastswap", dict(sm_fraction=0.0, pbs=False)),
+    "infiniswap": ("infiniswap", None),
+    "linux": ("linux", None),
+}
 
-def run(scale=1.0, seed=0, include_linux=True):
-    """Completion time per (size, system)."""
+
+def cells(scale=1.0, seed=0, include_linux=True):
+    """One cell per (size, system)."""
+    labels = list(SYSTEMS)
+    if not include_linux:
+        labels.remove("linux")
+    return [
+        RunSpec.make(EXPERIMENT, backend=SYSTEMS[label][0],
+                     workload="logistic_regression", fit=0.5, seed=seed,
+                     scale=scale, size=size, system=label)
+        for size in SIZES
+        for label in labels
+    ]
+
+
+def compute(spec):
+    from repro.swap.fastswap import FastSwapConfig
+    from repro.workloads.ml import ML_WORKLOADS
+
+    options = spec.options
+    workload = ML_WORKLOADS[spec.workload].with_overrides(
+        pages=max(256, int(options["size"] * spec.scale)), iterations=3
+    )
+    _backend, config_kwargs = SYSTEMS[options["system"]]
+    # Remote-heavy configuration so batching actually matters.
+    fastswap_config = (
+        FastSwapConfig(**config_kwargs) if config_kwargs else None
+    )
+    result = run_paging_workload(
+        spec.backend, workload, spec.fit, seed=spec.seed,
+        fastswap_config=fastswap_config,
+    )
+    return result.to_json()
+
+
+def report(results):
+    times = {}
+    pages = {}
+    for spec, payload in results:
+        options = spec.options
+        times[(options["size"], options["system"])] = (
+            payload["completion_time"]
+        )
+        pages[options["size"]] = max(256, int(options["size"] * spec.scale))
+    labels = {spec.options["system"] for spec, _payload in results}
     rows = []
-    base = ML_WORKLOADS["logistic_regression"]
     for size in SIZES:
-        spec = base.with_overrides(
-            pages=max(256, int(size * scale)), iterations=3
-        )
-        # Remote-heavy configuration so batching actually matters.
-        pbs = run_paging_workload(
-            "fastswap", spec, 0.5, seed=seed,
-            fastswap_config=FastSwapConfig(sm_fraction=0.0, pbs=True),
-        )
-        no_pbs = run_paging_workload(
-            "fastswap", spec, 0.5, seed=seed,
-            fastswap_config=FastSwapConfig(sm_fraction=0.0, pbs=False),
-        )
-        infiniswap = run_paging_workload("infiniswap", spec, 0.5, seed=seed)
-        row = {
-            "pages": spec.pages,
-            "fastswap_pbs_s": pbs.completion_time,
-            "fastswap_nopbs_s": no_pbs.completion_time,
-            "infiniswap_s": infiniswap.completion_time,
-        }
-        if include_linux:
-            linux = run_paging_workload("linux", spec, 0.5, seed=seed)
-            row["linux_s"] = linux.completion_time
+        row = {"pages": pages[size]}
+        for label in ("fastswap_pbs", "fastswap_nopbs", "infiniswap",
+                      "linux"):
+            if label in labels:
+                row["{}_s".format(label)] = times[(size, label)]
         rows.append(row)
     return {"rows": rows}
 
 
+def run(scale=1.0, seed=0, include_linux=True):
+    """Completion time per (size, system)."""
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed,
+                      include_linux=include_linux)
+
+
+def render(result):
+    return format_table(
+        result["rows"],
+        title="Figure 6 — batching + PBS vs Infiniswap vs Linux "
+              "(completion time, 50% config)",
+    )
+
+
 def main():
     result = run()
-    print(
-        format_table(
-            result["rows"],
-            title="Figure 6 — batching + PBS vs Infiniswap vs Linux "
-                  "(completion time, 50% config)",
-        )
-    )
+    print(render(result))
     return result
 
 

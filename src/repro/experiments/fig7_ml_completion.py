@@ -10,39 +10,64 @@ Expected shape: FastSwap < Infiniswap << Linux everywhere; speedups
 larger at 50% than at 75%.
 """
 
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
 from repro.experiments.runner import run_paging_workload
 from repro.metrics.reporting import format_table
-from repro.workloads.ml import ML_WORKLOADS
 
+EXPERIMENT = "fig7"
 WORKLOADS = ("pagerank", "logistic_regression", "tunkrank", "kmeans", "svm")
 SYSTEMS = ("fastswap", "infiniswap", "linux")
 CONFIGS = (0.75, 0.5)
 
 
-def run(scale=1.0, seed=0):
+def cells(scale=1.0, seed=0):
+    """One cell per (workload, configuration, system)."""
+    return [
+        RunSpec.make(EXPERIMENT, backend=system, workload=name, fit=fit,
+                     seed=seed, scale=scale)
+        for name in WORKLOADS
+        for fit in CONFIGS
+        for system in SYSTEMS
+    ]
+
+
+def compute(spec):
+    from repro.workloads.ml import ML_WORKLOADS
+
+    workload = ML_WORKLOADS[spec.workload].with_overrides(
+        pages=max(256, int(2048 * spec.scale)), iterations=3
+    )
+    return run_paging_workload(
+        spec.backend, workload, spec.fit, seed=spec.seed
+    ).to_json()
+
+
+def report(results):
     """Completion times and speedups per (workload, config)."""
+    times = {
+        (spec.workload, spec.fit, spec.backend): payload["completion_time"]
+        for spec, payload in results
+    }
     rows = []
     for name in WORKLOADS:
-        spec = ML_WORKLOADS[name].with_overrides(
-            pages=max(256, int(2048 * scale)), iterations=3
-        )
         for fit in CONFIGS:
-            times = {
-                system: run_paging_workload(
-                    system, spec, fit, seed=seed
-                ).completion_time
-                for system in SYSTEMS
+            by_system = {
+                system: times[(name, fit, system)] for system in SYSTEMS
             }
             rows.append(
                 {
                     "workload": name,
                     "fit": fit,
-                    "fastswap_s": times["fastswap"],
-                    "infiniswap_s": times["infiniswap"],
-                    "linux_s": times["linux"],
-                    "speedup_vs_linux": times["linux"] / times["fastswap"],
+                    "fastswap_s": by_system["fastswap"],
+                    "infiniswap_s": by_system["infiniswap"],
+                    "linux_s": by_system["linux"],
+                    "speedup_vs_linux": (
+                        by_system["linux"] / by_system["fastswap"]
+                    ),
                     "speedup_vs_infiniswap": (
-                        times["infiniswap"] / times["fastswap"]
+                        by_system["infiniswap"] / by_system["fastswap"]
                     ),
                 }
             )
@@ -66,25 +91,35 @@ def run(scale=1.0, seed=0):
     return {"rows": rows, "summary": summary}
 
 
-def main():
-    result = run()
-    print(
+def run(scale=1.0, seed=0):
+    """Completion times and speedups per (workload, config)."""
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed)
+
+
+def render(result):
+    lines = [
         format_table(
             result["rows"],
             title="Figure 7 — ML workload completion time",
         )
-    )
+    ]
     for fit, stats in result["summary"].items():
-        print(
+        lines.append(
             "fit={:.0%}: vs Linux avg {:.1f}x max {:.1f}x; "
             "vs Infiniswap avg {:.2f}x max {:.2f}x".format(
-                fit,
+                float(fit),
                 stats["avg_speedup_vs_linux"],
                 stats["max_speedup_vs_linux"],
                 stats["avg_speedup_vs_infiniswap"],
                 stats["max_speedup_vs_infiniswap"],
             )
         )
+    return "\n".join(lines)
+
+
+def main():
+    result = run()
+    print(render(result))
     return result
 
 

@@ -11,11 +11,13 @@ decreases monotonically from FS-SM to FS-RDMA as more swap traffic
 leaves the node.
 """
 
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
 from repro.experiments.runner import run_kv_workload
 from repro.metrics.reporting import format_table
-from repro.swap.fastswap import FastSwapConfig
-from repro.workloads.kv import KV_WORKLOADS
 
+EXPERIMENT = "fig8"
 WORKLOADS = ("redis", "memcached", "voltdb")
 FS_VARIANTS = (
     ("fs_sm", 1.0),
@@ -25,48 +27,79 @@ FS_VARIANTS = (
     ("fs_rdma", 0.0),
 )
 BASELINES = ("linux", "infiniswap", "nbdx")
+#: Column order of the figure, baselines first.
+COLUMNS = BASELINES + tuple(label for label, _fraction in FS_VARIANTS)
 
 
-def run(scale=1.0, seed=0, duration=3.0):
-    """Mean throughput (ops/s) per workload and system."""
-    duration = max(0.5, duration * scale)
+def cells(scale=1.0, seed=0, duration=3.0):
+    """One cell per (workload, system column)."""
+    specs = []
+    for name in WORKLOADS:
+        for system in BASELINES:
+            specs.append(
+                RunSpec.make(EXPERIMENT, backend=system, workload=name,
+                             fit=0.5, seed=seed, scale=scale, column=system,
+                             duration=duration)
+            )
+        for label, fraction in FS_VARIANTS:
+            specs.append(
+                RunSpec.make(EXPERIMENT, backend="fastswap", workload=name,
+                             fit=0.5, seed=seed, scale=scale, column=label,
+                             sm_fraction=fraction, duration=duration)
+            )
+    return specs
+
+
+def compute(spec):
+    from repro.swap.fastswap import FastSwapConfig
+    from repro.workloads.kv import KV_WORKLOADS
+
+    options = spec.options
+    duration = max(0.5, options["duration"] * spec.scale)
+    workload = KV_WORKLOADS[spec.workload].with_overrides(
+        keys=max(256, int(2048 * spec.scale))
+    )
+    fastswap_config = None
+    if "sm_fraction" in options:
+        fastswap_config = FastSwapConfig(sm_fraction=options["sm_fraction"])
+    result = run_kv_workload(
+        spec.backend, workload, spec.fit, duration=duration, seed=spec.seed,
+        fastswap_config=fastswap_config,
+    )
+    return result.to_json()
+
+
+def report(results):
+    throughput = {
+        (spec.workload, spec.options["column"]): payload["mean_throughput"]
+        for spec, payload in results
+    }
     rows = []
     for name in WORKLOADS:
-        spec = KV_WORKLOADS[name].with_overrides(
-            keys=max(256, int(2048 * scale))
-        )
         row = {"workload": name}
-        for system in BASELINES:
-            result = run_kv_workload(
-                system, spec, 0.5, duration=duration, seed=seed
-            )
-            row[system] = result.mean_throughput
-        for label, fraction in FS_VARIANTS:
-            result = run_kv_workload(
-                "fastswap",
-                spec,
-                0.5,
-                duration=duration,
-                seed=seed,
-                fastswap_config=FastSwapConfig(sm_fraction=fraction),
-            )
-            row[label] = result.mean_throughput
+        for column in COLUMNS:
+            row[column] = throughput[(name, column)]
         rows.append(row)
     return {"rows": rows}
 
 
-def main():
-    result = run()
-    print(
+def run(scale=1.0, seed=0, duration=3.0):
+    """Mean throughput (ops/s) per workload and system."""
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed,
+                      duration=duration)
+
+
+def render(result):
+    lines = [
         format_table(
             result["rows"],
             title="Figure 8 — throughput (ops/s) vs distribution ratio "
                   "(50% config)",
             float_format="{:.0f}",
         )
-    )
+    ]
     for row in result["rows"]:
-        print(
+        lines.append(
             "{}: FS-SM/Linux={:.0f}x FS-SM/Infiniswap={:.1f}x "
             "FS-RDMA/Infiniswap={:.1f}x".format(
                 row["workload"],
@@ -75,6 +108,12 @@ def main():
                 row["fs_rdma"] / max(row["infiniswap"], 1e-9),
             )
         )
+    return "\n".join(lines)
+
+
+def main():
+    result = run()
+    print(render(result))
     return result
 
 

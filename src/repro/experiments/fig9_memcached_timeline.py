@@ -17,16 +17,20 @@ latency-minimal; the PBS benefit reproduces clearly on scan-dominated
 workloads (Figure 6).  See EXPERIMENTS.md.
 """
 
-from repro.experiments.runner import run_kv_timeline
-from repro.metrics.reporting import format_series
-from repro.swap.fastswap import FastSwapConfig
-from repro.workloads.kv import KV_WORKLOADS
+import sys
 
-SYSTEMS = (
-    ("fastswap_pbs", "fastswap", FastSwapConfig(sm_fraction=0.0, pbs=True)),
-    ("fastswap_nopbs", "fastswap", FastSwapConfig(sm_fraction=0.0, pbs=False)),
-    ("infiniswap", "infiniswap", None),
-)
+from repro.experiments.engine import RunSpec, run_serial
+from repro.experiments.runner import run_kv_timeline
+from repro.metrics.reporting import format_series, format_table
+
+EXPERIMENT = "fig9"
+
+#: label -> (backend, FastSwapConfig kwargs or None)
+SYSTEMS = {
+    "fastswap_pbs": ("fastswap", dict(sm_fraction=0.0, pbs=True)),
+    "fastswap_nopbs": ("fastswap", dict(sm_fraction=0.0, pbs=False)),
+    "infiniswap": ("infiniswap", None),
+}
 
 
 def _recovery_time(timeline, target_rate):
@@ -36,61 +40,95 @@ def _recovery_time(timeline, target_rate):
     return None
 
 
-def run(scale=1.0, seed=0, duration=4.0, window=0.2):
-    """Throughput timelines and recovery times per system."""
-    duration = max(0.5, duration * scale)
-    spec = KV_WORKLOADS["memcached"].with_overrides(
-        keys=max(512, int(8192 * scale))
+def cells(scale=1.0, seed=0, duration=4.0, window=0.2):
+    """One cell per recovery system."""
+    return [
+        RunSpec.make(EXPERIMENT, backend=SYSTEMS[label][0],
+                     workload="memcached", fit=0.5, seed=seed, scale=scale,
+                     system=label, duration=duration, window=window)
+        for label in SYSTEMS
+    ]
+
+
+def compute(spec):
+    from repro.swap.fastswap import FastSwapConfig
+    from repro.workloads.kv import KV_WORKLOADS
+
+    options = spec.options
+    duration = max(0.5, options["duration"] * spec.scale)
+    workload = KV_WORKLOADS[spec.workload].with_overrides(
+        keys=max(512, int(8192 * spec.scale))
     )
-    timelines = {}
-    for label, backend, config in SYSTEMS:
-        result = run_kv_timeline(
-            backend,
-            spec,
-            0.5,
-            duration=duration,
-            window=window,
-            seed=seed,
-            fastswap_config=config,
-        )
-        timelines[label] = result
+    _backend, config_kwargs = SYSTEMS[options["system"]]
+    fastswap_config = (
+        FastSwapConfig(**config_kwargs) if config_kwargs else None
+    )
+    result = run_kv_timeline(
+        spec.backend,
+        workload,
+        spec.fit,
+        duration=duration,
+        window=options["window"],
+        seed=spec.seed,
+        fastswap_config=fastswap_config,
+    )
+    return result.to_json()
+
+
+def report(results):
+    timelines = {
+        spec.options["system"]: payload for spec, payload in results
+    }
     peak = max(
-        rate for result in timelines.values() for _t, rate in result.timeline
+        rate
+        for payload in timelines.values()
+        for _t, rate in payload["timeline"]
     )
     rows = []
-    for label, result in timelines.items():
+    for label, payload in timelines.items():
+        timeline = payload["timeline"]
         rows.append(
             {
                 "system": label,
-                "mean_ops_s": result.mean_throughput,
-                "final_ops_s": result.timeline[-1][1] if result.timeline else 0,
-                "t_to_90pct_peak_s": _recovery_time(result.timeline, 0.9 * peak),
+                "mean_ops_s": payload["mean_throughput"],
+                "final_ops_s": timeline[-1][1] if timeline else 0,
+                "t_to_90pct_peak_s": _recovery_time(timeline, 0.9 * peak),
             }
         )
     return {
         "rows": rows,
         "timelines": {
-            label: result.timeline for label, result in timelines.items()
+            label: payload["timeline"]
+            for label, payload in timelines.items()
         },
         "peak_ops_s": peak,
     }
 
 
-def main():
-    result = run()
-    from repro.metrics.reporting import format_table
+def run(scale=1.0, seed=0, duration=4.0, window=0.2):
+    """Throughput timelines and recovery times per system."""
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed,
+                      duration=duration, window=window)
 
-    print(
+
+def render(result):
+    lines = [
         format_table(
             result["rows"],
             title="Figure 9 — Memcached ETC recovery (50% config, cold start)",
             float_format="{:.4g}",
         )
-    )
+    ]
     for label, timeline in result["timelines"].items():
-        print()
-        print(format_series(timeline[:20], title=label, x_label="t_s",
-                            y_label="ops_s"))
+        lines.append("")
+        lines.append(format_series(timeline[:20], title=label, x_label="t_s",
+                                   y_label="ops_s"))
+    return "\n".join(lines)
+
+
+def main():
+    result = run()
+    print(render(result))
     return result
 
 

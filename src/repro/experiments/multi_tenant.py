@@ -13,7 +13,10 @@ tenant count because most traffic stays node-local, while the
 remote-only systems see their NIC/receive-pool contention grow.
 """
 
+import sys
+
 from repro.core.cluster import DisaggregatedCluster
+from repro.experiments.engine import RunSpec, run_serial
 from repro.experiments.runner import default_cluster_config
 from repro.mem.page import make_pages
 from repro.metrics.reporting import format_table
@@ -22,6 +25,7 @@ from repro.swap.base import VirtualMemory
 from repro.swap.factory import make_swap_backend
 from repro.workloads.ml import ML_WORKLOADS
 
+EXPERIMENT = "multi_tenant"
 SYSTEMS = ("fastswap", "infiniswap", "linux")
 
 
@@ -76,13 +80,35 @@ def _run_system(system, spec, tenants, seed):
     }
 
 
+def cells(scale=1.0, seed=0, tenants=4):
+    """One cell per system, each running ``tenants`` concurrent jobs."""
+    return [
+        RunSpec.make(EXPERIMENT, backend=system,
+                     workload="logistic_regression", seed=seed, scale=scale,
+                     tenants=tenants)
+        for system in SYSTEMS
+    ]
+
+
+def compute(spec):
+    workload = ML_WORKLOADS[spec.workload].with_overrides(
+        pages=max(256, int(2048 * spec.scale)), iterations=3
+    )
+    return {
+        "row": _run_system(
+            spec.backend, workload, spec.options["tenants"], spec.seed
+        )
+    }
+
+
+def report(results):
+    return {"rows": [payload["row"] for _spec, payload in results]}
+
+
 def run(scale=1.0, seed=0, tenants=4):
     """All three systems under ``tenants`` concurrent paging workloads."""
-    spec = ML_WORKLOADS["logistic_regression"].with_overrides(
-        pages=max(256, int(2048 * scale)), iterations=3
-    )
-    rows = [_run_system(system, spec, tenants, seed) for system in SYSTEMS]
-    return {"rows": rows}
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed,
+                      tenants=tenants)
 
 
 def run_scaling(scale=1.0, seed=0, tenant_counts=(1, 2, 4)):
@@ -97,17 +123,16 @@ def run_scaling(scale=1.0, seed=0, tenant_counts=(1, 2, 4)):
     return {"rows": rows}
 
 
+def render(result):
+    return format_table(
+        result["rows"],
+        title="Multi-tenant contention — 4 concurrent paging tenants",
+    )
+
+
 def main():
     result = run()
-    print(
-        format_table(
-            result["rows"],
-            title="Multi-tenant contention — 4 concurrent paging tenants",
-        )
-    )
-    scaling = run_scaling()
-    print()
-    print(format_table(scaling["rows"], title="Makespan vs tenant count"))
+    print(render(result))
     return result
 
 

@@ -1,0 +1,93 @@
+"""The experiment registry: CLI name -> (module path, description).
+
+Modules are imported lazily so the CLI starts fast, engine worker
+processes only import the experiment they compute, and the registry
+itself can be imported from anywhere (including the experiment modules)
+without cycles.
+
+Every registered module implements the declarative experiment contract
+(see ``repro.experiments.engine``):
+
+* ``cells(scale=1.0, seed=0, **opts) -> list[RunSpec]`` — the sweep's
+  independent cells, each fully described by a picklable RunSpec;
+* ``compute(spec) -> payload`` — run one cell; the payload must be
+  plain JSON data (the engine caches it and ships it across worker
+  processes);
+* ``report(results) -> {"rows": [...], ...}`` — fold the ordered
+  ``(spec, payload)`` pairs into the figure/table of the paper;
+* ``run(scale=1.0, seed=0, **opts)`` — serial convenience wrapper
+  (``engine.run_serial``) used by tests and benchmarks;
+* ``render(result) -> str`` — pretty-print a ``run``/``report`` result;
+* ``main()`` — thin: ``print(render(run()))``.
+"""
+
+import importlib
+
+_PACKAGE = "repro.experiments"
+
+#: name -> (module path, description); iteration order is the order
+#: ``python -m repro.experiments all`` runs.
+EXPERIMENTS = {
+    "table1": (
+        _PACKAGE + ".table1_applications",
+        "applications used in the experiments",
+    ),
+    "fig3": (
+        _PACKAGE + ".fig3_compression_ratio",
+        "compression ratios vs zswap",
+    ),
+    "fig4": (
+        _PACKAGE + ".fig4_compression_effect",
+        "compressibility vs completion time",
+    ),
+    "fig5": (
+        _PACKAGE + ".fig5_compression_app_perf",
+        "compression on/off app performance",
+    ),
+    "fig6": (_PACKAGE + ".fig6_batching_pbs", "window batching + PBS"),
+    "fig7": (
+        _PACKAGE + ".fig7_ml_completion",
+        "ML completion: FastSwap/Infiniswap/Linux",
+    ),
+    "fig8": (
+        _PACKAGE + ".fig8_distribution_ratio",
+        "FS-SM..FS-RDMA throughput",
+    ),
+    "fig9": (
+        _PACKAGE + ".fig9_memcached_timeline",
+        "Memcached ETC recovery timeline",
+    ),
+    "fig10": (_PACKAGE + ".fig10_dahi_spark", "vanilla Spark vs DAHI"),
+    "ablations": (_PACKAGE + ".ablations", "Section IV design-choice ablations"),
+    "discussion": (_PACKAGE + ".discussion_sweeps", "Section III/VI sweeps"),
+    "motivation": (
+        _PACKAGE + ".motivation_imbalance",
+        "Section I imbalance scenario",
+    ),
+    "multi_tenant": (
+        _PACKAGE + ".multi_tenant",
+        "concurrent tenants under contention",
+    ),
+}
+
+
+def names():
+    """Registered experiment names in run order."""
+    return list(EXPERIMENTS)
+
+
+def description(name):
+    return EXPERIMENTS[name][1]
+
+
+def load(name):
+    """Import and return the experiment module registered as ``name``."""
+    try:
+        module_path, _description = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown experiment {!r}; known: {}".format(
+                name, ", ".join(sorted(EXPERIMENTS))
+            )
+        ) from None
+    return importlib.import_module(module_path)

@@ -3,9 +3,17 @@
 These runners build a fresh cluster per run (so runs are independent
 and reproducible from the seed), wire a virtual-memory instance to the
 requested swap backend, drive the workload trace, and report stats.
+
+Every run collects its cross-cutting artifacts (today: the per-tier
+cascade breakdown) into a :class:`RunContext` carried on the returned
+result.  Runs are therefore parallel-safe by construction: nothing a
+run records is shared between two simulator invocations, so the
+experiment engine can fan cells out across worker processes and merge
+the contexts afterwards.
 """
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields
 
 from repro.core.cluster import DisaggregatedCluster
 from repro.core.config import ClusterConfig
@@ -36,8 +44,155 @@ def default_cluster_config(seed=0, **overrides):
     return ClusterConfig(**base)
 
 
+class RunContext:
+    """Per-run collector for cross-cutting run artifacts.
+
+    A fresh context is created for every runner invocation (or passed
+    in by the caller to aggregate several runs); the result carries it
+    as ``result.context``.  Unlike the old process-wide registry, a
+    context is owned by exactly one caller, so concurrent runs in one
+    process — or cells fanned out across worker processes — can never
+    interleave their rows.
+    """
+
+    def __init__(self):
+        self.runs = 0
+        self._tier_rows = []
+
+    def record(self, result):
+        """Record a finished runner result (tier rows + run count)."""
+        self.runs += 1
+        self.record_tier_rows(
+            result.backend,
+            result.workload,
+            result.fit_fraction,
+            result.tier_stack,
+            result.tier_stats,
+        )
+
+    def record_tier_rows(self, backend_name, workload, fit_fraction,
+                         tier_stack, tier_stats):
+        for tier_row in tier_stats:
+            row = {
+                "backend": backend_name,
+                "workload": workload,
+                "fit": fit_fraction,
+                "stack": tier_stack,
+            }
+            row.update(tier_row)
+            self._tier_rows.append(row)
+
+    def tier_rows(self):
+        return list(self._tier_rows)
+
+    def merge(self, other):
+        """Fold another context's rows into this one (cells -> sweep)."""
+        self.runs += other.runs
+        self._tier_rows.extend(other.tier_rows())
+
+    def clear(self):
+        self.runs = 0
+        self._tier_rows.clear()
+
+
+#: Fed by every runner invocation for the deprecated ``TIER_REGISTRY``
+#: view; new code should read ``result.context`` instead.
+_LEGACY_CONTEXT = RunContext()
+
+
+class TierRegistry:
+    """Deprecated process-wide registry view over the legacy context.
+
+    Superseded by :class:`RunContext`: every run result now carries its
+    own context (``result.context``), which is safe under parallel
+    execution.  This shim keeps the old module-global API alive for one
+    release; every access emits a :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, context):
+        self._context = context
+
+    def _warn(self):
+        warnings.warn(
+            "TIER_REGISTRY is deprecated; use the RunContext returned on "
+            "run results (result.context) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def record(self, backend_name, workload, fit_fraction, tier_stack,
+               tier_stats):
+        self._warn()
+        self._context.record_tier_rows(
+            backend_name, workload, fit_fraction, tier_stack, tier_stats
+        )
+
+    def rows(self):
+        self._warn()
+        return self._context.tier_rows()
+
+    def clear(self):
+        self._warn()
+        self._context.clear()
+
+
+#: Deprecated: the process-wide registry the experiments CLI used to
+#: clear/render.  Kept for one release; see :class:`TierRegistry`.
+TIER_REGISTRY = TierRegistry(_LEGACY_CONTEXT)
+
+
+def _jsonify(value):
+    """Mirror the JSON wire shape (tuples -> lists, keys -> str)."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+class RunResult:
+    """Shared surface of every runner outcome.
+
+    Subclasses are dataclasses; this base gives them a uniform
+    ``to_json()`` (plain-JSON payload with a ``kind`` discriminator,
+    consumed by the experiment engine's cache and the CLI's ``--json``
+    output) and ``from_json()``/``row()`` round-trip helpers.
+    """
+
+    kind = ""
+    #: Fields excluded from the JSON payload (non-serializable).
+    _json_exclude = ("context",)
+
+    def to_json(self):
+        payload = {"kind": self.kind}
+        for spec in fields(self):
+            if spec.name in self._json_exclude:
+                continue
+            payload[spec.name] = _jsonify(getattr(self, spec.name))
+        return payload
+
+    @staticmethod
+    def from_json(payload):
+        """Rebuild the right result subclass from a ``to_json`` payload."""
+        payload = dict(payload)
+        kind = payload.pop("kind", None)
+        try:
+            cls = _RESULT_KINDS[kind]
+        except KeyError:
+            raise ValueError(
+                "unknown result kind {!r}; expected one of {}".format(
+                    kind, sorted(_RESULT_KINDS)
+                )
+            ) from None
+        return cls(**payload)
+
+    def row(self):
+        """One flat report-table row; subclasses pick the columns."""
+        raise NotImplementedError
+
+
 @dataclass
-class PagingRunResult:
+class PagingRunResult(RunResult):
     """Outcome of one completion-time run."""
 
     backend: str
@@ -50,6 +205,10 @@ class PagingRunResult:
     tier_stats: list = field(default_factory=list)
     #: Human-readable tier stack, e.g. ``sm -> remote -> disk``.
     tier_stack: str = ""
+    #: The RunContext this run recorded into (not serialized).
+    context: RunContext = field(default=None, repr=False, compare=False)
+
+    kind = "paging"
 
     def row(self):
         return {
@@ -62,7 +221,7 @@ class PagingRunResult:
 
 
 @dataclass
-class KvRunResult:
+class KvRunResult(RunResult):
     """Outcome of one throughput run."""
 
     backend: str
@@ -75,6 +234,25 @@ class KvRunResult:
     tier_stats: list = field(default_factory=list)
     #: Human-readable tier stack, e.g. ``sm -> remote -> disk``.
     tier_stack: str = ""
+    #: The RunContext this run recorded into (not serialized).
+    context: RunContext = field(default=None, repr=False, compare=False)
+
+    kind = "kv"
+
+    def row(self):
+        return {
+            "backend": self.backend,
+            "workload": self.workload,
+            "fit": self.fit_fraction,
+            "mean_ops_s": self.mean_throughput,
+            "operations": self.operations,
+        }
+
+
+_RESULT_KINDS = {
+    PagingRunResult.kind: PagingRunResult,
+    KvRunResult.kind: KvRunResult,
+}
 
 
 def _build(backend_name, cluster_config, fastswap_config, slabs_per_target):
@@ -113,52 +291,26 @@ def _collect_tier_stats(backend):
     return backend.tier_breakdown(), backend.describe_stack()
 
 
-class TierRegistry:
-    """Unified per-tier metrics registry fed by every runner invocation.
-
-    Each paging/KV run appends its cascade's per-tier rows here, so an
-    experiment module — which typically keeps only completion times —
-    can still report the tier breakdown of everything it ran
-    (``python -m repro.experiments run <name> --tiers``).
-    """
-
-    def __init__(self):
-        self._rows = []
-
-    def record(self, backend_name, workload, fit_fraction, tier_stack,
-               tier_stats):
-        for tier_row in tier_stats:
-            row = {
-                "backend": backend_name,
-                "workload": workload,
-                "fit": fit_fraction,
-                "stack": tier_stack,
-            }
-            row.update(tier_row)
-            self._rows.append(row)
-
-    def rows(self):
-        return list(self._rows)
-
-    def clear(self):
-        self._rows.clear()
+def _resolve_context(context):
+    """The context this run records into (a fresh one when not given)."""
+    return context if context is not None else RunContext()
 
 
-#: Process-wide registry: cleared/rendered by the experiments CLI.
-TIER_REGISTRY = TierRegistry()
-
-
-def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
+def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
                         cluster_config=None, fastswap_config=None,
                         slabs_per_target=24, prefetch_capacity=128,
-                        record_fault_latency=False):
+                        record_fault_latency=False, context=None):
     """Run an ML trace to completion under paging; returns the result.
 
     ``fit_fraction`` is the paper's "N% configuration": what share of
-    the working set fits in the virtual server's resident memory.
+    the working set fits in the virtual server's resident memory.  All
+    tuning arguments are keyword-only; ``context`` aggregates several
+    runs into one :class:`RunContext` (one is created per run when
+    omitted).
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
+    context = _resolve_context(context)
     cluster_config = cluster_config or default_cluster_config(seed=seed)
     cluster, node, backend = _build(
         backend_name, cluster_config, fastswap_config, slabs_per_target
@@ -198,9 +350,6 @@ def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
 
     cluster.run_process(job(), name="paging:{}".format(backend_name))
     tier_stats, tier_stack = _collect_tier_stats(backend)
-    TIER_REGISTRY.record(
-        backend_name, spec.name, fit_fraction, tier_stack, tier_stats
-    )
     result = PagingRunResult(
         backend=backend_name,
         workload=spec.name,
@@ -210,25 +359,30 @@ def run_paging_workload(backend_name, spec, fit_fraction, seed=0,
         backend_stats=_collect_backend_stats(backend),
         tier_stats=tier_stats,
         tier_stack=tier_stack,
+        context=context,
     )
     if fault_histogram is not None:
         result.stats["fault_p50_s"] = fault_histogram.percentile(0.5)
         result.stats["fault_p99_s"] = fault_histogram.percentile(0.99)
+    context.record(result)
+    _LEGACY_CONTEXT.record(result)
     return result
 
 
-def run_kv_workload(backend_name, spec, fit_fraction, duration=5.0,
+def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
                     window=0.5, seed=0, cluster_config=None,
                     fastswap_config=None, slabs_per_target=24,
-                    cold_start=False, prefetch_capacity=None):
+                    cold_start=False, prefetch_capacity=None, context=None):
     """Closed-loop KV serving for ``duration`` simulated seconds.
 
     ``cold_start=True`` begins with the whole store swapped out (the
     post-pressure recovery scenario of Figure 9); otherwise the run
-    starts with the hottest pages resident.
+    starts with the hottest pages resident.  All tuning arguments are
+    keyword-only; see :func:`run_paging_workload` for ``context``.
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
+    context = _resolve_context(context)
     cluster_config = cluster_config or default_cluster_config(seed=seed)
     cluster, node, backend = _build(
         backend_name, cluster_config, fastswap_config, slabs_per_target
@@ -287,10 +441,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, duration=5.0,
     cluster.run_process(client(), name="kv:{}".format(backend_name))
     mean = completed["ops"] / duration
     tier_stats, tier_stack = _collect_tier_stats(backend)
-    TIER_REGISTRY.record(
-        backend_name, spec.name, fit_fraction, tier_stack, tier_stats
-    )
-    return KvRunResult(
+    result = KvRunResult(
         backend=backend_name,
         workload=spec.name,
         fit_fraction=fit_fraction,
@@ -299,10 +450,14 @@ def run_kv_workload(backend_name, spec, fit_fraction, duration=5.0,
         operations=completed["ops"],
         tier_stats=tier_stats,
         tier_stack=tier_stack,
+        context=context,
     )
+    context.record(result)
+    _LEGACY_CONTEXT.record(result)
+    return result
 
 
-def run_kv_timeline(backend_name, spec, fit_fraction, duration=30.0,
+def run_kv_timeline(backend_name, spec, fit_fraction, *, duration=30.0,
                     window=1.0, seed=0, **kwargs):
     """Figure 9 helper: cold-start recovery timeline."""
     return run_kv_workload(

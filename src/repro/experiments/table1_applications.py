@@ -5,42 +5,68 @@ simulation scale, and the generator parameters that stand in for the
 real binaries.
 """
 
-from repro.hw.latency import GiB, MiB
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
 from repro.metrics.reporting import format_table
-from repro.workloads.catalog import SCALE, iter_applications
+from repro.workloads.catalog import SCALE
+
+EXPERIMENT = "table1"
 
 
-def run():
+def cells(scale=1.0, seed=0):
+    """One (cheap, metadata-only) cell per catalog application."""
+    from repro.workloads.catalog import iter_applications
+
+    return [
+        RunSpec.make(EXPERIMENT, workload=app.name, seed=seed, scale=scale)
+        for app in iter_applications()
+    ]
+
+
+def compute(spec):
+    from repro.hw.latency import GiB, MiB
+    from repro.workloads.catalog import iter_applications
+
+    app = next(a for a in iter_applications() if a.name == spec.workload)
+    workload = app.workload()
+    return {
+        "application": app.name,
+        "category": app.category,
+        "framework": app.framework,
+        "paper_ws_gb": app.working_set_bytes / GiB,
+        "paper_input_gb": app.input_bytes / GiB,
+        "scaled_ws_mb": app.scaled_working_set_bytes / MiB,
+        "pages": app.scaled_pages,
+        "kind": app.workload_kind,
+        "mean_compress_ratio": workload.compressibility.mean_ratio,
+    }
+
+
+def report(results):
+    return {
+        "scale": SCALE,
+        "rows": [payload for _spec, payload in results],
+    }
+
+
+def run(scale=1.0, seed=0):
     """Rows describing every application (paper size -> scaled size)."""
-    rows = []
-    for app in iter_applications():
-        workload = app.workload()
-        rows.append(
-            {
-                "application": app.name,
-                "category": app.category,
-                "framework": app.framework,
-                "paper_ws_gb": app.working_set_bytes / GiB,
-                "paper_input_gb": app.input_bytes / GiB,
-                "scaled_ws_mb": app.scaled_working_set_bytes / MiB,
-                "pages": app.scaled_pages,
-                "kind": app.workload_kind,
-                "mean_compress_ratio": workload.compressibility.mean_ratio,
-            }
-        )
-    return {"scale": SCALE, "rows": rows}
+    return run_serial(sys.modules[__name__], scale=scale, seed=seed)
+
+
+def render(result):
+    return format_table(
+        result["rows"],
+        title="Table 1 — applications (paper sizes scaled {}x)".format(
+            result["scale"]
+        ),
+    )
 
 
 def main():
     result = run()
-    print(
-        format_table(
-            result["rows"],
-            title="Table 1 — applications (paper sizes scaled {}x)".format(
-                result["scale"]
-            ),
-        )
-    )
+    print(render(result))
     return result
 
 

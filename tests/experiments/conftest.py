@@ -1,0 +1,9 @@
+"""Keep experiment tests hermetic: never touch the repo's result cache."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test temp directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

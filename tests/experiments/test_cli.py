@@ -1,0 +1,92 @@
+"""The ``python -m repro.experiments`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments import registry
+
+
+def test_list_names_every_experiment(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for name in registry.names():
+        assert name in output
+
+
+def test_run_with_jobs_and_tiers(capsys, tmp_path):
+    assert main([
+        "run", "fig7", "--scale", "0.25", "--jobs", "2",
+        "--tiers", "--cache-dir", str(tmp_path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 7" in output
+    assert "per-tier breakdown" in output
+    assert "sm -> remote -> disk" in output
+    # The run populated the cache.
+    assert list(tmp_path.glob("*.json"))
+
+
+def test_tier_breakdown_off_by_default(capsys, tmp_path):
+    # fig7 pages heavily, so tier rows exist — but stay hidden
+    # unless --tiers asks for them.
+    assert main([
+        "run", "fig7", "--scale", "0.1", "--cache-dir", str(tmp_path),
+    ]) == 0
+    assert "per-tier breakdown" not in capsys.readouterr().out
+
+
+def test_run_json_document_shape(capsys, tmp_path):
+    assert main([
+        "run", "fig3", "--scale", "0.1", "--json",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["experiment"] == "fig3"
+    assert document["engine"]["cells"] == len(document["result"]["rows"])
+    assert document["engine"]["cache_misses"] == document["engine"]["cells"]
+    assert all("zswap" in row for row in document["result"]["rows"])
+
+
+def test_cached_rerun_prints_identical_output(capsys, tmp_path):
+    argv = ["run", "fig3", "--scale", "0.1", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_no_cache_leaves_no_files(capsys, tmp_path):
+    assert main([
+        "run", "fig3", "--scale", "0.1", "--no-cache",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_cache_subcommand_reports_and_clears(capsys, tmp_path):
+    main(["run", "fig3", "--scale", "0.1", "--cache-dir", str(tmp_path)])
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+    output = capsys.readouterr().out
+    assert str(tmp_path) in output
+    assert main(["cache", "--clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "evicted" in capsys.readouterr().out
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_unknown_experiment_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_every_module_satisfies_the_contract():
+    for name in registry.names():
+        module = registry.load(name)
+        for attr in ("cells", "compute", "report", "run", "render", "main"):
+            assert hasattr(module, attr), "{} lacks {}()".format(name, attr)
+        specs = module.cells(scale=0.1, seed=0)
+        assert specs, name
+        assert all(spec.experiment == module.EXPERIMENT for spec in specs)

@@ -1,0 +1,178 @@
+"""The experiment engine: RunSpec, result cache, executor, determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments import engine
+from repro.experiments.engine import (
+    ResultCache,
+    RunSpec,
+    execute,
+    run_experiment,
+)
+
+
+# --- RunSpec -----------------------------------------------------------
+
+def test_runspec_freezes_overrides_canonically():
+    first = RunSpec.make("fig6", seed=3, size=64, window=0.5)
+    second = RunSpec.make("fig6", seed=3, window=0.5, size=64)
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first.options == {"size": 64, "window": 0.5}
+
+
+def test_runspec_dict_round_trip():
+    spec = RunSpec.make("fig7", backend="fastswap", workload="kmeans",
+                        fit=0.75, seed=2, scale=0.5, pages=512)
+    doc = spec.to_dict()
+    assert doc["overrides"] == {"pages": 512}
+    # The document survives the JSON wire format.
+    restored = RunSpec.from_dict(json.loads(json.dumps(doc)))
+    assert restored == spec
+
+
+def test_cache_key_depends_on_spec_and_salt():
+    spec = RunSpec.make("fig3", workload="als", seed=0)
+    assert spec.cache_key("a") == spec.cache_key("a")
+    assert spec.cache_key("a") != spec.cache_key("b")
+    other = RunSpec.make("fig3", workload="als", seed=1)
+    assert spec.cache_key("a") != other.cache_key("a")
+
+
+# --- ResultCache -------------------------------------------------------
+
+def test_cache_store_load_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "cache", salt="s1")
+    spec = RunSpec.make("fig3", workload="als")
+    assert cache.load(spec) is None
+    cache.store(spec, {"row": {"ratio": 1.5}})
+    assert cache.load(spec) == {"row": {"ratio": 1.5}}
+    assert len(cache.entries()) == 1
+    assert cache.size_bytes() > 0
+
+
+def test_cache_salt_change_invalidates(tmp_path):
+    spec = RunSpec.make("fig3", workload="als")
+    ResultCache(tmp_path, salt="v1").store(spec, {"x": 1})
+    assert ResultCache(tmp_path, salt="v2").load(spec) is None
+    assert ResultCache(tmp_path, salt="v1").load(spec) == {"x": 1}
+
+
+def test_cache_tolerates_corruption(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    spec = RunSpec.make("fig3", workload="als")
+    cache.store(spec, {"x": 1})
+    cache.path_for(spec).write_text("not json{", encoding="utf-8")
+    assert cache.load(spec) is None  # corrupt entry reads as a miss
+
+
+def test_cache_clear_evicts_everything(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    for seed in range(3):
+        cache.store(RunSpec.make("fig3", seed=seed), {"seed": seed})
+    assert cache.clear() == 3
+    assert cache.entries() == []
+
+
+def test_cache_honours_environment_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+    cache = ResultCache(salt="s")
+    assert cache.root == tmp_path / "env-cache"
+
+
+# --- execute -----------------------------------------------------------
+
+def _specs(count):
+    return [RunSpec.make("stub", seed=seed) for seed in range(count)]
+
+
+def test_execute_computes_in_cell_order():
+    calls = []
+
+    def compute(spec):
+        calls.append(spec.seed)
+        return {"seed": spec.seed}
+
+    payloads, stats = execute(_specs(3), jobs=1, compute=compute)
+    assert [p["seed"] for p in payloads] == [0, 1, 2]
+    assert calls == [0, 1, 2]
+    assert stats.as_dict() == {
+        "jobs": 1, "cells": 3, "cache_hits": 0, "cache_misses": 3,
+    }
+
+
+def test_execute_dedupes_identical_specs():
+    calls = []
+
+    def compute(spec):
+        calls.append(spec.seed)
+        return {"seed": spec.seed}
+
+    specs = _specs(2) + _specs(2)  # each spec appears twice
+    payloads, stats = execute(specs, jobs=1, compute=compute)
+    assert calls == [0, 1]  # computed once per distinct spec
+    assert [p["seed"] for p in payloads] == [0, 1, 0, 1]
+    assert stats.cache_hits + stats.cache_misses == stats.cells == 4
+
+
+def test_second_invocation_runs_zero_simulations(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    specs = _specs(4)
+    payloads, stats = execute(
+        specs, cache=cache, compute=lambda spec: {"seed": spec.seed}
+    )
+    assert stats.cache_misses == 4
+
+    def forbidden(spec):
+        raise AssertionError("cache hit expected; simulator ran")
+
+    cached, stats = execute(specs, cache=cache, compute=forbidden)
+    assert stats.cache_hits == 4
+    assert stats.cache_misses == 0
+    assert cached == payloads  # byte-identical payloads from cache
+
+
+def test_cache_hit_indistinguishable_from_fresh(tmp_path):
+    """Tuples/int-keys normalize identically whether fresh or cached."""
+    cache = ResultCache(tmp_path, salt="s")
+    compute = lambda spec: {"timeline": (1, 2.5), "by_fit": {0.5: "x"}}  # noqa: E731
+    fresh, _ = execute(_specs(1), cache=cache, compute=compute)
+    cached, _ = execute(_specs(1), cache=cache, compute=compute)
+    assert fresh == cached
+    assert fresh[0] == {"timeline": [1, 2.5], "by_fit": {"0.5": "x"}}
+
+
+# --- end-to-end determinism -------------------------------------------
+
+@pytest.mark.parametrize("name,scale", [("fig3", 0.1), ("fig4", 0.1)])
+def test_parallel_equals_serial(name, scale):
+    serial = run_experiment(name, scale=scale, jobs=1, cache=None)
+    parallel = run_experiment(name, scale=scale, jobs=2, cache=None)
+    assert json.dumps(serial.result, sort_keys=True) == json.dumps(
+        parallel.result, sort_keys=True
+    )
+
+
+def test_run_experiment_uses_cache(tmp_path):
+    cache = ResultCache(tmp_path, salt="pinned")
+    first = run_experiment("fig3", scale=0.1, cache=cache)
+    assert first.stats.cache_misses == len(first.specs)
+    second = run_experiment("fig3", scale=0.1, cache=cache)
+    assert second.stats.cache_hits == len(second.specs)
+    assert second.stats.cache_misses == 0
+    assert json.dumps(first.result) == json.dumps(second.result)
+
+
+def test_tier_rows_travel_through_payloads():
+    run = run_experiment("fig7", scale=0.1, jobs=1, cache=None)
+    assert run.tier_rows, "runner-based experiments carry tier rows"
+    sample = run.tier_rows[0]
+    for key in ("backend", "workload", "fit", "stack", "tier"):
+        assert key in sample
+
+
+def test_code_version_is_stable_and_short():
+    assert engine.code_version() == engine.code_version()
+    assert len(engine.code_version()) == 16

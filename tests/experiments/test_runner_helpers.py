@@ -1,9 +1,14 @@
 """Tests for runner result types and cluster-config defaults."""
 
+import json
+
+import pytest
 
 from repro.experiments.runner import (
     KvRunResult,
     PagingRunResult,
+    RunContext,
+    RunResult,
     default_cluster_config,
 )
 
@@ -33,6 +38,58 @@ def test_kv_result_defaults():
     )
     assert result.timeline == []
     assert result.operations == 0
+
+
+def test_kv_result_row():
+    result = KvRunResult(
+        backend="fastswap", workload="memcached", fit_fraction=0.75,
+        mean_throughput=1234.5, operations=600,
+    )
+    assert result.row() == {
+        "backend": "fastswap",
+        "workload": "memcached",
+        "fit": 0.75,
+        "mean_ops_s": 1234.5,
+        "operations": 600,
+    }
+
+
+def test_result_json_round_trip_drops_context():
+    context = RunContext()
+    result = PagingRunResult(
+        backend="fastswap",
+        workload="lr",
+        fit_fraction=0.5,
+        completion_time=1.25,
+        stats={"major_faults": 42},
+        tier_stats=[{"tier": "sm", "puts": 3}],
+        tier_stack="sm -> remote -> disk",
+        context=context,
+    )
+    payload = result.to_json()
+    assert payload["kind"] == "paging"
+    assert "context" not in payload
+    # The payload is plain JSON data.
+    restored = RunResult.from_json(json.loads(json.dumps(payload)))
+    assert isinstance(restored, PagingRunResult)
+    assert restored.context is None
+    assert restored.completion_time == result.completion_time
+    assert restored.tier_stack == result.tier_stack
+    assert restored.row() == result.row()
+
+
+def test_from_json_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        RunResult.from_json({"kind": "quantum"})
+
+
+def test_runner_tuning_arguments_are_keyword_only():
+    from repro.experiments.runner import run_kv_workload, run_paging_workload
+
+    with pytest.raises(TypeError):
+        run_paging_workload("fastswap", None, 0.5, 7)  # seed positionally
+    with pytest.raises(TypeError):
+        run_kv_workload("fastswap", None, 0.5, 5.0)  # duration positionally
 
 
 def test_default_cluster_config_overridable():

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.runner import (
     TIER_REGISTRY,
+    RunContext,
     run_paging_workload,
 )
 from repro.metrics.reporting import format_tier_breakdown
@@ -92,22 +93,51 @@ def test_zswap_remote_backend_runs(spec):
     assert rows["disk-backup"]["gets"] == 0
 
 
-def test_run_results_feed_tier_registry_and_render(spec):
-    TIER_REGISTRY.clear()
+def test_run_results_carry_context_and_render(spec):
     result = run_paging_workload("fastswap", spec, 0.5, seed=5)
     assert result.tier_stack == "sm -> remote -> disk"
     assert [row["tier"] for row in result.tier_stats] == [
         "sm", "remote", "disk",
     ]
-    registry_rows = TIER_REGISTRY.rows()
-    assert len(registry_rows) == 3
-    assert registry_rows[0]["backend"] == "fastswap"
-    assert registry_rows[0]["stack"] == "sm -> remote -> disk"
+    context_rows = result.context.tier_rows()
+    assert len(context_rows) == 3
+    assert context_rows[0]["backend"] == "fastswap"
+    assert context_rows[0]["stack"] == "sm -> remote -> disk"
     text = format_tier_breakdown(result)
     assert "fastswap tiers: sm -> remote -> disk" in text
     assert "put_mean_s" in text
-    TIER_REGISTRY.clear()
-    assert TIER_REGISTRY.rows() == []
+
+
+def test_contexts_are_per_run_not_global(spec):
+    first = run_paging_workload("fastswap", spec, 0.5, seed=5)
+    second = run_paging_workload("linux", spec, 0.5, seed=5)
+    # Each run gets its own context: no cross-run accumulation.
+    assert first.context is not second.context
+    assert first.context.runs == 1
+    assert second.context.runs == 1
+    assert {row["backend"] for row in second.context.tier_rows()} == {"linux"}
+
+
+def test_caller_supplied_context_accumulates(spec):
+    context = RunContext()
+    run_paging_workload("fastswap", spec, 0.5, seed=5, context=context)
+    run_paging_workload("linux", spec, 0.5, seed=5, context=context)
+    assert context.runs == 2
+    backends = {row["backend"] for row in context.tier_rows()}
+    assert backends == {"fastswap", "linux"}
+
+
+def test_tier_registry_shim_warns_and_delegates(spec):
+    with pytest.warns(DeprecationWarning, match="TIER_REGISTRY is deprecated"):
+        TIER_REGISTRY.clear()
+    result = run_paging_workload("fastswap", spec, 0.5, seed=5)
+    with pytest.warns(DeprecationWarning):
+        legacy_rows = TIER_REGISTRY.rows()
+    assert legacy_rows == result.context.tier_rows()
+    with pytest.warns(DeprecationWarning):
+        TIER_REGISTRY.clear()
+    with pytest.warns(DeprecationWarning):
+        assert TIER_REGISTRY.rows() == []
 
 
 def test_format_tier_breakdown_empty_for_plain_results():
