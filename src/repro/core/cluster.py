@@ -169,6 +169,16 @@ class DisaggregatedCluster:
         """Bring a crashed node back (empty-handed, as after a reboot)."""
         self.injector.recover_node(node_id)
 
+    def reboot_node(self, node_id):
+        """Generator: recover a crashed node and re-register its pools.
+
+        Recovery listeners fire immediately (so tiers can start probing
+        for the node's return); the pool re-registration that makes the
+        node a usable remote target again costs simulated time.
+        """
+        self.recover_node(node_id)
+        yield from self.nodes_by_id[node_id].reboot()
+
     # -- synchronous convenience API ----------------------------------------------
 
     def run_process(self, generator, name=None):

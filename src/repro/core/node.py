@@ -78,6 +78,18 @@ class PhysicalNode:
         yield from self.send_pool.grow(self.config.send_pool_slabs)
         yield from self.receive_pool.grow(self.config.receive_pool_slabs)
 
+    def reboot(self):
+        """Generator: come back from a crash, empty-handed.
+
+        The crash revoked every registered region and dropped hosted
+        entries; a reboot purges the dead slabs from both pools and
+        re-registers fresh ones (paying registration time again), so
+        the node can donate memory to the cluster once more.
+        """
+        self.send_pool.purge_revoked()
+        self.receive_pool.purge_revoked()
+        yield from self.setup()
+
     # -- bookkeeping ----------------------------------------------------------
 
     def alloc_disk_span(self, nbytes):

@@ -68,6 +68,10 @@ EXPERIMENTS = {
         _PACKAGE + ".multi_tenant",
         "concurrent tenants under contention",
     ),
+    "resilience_recovery": (
+        _PACKAGE + ".resilience_recovery",
+        "fault rate x replication resilience",
+    ),
 }
 
 

@@ -1,0 +1,188 @@
+"""Resilience under failures: fault rate x replication factor.
+
+The paper's resilience problem (Section IV-D): disaggregation makes
+every node's DRAM a shared dependency, so "the failure of one machine
+can cause the failure of many others".  This experiment quantifies the
+replication answer on the ``replicated-remote`` cascade: a closed-loop
+KV store runs cold-start over replicated remote memory while a seeded
+fault schedule — node crashes, one permanent memory-server loss, link
+flaps, latency degradation, partial partitions — plays out underneath.
+
+The sweep crosses fault intensity with the replication factor.  The
+schedule for a given (seed, rate) is *identical across replication
+cells* (it is drawn from its own RNG stream before any cluster exists),
+so the cells differ only in how much redundancy absorbs the same
+faults.  With the schedule capped at 2 concurrently down memory servers,
+``replication=3`` must report zero lost pages, while ``replication=1``
+loses every page hosted by the permanently lost server.
+"""
+
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
+from repro.metrics.reporting import format_table
+
+EXPERIMENT = "resilience_recovery"
+
+#: Peer memory servers of the measured node (node0) in the default
+#: 4-node testbed; fault schedules only ever touch these.
+PEER_NODES = ("node1", "node2", "node3")
+
+#: At most this many memory servers may be down at once (permanent
+#: losses count for the rest of the horizon).  Kept strictly below the
+#: largest replication factor so triple replication provably never
+#: loses a page.
+MAX_CONCURRENT_DOWN = 2
+
+#: Expected random fault events over the horizon (0 = healthy baseline;
+#: non-zero schedules also include one guaranteed server loss).
+RATES = (0.0, 2.0, 6.0)
+
+REPLICATIONS = (1, 2, 3)
+
+
+def cells(scale=1.0, seed=0, duration=4.0, window=0.2):
+    """One cell per (fault rate, replication factor)."""
+    return [
+        RunSpec.make(
+            EXPERIMENT,
+            backend="replicated-remote",
+            workload="memcached",
+            fit=0.5,
+            seed=seed,
+            scale=scale,
+            rate=rate,
+            replication=replication,
+            duration=duration,
+            window=window,
+        )
+        for rate in RATES
+        for replication in REPLICATIONS
+    ]
+
+
+def build_schedule(seed, rate, horizon):
+    """The fault schedule for one (seed, rate) — replication-independent.
+
+    Drawn from a dedicated RNG stream named by the rate alone, so every
+    replication cell of the sweep faces byte-identical faults.
+    """
+    from repro.faults.schedule import random_schedule
+    from repro.sim.rng import RngStreams
+
+    if rate <= 0:
+        return None
+    rng = RngStreams(seed).stream("faults/rate={:g}".format(rate))
+    return random_schedule(
+        rng,
+        PEER_NODES,
+        horizon,
+        rate,
+        max_concurrent_down=MAX_CONCURRENT_DOWN,
+        guaranteed_loss=True,
+    )
+
+
+def compute(spec):
+    from repro.experiments.runner import default_cluster_config, run_kv_workload
+    from repro.workloads.kv import KV_WORKLOADS
+
+    options = spec.options
+    duration = max(0.5, options["duration"] * spec.scale)
+    workload = KV_WORKLOADS[spec.workload].with_overrides(
+        keys=max(512, int(4096 * spec.scale))
+    )
+    schedule = build_schedule(spec.seed, options["rate"], duration)
+    config = default_cluster_config(
+        seed=spec.seed, replication_factor=options["replication"]
+    )
+    result = run_kv_workload(
+        spec.backend,
+        workload,
+        spec.fit,
+        duration=duration,
+        window=options["window"],
+        seed=spec.seed,
+        cluster_config=config,
+        cold_start=True,
+        fault_schedule=schedule,
+    )
+    payload = result.to_json()
+    payload["schedule"] = schedule.to_json() if schedule is not None else None
+    return payload
+
+
+def _replicated_row(payload):
+    for row in payload.get("tier_stats", ()):
+        if row.get("tier") == "replicated":
+            return row
+    return {}
+
+
+def report(results):
+    indexed = {
+        (spec.options["rate"], spec.options["replication"]): payload
+        for spec, payload in results
+    }
+    baseline = {
+        replication: indexed[(0.0, replication)]["mean_throughput"]
+        for _rate, replication in indexed
+        if (0.0, replication) in indexed
+    }
+    rows = []
+    for (rate, replication), payload in sorted(indexed.items()):
+        tier = _replicated_row(payload)
+        healthy = baseline.get(replication)
+        rows.append(
+            {
+                "rate": rate,
+                "replication": replication,
+                "mean_ops_s": payload["mean_throughput"],
+                "vs_healthy": (
+                    payload["mean_throughput"] / healthy if healthy else None
+                ),
+                "pages_lost": tier.get("pages_lost"),
+                "re_replicated": tier.get("pages_re_replicated"),
+                "degraded_reads": tier.get("degraded_reads"),
+                "repairs": tier.get("repairs_completed"),
+                "repair_mean_s": tier.get("repair_mean_s"),
+                "faults": (
+                    len(payload["schedule"]["events"])
+                    if payload.get("schedule")
+                    else 0
+                ),
+            }
+        )
+    return {"rows": rows}
+
+
+def run(scale=1.0, seed=0, duration=4.0, window=0.2):
+    """Recovery metrics per (fault rate, replication factor)."""
+    return run_serial(
+        sys.modules[__name__],
+        scale=scale,
+        seed=seed,
+        duration=duration,
+        window=window,
+    )
+
+
+def render(result):
+    return format_table(
+        result["rows"],
+        title=(
+            "Resilience — fault rate x replication "
+            "(cold-start KV over replicated remote memory)"
+        ),
+        float_format="{:.4g}",
+    )
+
+
+def main():
+    result = run()
+    print(render(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

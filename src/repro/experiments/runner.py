@@ -296,17 +296,31 @@ def _resolve_context(context):
     return context if context is not None else RunContext()
 
 
+def _install_faults(cluster, fault_schedule):
+    """Install a fault schedule into the built cluster, if one is given."""
+    if fault_schedule is None:
+        return None
+    from repro.faults.driver import FaultDriver
+
+    driver = FaultDriver(cluster, fault_schedule)
+    driver.install()
+    return driver
+
+
 def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
                         cluster_config=None, fastswap_config=None,
                         slabs_per_target=24, prefetch_capacity=128,
-                        record_fault_latency=False, context=None):
+                        record_fault_latency=False, fault_schedule=None,
+                        context=None):
     """Run an ML trace to completion under paging; returns the result.
 
     ``fit_fraction`` is the paper's "N% configuration": what share of
     the working set fits in the virtual server's resident memory.  All
-    tuning arguments are keyword-only; ``context`` aggregates several
-    runs into one :class:`RunContext` (one is created per run when
-    omitted).
+    tuning arguments are keyword-only; ``fault_schedule`` (a
+    :class:`~repro.faults.schedule.FaultSchedule`) injects failures as
+    timed events while the workload runs; ``context`` aggregates
+    several runs into one :class:`RunContext` (one is created per run
+    when omitted).
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
@@ -315,6 +329,7 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
     cluster, node, backend = _build(
         backend_name, cluster_config, fastswap_config, slabs_per_target
     )
+    _install_faults(cluster, fault_schedule)
     rng = cluster.rng
     pages = make_pages(
         spec.pages,
@@ -372,13 +387,15 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
 def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
                     window=0.5, seed=0, cluster_config=None,
                     fastswap_config=None, slabs_per_target=24,
-                    cold_start=False, prefetch_capacity=None, context=None):
+                    cold_start=False, prefetch_capacity=None,
+                    fault_schedule=None, context=None):
     """Closed-loop KV serving for ``duration`` simulated seconds.
 
     ``cold_start=True`` begins with the whole store swapped out (the
     post-pressure recovery scenario of Figure 9); otherwise the run
     starts with the hottest pages resident.  All tuning arguments are
-    keyword-only; see :func:`run_paging_workload` for ``context``.
+    keyword-only; see :func:`run_paging_workload` for
+    ``fault_schedule`` and ``context``.
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
@@ -387,6 +404,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
     cluster, node, backend = _build(
         backend_name, cluster_config, fastswap_config, slabs_per_target
     )
+    _install_faults(cluster, fault_schedule)
     rng = cluster.rng
     pages = make_pages(
         spec.pages,

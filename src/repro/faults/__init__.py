@@ -1,0 +1,36 @@
+"""Seeded, deterministic fault schedules (paper Section IV-D).
+
+Disaggregated memory turns every node's DRAM into a shared dependency:
+"the failure of one machine can cause the failure of many others".
+This package provides the machinery the resilience experiments inject
+faults with:
+
+* :mod:`repro.faults.schedule` — declarative fault events (node crash,
+  permanent memory-server loss, RDMA link flap, latency degradation,
+  partial partition) and a generator drawing random schedules from a
+  named :class:`~repro.sim.rng.RngStreams` stream, so every schedule is
+  reproducible from the master seed alone;
+* :mod:`repro.faults.driver` — :class:`FaultDriver`, which installs a
+  schedule into a built cluster as timed simulation processes driving
+  :class:`~repro.net.failures.FailureInjector`.
+
+The split mirrors the injector's contract: the injector applies events
+it is told about and holds no randomness; this package decides *what*
+happens *when*, from an explicit seed.
+"""
+
+from repro.faults.driver import FaultDriver
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    random_schedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDriver",
+    "FaultEvent",
+    "FaultSchedule",
+    "random_schedule",
+]

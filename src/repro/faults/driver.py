@@ -1,0 +1,84 @@
+"""Installs a fault schedule into a built cluster as timed processes.
+
+The driver is the bridge between the declarative schedule and the
+imperative failure machinery: each event becomes one simulation
+process that sleeps until the event time, applies the fault through
+the cluster facade / :class:`~repro.net.failures.FailureInjector`,
+and (for transient faults) applies the recovery at ``until``.
+
+Crashed nodes come back through
+:meth:`~repro.core.cluster.DisaggregatedCluster.reboot_node`, so a
+recovered node re-registers its buffer pools and can host remote
+memory again — permanent ``server_loss`` victims never do.
+"""
+
+
+class FaultDriver:
+    """Applies a :class:`~repro.faults.schedule.FaultSchedule` to a cluster."""
+
+    def __init__(self, cluster, schedule):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.schedule = schedule
+        self.processes = []
+        #: ``(time, kind, detail)`` rows, appended as events are applied.
+        self.applied = []
+
+    def install(self):
+        """Spawn one simulation process per scheduled event."""
+        for index, event in enumerate(self.schedule):
+            name = "fault:{}:{}".format(index, event.kind)
+            self.processes.append(
+                self.env.process(self._apply(event), name=name)
+            )
+        return self.processes
+
+    # -- event application ---------------------------------------------------
+
+    def _apply(self, event):
+        yield self.env.timeout(max(0.0, event.at - self.env.now))
+        handler = getattr(self, "_apply_" + event.kind)
+        yield from handler(event)
+
+    def _note(self, kind, detail):
+        self.applied.append((self.env.now, kind, detail))
+
+    def _apply_crash(self, event):
+        self.cluster.crash_node(event.node)
+        self._note("crash", event.node)
+        if event.until is not None:
+            yield self.env.timeout(max(0.0, event.until - self.env.now))
+            yield from self.cluster.reboot_node(event.node)
+            self._note("reboot", event.node)
+
+    def _apply_server_loss(self, event):
+        self.cluster.crash_node(event.node)
+        self._note("server_loss", event.node)
+        return
+        yield  # pragma: no cover
+
+    def _apply_link_flap(self, event):
+        injector = self.cluster.injector
+        injector.partition_link(event.node, event.peer)
+        self._note("link_flap", (event.node, event.peer))
+        yield self.env.timeout(max(0.0, event.until - self.env.now))
+        injector.heal_link(event.node, event.peer)
+        self._note("heal", (event.node, event.peer))
+
+    def _apply_degrade(self, event):
+        injector = self.cluster.injector
+        injector.degrade_node(event.node, event.factor)
+        self._note("degrade", (event.node, event.factor))
+        if event.until is not None:
+            yield self.env.timeout(max(0.0, event.until - self.env.now))
+            injector.restore_node(event.node)
+            self._note("restore", event.node)
+
+    def _apply_partition(self, event):
+        injector = self.cluster.injector
+        injector.partition_link(event.node, event.peer)
+        self._note("partition", (event.node, event.peer))
+        if event.until is not None:
+            yield self.env.timeout(max(0.0, event.until - self.env.now))
+            injector.heal_link(event.node, event.peer)
+            self._note("heal", (event.node, event.peer))

@@ -1,0 +1,265 @@
+"""Fault events and seeded random fault schedules.
+
+A :class:`FaultSchedule` is pure data: an immutable, time-sorted tuple
+of :class:`FaultEvent` rows plus the horizon they were drawn for.  The
+:class:`~repro.faults.driver.FaultDriver` turns it into simulation
+processes; tests reason about it directly.
+
+:func:`random_schedule` draws a schedule from an explicitly passed
+``random.Random`` (a :class:`~repro.sim.rng.RngStreams` stream), never
+the process-global RNG — the same (seed, stream name, arguments) always
+yield the same schedule, which is what makes the chaos-smoke CI job's
+byte-identical-output assertion possible.
+"""
+
+from dataclasses import dataclass, fields
+
+#: Everything the driver knows how to apply.
+#:
+#: * ``crash`` — node down at ``at``, rebooted at ``until``;
+#: * ``server_loss`` — node down at ``at`` forever (its hosted memory
+#:   is gone; only replicas or the disk backup can serve those pages);
+#: * ``link_flap`` — the ``node``/``peer`` path drops and heals within
+#:   a short window (transient RDMA errors, absorbed by retries);
+#: * ``degrade`` — every path touching ``node`` slows by ``factor``
+#:   until ``until`` (congestion, a misbehaving NIC);
+#: * ``partition`` — the ``node``/``peer`` path is cut until ``until``
+#:   (a partial partition: both ends stay up and reachable by others).
+FAULT_KINDS = ("crash", "server_loss", "link_flap", "degrade", "partition")
+
+#: Kinds that take a node fully out (used for concurrency accounting).
+_DOWN_KINDS = ("crash", "server_loss")
+
+_FOREVER = float("inf")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, fully described by plain data."""
+
+    kind: str
+    at: float
+    node: str
+    peer: str = ""
+    until: float = None
+    factor: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                "unknown fault kind {!r}; expected one of {}".format(
+                    self.kind, ", ".join(FAULT_KINDS)
+                )
+            )
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.until is not None and self.until < self.at:
+            raise ValueError("recovery must not precede the fault")
+        if self.kind in ("link_flap", "partition") and not self.peer:
+            raise ValueError("{} needs a peer".format(self.kind))
+        if self.kind == "degrade" and self.factor <= 1.0:
+            raise ValueError("degrade factor must be > 1")
+
+    @property
+    def down_until(self):
+        """End of the node-down interval (inf for a permanent loss)."""
+        return _FOREVER if self.until is None else self.until
+
+    def to_dict(self):
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+class FaultSchedule:
+    """An immutable, time-sorted sequence of fault events."""
+
+    def __init__(self, events, horizon, nodes=()):
+        self.events = tuple(
+            sorted(events, key=lambda event: (event.at, event.kind, event.node))
+        )
+        self.horizon = float(horizon)
+        self.nodes = tuple(nodes)
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def down_intervals(self):
+        """``(start, end, node)`` spans during which a node is down."""
+        return [
+            (event.at, event.down_until, event.node)
+            for event in self.events
+            if event.kind in _DOWN_KINDS
+        ]
+
+    def concurrent_down(self, at):
+        """How many distinct nodes are down at time ``at``."""
+        return len(
+            {
+                node
+                for start, end, node in self.down_intervals()
+                if start <= at < end
+            }
+        )
+
+    def max_concurrent_down(self):
+        """Peak number of simultaneously down nodes over the horizon."""
+        edges = {start for start, _end, _node in self.down_intervals()}
+        return max((self.concurrent_down(at) for at in edges), default=0)
+
+    def lost_nodes(self):
+        """Nodes that never come back (``server_loss`` victims)."""
+        return tuple(
+            event.node for event in self.events if event.kind == "server_loss"
+        )
+
+    def to_json(self):
+        return {
+            "horizon": self.horizon,
+            "nodes": list(self.nodes),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, payload):
+        return cls(
+            [FaultEvent(**row) for row in payload["events"]],
+            payload["horizon"],
+            payload.get("nodes", ()),
+        )
+
+    def describe(self):
+        kinds = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        body = ", ".join(
+            "{}x{}".format(kinds[kind], kind) for kind in FAULT_KINDS if kind in kinds
+        )
+        return "{} fault(s) over {:.3g}s ({})".format(
+            len(self.events), self.horizon, body or "none"
+        )
+
+    def __repr__(self):
+        return "<FaultSchedule {}>".format(self.describe())
+
+
+def _poisson(rng, expectation):
+    """Knuth's Poisson sampler on an explicit ``random.Random``."""
+    if expectation <= 0:
+        return 0
+    bound = 2.718281828459045 ** -expectation
+    count, product = 0, rng.random()
+    while product > bound:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+class _DownLedger:
+    """Tracks planned node-down intervals against a concurrency cap."""
+
+    def __init__(self, cap):
+        self.cap = cap
+        self.intervals = []  # (start, end, node)
+
+    def admits(self, start, end, node):
+        if any(
+            node == other and start < other_end and other_start < end
+            for other_start, other_end, other in self.intervals
+        ):
+            return False  # the node is already down somewhere in there
+        if self.cap is None:
+            return True
+        edges = [start] + [
+            other_start
+            for other_start, other_end, _other in self.intervals
+            if start <= other_start < end
+        ]
+        for edge in edges:
+            down = {
+                other
+                for other_start, other_end, other in self.intervals
+                if other_start <= edge < other_end
+            }
+            if len(down) + 1 > self.cap:
+                return False
+        return True
+
+    def add(self, start, end, node):
+        self.intervals.append((start, end, node))
+
+
+def random_schedule(
+    rng,
+    nodes,
+    horizon,
+    rate,
+    max_concurrent_down=None,
+    guaranteed_loss=False,
+    attempts_per_event=8,
+):
+    """Draw a random fault schedule from an explicit RNG stream.
+
+    ``rate`` is the expected number of random fault events over the
+    whole horizon (a dimensionless intensity, so scaled-down runs keep
+    the same amount of chaos).  ``max_concurrent_down`` caps how many
+    nodes may be down at once — schedules honouring ``cap < r`` are the
+    ones a replication factor of ``r`` must survive without losing a
+    page.  ``guaranteed_loss=True`` adds one permanent ``server_loss``
+    at 40% of the horizon, so loss-accounting paths are always
+    exercised; the victim draw is the first thing taken from ``rng``,
+    keeping the whole schedule a pure function of (stream, arguments).
+    """
+    nodes = list(nodes)
+    if not nodes:
+        raise ValueError("a fault schedule needs at least one node")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if max_concurrent_down is not None and max_concurrent_down < 1:
+        raise ValueError("max_concurrent_down must be >= 1")
+    ledger = _DownLedger(max_concurrent_down)
+    events = []
+    if guaranteed_loss:
+        victim = rng.choice(nodes)
+        at = 0.4 * horizon
+        events.append(FaultEvent("server_loss", at, victim))
+        ledger.add(at, _FOREVER, victim)
+    if len(nodes) >= 2:
+        kinds, weights = ("crash", "link_flap", "degrade", "partition"), (
+            0.35,
+            0.2,
+            0.25,
+            0.2,
+        )
+    else:
+        kinds, weights = ("crash", "degrade"), (0.6, 0.4)
+    for _ in range(_poisson(rng, rate)):
+        for _attempt in range(attempts_per_event):
+            kind = rng.choices(kinds, weights=weights)[0]
+            at = rng.uniform(0.05, 0.95) * horizon
+            node = rng.choice(nodes)
+            if kind == "crash":
+                until = min(horizon, at + rng.uniform(0.05, 0.15) * horizon)
+                if not ledger.admits(at, until, node):
+                    continue
+                ledger.add(at, until, node)
+                events.append(FaultEvent("crash", at, node, until=until))
+            elif kind == "link_flap":
+                peer = rng.choice([other for other in nodes if other != node])
+                until = at + rng.uniform(0.001, 0.005) * horizon
+                events.append(FaultEvent("link_flap", at, node, peer=peer, until=until))
+            elif kind == "degrade":
+                factor = rng.uniform(2.0, 8.0)
+                until = min(horizon, at + rng.uniform(0.1, 0.3) * horizon)
+                events.append(
+                    FaultEvent("degrade", at, node, until=until, factor=factor)
+                )
+            else:
+                peer = rng.choice([other for other in nodes if other != node])
+                until = min(horizon, at + rng.uniform(0.05, 0.2) * horizon)
+                events.append(FaultEvent("partition", at, node, peer=peer, until=until))
+            break
+    return FaultSchedule(events, horizon, nodes)

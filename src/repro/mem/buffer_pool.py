@@ -99,6 +99,27 @@ class RdmaBufferPool:
         """Return an entry's chunks to the pool."""
         self._allocator.free_entry(chunks)
 
+    def purge_revoked(self):
+        """Drop slabs whose regions a crash revoked; returns the count.
+
+        After :meth:`~repro.net.rdma.RdmaDevice.crash` every region is
+        revoked but the pool still carries the slabs on its books.  A
+        reboot purges them (their chunks died with the DRAM contents)
+        before re-registering fresh slabs via :meth:`grow`.
+        """
+        revoked = [region for region in self._regions if not region.valid]
+        if not revoked:
+            return 0
+        # Crash semantics dropped every hosted entry first, so the
+        # revoked slabs are idle; ``shrink`` only takes idle slabs, so
+        # any chunk still live keeps its slab on the books.
+        removed = self._allocator.shrink(len(revoked))
+        keep = len(revoked) - removed
+        valid = [region for region in self._regions if region.valid]
+        self._regions = valid + revoked[:keep]
+        self.deregistrations += removed
+        return removed
+
     def any_region(self):
         """A registered region usable as a one-sided op target.
 

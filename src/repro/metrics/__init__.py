@@ -4,9 +4,13 @@
   and time series used by long-running simulations;
 * :mod:`repro.metrics.reporting` — plain-text tables and series
   renderers so every experiment prints the same rows the paper's
-  figures plot.
+  figures plot;
+* :mod:`repro.metrics.recovery` — per-tier recovery metrics
+  (time-to-recover, pages lost, degraded-mode reads) for the
+  resilience experiments.
 """
 
+from repro.metrics.recovery import RecoveryTracker
 from repro.metrics.reporting import (
     format_series,
     format_table,
@@ -17,6 +21,7 @@ from repro.metrics.stats import Counter, Histogram, RunningStats, TimeSeries
 __all__ = [
     "Counter",
     "Histogram",
+    "RecoveryTracker",
     "RunningStats",
     "TimeSeries",
     "format_series",

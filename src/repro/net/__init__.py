@@ -18,11 +18,13 @@ from repro.net.errors import (
     ConnectionFailed,
     LinkDown,
     NetworkError,
+    OpTimeout,
     RemoteNodeDown,
 )
 from repro.net.fabric import Fabric, Nic
 from repro.net.failures import FailureInjector
 from repro.net.rdma import MemoryRegion, QueuePair, RdmaDevice
+from repro.net.retry import RetryPolicy, RetryStats, call_with_timeout, retrying
 from repro.net.rpc import RpcEndpoint
 
 __all__ = [
@@ -33,8 +35,13 @@ __all__ = [
     "MemoryRegion",
     "NetworkError",
     "Nic",
+    "OpTimeout",
     "QueuePair",
     "RdmaDevice",
     "RemoteNodeDown",
+    "RetryPolicy",
+    "RetryStats",
     "RpcEndpoint",
+    "call_with_timeout",
+    "retrying",
 ]

@@ -26,6 +26,17 @@ class LinkDown(NetworkError):
         self.dst = dst
 
 
+class OpTimeout(NetworkError):
+    """An operation exceeded its deadline (watchdog timeout)."""
+
+    def __init__(self, timeout, what=""):
+        message = "operation timed out after {}s".format(timeout)
+        if what:
+            message = "{}: {}".format(what, message)
+        super().__init__(message)
+        self.timeout = timeout
+
+
 class ConnectionFailed(NetworkError):
     """Queue-pair establishment failed (peer down or unreachable)."""
 

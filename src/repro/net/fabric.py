@@ -47,6 +47,7 @@ class Fabric:
         self._nics = {}
         self._down_nodes = set()
         self._down_links = set()  # directed (src, dst) pairs
+        self._degraded = {}  # node_id -> latency/bandwidth multiplier
         self._core = (
             Resource(env, capacity=core_concurrency, name="fabric-core")
             if core_concurrency > 0 else None
@@ -91,6 +92,29 @@ class Fabric:
                 self._down_links.add(pair)
             else:
                 self._down_links.discard(pair)
+
+    def set_degraded(self, node_id, factor=1.0):
+        """Degrade every path touching ``node_id`` by ``factor``.
+
+        Models a flaky NIC/cable renegotiating at a lower rate (the
+        paper's RDMA-link degradation scenario): transfers to or from
+        the node take ``factor`` times as long.  ``factor <= 1``
+        restores full speed.
+        """
+        if node_id not in self._nics:
+            raise KeyError(node_id)
+        if factor <= 1.0:
+            self._degraded.pop(node_id, None)
+        else:
+            self._degraded[node_id] = float(factor)
+
+    def degrade_factor(self, src, dst):
+        """The latency multiplier currently applied to ``src -> dst``."""
+        return max(
+            1.0,
+            self._degraded.get(src, 1.0),
+            self._degraded.get(dst, 1.0),
+        )
 
     def is_node_down(self, node_id):
         return node_id in self._down_nodes
@@ -147,7 +171,10 @@ class Fabric:
                 core_request = self._core.request()
                 yield core_request
                 granted.append((self._core, core_request))
-            yield self.env.timeout(self.transfer_time(nbytes, base_latency))
+            yield self.env.timeout(
+                self.transfer_time(nbytes, base_latency)
+                * self.degrade_factor(src, dst)
+            )
             # A node or link that died mid-flight loses the transfer.
             self._check_path(src, dst)
             src_nic.bytes_sent += nbytes

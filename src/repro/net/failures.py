@@ -1,24 +1,37 @@
 """Failure injection for fault-tolerance experiments (paper Section IV-D).
 
-The injector drives the fabric's failure state and, optionally, a
-node-crash callback registry so higher layers (node manager, leader
-election) observe crashes the way they would in production: through
-timeouts and failed operations, never through shared Python state.
+The injector drives the fabric's failure state and, optionally,
+node-crash/-recovery callback registries so higher layers (node
+manager, leader election, replicated tiers) observe crashes the way
+they would in production: through timeouts and failed operations,
+never through shared Python state.
+
+The injector itself is deliberately *randomness-free*: it applies
+events it is told about, immediately or at scheduled times.  Random
+fault schedules are generated in :mod:`repro.faults.schedule` from
+named :class:`~repro.sim.rng.RngStreams`, so every schedule is
+reproducible from the master seed alone — nothing in the failure path
+ever touches the process-global RNG.
 """
 
 
 class FailureInjector:
-    """Schedules node crashes, recoveries and link partitions."""
+    """Schedules node crashes, recoveries, link and latency faults."""
 
     def __init__(self, env, fabric):
         self.env = env
         self.fabric = fabric
         self._crash_listeners = []
+        self._recover_listeners = []
         self.log = []  # (time, kind, detail)
 
     def on_crash(self, callback):
         """Register ``callback(node_id)`` invoked when a node crashes."""
         self._crash_listeners.append(callback)
+
+    def on_recover(self, callback):
+        """Register ``callback(node_id)`` invoked when a node recovers."""
+        self._recover_listeners.append(callback)
 
     # -- immediate ---------------------------------------------------------
 
@@ -33,6 +46,8 @@ class FailureInjector:
         """Recover ``node_id`` now."""
         self.fabric.set_node_down(node_id, down=False)
         self.log.append((self.env.now, "recover", node_id))
+        for callback in self._recover_listeners:
+            callback(node_id)
 
     def partition_link(self, a, b):
         """Cut the path between two nodes now (both directions)."""
@@ -43,6 +58,16 @@ class FailureInjector:
         """Restore the path between two nodes now."""
         self.fabric.set_link_down(a, b, down=False)
         self.log.append((self.env.now, "heal", (a, b)))
+
+    def degrade_node(self, node_id, factor):
+        """Slow every path touching ``node_id`` by ``factor`` now."""
+        self.fabric.set_degraded(node_id, factor)
+        self.log.append((self.env.now, "degrade", (node_id, factor)))
+
+    def restore_node(self, node_id):
+        """Restore full link speed for ``node_id`` now."""
+        self.fabric.set_degraded(node_id, 1.0)
+        self.log.append((self.env.now, "restore", node_id))
 
     # -- scheduled ---------------------------------------------------------
 
@@ -75,3 +100,15 @@ class FailureInjector:
                 self.heal_link(a, b)
 
         return self.env.process(plan(), name="partition:{}-{}".format(a, b))
+
+    def schedule_degrade(self, node_id, factor, at, restore_at=None):
+        """Degrade ``node_id`` at ``at``; optionally restore later."""
+
+        def plan():
+            yield self.env.timeout(max(0.0, at - self.env.now))
+            self.degrade_node(node_id, factor)
+            if restore_at is not None:
+                yield self.env.timeout(max(0.0, restore_at - self.env.now))
+                self.restore_node(node_id)
+
+        return self.env.process(plan(), name="degrade:{}".format(node_id))

@@ -198,11 +198,35 @@ class RdmaDevice:
 
     # -- connection management -------------------------------------------------
 
-    def connect(self, remote_device):
-        """Generator: establish (or reuse) an RC queue pair to a peer."""
+    def connect(self, remote_device, retry=None, rng=None):
+        """Generator: establish (or reuse) an RC queue pair to a peer.
+
+        ``retry`` (a :class:`~repro.net.retry.RetryPolicy`) re-runs the
+        whole CM handshake with exponential backoff before giving up
+        with :class:`~repro.net.errors.ConnectionFailed`.
+        """
         cached = self._qps.get(remote_device.node_id)
         if cached is not None and cached.state == QueuePair.STATE_READY:
             return cached
+        if retry is None:
+            yield from self._handshake(remote_device)
+        else:
+            from repro.net.retry import retrying
+
+            yield from retrying(
+                self.env,
+                retry,
+                lambda: self._handshake(remote_device),
+                retry_on=(ConnectionFailed,),
+                rng=rng,
+            )
+        qp = QueuePair(self, remote_device)
+        self._qps[remote_device.node_id] = qp
+        remote_device._peer_qps.append(qp)
+        return qp
+
+    def _handshake(self, remote_device):
+        """Generator: one three-way CM handshake attempt over the wire."""
         spec = self.fabric.spec
         for _ in range(self.HANDSHAKE_MESSAGES):
             try:
@@ -216,10 +240,6 @@ class RdmaDevice:
                 raise ConnectionFailed(
                     self.node_id, remote_device.node_id, str(error)
                 )
-        qp = QueuePair(self, remote_device)
-        self._qps[remote_device.node_id] = qp
-        remote_device._peer_qps.append(qp)
-        return qp
 
     def recv(self):
         """Event: the next message delivered to this device."""

@@ -19,7 +19,7 @@ class RpcEndpoint:
     DEFAULT_MESSAGE_BYTES = 8 * KiB
     MAX_MESSAGE_BYTES = 1 * MiB
 
-    def __init__(self, device, message_bytes=None, window=1):
+    def __init__(self, device, message_bytes=None, window=1, retry=None):
         if message_bytes is None:
             message_bytes = self.DEFAULT_MESSAGE_BYTES
         if not 0 < message_bytes <= self.MAX_MESSAGE_BYTES:
@@ -32,8 +32,13 @@ class RpcEndpoint:
         self.env = device.env
         self.message_bytes = message_bytes
         self.window = window
+        #: Optional :class:`~repro.net.retry.RetryPolicy` applied per
+        #: window: a transiently failed window is retried with backoff
+        #: instead of failing the whole transfer.
+        self.retry = retry
         self.messages_sent = 0
         self.windows_sent = 0
+        self.window_retries = 0
 
     def message_count(self, total_bytes):
         """Number of RPC messages needed for ``total_bytes``."""
@@ -65,7 +70,19 @@ class RpcEndpoint:
                 src, dst = qp.local.node_id, qp.remote.node_id
             else:
                 src, dst = qp.remote.node_id, qp.local.node_id
-            yield from self.device.fabric.transfer(src, dst, window_bytes)
+            if self.retry is None:
+                yield from self.device.fabric.transfer(src, dst, window_bytes)
+            else:
+                from repro.net.retry import RetryStats, retrying
+
+                stats = RetryStats()
+                yield from retrying(
+                    self.env,
+                    self.retry,
+                    lambda: self.device.fabric.transfer(src, dst, window_bytes),
+                    stats=stats,
+                )
+                self.window_retries += stats.retries
             remaining -= window_bytes
             self.messages_sent += window_messages
             sent_windows += 1

@@ -16,13 +16,14 @@ from repro.swap.linux_swap import LinuxDiskSwap
 from repro.swap.nvm_swap import NvmSwap
 from repro.swap.remote_block import Infiniswap, Nbdx
 from repro.swap.zswap import Zswap
-from repro.tiers.cascade import TierCascade
+from repro.tiers.cascade import FailoverToReplica, TierCascade
 from repro.tiers.compressed import CompressedPoolTier, CompressionLayer
 from repro.tiers.disk import BatchSpillTier
 from repro.tiers.nvm import NvmTier
 from repro.tiers.pbs import PbsController
 from repro.tiers.remote import RemoteRdmaTier
 from repro.tiers.remote_block import DiskBackupTier, RemoteBlockTier
+from repro.tiers.replicated import ReplicatedRemoteTier
 
 #: Baselines and systems compared across Section V ("xmempod" is the
 #: paper's reference [36]: FastSwap's cascade extended with an SSD
@@ -37,6 +38,7 @@ BACKEND_NAMES = (
     "nvm",
     "nvm-remote",
     "zswap-remote",
+    "replicated-remote",
 )
 
 
@@ -93,6 +95,33 @@ def _make_zswap_remote(node, directory, pool_bytes, slabs_per_target, cpu,
     )
 
 
+def _make_replicated_remote(node, directory, slabs_per_target, cpu, rng):
+    """Hydra-style resilient remote memory (Section IV-D): every page is
+    written to ``replication_factor`` peer areas in parallel; reads fall
+    over to surviving replicas and only past the last to the disk
+    backup.  Crashes trigger re-replication; recovered peers are
+    re-admitted and topped up."""
+    from repro.net.retry import RetryPolicy
+
+    replication = node.config.replication_factor
+    return TierCascade(
+        node,
+        [
+            ReplicatedRemoteTier(
+                node,
+                directory,
+                replication=replication,
+                slabs_per_target=slabs_per_target,
+                retry=RetryPolicy(max_attempts=3, base_delay=20e-6),
+                rng=rng,
+            ),
+            DiskBackupTier(node, op_overhead=cpu.block_layer_overhead),
+        ],
+        name="replicated-remote",
+        failover=FailoverToReplica(),
+    )
+
+
 def make_swap_backend(name, node, directory, rng=None, fastswap_config=None,
                       zswap_pool_bytes=8 * MiB, slabs_per_target=8):
     """Build the named swap backend wired to ``node``.
@@ -132,6 +161,8 @@ def make_swap_backend(name, node, directory, rng=None, fastswap_config=None,
         return NvmSwap(node, cpu=cpu)
     if name == "nvm-remote":
         return _make_nvm_remote(node, directory, slabs_per_target, cpu)
+    if name == "replicated-remote":
+        return _make_replicated_remote(node, directory, slabs_per_target, cpu, rng)
     assert name == "zswap-remote"
     return _make_zswap_remote(
         node, directory, zswap_pool_bytes, slabs_per_target, cpu, rng

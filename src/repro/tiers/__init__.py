@@ -25,7 +25,11 @@ from repro.tiers.base import DisplacedPage, Tier, TierFull, TierStats
 from repro.tiers.cascade import (
     AdaptivePlacement,
     CascadeFull,
+    DegradeToDisk,
+    EvictAndRebuild,
     FailFastFailover,
+    FailoverPolicy,
+    FailoverToReplica,
     FixedRatioPlacement,
     SpillDownFailover,
     TierCascade,
@@ -36,6 +40,7 @@ from repro.tiers.nvm import NvmTier
 from repro.tiers.pbs import PbsController
 from repro.tiers.remote import RemoteArea, RemoteRdmaTier
 from repro.tiers.remote_block import DiskBackupTier, RemoteBlockTier
+from repro.tiers.replicated import ReplicaMap, ReplicatedRemoteTier
 from repro.tiers.shared_pool import SharedPoolTier
 
 __all__ = [
@@ -44,16 +49,22 @@ __all__ = [
     "CascadeFull",
     "CompressedPoolTier",
     "CompressionLayer",
+    "DegradeToDisk",
     "DiskBackupTier",
     "DiskSwapTier",
     "DisplacedPage",
+    "EvictAndRebuild",
     "FailFastFailover",
+    "FailoverPolicy",
+    "FailoverToReplica",
     "FixedRatioPlacement",
     "NvmTier",
     "PbsController",
     "RemoteArea",
     "RemoteBlockTier",
     "RemoteRdmaTier",
+    "ReplicaMap",
+    "ReplicatedRemoteTier",
     "SharedPoolTier",
     "SpillDownFailover",
     "Tier",

@@ -74,7 +74,30 @@ class FixedRatioPlacement:
         return "fixed-ratio {:.0%}".format(self.fraction)
 
 
-class SpillDownFailover:
+class FailoverPolicy:
+    """What a tier does when its medium fails mid-operation.
+
+    Three orthogonal capabilities, read by the tiers as flags:
+
+    * ``spill_on_failure`` — failed writes cascade to the next tier and
+      failed reads fall back to the tier's backup medium instead of
+      propagating the error;
+    * ``read_from_replica`` — a replicated tier may serve a read from a
+      surviving replica before considering the operation failed;
+    * ``rebuild_on_failure`` — pages whose every copy died are
+      re-placed lower in the cascade (from the backup) instead of
+      lingering on the degraded path.
+    """
+
+    spill_on_failure = True
+    read_from_replica = False
+    rebuild_on_failure = False
+
+    def describe(self):
+        return "failover"
+
+
+class DegradeToDisk(FailoverPolicy):
     """On a tier failure, route the operation down the cascade.
 
     Writes cascade to the next tier (a dead RDMA target degrades to
@@ -82,13 +105,46 @@ class SpillDownFailover:
     is the resilience behaviour every Section V system ships with.
     """
 
-    spill_on_failure = True
+    def describe(self):
+        return "degrade-to-disk"
+
+
+class FailoverToReplica(DegradeToDisk):
+    """Serve from surviving replicas first; degrade only past the last.
+
+    The Hydra-style policy for replicated tiers: reads try the next
+    live holder before touching the backup medium, writes that cannot
+    reach a full replica set spill down rather than under-replicate.
+    """
+
+    read_from_replica = True
+
+    def describe(self):
+        return "failover-to-replica"
+
+
+class EvictAndRebuild(FailoverToReplica):
+    """Replica failover plus eager rebuild of wholly lost pages.
+
+    When a page's last replica dies, the page is re-placed below the
+    failed tier from the backup copy, so subsequent reads pay the lower
+    tier's price once instead of the degraded path's price every time.
+    """
+
+    rebuild_on_failure = True
+
+    def describe(self):
+        return "evict-and-rebuild"
+
+
+class SpillDownFailover(DegradeToDisk):
+    """Deprecated name for :class:`DegradeToDisk` (kept one release)."""
 
     def describe(self):
         return "spill-down"
 
 
-class FailFastFailover:
+class FailFastFailover(FailoverPolicy):
     """Propagate tier failures to the caller (no degraded mode).
 
     Useful for experiments isolating a single tier's behaviour, and as

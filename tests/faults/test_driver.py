@@ -1,0 +1,99 @@
+"""Unit tests for applying fault schedules to a built cluster."""
+
+import pytest
+
+from repro.core.cluster import DisaggregatedCluster
+from repro.core.config import ClusterConfig
+from repro.faults.driver import FaultDriver
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.hw.latency import MiB
+
+
+@pytest.fixture
+def cluster():
+    return DisaggregatedCluster.build(
+        ClusterConfig(
+            num_nodes=3,
+            servers_per_node=1,
+            server_memory_bytes=16 * MiB,
+            receive_pool_slabs=8,
+            seed=3,
+        )
+    )
+
+
+def install(cluster, *events, horizon=10.0):
+    driver = FaultDriver(cluster, FaultSchedule(events, horizon))
+    driver.install()
+    return driver
+
+
+def test_crash_downs_then_reboot_restores(cluster):
+    driver = install(
+        cluster, FaultEvent("crash", at=1.0, node="node1", until=2.0)
+    )
+    cluster.env.run(until=1.5)
+    assert cluster.is_down("node1")
+    assert cluster.node("node1").receive_pool.any_region() is not None
+    cluster.env.run(until=5.0)
+    assert not cluster.is_down("node1")
+    # The reboot re-registered the pools: a usable region again, and
+    # the whole donated capacity is free.
+    pool = cluster.node("node1").receive_pool
+    assert pool.any_region().valid
+    assert pool.free_bytes == pool.capacity_bytes
+    kinds = [kind for _t, kind, _d in driver.applied]
+    assert kinds == ["crash", "reboot"]
+
+
+def test_server_loss_never_recovers(cluster):
+    install(cluster, FaultEvent("server_loss", at=1.0, node="node2"))
+    cluster.env.run(until=9.0)
+    assert cluster.is_down("node2")
+    assert cluster.node("node2").rdms.hosted_bytes == 0
+
+
+def test_degrade_slows_then_restores(cluster):
+    install(
+        cluster,
+        FaultEvent("degrade", at=1.0, node="node1", until=3.0, factor=4.0),
+    )
+    cluster.env.run(until=2.0)
+    assert cluster.fabric.degrade_factor("node0", "node1") == 4.0
+    cluster.env.run(until=4.0)
+    assert cluster.fabric.degrade_factor("node0", "node1") == 1.0
+
+
+def test_partition_cuts_one_path_only(cluster):
+    install(
+        cluster,
+        FaultEvent("partition", at=1.0, node="node1", peer="node2", until=3.0),
+    )
+    cluster.env.run(until=2.0)
+    assert not cluster.fabric.is_reachable("node1", "node2")
+    assert cluster.fabric.is_reachable("node0", "node1")
+    assert not cluster.is_down("node1")
+    cluster.env.run(until=4.0)
+    assert cluster.fabric.is_reachable("node1", "node2")
+
+
+def test_link_flap_heals_quickly(cluster):
+    driver = install(
+        cluster,
+        FaultEvent("link_flap", at=1.0, node="node1", peer="node2", until=1.01),
+    )
+    cluster.env.run(until=2.0)
+    assert cluster.fabric.is_reachable("node1", "node2")
+    kinds = [kind for _t, kind, _d in driver.applied]
+    assert kinds == ["link_flap", "heal"]
+
+
+def test_applied_log_orders_by_time(cluster):
+    driver = install(
+        cluster,
+        FaultEvent("crash", at=2.0, node="node1", until=4.0),
+        FaultEvent("degrade", at=1.0, node="node2", until=5.0, factor=2.0),
+    )
+    cluster.env.run(until=6.0)
+    times = [when for when, _kind, _detail in driver.applied]
+    assert times == sorted(times)

@@ -1,0 +1,83 @@
+"""Unit tests for fault events and seeded random schedules."""
+
+import pytest
+
+from repro.faults.schedule import FaultEvent, FaultSchedule, random_schedule
+from repro.sim.rng import RngStreams
+
+NODES = ("node1", "node2", "node3")
+
+
+def make_schedule(seed=0, rate=8.0, horizon=10.0, **kwargs):
+    rng = RngStreams(seed).stream("faults/test")
+    return random_schedule(rng, NODES, horizon, rate, **kwargs)
+
+
+class TestFaultEvent:
+    def test_validates_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meteor", 1.0, "node1")
+
+    def test_validates_times(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", -1.0, "node1")
+        with pytest.raises(ValueError):
+            FaultEvent("crash", 5.0, "node1", until=4.0)
+
+    def test_pair_kinds_need_a_peer(self):
+        with pytest.raises(ValueError):
+            FaultEvent("partition", 1.0, "node1", until=2.0)
+
+    def test_degrade_needs_a_slowdown(self):
+        with pytest.raises(ValueError):
+            FaultEvent("degrade", 1.0, "node1", factor=1.0)
+
+    def test_server_loss_is_down_forever(self):
+        event = FaultEvent("server_loss", 1.0, "node1")
+        assert event.down_until == float("inf")
+
+
+class TestRandomSchedule:
+    def test_same_stream_same_schedule(self):
+        assert make_schedule(seed=7).events == make_schedule(seed=7).events
+
+    def test_different_seeds_differ(self):
+        schedules = {make_schedule(seed=seed).events for seed in range(6)}
+        assert len(schedules) > 1
+
+    def test_events_lie_within_horizon(self):
+        schedule = make_schedule(rate=20.0)
+        for event in schedule:
+            assert 0.0 <= event.at <= schedule.horizon
+            assert event.kind in ("crash", "server_loss", "link_flap", "degrade", "partition")
+            assert event.node in NODES
+
+    def test_concurrent_down_cap_is_honoured(self):
+        for seed in range(8):
+            schedule = make_schedule(
+                seed=seed, rate=30.0, max_concurrent_down=2, guaranteed_loss=True
+            )
+            assert schedule.max_concurrent_down() <= 2
+
+    def test_guaranteed_loss_present(self):
+        schedule = make_schedule(guaranteed_loss=True)
+        losses = schedule.lost_nodes()
+        assert len(losses) == 1
+        assert losses[0] in NODES
+
+    def test_zero_rate_without_loss_is_empty(self):
+        assert len(make_schedule(rate=0.0)) == 0
+
+    def test_json_round_trip(self):
+        schedule = make_schedule(rate=15.0, guaranteed_loss=True)
+        clone = FaultSchedule.from_json(schedule.to_json())
+        assert clone.events == schedule.events
+        assert clone.horizon == schedule.horizon
+
+    def test_events_are_time_sorted(self):
+        times = [event.at for event in make_schedule(rate=25.0)]
+        assert times == sorted(times)
+
+    def test_describe_mentions_counts(self):
+        schedule = make_schedule(rate=10.0, guaranteed_loss=True)
+        assert "fault(s)" in schedule.describe()

@@ -1,0 +1,173 @@
+"""Unit tests for retry/backoff/timeout semantics on network ops."""
+
+import random
+
+import pytest
+
+from repro.net.errors import NetworkError, OpTimeout
+from repro.net.retry import RetryPolicy, RetryStats, call_with_timeout, retrying
+from repro.sim import Environment
+
+
+class FlakyLink(NetworkError):
+    """A distinct NetworkError subclass for retry_on narrowing tests."""
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=1e-3, multiplier=2.0,
+                             max_delay=5e-3)
+        assert policy.delay(1) == pytest.approx(1e-3)
+        assert policy.delay(2) == pytest.approx(2e-3)
+        assert policy.delay(3) == pytest.approx(4e-3)
+        assert policy.delay(4) == pytest.approx(5e-3)  # capped
+        assert policy.delay(7) == pytest.approx(5e-3)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_delay=1e-3, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(1, 4):
+            base = RetryPolicy(base_delay=1e-3).delay(attempt)
+            jittered = policy.delay(attempt, rng)
+            assert 0.5 * base <= jittered <= 1.5 * base
+
+    def test_jitter_without_rng_is_deterministic(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay(1) == policy.delay(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=3).delay(0)
+
+
+class Flaky:
+    """An operation that fails ``failures`` times before succeeding."""
+
+    def __init__(self, env, failures, error=NetworkError):
+        self.env = env
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def attempt(self):
+        self.calls += 1
+        yield self.env.timeout(1e-6)
+        if self.calls <= self.failures:
+            raise self.error("transient #{}".format(self.calls))
+        return "payload"
+
+
+class TestRetrying:
+    def test_first_try_success_costs_no_backoff(self):
+        env = Environment()
+        op = Flaky(env, failures=0)
+        policy = RetryPolicy(base_delay=1.0)
+        result = env.run(until=env.process(
+            retrying(env, policy, op.attempt)
+        ))
+        assert result == "payload"
+        assert op.calls == 1
+        assert env.now == pytest.approx(1e-6)
+
+    def test_retries_sleep_the_backoff_schedule(self):
+        env = Environment()
+        op = Flaky(env, failures=2)
+        policy = RetryPolicy(max_attempts=4, base_delay=1e-3, multiplier=2.0)
+        stats = RetryStats()
+        result = env.run(until=env.process(
+            retrying(env, policy, op.attempt, stats=stats)
+        ))
+        assert result == "payload"
+        assert op.calls == 3
+        # Two backoffs (1 ms, 2 ms) plus three 1 us attempts.
+        assert env.now == pytest.approx(3e-3 + 3e-6)
+        assert stats.snapshot() == {"attempts": 3, "retries": 2, "exhausted": 0}
+
+    def test_exhaustion_reraises_last_error(self):
+        env = Environment()
+        op = Flaky(env, failures=99)
+        stats = RetryStats()
+        process = env.process(retrying(
+            env, RetryPolicy(max_attempts=3), op.attempt, stats=stats
+        ))
+        with pytest.raises(NetworkError):
+            env.run(until=process)
+        assert op.calls == 3
+        assert stats.exhausted == 1
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        env = Environment()
+        op = Flaky(env, failures=5, error=ValueError)
+        process = env.process(retrying(
+            env, RetryPolicy(max_attempts=4), op.attempt
+        ))
+        with pytest.raises(ValueError):
+            env.run(until=process)
+        assert op.calls == 1
+
+    def test_retry_on_narrows_the_error_set(self):
+        env = Environment()
+        op = Flaky(env, failures=1, error=FlakyLink)
+        process = env.process(retrying(
+            env, RetryPolicy(max_attempts=4), op.attempt,
+            retry_on=(OpTimeout,),
+        ))
+        with pytest.raises(FlakyLink):
+            env.run(until=process)
+        assert op.calls == 1
+
+
+class TestCallWithTimeout:
+    @staticmethod
+    def slow(env, duration, log=None):
+        try:
+            yield env.timeout(duration)
+        finally:
+            if log is not None:
+                log.append(env.now)
+        return "done"
+
+    def test_completes_within_deadline(self):
+        env = Environment()
+        result = env.run(until=env.process(
+            call_with_timeout(env, self.slow(env, 1.0), timeout=2.0)
+        ))
+        assert result == "done"
+        assert env.now == pytest.approx(1.0)
+
+    def test_deadline_raises_op_timeout(self):
+        env = Environment()
+        log = []
+        process = env.process(call_with_timeout(
+            env, self.slow(env, 5.0, log), timeout=1.0, what="slow-read"
+        ))
+        with pytest.raises(OpTimeout) as caught:
+            env.run(until=process)
+        assert env.now == pytest.approx(1.0)
+        assert "slow-read" in str(caught.value)
+        # The child was interrupted at the deadline: its cleanup ran.
+        assert log == [pytest.approx(1.0)]
+
+    def test_operation_failure_propagates(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(0.1)
+            raise NetworkError("boom")
+
+        process = env.process(call_with_timeout(env, failing(), timeout=1.0))
+        with pytest.raises(NetworkError):
+            env.run(until=process)
+
+    def test_rejects_non_positive_timeout(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            list(call_with_timeout(env, self.slow(env, 1.0), timeout=0.0))

@@ -1,0 +1,196 @@
+"""Unit and integration tests for the replicated remote tier."""
+
+import pytest
+
+from repro.core.cluster import DisaggregatedCluster
+from repro.experiments.runner import default_cluster_config
+from repro.mem.page import make_pages
+from repro.swap.factory import make_swap_backend
+from repro.tiers.replicated import ReplicaMap
+
+
+class TestReplicaMap:
+    def test_place_and_holders(self):
+        rmap = ReplicaMap(3)
+        rmap.place(1, ("a", "b", "c"))
+        assert rmap.holders(1) == ("a", "b", "c")
+        assert rmap.pages_on("b") == [1]
+        assert 1 in rmap and len(rmap) == 1
+
+    def test_place_requires_holders(self):
+        with pytest.raises(ValueError):
+            ReplicaMap(2).place(1, ())
+        with pytest.raises(ValueError):
+            ReplicaMap(0)
+
+    def test_drop_node_splits_orphans_and_lost(self):
+        rmap = ReplicaMap(2)
+        rmap.place(1, ("a", "b"))
+        rmap.place(2, ("a",))
+        rmap.place(3, ("b", "c"))
+        orphans, lost = rmap.drop_node("a")
+        assert orphans == [1]
+        assert lost == [2]
+        assert rmap.holders(1) == ("b",)
+        assert 2 not in rmap
+        assert rmap.holders(3) == ("b", "c")
+
+    def test_add_holder_repairs_under_replication(self):
+        rmap = ReplicaMap(2)
+        rmap.place(1, ("a", "b"))
+        rmap.drop_node("a")
+        assert rmap.under_replicated() == [1]
+        rmap.add_holder(1, "c")
+        assert rmap.under_replicated() == []
+        assert rmap.holders(1) == ("b", "c")
+
+    def test_add_holder_ignores_unknown_pages_and_duplicates(self):
+        rmap = ReplicaMap(2)
+        rmap.add_holder(9, "a")
+        assert 9 not in rmap
+        rmap.place(1, ("a", "b"))
+        rmap.add_holder(1, "a")
+        assert rmap.holders(1) == ("a", "b")
+
+    def test_remove_page_clears_both_indexes(self):
+        rmap = ReplicaMap(2)
+        rmap.place(1, ("a", "b"))
+        rmap.remove_page(1)
+        assert rmap.holders(1) == ()
+        assert rmap.pages_on("a") == []
+
+
+def build(replication, seed=11):
+    config = default_cluster_config(
+        seed=seed, replication_factor=replication
+    )
+    cluster = DisaggregatedCluster.build(config)
+    node = cluster.nodes()[0]
+    backend = make_swap_backend(
+        "replicated-remote", node, cluster, rng=cluster.rng.stream("backend")
+    )
+    cluster.run_process(backend.setup())
+    return cluster, node, backend
+
+
+def swap_out_all(cluster, backend, pages):
+    def job():
+        for page in pages:
+            yield from backend.swap_out(page)
+
+    cluster.run_process(job())
+
+
+class TestReplicatedRemoteTier:
+    def test_every_page_gets_full_replica_set(self):
+        cluster, _node, backend = build(replication=3)
+        tier = backend.tiers[0]
+        pages = make_pages(8, owner="t")
+        swap_out_all(cluster, backend, pages)
+        for page in pages:
+            holders = tier.map.holders(page.page_id)
+            assert len(holders) == 3
+            assert len(set(holders)) == 3
+        # Capacity accounting matches the copies written.
+        used = sum(area.used_bytes for area in tier.areas.values())
+        assert used == sum(page.size for page in pages) * 3
+
+    def test_crash_triggers_re_replication(self):
+        cluster, _node, backend = build(replication=2)
+        tier = backend.tiers[0]
+        pages = make_pages(6, owner="t")
+        swap_out_all(cluster, backend, pages)
+        victim = tier.map.holders(pages[0].page_id)[0]
+        cluster.crash_node(victim)
+        cluster.env.run(until=cluster.env.now + 0.5)
+        # With a third peer available every orphan is repaired.
+        assert tier.tracker.pages_lost.value == 0
+        assert tier.tracker.pages_re_replicated.value > 0
+        for page in pages:
+            assert len(tier.map.holders(page.page_id)) == 2
+            assert victim not in tier.map.holders(page.page_id)
+        snap = tier.tracker.snapshot()
+        assert snap["repairs_completed"] == 1
+        assert snap["repair_mean_s"] is not None
+
+    def test_single_replica_loss_loses_pages_but_serves_degraded(self):
+        cluster, _node, backend = build(replication=1)
+        tier = backend.tiers[0]
+        pages = make_pages(12, owner="t")
+        swap_out_all(cluster, backend, pages)
+        victim = tier.map.holders(pages[0].page_id)[0]
+        doomed = [
+            page for page in pages
+            if tier.map.holders(page.page_id) == (victim,)
+        ]
+        cluster.crash_node(victim)
+        cluster.env.run(until=cluster.env.now + 0.5)
+        assert tier.tracker.pages_lost.value == len(doomed) > 0
+        # A read of a lost page is served by the degraded disk path.
+        cluster.run_process(backend.swap_in(doomed[0]))
+        assert tier.fallback_reads == 1
+        assert tier.tracker.degraded_reads.value == 1
+
+    def test_read_fails_over_to_surviving_replica(self):
+        cluster, _node, backend = build(replication=2)
+        tier = backend.tiers[0]
+        pages = make_pages(4, owner="t")
+        swap_out_all(cluster, backend, pages)
+        page = pages[0]
+        first_holder = tier.map.holders(page.page_id)[0]
+        cluster.fabric.set_node_down(first_holder, down=True)
+        cluster.run_process(backend.swap_in(page))
+        assert tier.reads == 1
+        assert tier.fallback_reads == 0
+
+    def test_rebooted_peer_is_readmitted_and_topped_up(self):
+        cluster, _node, backend = build(replication=3)
+        tier = backend.tiers[0]
+        pages = make_pages(5, owner="t")
+        swap_out_all(cluster, backend, pages)
+        victim = tier.map.holders(pages[0].page_id)[0]
+        cluster.crash_node(victim)
+        cluster.env.run(until=cluster.env.now + 0.1)
+        # Only two peers remain: repair cannot restore the third copy.
+        assert all(
+            len(tier.map.holders(page.page_id)) == 2 for page in pages
+        )
+        cluster.run_process(cluster.reboot_node(victim))
+        cluster.env.run(until=cluster.env.now + 0.5)
+        assert victim in tier.areas
+        assert tier.tracker.nodes_recovered.value == 1
+        for page in pages:
+            assert len(tier.map.holders(page.page_id)) == 3
+
+    def test_under_replicated_write_spills_down(self):
+        cluster, _node, backend = build(replication=3)
+        tier = backend.tiers[0]
+        victim = sorted(tier.areas)[0]
+        cluster.crash_node(victim)
+        pages = make_pages(3, owner="t")
+        swap_out_all(cluster, backend, pages)
+        # Two live peers < replication=3: every page spills below.
+        assert tier.stats.puts.value == 0
+        for page in pages:
+            label, _meta = backend.location(page.page_id)
+            assert label is not None and label != tier.name
+
+    def test_forget_releases_replica_space(self):
+        cluster, _node, backend = build(replication=2)
+        tier = backend.tiers[0]
+        pages = make_pages(3, owner="t")
+        swap_out_all(cluster, backend, pages)
+        before = sum(area.used_bytes for area in tier.areas.values())
+        backend.discard(pages[0])
+        after = sum(area.used_bytes for area in tier.areas.values())
+        assert before - after == pages[0].size * 2
+        assert tier.map.holders(pages[0].page_id) == ()
+
+    def test_snapshot_reports_replication_columns(self):
+        cluster, _node, backend = build(replication=2)
+        pages = make_pages(2, owner="t")
+        swap_out_all(cluster, backend, pages)
+        row = backend.tier_breakdown()[0]
+        assert row["replication"] == 2
+        assert row["pages_lost"] == 0
+        assert "repair_mean_s" in row and "degraded_reads" in row
