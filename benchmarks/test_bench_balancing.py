@@ -1,0 +1,30 @@
+"""Benchmark: the memory-balancing control plane sweep."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import memory_balancing
+
+
+def test_bench_memory_balancing(run_once, benchmark):
+    result = run_once(memory_balancing.run, scale=SCALE)
+    cells = {
+        (row["workload"], row["group"], row["rate"], row["policy"]): row
+        for row in result["rows"]
+    }
+    # Shape: on the skewed hotspot sweep every active policy strictly
+    # reduces the final imbalance CoV versus the static baseline, the
+    # static baseline never moves a page, and balancing pays for itself
+    # in moved bytes rather than aborted work.
+    for row in memory_balancing.skewed_rows(result):
+        if row["policy"] != "static":
+            assert row["cov_vs_static"] < 0
+            assert row["migrations"] > 0
+            assert row["aborted"] == 0
+    static = cells[("hotspot", 0, 0.0, "static")]
+    assert static["migrations"] == 0 and static["moved_mb"] == 0.0
+    best = min(
+        memory_balancing.skewed_rows(result), key=lambda row: row["cov_final"]
+    )
+    benchmark.extra_info["best_policy"] = best["policy"]
+    benchmark.extra_info["best_cov_final"] = best["cov_final"]
+    benchmark.extra_info["static_cov_final"] = static["cov_final"]
+    benchmark.extra_info["moved_mb"] = best["moved_mb"]

@@ -1,0 +1,62 @@
+"""Cluster-level memory-balancing control plane (paper §IV-D/IV-E).
+
+The passive pieces of the paper's control plane — groups, leader
+election, eviction and ballooning — already exist in :mod:`repro.core`;
+this package closes the loop:
+
+* :mod:`repro.balance.telemetry` — each node manager periodically
+  publishes a :class:`NodeReport` (pool usage, receive-pool pressure,
+  fault-in rate, balloon state) to its group leader over the simulated
+  fabric, reusing :class:`~repro.metrics.utilization.ClusterUtilizationMonitor`
+  sampling;
+* :mod:`repro.balance.policies` — the leader-side planner: pluggable
+  policies (threshold/watermark, proportional share, greedy bin-packing
+  harvester) fold a round of reports into a :class:`RebalancePlan` of
+  page-migration budgets and slab-donation orders;
+* :mod:`repro.balance.migration` — the :class:`MigrationEngine`
+  executes plans as simulated events: reserve at the destination, copy
+  the page over RDMA, atomically remap the owner's disaggregated memory
+  map (dual-entry protocol), invalidate the old location, and abort
+  cleanly when a node crashes mid-migration;
+* :mod:`repro.balance.controller` — the :class:`BalanceController`
+  drives one telemetry → plan → execute round per control epoch and
+  records :class:`~repro.metrics.balance.BalanceMetrics`, including the
+  cluster imbalance coefficient-of-variation time series.
+"""
+
+from repro.balance.controller import BalanceController
+from repro.balance.migration import MigrationEngine
+from repro.balance.policies import (
+    BALANCE_POLICIES,
+    GreedyHarvestPolicy,
+    MoveBudget,
+    ProportionalSharePolicy,
+    RebalancePlan,
+    RebalancePolicy,
+    SlabOrder,
+    StaticPolicy,
+    ThresholdPolicy,
+    make_balance_policy,
+)
+from repro.balance.telemetry import REPORT_BYTES, NodeReport, TelemetryPlane
+from repro.metrics.balance import BalanceMetrics, coefficient_of_variation
+
+__all__ = [
+    "BALANCE_POLICIES",
+    "BalanceController",
+    "BalanceMetrics",
+    "GreedyHarvestPolicy",
+    "MigrationEngine",
+    "MoveBudget",
+    "NodeReport",
+    "ProportionalSharePolicy",
+    "REPORT_BYTES",
+    "RebalancePlan",
+    "RebalancePolicy",
+    "SlabOrder",
+    "StaticPolicy",
+    "TelemetryPlane",
+    "ThresholdPolicy",
+    "coefficient_of_variation",
+    "make_balance_policy",
+]

@@ -1,0 +1,93 @@
+"""The control loop: telemetry → plan → execute, once per epoch.
+
+One :class:`BalanceController` serves a whole cluster: every control
+epoch it takes a cluster-wide utilization sample, then runs one
+telemetry/plan/execute round per group (re-electing a leader first if
+the group's leader died — the §IV-C handshake timeout would get there
+eventually, but the balancer cannot plan leaderless).  Per-epoch it
+records the cluster imbalance CoV into its
+:class:`~repro.metrics.balance.BalanceMetrics`, which is the series the
+``memory_balancing`` experiment reports.
+"""
+
+from repro.balance.migration import MigrationEngine
+from repro.balance.policies import RebalancePolicy, make_balance_policy
+from repro.balance.telemetry import TelemetryPlane
+from repro.metrics.balance import BalanceMetrics, coefficient_of_variation
+
+
+class BalanceController:
+    """Drives the memory-balancing control plane of one cluster."""
+
+    def __init__(self, cluster, policy="threshold", epoch=0.1, metrics=None,
+                 **policy_options):
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.epoch = epoch
+        if isinstance(policy, RebalancePolicy):
+            if policy_options:
+                raise ValueError("policy options need a policy name")
+            self.policy = policy
+        else:
+            self.policy = make_balance_policy(policy, **policy_options)
+        self.metrics = metrics or BalanceMetrics()
+        self.telemetry = TelemetryPlane(cluster, self.metrics)
+        self.engine = MigrationEngine(cluster, self.metrics)
+        self._process = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Record the starting imbalance and spawn the epoch loop."""
+        self.metrics.record_cov(self.env.now, self.cluster_cov())
+        self._process = self.env.process(
+            self._loop(), name="balance:{}".format(self.policy.name)
+        )
+        return self._process
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.epoch)
+            yield from self.run_epoch()
+
+    # -- one epoch -----------------------------------------------------------
+
+    def cluster_cov(self):
+        """Imbalance now: CoV of per-node receive-pool utilization.
+
+        Nodes with zero receive capacity (fully shrunk or never grown)
+        carry no signal about placement skew and are excluded.
+        """
+        utilizations = [
+            node.receive_pool.used_bytes / node.receive_pool.capacity_bytes
+            for node in self.cluster.nodes()
+            if node.receive_pool.capacity_bytes > 0
+        ]
+        return coefficient_of_variation(utilizations)
+
+    def run_epoch(self):
+        """Generator: one telemetry → plan → execute round per group."""
+        self.metrics.epochs += 1
+        self.telemetry.sample()
+        groups = self.cluster.groups.groups
+        for group_id in sorted(groups):
+            group = groups[group_id]
+            leader = group.leader
+            if leader is None or self.cluster.is_down(leader):
+                leader = self.cluster.election.elect(group)
+            if leader is None:
+                continue  # the whole group is down
+            reports = yield from self.telemetry.collect(group)
+            if len(reports) < 2:
+                continue  # nobody to balance against
+            started = self.env.now
+            plan = self.policy.plan(group_id, reports)
+            if plan.is_empty():
+                self.metrics.empty_plans += 1
+                continue
+            self.metrics.plans_built += 1
+            yield from self.engine.execute(plan)
+            self.metrics.plan_latency.record(self.env.now - started)
+        self.metrics.record_cov(self.env.now, self.cluster_cov())

@@ -1,0 +1,150 @@
+"""Executes rebalance plans as simulated events (live page migration).
+
+The migration protocol is the paper's atomicity rule ("every remote
+operation is atomic — only a completed operation updates the map")
+applied to a move between two memory servers:
+
+1. **stage** — open the dual-entry window in the owner's disaggregated
+   memory map (readers keep being served by the source replica);
+2. **reserve** — a control RPC reserves receive-pool space on the
+   destination (the destination now physically holds a second, not yet
+   visible, copy);
+3. **copy** — the page travels source → destination as a one-sided
+   RDMA transfer, charged on the fabric like any other data movement;
+4. **remap** — the owner's map atomically swaps the replica pointer
+   (commit); readers now resolve to the destination;
+5. **invalidate** — the source copy is freed (best effort: a source
+   that died mid-protocol lost the copy anyway).
+
+Any failure before the remap aborts: the window closes, the
+destination reservation is released (or vanishes with the crashed
+destination), and the map still points at the source — a page is never
+lost or duplicated by a migration, whatever crashes underneath it
+(:mod:`repro.faults` composes freely with this engine).
+"""
+
+from repro.core.errors import ControlTimeout
+from repro.net.errors import NetworkError
+from repro.net.rdma import RemoteAccessError
+
+
+class MigrationEngine:
+    """Turns :class:`~repro.balance.policies.RebalancePlan` into events."""
+
+    def __init__(self, cluster, metrics):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.metrics = metrics
+
+    def execute(self, plan):
+        """Generator: apply one plan — slab orders first, then pages.
+
+        Slab transfers go first so a freshly grown destination pool can
+        absorb the page migrations of the same epoch.
+        """
+        for order in plan.slab_orders:
+            yield from self.apply_slab_order(order)
+        moved = 0
+        for budget in plan.migrations:
+            moved += yield from self.apply_budget(budget)
+        return moved
+
+    # -- donation (slab ownership) ------------------------------------------
+
+    def apply_slab_order(self, order):
+        """Generator: transfer/shrink/grow whole receive-pool slabs."""
+        cluster = self.cluster
+        if order.src is not None and cluster.is_down(order.src):
+            return
+        if order.dst is not None and cluster.is_down(order.dst):
+            return
+        if order.src is not None and order.dst is not None:
+            src_pool = cluster.node(order.src).receive_pool
+            dst_pool = cluster.node(order.dst).receive_pool
+            moved = yield from src_pool.migrate_slabs(dst_pool, order.slabs)
+            self.metrics.slabs_transferred += moved
+        elif order.src is not None:
+            removed = cluster.node(order.src).receive_pool.shrink(order.slabs)
+            self.metrics.slabs_shrunk += removed
+        else:
+            yield from cluster.node(order.dst).receive_pool.grow(order.slabs)
+            self.metrics.slabs_grown += order.slabs
+
+    # -- page migration ------------------------------------------------------
+
+    def apply_budget(self, budget):
+        """Generator: migrate hosted entries until the budget is spent.
+
+        Entries are taken from the source's hosting table in insertion
+        order (oldest first); an entry that would overshoot the budget
+        is skipped in favour of later, smaller ones.  Returns the bytes
+        actually moved.
+        """
+        cluster = self.cluster
+        if cluster.is_down(budget.src) or cluster.is_down(budget.dst):
+            return 0
+        src_rdms = cluster.node(budget.src).rdms
+        moved = 0
+        for entry in list(src_rdms.entries.values()):
+            if moved >= budget.nbytes:
+                break
+            if moved + entry.nbytes > budget.nbytes:
+                continue
+            ok = yield from self.migrate_entry(entry, budget.src, budget.dst)
+            if ok:
+                moved += entry.nbytes
+        return moved
+
+    def migrate_entry(self, entry, src, dst):
+        """Generator: move one hosted entry ``src`` → ``dst``.
+
+        Returns ``True`` when the entry now lives on ``dst`` and the
+        owner's map says so; ``False`` when the migration was skipped
+        or aborted (in which case the map still points at ``src`` and
+        the ``dst`` reservation, if any, has been released).
+        """
+        cluster = self.cluster
+        owner_id = entry.owner_node_id
+        if dst == owner_id:
+            return False
+        if cluster.is_down(owner_id) or cluster.is_down(src) or cluster.is_down(dst):
+            return False
+        owner = cluster.node(owner_id)
+        record = owner.ldms.remote_record(entry.key)
+        if record is None or src not in record.replica_nodes:
+            return False
+        if dst in record.replica_nodes:
+            return False
+        owner_map = owner.ldms.map_of(entry.key[0])
+        try:
+            owner_map.stage_replica_move(entry.key, src, dst)
+        except ValueError:
+            return False  # concurrent move or repair got there first
+        self.metrics.migrations_started += 1
+        try:
+            reply = yield from owner.rdmc.control_call(
+                dst, {"op": "reserve", "key": entry.key, "nbytes": entry.nbytes}
+            )
+            if not reply.get("ok"):
+                owner_map.abort_replica_move(entry.key)
+                self.metrics.migrations_aborted += 1
+                return False
+            yield from cluster.fabric.transfer(src, dst, entry.nbytes)
+        except (NetworkError, ControlTimeout, RemoteAccessError):
+            owner_map.abort_replica_move(entry.key)
+            self.metrics.migrations_aborted += 1
+            # Roll the destination reservation back; if the destination
+            # crashed, its crash already dropped the reservation.
+            yield from owner.rdmc.best_effort_free(dst, entry.key)
+            return False
+        committed = owner_map.commit_replica_move(entry.key, now=self.env.now)
+        if committed is None:
+            # The record changed under the migration (entry removed or
+            # replica repaired away): treat as an abort.
+            self.metrics.migrations_aborted += 1
+            yield from owner.rdmc.best_effort_free(dst, entry.key)
+            return False
+        yield from owner.rdmc.best_effort_free(src, entry.key)
+        self.metrics.migrations_completed += 1
+        self.metrics.moved_bytes += entry.nbytes
+        return True

@@ -1,0 +1,335 @@
+"""Leader-side rebalance planning (paper §IV-D/IV-E).
+
+Each control epoch the group leader folds the round's
+:class:`~repro.balance.telemetry.NodeReport` list into a
+:class:`RebalancePlan`: *page-migration budgets* ("move up to N bytes
+of hosted entries from the hot server to the cold one") plus *slab
+orders* (donation grow/shrink/transfer of whole receive-pool slabs).
+Planning is pure data-in/data-out — no simulation time, no randomness —
+so a plan is a deterministic function of the reports, which is what
+keeps whole experiment sweeps byte-identical across worker counts.
+
+Three pluggable policies, the classic trio of balancing literature:
+
+* :class:`ThresholdPolicy` — high/low watermarks on receive-pool
+  utilization; drains nodes above the high mark into nodes below the
+  low mark until both sit inside the band;
+* :class:`ProportionalSharePolicy` — moves every node toward the group
+  mean utilization (within a tolerance band);
+* :class:`GreedyHarvestPolicy` — bin-packing harvester: the biggest
+  excess is repeatedly packed into the candidate with the most
+  headroom (best-fit decreasing).
+
+:class:`StaticPolicy` plans nothing and is the experiment's baseline.
+"""
+
+from repro.core.election import node_sort_key
+
+
+class MoveBudget:
+    """Move up to ``nbytes`` of hosted entries from ``src`` to ``dst``."""
+
+    __slots__ = ("src", "dst", "nbytes")
+
+    def __init__(self, src, dst, nbytes):
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        if nbytes <= 0:
+            raise ValueError("a move budget needs positive bytes")
+        self.src = src
+        self.dst = dst
+        self.nbytes = int(nbytes)
+
+    def __repr__(self):
+        return "MoveBudget({!r} -> {!r}, {}B)".format(self.src, self.dst, self.nbytes)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MoveBudget)
+            and (self.src, self.dst, self.nbytes)
+            == (other.src, other.dst, other.nbytes)
+        )
+
+
+class SlabOrder:
+    """Donation change: transfer, shrink or grow whole slabs.
+
+    ``src`` and ``dst`` set: transfer ownership of ``slabs`` idle slabs
+    from ``src``'s receive pool to ``dst``'s.  Only ``src``: shrink
+    (the node reclaims its donation).  Only ``dst``: grow (the node
+    donates more).
+    """
+
+    __slots__ = ("src", "dst", "slabs")
+
+    def __init__(self, src=None, dst=None, slabs=1):
+        if src is None and dst is None:
+            raise ValueError("a slab order needs a src or a dst")
+        if src is not None and src == dst:
+            raise ValueError("src and dst must differ")
+        if slabs <= 0:
+            raise ValueError("slabs must be positive")
+        self.src = src
+        self.dst = dst
+        self.slabs = slabs
+
+    def __repr__(self):
+        return "SlabOrder(src={!r}, dst={!r}, slabs={})".format(
+            self.src, self.dst, self.slabs
+        )
+
+
+class RebalancePlan:
+    """One epoch's decisions for one group."""
+
+    __slots__ = ("group_id", "migrations", "slab_orders")
+
+    def __init__(self, group_id, migrations=(), slab_orders=()):
+        self.group_id = group_id
+        self.migrations = tuple(migrations)
+        self.slab_orders = tuple(slab_orders)
+
+    def is_empty(self):
+        return not self.migrations and not self.slab_orders
+
+    def planned_bytes(self):
+        return sum(move.nbytes for move in self.migrations)
+
+    def __repr__(self):
+        return "<RebalancePlan g{} moves={} slabs={}>".format(
+            self.group_id, len(self.migrations), len(self.slab_orders)
+        )
+
+
+def _report_key(report):
+    """Deterministic secondary ordering for equal-utilization nodes."""
+    return node_sort_key(report.node_id)
+
+
+def _match(donors, receivers, min_move_bytes):
+    """Two-pointer matching of donor excess against receiver deficit.
+
+    ``donors``/``receivers`` are ``[node_id, bytes]`` lists, already
+    ordered; both are consumed front to back.  Fragments smaller than
+    ``min_move_bytes`` are dropped (not worth a migration round-trip).
+    """
+    moves = []
+    di = ri = 0
+    donors = [list(pair) for pair in donors]
+    receivers = [list(pair) for pair in receivers]
+    while di < len(donors) and ri < len(receivers):
+        donor_id, excess = donors[di]
+        receiver_id, deficit = receivers[ri]
+        amount = int(min(excess, deficit))
+        if amount >= min_move_bytes:
+            moves.append(MoveBudget(donor_id, receiver_id, amount))
+        donors[di][1] = excess - amount
+        receivers[ri][1] = deficit - amount
+        if donors[di][1] < min_move_bytes:
+            di += 1
+        if receivers[ri][1] < min_move_bytes:
+            ri += 1
+    return moves
+
+
+class RebalancePolicy:
+    """Base planner: migration strategy + shared donation logic."""
+
+    name = "abstract"
+
+    def __init__(self, min_move_bytes=64 * 1024, pressure_rate=None):
+        #: Smallest byte budget worth a migration (plan granularity).
+        self.min_move_bytes = min_move_bytes
+        #: Remote-put rate above which a node is considered pressured
+        #: and sheds one receive-pool slab per epoch (donation
+        #: transfer); ``None`` disables donation orders.
+        self.pressure_rate = pressure_rate
+
+    def plan(self, group_id, reports):
+        """Fold one telemetry round into a :class:`RebalancePlan`."""
+        reports = [r for r in reports if r.receive_capacity > 0]
+        return RebalancePlan(
+            group_id,
+            migrations=self._migrations(reports) if len(reports) >= 2 else (),
+            slab_orders=self._slab_orders(reports) if len(reports) >= 2 else (),
+        )
+
+    def _migrations(self, reports):
+        raise NotImplementedError
+
+    def _slab_orders(self, reports):
+        """Pressured nodes shed one slab each to the coldest calm node.
+
+        This is §IV-F seen from the leader: a node whose own workload
+        hammers the cluster tier should not also be hosting donations,
+        so its idle receive-pool slabs move to whoever has the most
+        room.  Without a calm target the slab is shrunk outright.
+        """
+        if self.pressure_rate is None:
+            return ()
+        pressured = [r for r in reports if r.remote_put_rate > self.pressure_rate]
+        calm = sorted(
+            (r for r in reports if r.remote_put_rate <= self.pressure_rate),
+            key=lambda r: (r.receive_utilization, _report_key(r)),
+        )
+        orders = []
+        for report in sorted(pressured, key=_report_key):
+            if report.receive_capacity < 1:
+                continue
+            if calm:
+                orders.append(SlabOrder(src=report.node_id, dst=calm[0].node_id))
+            else:
+                orders.append(SlabOrder(src=report.node_id))
+        return tuple(orders)
+
+
+class StaticPolicy(RebalancePolicy):
+    """The do-nothing baseline: telemetry runs, nothing ever moves."""
+
+    name = "static"
+
+    def _migrations(self, reports):
+        return ()
+
+    def _slab_orders(self, reports):
+        return ()
+
+
+class ThresholdPolicy(RebalancePolicy):
+    """High/low watermarks on receive-pool utilization.
+
+    Nodes above ``high`` donate their overflow (down to ``high``);
+    nodes below ``low`` absorb it, but only up to the ``high`` mark so
+    a receiver can never be pushed straight into donor territory.
+    """
+
+    name = "threshold"
+
+    def __init__(self, high=0.75, low=0.4, **kwargs):
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError("need 0 <= low < high <= 1")
+        super().__init__(**kwargs)
+        self.high = high
+        self.low = low
+
+    def _migrations(self, reports):
+        donors = sorted(
+            (r for r in reports if r.receive_utilization > self.high),
+            key=lambda r: (-r.receive_utilization, _report_key(r)),
+        )
+        receivers = sorted(
+            (r for r in reports if r.receive_utilization < self.low),
+            key=lambda r: (r.receive_utilization, _report_key(r)),
+        )
+        return _match(
+            [
+                [r.node_id, r.receive_used - self.high * r.receive_capacity]
+                for r in donors
+            ],
+            [
+                [r.node_id, self.high * r.receive_capacity - r.receive_used]
+                for r in receivers
+            ],
+            self.min_move_bytes,
+        )
+
+
+class ProportionalSharePolicy(RebalancePolicy):
+    """Every node converges to the group's mean utilization."""
+
+    name = "proportional"
+
+    def __init__(self, tolerance=0.05, **kwargs):
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        super().__init__(**kwargs)
+        self.tolerance = tolerance
+
+    def _migrations(self, reports):
+        mean = sum(r.receive_utilization for r in reports) / len(reports)
+        donors = sorted(
+            (r for r in reports if r.receive_utilization > mean + self.tolerance),
+            key=lambda r: (-r.receive_utilization, _report_key(r)),
+        )
+        receivers = sorted(
+            (r for r in reports if r.receive_utilization < mean - self.tolerance),
+            key=lambda r: (r.receive_utilization, _report_key(r)),
+        )
+        return _match(
+            [[r.node_id, r.receive_used - mean * r.receive_capacity] for r in donors],
+            [
+                [r.node_id, mean * r.receive_capacity - r.receive_used]
+                for r in receivers
+            ],
+            self.min_move_bytes,
+        )
+
+
+class GreedyHarvestPolicy(RebalancePolicy):
+    """Best-fit-decreasing harvester over excess above the group mean.
+
+    The largest surplus is repeatedly packed into the node with the
+    most headroom — the classic greedy bin-packing heuristic, which
+    tends to drain the single hottest server fastest.
+    """
+
+    name = "greedy"
+
+    def __init__(self, slack=0.02, **kwargs):
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        super().__init__(**kwargs)
+        #: Utilization band around the mean treated as balanced.
+        self.slack = slack
+
+    def _migrations(self, reports):
+        mean = sum(r.receive_utilization for r in reports) / len(reports)
+        excess = {
+            r.node_id: r.receive_used - (mean + self.slack) * r.receive_capacity
+            for r in reports
+        }
+        headroom = {
+            r.node_id: (mean - self.slack) * r.receive_capacity - r.receive_used
+            for r in reports
+        }
+        order = {r.node_id: _report_key(r) for r in reports}
+        moves = []
+        while True:
+            donor = max(
+                excess,
+                key=lambda node: (excess[node], order[node]),
+            )
+            if excess[donor] < self.min_move_bytes:
+                break
+            receiver = max(
+                (node for node in headroom if node != donor),
+                key=lambda node: (headroom[node], order[node]),
+                default=None,
+            )
+            if receiver is None or headroom[receiver] < self.min_move_bytes:
+                break
+            amount = int(min(excess[donor], headroom[receiver]))
+            moves.append(MoveBudget(donor, receiver, amount))
+            excess[donor] -= amount
+            headroom[receiver] -= amount
+        return moves
+
+
+BALANCE_POLICIES = ("static", "threshold", "proportional", "greedy")
+
+
+def make_balance_policy(name, **options):
+    """Factory keyed by policy name (the experiment's sweep axis)."""
+    if name == "static":
+        return StaticPolicy(**options)
+    if name == "threshold":
+        return ThresholdPolicy(**options)
+    if name == "proportional":
+        return ProportionalSharePolicy(**options)
+    if name == "greedy":
+        return GreedyHarvestPolicy(**options)
+    raise ValueError(
+        "unknown balance policy {!r}; expected one of {}".format(
+            name, ", ".join(BALANCE_POLICIES)
+        )
+    )

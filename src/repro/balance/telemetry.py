@@ -1,0 +1,153 @@
+"""The telemetry plane: node managers report to their group leader.
+
+Section IV-D of the paper has node managers tracking "the amount of
+free and used memory" and group leaders deciding "where donated memory
+lives".  Here every control epoch each live group member builds a
+:class:`NodeReport` from its local counters and ships it to the group
+leader as a control-plane message over the simulated fabric (costing
+real wire time; a report that hits a down link is simply lost and
+counted).  Cluster-wide sampling reuses the existing
+:class:`~repro.metrics.utilization.ClusterUtilizationMonitor` so the
+balancer's utilization numbers are the same ones every other experiment
+reports.
+"""
+
+from repro.metrics.utilization import ClusterUtilizationMonitor
+from repro.net.errors import NetworkError
+
+#: Wire size of one serialized NodeReport (a handful of counters).
+REPORT_BYTES = 256
+
+
+class NodeReport:
+    """One node manager's state, as published to its group leader."""
+
+    __slots__ = (
+        "node_id",
+        "time",
+        "pool_used",
+        "pool_capacity",
+        "receive_used",
+        "receive_capacity",
+        "receive_free",
+        "hosted_bytes",
+        "remote_put_rate",
+        "fault_in_rate",
+        "shared_pool_misses",
+        "balloon_reclaimable",
+    )
+
+    def __init__(self, node_id, time, pool_used, pool_capacity, receive_used,
+                 receive_capacity, receive_free, hosted_bytes, remote_put_rate,
+                 fault_in_rate, shared_pool_misses, balloon_reclaimable):
+        self.node_id = node_id
+        self.time = time
+        self.pool_used = pool_used
+        self.pool_capacity = pool_capacity
+        self.receive_used = receive_used
+        self.receive_capacity = receive_capacity
+        self.receive_free = receive_free
+        self.hosted_bytes = hosted_bytes
+        #: Remote puts per second since the previous report (the node's
+        #: outbound pressure on the cluster tier).
+        self.remote_put_rate = remote_put_rate
+        #: Remote gets per second since the previous report (fault-ins
+        #: served from disaggregated memory).
+        self.fault_in_rate = fault_in_rate
+        self.shared_pool_misses = shared_pool_misses
+        #: Bytes the node's servers could still balloon back (donations
+        #: not yet reclaimed) — the leader's view of balloon state.
+        self.balloon_reclaimable = balloon_reclaimable
+
+    @property
+    def pool_utilization(self):
+        if self.pool_capacity == 0:
+            return 0.0
+        return self.pool_used / self.pool_capacity
+
+    @property
+    def receive_utilization(self):
+        if self.receive_capacity == 0:
+            return 0.0
+        return self.receive_used / self.receive_capacity
+
+    def __repr__(self):
+        return "<NodeReport {!r} recv={:.0%} rate={:.3g}/s>".format(
+            self.node_id, self.receive_utilization, self.remote_put_rate
+        )
+
+
+class TelemetryPlane:
+    """Collects NodeReports into group leaders, over the fabric."""
+
+    def __init__(self, cluster, metrics, report_bytes=REPORT_BYTES,
+                 monitor_period=0.05):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.metrics = metrics
+        self.report_bytes = report_bytes
+        #: Reused cluster-wide sampler; the controller calls
+        #: :meth:`sample` once per epoch so its series line up with the
+        #: balancer's CoV series.
+        self.monitor = ClusterUtilizationMonitor(cluster, period=monitor_period)
+        #: node_id -> (time, remote_puts, remote_gets) at the last report.
+        self._cursors = {}
+
+    def sample(self):
+        """One cluster-wide utilization sample (monitor reuse)."""
+        return self.monitor.sample_now()
+
+    def build_report(self, node_id):
+        """Snapshot one node's counters into a :class:`NodeReport`.
+
+        Rates are computed against this plane's own cursors, so
+        telemetry never perturbs the eviction manager's rate tracking
+        (which owns the node-side cursor).
+        """
+        node = self.cluster.node(node_id)
+        now = self.env.now
+        last_time, last_puts, last_gets = self._cursors.get(node_id, (0.0, 0, 0))
+        elapsed = now - last_time
+        put_rate = (node.remote_puts - last_puts) / elapsed if elapsed > 0 else 0.0
+        get_rate = (node.remote_gets - last_gets) / elapsed if elapsed > 0 else 0.0
+        self._cursors[node_id] = (now, node.remote_puts, node.remote_gets)
+        return NodeReport(
+            node_id=node_id,
+            time=now,
+            pool_used=node.shared_pool.used_bytes,
+            pool_capacity=node.shared_pool.capacity_bytes,
+            receive_used=node.receive_pool.used_bytes,
+            receive_capacity=node.receive_pool.capacity_bytes,
+            receive_free=node.receive_pool.free_bytes,
+            hosted_bytes=node.rdms.hosted_bytes,
+            remote_put_rate=put_rate,
+            fault_in_rate=get_rate,
+            shared_pool_misses=node.shared_pool_misses,
+            balloon_reclaimable=sum(s.donated_bytes for s in node.servers),
+        )
+
+    def collect(self, group):
+        """Generator: one telemetry round — every live member reports.
+
+        The leader's own report is local (no wire cost); every other
+        member pays one control message leader-ward.  Reports that hit
+        a dead path are lost (the leader plans without them).  Returns
+        the reports that arrived, in member order.
+        """
+        leader = group.leader
+        reports = []
+        for member in group.members:
+            if self.cluster.is_down(member):
+                continue
+            report = self.build_report(member)
+            if member != leader:
+                try:
+                    yield from self.cluster.fabric.control_send(
+                        member, leader, self.report_bytes
+                    )
+                except NetworkError:
+                    self.metrics.reports_lost += 1
+                    continue
+            self.metrics.reports_received += 1
+            reports.append(report)
+        return reports

@@ -82,6 +82,25 @@ class Ldms:
     def all_maps(self):
         return dict(self._maps)
 
+    def remote_record(self, full_key):
+        """The committed remote record for ``(server_id, key)``, if any.
+
+        The balancing control plane uses this to find the owner-side map
+        record of a hosted entry before migrating it; non-remote entries
+        (and unknown keys) return ``None``.
+        """
+        server_map = self._maps.get(full_key[0])
+        if server_map is None:
+            return None
+        record = server_map.lookup(full_key)
+        if record is None or record.location != Location.REMOTE:
+            return None
+        return record
+
+    def map_of(self, server_id):
+        """The memory map for ``server_id`` (``None`` when absent)."""
+        return self._maps.get(server_id)
+
     # -- data path ---------------------------------------------------------
 
     def put(self, server, key, nbytes):
@@ -302,11 +321,20 @@ class Rdmc:
                 continue
             yield from self._best_effort_free(target, record.key)
 
-    def _best_effort_free(self, target, key):
+    def best_effort_free(self, target, key):
+        """Generator: free ``key`` on ``target``, swallowing network loss.
+
+        Used on rollback paths (failed replica writes, aborted page
+        migrations) where the reservation either gets freed now or dies
+        with the target node anyway.
+        """
         try:
             yield from self.control_call(target, {"op": "free", "key": key})
         except (NetworkError, ControlTimeout):
             pass
+
+    # Backwards-compatible internal alias.
+    _best_effort_free = best_effort_free
 
 
 class RemoteEntry:

@@ -73,6 +73,8 @@ class DisaggregatedCluster:
             heartbeat_timeout=self.config.heartbeat_timeout,
         )
         self.eviction = EvictionManager(self.env, self, self.config)
+        #: Optional memory-balancing control plane (attach_balancer).
+        self.balancer = None
         self._services_started = False
 
     # -- construction ------------------------------------------------------
@@ -104,6 +106,24 @@ class DisaggregatedCluster:
             self.election.start()
             self.eviction.start()
             self._services_started = True
+
+    def attach_balancer(self, policy="threshold", epoch=0.1, start=False,
+                        **policy_options):
+        """Wire a memory-balancing control plane onto this cluster.
+
+        Imported lazily so the core facade keeps no hard dependency on
+        :mod:`repro.balance`.  With ``start=True`` the epoch loop is
+        spawned immediately; otherwise call ``balancer.start()`` once
+        the workload processes are in place.
+        """
+        from repro.balance import BalanceController
+
+        self.balancer = BalanceController(
+            self, policy=policy, epoch=epoch, **policy_options
+        )
+        if start:
+            self.balancer.start()
+        return self.balancer
 
     # -- directory protocol (consulted by the agents) ---------------------------
 
@@ -202,7 +222,7 @@ class DisaggregatedCluster:
     def stats(self):
         """Aggregate counters across the cluster (for reports/tests)."""
         nodes = self.nodes_by_id.values()
-        return {
+        stats = {
             "time": self.env.now,
             "shared_pool_puts": sum(n.shared_pool.puts for n in nodes),
             "shared_pool_evictions": sum(n.shared_pool.evictions for n in nodes),
@@ -215,3 +235,7 @@ class DisaggregatedCluster:
             "slab_evictions": self.eviction.slab_evictions,
             "hosted_remote_bytes": sum(n.rdms.hosted_bytes for n in nodes),
         }
+        if self.balancer is not None:
+            stats["balance_migrations"] = self.balancer.metrics.migrations_completed
+            stats["balance_moved_bytes"] = self.balancer.metrics.moved_bytes
+        return stats

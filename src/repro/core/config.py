@@ -39,8 +39,9 @@ class ClusterConfig:
     size_classes: tuple = (512, 1024, 2048, 4096, 65536, 262144, 1048576)
     #: Replicas per remote entry ("triple replica modularity", §IV-D).
     replication_factor: int = 3
-    #: Placement policy: "random", "round_robin", "weighted_round_robin"
-    #: or "power_of_two" (§IV-E).
+    #: Placement policy: "random", "round_robin", "weighted_round_robin",
+    #: "power_of_two" (§IV-E) or "first_fit" (the deliberately skewed
+    #: static baseline the balancing control plane corrects).
     placement_policy: str = "power_of_two"
     #: Nodes per coordination group (§IV-C); 0 means one flat group.
     group_size: int = 0

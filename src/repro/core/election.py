@@ -9,9 +9,28 @@ triggered among the members that remain reachable.  A leader can also
 be deposed deliberately (e.g. after a dynamic re-group).
 """
 
+from itertools import groupby
+
 from repro.net.errors import NetworkError
 
 HEARTBEAT_BYTES = 64
+
+
+def node_sort_key(node_id):
+    """Type-stable, numeric-aware ordering key for node ids.
+
+    Plain ``str(node_id)`` puts ``node10`` before ``node9`` (and makes
+    integer ids compare lexicographically), so a tie-break built on it
+    silently prefers the wrong node once a cluster passes ten members.
+    This key splits the id into digit and non-digit runs and compares
+    digit runs numerically; runs are tagged so mixed alpha/numeric ids
+    never compare ``int`` against ``str``.
+    """
+    return tuple(
+        (1, int(run), "") if is_digit else (0, 0, run)
+        for is_digit, chunk in groupby(str(node_id), str.isdigit)
+        for run in ("".join(chunk),)
+    )
 
 
 class LeaderElection:
@@ -48,7 +67,8 @@ class LeaderElection:
             group.leader = None
             return None
         group.leader = max(
-            alive, key=lambda node_id: (self.free_bytes_of(node_id), str(node_id))
+            alive,
+            key=lambda node_id: (self.free_bytes_of(node_id), node_sort_key(node_id)),
         )
         group.term += 1
         self.elections_held += 1
@@ -80,8 +100,8 @@ class LeaderElection:
         if not leaders:
             return None
         return max(
-            leaders, key=lambda node_id: (self.free_bytes_of(node_id),
-                                          str(node_id))
+            leaders,
+            key=lambda node_id: (self.free_bytes_of(node_id), node_sort_key(node_id)),
         )
 
     # -- heartbeat machinery ------------------------------------------------
@@ -130,13 +150,7 @@ class LeaderElection:
             if self.fabric.is_node_down(peer):
                 continue
             try:
-                yield from self.fabric.transfer(
-                    leader,
-                    peer,
-                    HEARTBEAT_BYTES,
-                    base_latency=self.fabric.spec.rdma_latency
-                    + self.fabric.spec.send_recv_extra,
-                )
+                yield from self.fabric.control_send(leader, peer, HEARTBEAT_BYTES)
                 self.heartbeats_sent += 1
                 any_delivered = True
             except NetworkError:

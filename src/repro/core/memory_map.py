@@ -68,6 +68,8 @@ class DisaggregatedMemoryMap:
         self.owner_id = owner_id
         self._committed = {}
         self._pending = {}
+        #: key -> (old_node, new_node) for in-flight replica migrations.
+        self._moves = {}
         self.commits = 0
         self.aborts = 0
 
@@ -123,6 +125,65 @@ class DisaggregatedMemoryMap:
         replicas[replicas.index(old_node)] = new_node
         record.replica_nodes = tuple(replicas)
         return record
+
+    # -- replica migration (dual-entry protocol) -----------------------------
+
+    def stage_replica_move(self, key, old_node, new_node):
+        """Open the dual-entry window for migrating one replica of ``key``.
+
+        While staged, both locations exist physically — the committed
+        record still points readers at ``old_node`` (whose copy stays
+        valid) while the migration engine fills ``new_node``.  Exactly
+        one of :meth:`commit_replica_move` / :meth:`abort_replica_move`
+        must follow.  Raises :class:`ValueError` when the move makes no
+        sense (unknown key, replica not at ``old_node``, a replica
+        already at ``new_node``, or a move already staged for ``key``).
+        """
+        record = self._committed.get(key)
+        if record is None or record.location != Location.REMOTE:
+            raise ValueError("no committed remote record for {!r}".format(key))
+        if key in self._moves:
+            raise ValueError("a move is already staged for {!r}".format(key))
+        if old_node not in record.replica_nodes:
+            raise ValueError("{!r} holds no replica of {!r}".format(old_node, key))
+        if new_node in record.replica_nodes:
+            raise ValueError("{!r} already replicates {!r}".format(new_node, key))
+        self._moves[key] = (old_node, new_node)
+        return record
+
+    def pending_move(self, key):
+        """The staged ``(old_node, new_node)`` move for ``key``, or ``None``."""
+        return self._moves.get(key)
+
+    def commit_replica_move(self, key, now=0.0):
+        """Atomically remap the staged replica move for ``key``.
+
+        Returns the updated record, or ``None`` when the committed
+        record changed underneath the migration (entry removed, or the
+        old replica already replaced by eviction repair) — the caller
+        must then treat the migration as aborted and release the new
+        copy.  Readers observe either the old location or the new one,
+        never an intermediate state.
+        """
+        old_node, new_node = self._moves.pop(key)
+        record = self._committed.get(key)
+        if (
+            record is None
+            or record.location != Location.REMOTE
+            or old_node not in record.replica_nodes
+            or new_node in record.replica_nodes
+        ):
+            self.aborts += 1
+            return None
+        self.replace_replica(key, old_node, new_node)
+        record.committed_at = now
+        self.commits += 1
+        return record
+
+    def abort_replica_move(self, key):
+        """Close the dual-entry window without remapping (rollback)."""
+        if self._moves.pop(key, None) is not None:
+            self.aborts += 1
 
     def metadata_bytes(self):
         """Resident size of this map (hash table + per-entry metadata)."""

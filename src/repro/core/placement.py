@@ -9,7 +9,13 @@ against each other in the placement ablation.
 Policies only see a narrow :class:`CandidateView` per node — its id and
 currently free receive-pool bytes — mirroring the information a node
 manager can cheaply keep fresh via the group leader.
+
+A fifth, deliberately naive policy — :class:`FirstFitPlacement` — packs
+everything onto the lowest-id peers; it is the skewed static baseline
+the `repro.balance` control plane is measured against.
 """
+
+from repro.core.election import node_sort_key
 
 
 class CandidateView:
@@ -145,6 +151,24 @@ class PowerOfTwoChoices(PlacementPolicy):
         return chosen
 
 
+class FirstFitPlacement(PlacementPolicy):
+    """Fill the lowest-id viable candidates first (static baseline).
+
+    This is what a placement layer with no balancing feedback degrades
+    to: every node piles its entries onto the same few peers, leaving
+    the rest idle.  It exists to generate the skewed layouts the
+    memory-balancing control plane (``repro.balance``) has to fix, and
+    is the static baseline of the ``memory_balancing`` experiment.
+    """
+
+    name = "first_fit"
+
+    def select(self, candidates, k, nbytes):
+        ordered = sorted(candidates, key=lambda c: node_sort_key(c.node_id))
+        viable = self._viable(ordered, nbytes)
+        return [c.node_id for c in viable[:k]]
+
+
 def make_placement_policy(name, rng):
     """Factory keyed by the :class:`~repro.core.config.ClusterConfig` name."""
     if name == "random":
@@ -155,4 +179,6 @@ def make_placement_policy(name, rng):
         return WeightedRoundRobin()
     if name == "power_of_two":
         return PowerOfTwoChoices(rng)
+    if name == "first_fit":
+        return FirstFitPlacement()
     raise ValueError("unknown placement policy {!r}".format(name))

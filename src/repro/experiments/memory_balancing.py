@@ -1,0 +1,288 @@
+"""Memory balancing: skewed pressure x policy x group size (§IV-D/E).
+
+The paper's §II motivation is an imbalance argument — some machines
+drown while "average of 30% idle memory" sits next door — and §IV-D/E
+make the fix a control-plane problem: node managers report, group
+leaders decide, donated memory moves.  This experiment measures that
+loop end to end.
+
+Every cell builds a cluster whose placement is the deliberately skewed
+``first_fit`` static baseline, drives a skewed-pressure workload
+(``hotspot``: two nodes flood the cluster tier; ``uniform``: everyone
+stores a little, first-fit still piles it onto the lowest ids), and
+attaches the :mod:`repro.balance` control plane under one of its
+policies.  ``static`` is the do-nothing baseline; the sweep reports how
+much each active policy narrows the imbalance — the coefficient of
+variation of per-node receive-pool utilization — versus that baseline,
+plus migration counts, moved bytes and plan latency.
+
+Faulted cells replay a seeded chaos schedule against the two
+highest-id nodes while migrations are in flight, proving the dual-entry
+protocol aborts cleanly: the run stays byte-deterministic and no page
+is ever lost or duplicated *by a migration* (crash losses with
+replication 1 are the workload's problem, quantified elsewhere by
+``resilience_recovery``).
+
+Cell volume scales with the receive pools themselves, so utilization
+levels — and therefore policy behaviour — are scale-invariant.
+"""
+
+import sys
+
+from repro.experiments.engine import RunSpec, run_serial
+from repro.metrics.reporting import format_table
+
+EXPERIMENT = "memory_balancing"
+
+NUM_NODES = 6
+ENTRY_BYTES = 64 * 1024
+#: Balancing policies swept (static first: it is the baseline).
+POLICIES = ("static", "threshold", "proportional", "greedy")
+#: Group sizes swept: one flat group vs two groups of three.
+GROUP_SIZES = (0, 3)
+WORKLOADS = ("hotspot", "uniform")
+#: Chaos intensity for the migration-under-faults cells.
+CHAOS_RATE = 2.0
+#: Nodes the chaos schedule may touch (kept clear of the hot putters).
+CHAOS_NODES = ("node4", "node5")
+MAX_CONCURRENT_DOWN = 1
+#: A cell "converged" when its imbalance CoV first drops to this.
+CONVERGENCE_COV = 0.5
+#: Fraction of one receive pool each hot putter stores.
+HOT_FILL = 0.9
+#: Fraction of one receive pool each uniform putter stores.
+UNIFORM_FILL = 0.3
+
+
+def cells(scale=1.0, seed=0, duration=3.0, epoch=0.1):
+    """The sweep: workload x policy x group size, plus chaos cells."""
+    grid = [
+        RunSpec.make(
+            EXPERIMENT,
+            workload=workload,
+            seed=seed,
+            scale=scale,
+            policy=policy,
+            group=group,
+            rate=0.0,
+            duration=duration,
+            epoch=epoch,
+        )
+        for workload in WORKLOADS
+        for group in GROUP_SIZES
+        for policy in POLICIES
+    ]
+    chaos = [
+        RunSpec.make(
+            EXPERIMENT,
+            workload="hotspot",
+            seed=seed,
+            scale=scale,
+            policy=policy,
+            group=0,
+            rate=CHAOS_RATE,
+            duration=duration,
+            epoch=epoch,
+        )
+        for policy in POLICIES
+    ]
+    return grid + chaos
+
+
+def pool_slabs(scale):
+    """Receive-pool slabs per node at this scale (min 2 x 1 MiB)."""
+    return max(2, round(10 * scale))
+
+
+def build_schedule(seed, rate, horizon):
+    """The chaos schedule for one (seed, rate) — policy-independent.
+
+    Drawn from a dedicated RNG stream named by the rate alone, so every
+    policy cell of the sweep faces byte-identical faults.  Only
+    reversible faults (no permanent server loss): the cells compare
+    steady states, and a permanently absent node would change the
+    utilization population, not just perturb it.
+    """
+    from repro.faults.schedule import random_schedule
+    from repro.sim.rng import RngStreams
+
+    if rate <= 0:
+        return None
+    rng = RngStreams(seed).stream("balance-faults/rate={:g}".format(rate))
+    return random_schedule(
+        rng,
+        CHAOS_NODES,
+        horizon,
+        rate,
+        max_concurrent_down=MAX_CONCURRENT_DOWN,
+        guaranteed_loss=False,
+    )
+
+
+def _build_cluster(spec):
+    from repro.core.cluster import DisaggregatedCluster
+    from repro.core.config import ClusterConfig
+    from repro.hw.latency import MiB
+
+    options = spec.options
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        servers_per_node=1,
+        server_memory_bytes=16 * MiB,
+        donation_fraction=0.0,  # every put lands on the cluster tier
+        receive_pool_slabs=pool_slabs(spec.scale),
+        send_pool_slabs=2,
+        replication_factor=1,
+        placement_policy="first_fit",
+        group_size=options["group"],
+        seed=spec.seed,
+    )
+    return DisaggregatedCluster.build(config)
+
+
+def compute(spec):
+    from repro.faults.driver import FaultDriver
+    from repro.hw.latency import MiB
+
+    options = spec.options
+    horizon = options["duration"]
+    load_window = 0.5 * horizon
+    cluster = _build_cluster(spec)
+    env = cluster.env
+    capacity = pool_slabs(spec.scale) * cluster.config.slab_bytes
+    if spec.workload == "hotspot":
+        putters = {"node0": HOT_FILL, "node1": HOT_FILL}
+    else:
+        putters = {n.node_id: UNIFORM_FILL for n in cluster.nodes()}
+
+    def drive(server, count, gap, tag):
+        for i in range(count):
+            yield env.timeout(gap)
+            yield from server.ldmc.put(("bal", tag, i), ENTRY_BYTES)
+
+    for node_id in sorted(putters, key=lambda n: int(n[4:])):
+        count = int(putters[node_id] * capacity / ENTRY_BYTES)
+        server = cluster.node(node_id).servers[0]
+        env.process(
+            drive(server, count, load_window / count, node_id),
+            name="drive:" + node_id,
+        )
+
+    schedule = build_schedule(spec.seed, options["rate"], horizon)
+    if schedule is not None:
+        FaultDriver(cluster, schedule).install()
+
+    balancer = cluster.attach_balancer(
+        policy=options["policy"], epoch=options["epoch"], start=True
+    )
+    env.run(until=horizon)
+
+    utils = [
+        (
+            node.receive_pool.used_bytes / node.receive_pool.capacity_bytes
+            if node.receive_pool.capacity_bytes
+            else 0.0
+        )
+        for node in cluster.nodes()
+    ]
+    metrics = balancer.metrics
+    return {
+        "metrics": metrics.snapshot(),
+        "converged_s": metrics.convergence_time(CONVERGENCE_COV),
+        "final_utils": utils,
+        "util_spread": max(utils) - min(utils),
+        "mean_receive_utilization": balancer.telemetry.monitor.summary()[
+            "mean_receive_utilization"
+        ],
+        "remote_puts": sum(n.remote_puts for n in cluster.nodes()),
+        "network_mb": cluster.fabric.total_bytes / MiB,
+        "faults": len(schedule.events) if schedule is not None else 0,
+    }
+
+
+def report(results):
+    indexed = {
+        (
+            spec.workload,
+            spec.options["group"],
+            spec.options["rate"],
+            spec.options["policy"],
+        ): payload
+        for spec, payload in results
+    }
+    rows = []
+    for workload in WORKLOADS:
+        for group in GROUP_SIZES:
+            for rate in sorted({key[2] for key in indexed}):
+                static = indexed.get((workload, group, rate, "static"))
+                for policy in POLICIES:
+                    payload = indexed.get((workload, group, rate, policy))
+                    if payload is None:
+                        continue
+                    metrics = payload["metrics"]
+                    rows.append(
+                        {
+                            "workload": workload,
+                            "group": group,
+                            "rate": rate,
+                            "policy": policy,
+                            "cov_initial": metrics["cov_initial"],
+                            "cov_final": metrics["cov_final"],
+                            "cov_vs_static": (
+                                metrics["cov_final"]
+                                - static["metrics"]["cov_final"]
+                                if static is not None
+                                else None
+                            ),
+                            "converged_s": payload["converged_s"],
+                            "migrations": metrics["migrations_completed"],
+                            "aborted": metrics["migrations_aborted"],
+                            "moved_mb": metrics["moved_bytes"] / (1024.0 * 1024.0),
+                            "plan_ms": metrics["plan_latency"]["mean"] * 1e3,
+                            "util_spread": payload["util_spread"],
+                            "faults": payload["faults"],
+                        }
+                    )
+    return {"rows": rows}
+
+
+def skewed_rows(result):
+    """The rows of the skewed (hotspot, fault-free) sweep — the ones on
+    which every active policy must strictly beat the static baseline."""
+    return [
+        row
+        for row in result["rows"]
+        if row["workload"] == "hotspot" and row["rate"] == 0.0
+    ]
+
+
+def run(scale=1.0, seed=0, duration=3.0, epoch=0.1):
+    """Balancing effect per (workload, policy, group size)."""
+    return run_serial(
+        sys.modules[__name__],
+        scale=scale,
+        seed=seed,
+        duration=duration,
+        epoch=epoch,
+    )
+
+
+def render(result):
+    return format_table(
+        result["rows"],
+        title=(
+            "Memory balancing — imbalance CoV vs the static first-fit "
+            "baseline (skewed pressure x policy x group size)"
+        ),
+        float_format="{:.4g}",
+    )
+
+
+def main():
+    result = run()
+    print(render(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -72,6 +72,10 @@ EXPERIMENTS = {
         _PACKAGE + ".resilience_recovery",
         "fault rate x replication resilience",
     ),
+    "memory_balancing": (
+        _PACKAGE + ".memory_balancing",
+        "balancing policy x skewed pressure x group size",
+    ),
 }
 
 

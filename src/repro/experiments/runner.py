@@ -12,7 +12,6 @@ experiment engine can fan cells out across worker processes and merge
 the contexts afterwards.
 """
 
-import warnings
 from dataclasses import dataclass, field, fields
 
 from repro.core.cluster import DisaggregatedCluster
@@ -93,52 +92,6 @@ class RunContext:
     def clear(self):
         self.runs = 0
         self._tier_rows.clear()
-
-
-#: Fed by every runner invocation for the deprecated ``TIER_REGISTRY``
-#: view; new code should read ``result.context`` instead.
-_LEGACY_CONTEXT = RunContext()
-
-
-class TierRegistry:
-    """Deprecated process-wide registry view over the legacy context.
-
-    Superseded by :class:`RunContext`: every run result now carries its
-    own context (``result.context``), which is safe under parallel
-    execution.  This shim keeps the old module-global API alive for one
-    release; every access emits a :class:`DeprecationWarning`.
-    """
-
-    def __init__(self, context):
-        self._context = context
-
-    def _warn(self):
-        warnings.warn(
-            "TIER_REGISTRY is deprecated; use the RunContext returned on "
-            "run results (result.context) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def record(self, backend_name, workload, fit_fraction, tier_stack,
-               tier_stats):
-        self._warn()
-        self._context.record_tier_rows(
-            backend_name, workload, fit_fraction, tier_stack, tier_stats
-        )
-
-    def rows(self):
-        self._warn()
-        return self._context.tier_rows()
-
-    def clear(self):
-        self._warn()
-        self._context.clear()
-
-
-#: Deprecated: the process-wide registry the experiments CLI used to
-#: clear/render.  Kept for one release; see :class:`TierRegistry`.
-TIER_REGISTRY = TierRegistry(_LEGACY_CONTEXT)
 
 
 def _jsonify(value):
@@ -380,7 +333,6 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
         result.stats["fault_p50_s"] = fault_histogram.percentile(0.5)
         result.stats["fault_p99_s"] = fault_histogram.percentile(0.99)
     context.record(result)
-    _LEGACY_CONTEXT.record(result)
     return result
 
 
@@ -471,7 +423,6 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         context=context,
     )
     context.record(result)
-    _LEGACY_CONTEXT.record(result)
     return result
 
 

@@ -129,6 +129,16 @@ class FaultSchedule:
             payload.get("nodes", ()),
         )
 
+    @classmethod
+    def single(cls, kind, node, at, horizon, **kwargs):
+        """A schedule holding exactly one targeted fault.
+
+        Convenience for surgical chaos tests — e.g. crashing a specific
+        node at a precise moment inside a migration window — where
+        :func:`random_schedule` would be the wrong tool.
+        """
+        return cls([FaultEvent(kind, at, node, **kwargs)], horizon, (node,))
+
     def describe(self):
         kinds = {}
         for event in self.events:

@@ -75,6 +75,23 @@ class RdmaBufferPool:
             self.deregistrations += 1
         return removed
 
+    def migrate_slabs(self, other, slab_count):
+        """Generator: move ownership of up to ``slab_count`` idle slabs
+        to ``other`` (a pool on a different node).
+
+        This is the donation transfer of the balancing control plane:
+        the slabs are deregistered here immediately (shrink semantics —
+        only idle slabs move) and re-registered on the receiving node,
+        which pays the usual pinning/mapping time.  Returns how many
+        slabs actually moved.
+        """
+        if other.slab_bytes != self.slab_bytes:
+            raise ValueError("pools must share a slab size to trade slabs")
+        moved = self.shrink(slab_count)
+        if moved:
+            yield from other.grow(moved)
+        return moved
+
     # -- allocation ------------------------------------------------------------
 
     def reserve(self, nbytes):

@@ -7,9 +7,13 @@
   figures plot;
 * :mod:`repro.metrics.recovery` — per-tier recovery metrics
   (time-to-recover, pages lost, degraded-mode reads) for the
-  resilience experiments.
+  resilience experiments;
+* :mod:`repro.metrics.balance` — migration/plan counters and the
+  imbalance coefficient-of-variation series for the memory-balancing
+  control plane.
 """
 
+from repro.metrics.balance import BalanceMetrics, coefficient_of_variation
 from repro.metrics.recovery import RecoveryTracker
 from repro.metrics.reporting import (
     format_series,
@@ -19,8 +23,10 @@ from repro.metrics.reporting import (
 from repro.metrics.stats import Counter, Histogram, RunningStats, TimeSeries
 
 __all__ = [
+    "BalanceMetrics",
     "Counter",
     "Histogram",
+    "coefficient_of_variation",
     "RecoveryTracker",
     "RunningStats",
     "TimeSeries",

@@ -1,0 +1,108 @@
+"""Metrics for the memory-balancing control plane (``repro.balance``).
+
+The balancer's health is an accounting question — how many plans ran,
+how many migrations completed versus aborted, how many bytes moved, how
+long planning+execution takes, and above all whether the cluster's
+*imbalance* actually shrinks.  Imbalance is measured as the coefficient
+of variation (population stdev / mean) of per-node receive-pool
+utilization, the standard dimensionless skew measure: 0 means perfectly
+even, and it is invariant under scaling the workload up or down.
+"""
+
+import math
+
+from repro.metrics.stats import RunningStats, TimeSeries
+
+
+def coefficient_of_variation(values):
+    """Population CoV of ``values``; 0.0 for empty or all-zero input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean
+
+
+class BalanceMetrics:
+    """Counters, timings and the imbalance time series of one balancer."""
+
+    def __init__(self):
+        self.epochs = 0
+        self.plans_built = 0
+        self.empty_plans = 0
+        self.reports_received = 0
+        self.reports_lost = 0
+        self.migrations_started = 0
+        self.migrations_completed = 0
+        self.migrations_aborted = 0
+        self.moved_bytes = 0
+        self.slabs_transferred = 0
+        self.slabs_shrunk = 0
+        self.slabs_grown = 0
+        #: Wall-clock (simulated) seconds from plan start to last order done.
+        self.plan_latency = RunningStats()
+        #: (time, CoV of per-node receive utilization), one row per epoch.
+        self.cov_series = TimeSeries("imbalance-cov")
+
+    # -- recording -----------------------------------------------------------
+
+    def record_cov(self, time, value):
+        self.cov_series.record(time, value)
+
+    # -- summaries -----------------------------------------------------------
+
+    def cov_values(self):
+        return [value for _time, value in self.cov_series.samples]
+
+    def initial_cov(self):
+        samples = self.cov_series.samples
+        return samples[0][1] if samples else 0.0
+
+    def final_cov(self):
+        samples = self.cov_series.samples
+        return samples[-1][1] if samples else 0.0
+
+    def mean_cov(self):
+        values = self.cov_values()
+        return sum(values) / len(values) if values else 0.0
+
+    def convergence_time(self, threshold):
+        """When the imbalance CoV dropped to ``threshold`` *for good*.
+
+        The earliest sample time after which every later sample also
+        sits at or below the threshold — a series that starts balanced
+        (empty cluster), spikes under load and is then balanced back
+        down converges when it re-crosses the threshold, not at its
+        trivially balanced start.  ``None`` when the series is empty or
+        ends above the threshold.
+        """
+        converged = None
+        for time, value in self.cov_series.samples:
+            if value > threshold:
+                converged = None
+            elif converged is None:
+                converged = time
+        return converged
+
+    def snapshot(self):
+        return {
+            "epochs": self.epochs,
+            "plans_built": self.plans_built,
+            "empty_plans": self.empty_plans,
+            "reports_received": self.reports_received,
+            "reports_lost": self.reports_lost,
+            "migrations_started": self.migrations_started,
+            "migrations_completed": self.migrations_completed,
+            "migrations_aborted": self.migrations_aborted,
+            "moved_bytes": self.moved_bytes,
+            "slabs_transferred": self.slabs_transferred,
+            "slabs_shrunk": self.slabs_shrunk,
+            "slabs_grown": self.slabs_grown,
+            "plan_latency": self.plan_latency.snapshot(),
+            "cov_initial": self.initial_cov(),
+            "cov_final": self.final_cov(),
+            "cov_mean": self.mean_cov(),
+        }

@@ -143,6 +143,21 @@ class Fabric:
             base_latency = self.spec.rdma_latency
         return base_latency + nbytes / self.spec.bandwidth
 
+    def control_send(self, src, dst, nbytes):
+        """Generator: one control-plane message from ``src`` to ``dst``.
+
+        Control traffic (heartbeats, telemetry reports, balance plans)
+        travels two-sided SEND/RECV, so it pays the send/recv surcharge
+        on top of the base RDMA latency.  Same failure semantics as
+        :meth:`transfer`.
+        """
+        yield from self.transfer(
+            src,
+            dst,
+            nbytes,
+            base_latency=self.spec.rdma_latency + self.spec.send_recv_extra,
+        )
+
     def transfer(self, src, dst, nbytes, base_latency=None):
         """Generator: move ``nbytes`` from ``src`` to ``dst``.
 

@@ -1,0 +1,50 @@
+"""Shared builders for the balancing control-plane tests."""
+
+import pytest
+
+from repro.core.cluster import DisaggregatedCluster
+from repro.core.config import ClusterConfig
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def build_cluster(num_nodes=3, slabs=2, group_size=0, replication=1,
+                  seed=0, placement="first_fit"):
+    """A small cluster whose puts all land on the cluster tier.
+
+    ``donation_fraction=0.0`` starves the shared pools so every put
+    goes remote, and ``first_fit`` placement deterministically piles
+    entries onto the lowest-id peer — the skew the balancer undoes.
+    """
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        servers_per_node=1,
+        server_memory_bytes=16 * MiB,
+        donation_fraction=0.0,
+        receive_pool_slabs=slabs,
+        send_pool_slabs=2,
+        replication_factor=replication,
+        placement_policy=placement,
+        group_size=group_size,
+        seed=seed,
+    )
+    return DisaggregatedCluster.build(config)
+
+
+def put_entries(cluster, node_id, count, nbytes=64 * KiB, tag="k"):
+    """Synchronously store ``count`` entries for ``node_id``'s server.
+
+    Returns the full ``(server_id, key)`` map keys, in put order.
+    """
+    server = cluster.node(node_id).servers[0]
+    keys = []
+    for index in range(count):
+        cluster.put(server, (tag, index), nbytes)
+        keys.append((server.server_id, (tag, index)))
+    return keys
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster()

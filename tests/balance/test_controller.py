@@ -1,0 +1,81 @@
+"""Tests for the balance controller (epoch loop, wiring, re-election)."""
+
+import pytest
+
+from repro.balance import BalanceController
+from repro.balance.policies import StaticPolicy
+
+from tests.balance.conftest import KiB, build_cluster, put_entries
+
+
+def test_rejects_bad_wiring():
+    cluster = build_cluster()
+    with pytest.raises(ValueError):
+        BalanceController(cluster, epoch=0.0)
+    with pytest.raises(ValueError):
+        BalanceController(cluster, policy=StaticPolicy(), tolerance=0.1)
+
+
+def test_policy_instance_is_accepted():
+    cluster = build_cluster()
+    controller = BalanceController(cluster, policy=StaticPolicy())
+    assert controller.policy.name == "static"
+
+
+def test_balancer_reduces_imbalance():
+    cluster = build_cluster(num_nodes=4, slabs=2)
+    put_entries(cluster, "node0", 20)  # all piled onto node1 by first_fit
+    balancer = cluster.attach_balancer(policy="proportional", epoch=0.1,
+                                       start=True)
+    skew = balancer.cluster_cov()
+    assert skew > 1.0
+    cluster.env.run(until=cluster.env.now + 1.0)
+    assert balancer.cluster_cov() < skew / 2
+    assert balancer.metrics.migrations_completed > 0
+    assert balancer.metrics.epochs >= 9
+    assert balancer.metrics.cov_series.samples[0][1] == pytest.approx(skew)
+
+
+def test_static_policy_only_observes():
+    cluster = build_cluster(num_nodes=4, slabs=2)
+    put_entries(cluster, "node0", 20)
+    balancer = cluster.attach_balancer(policy="static", epoch=0.1, start=True)
+    skew = balancer.cluster_cov()
+    cluster.env.run(until=cluster.env.now + 1.0)
+    assert balancer.cluster_cov() == pytest.approx(skew)
+    assert balancer.metrics.migrations_started == 0
+    assert balancer.metrics.reports_received > 0
+
+
+def test_epoch_skips_group_that_lost_all_members():
+    cluster = build_cluster(num_nodes=4, slabs=2, group_size=2)
+    balancer = cluster.attach_balancer(policy="proportional", epoch=0.1,
+                                       start=True)
+    cluster.crash_node("node2")
+    cluster.crash_node("node3")
+    cluster.env.run(until=cluster.env.now + 0.5)
+    assert balancer.metrics.epochs >= 4  # the loop survived the dead group
+
+
+def test_controller_reelects_dead_leader():
+    cluster = build_cluster(num_nodes=4, slabs=2)
+    group = cluster.groups.groups[0]
+    leader = group.leader
+    assert leader is not None
+    balancer = cluster.attach_balancer(policy="proportional", epoch=0.1,
+                                       start=True)
+    cluster.crash_node(leader)
+    cluster.env.run(until=cluster.env.now + 0.5)
+    assert group.leader != leader
+    assert group.leader is not None
+
+
+def test_cluster_stats_expose_balance_counters():
+    cluster = build_cluster(num_nodes=3)
+    assert "balance_migrations" not in cluster.stats()
+    put_entries(cluster, "node0", 8)
+    cluster.attach_balancer(policy="greedy", epoch=0.05, start=True)
+    cluster.env.run(until=cluster.env.now + 0.5)
+    stats = cluster.stats()
+    assert stats["balance_migrations"] > 0
+    assert stats["balance_moved_bytes"] == stats["balance_migrations"] * 64 * KiB

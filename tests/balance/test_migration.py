@@ -1,0 +1,153 @@
+"""Tests for the migration engine (dual-entry protocol, aborts, slabs)."""
+
+import pytest
+
+from repro.balance.migration import MigrationEngine
+from repro.balance.policies import MoveBudget, RebalancePlan, SlabOrder
+from repro.metrics.balance import BalanceMetrics
+
+from tests.balance.conftest import KiB, build_cluster, put_entries
+
+ENTRY = 64 * KiB
+
+
+def engine_for(cluster):
+    metrics = BalanceMetrics()
+    return MigrationEngine(cluster, metrics), metrics
+
+
+def execute(cluster, engine, plan):
+    return cluster.run_process(engine.execute(plan))
+
+
+def test_migration_moves_entries_and_remaps():
+    cluster = build_cluster(num_nodes=3)
+    keys = put_entries(cluster, "node0", 2)
+    engine, metrics = engine_for(cluster)
+    plan = RebalancePlan(0, migrations=[MoveBudget("node1", "node2", 2 * ENTRY)])
+    moved = execute(cluster, engine, plan)
+    assert moved == 2 * ENTRY
+    assert metrics.migrations_completed == 2
+    assert metrics.migrations_aborted == 0
+    assert metrics.moved_bytes == 2 * ENTRY
+    # The entries physically moved and the owner map was remapped.
+    assert list(cluster.node("node1").rdms.entries) == []
+    assert sorted(cluster.node("node2").rdms.entries) == sorted(keys)
+    for key in keys:
+        record = cluster.node("node0").ldms.remote_record(key)
+        assert record.replica_nodes == ("node2",)
+    # Pool accounting followed the pages.
+    assert cluster.node("node1").receive_pool.used_bytes == 0
+    assert cluster.node("node2").receive_pool.used_bytes == 2 * ENTRY
+
+
+def test_migrated_entry_still_readable():
+    cluster = build_cluster(num_nodes=3)
+    put_entries(cluster, "node0", 1)
+    engine, _metrics = engine_for(cluster)
+    plan = RebalancePlan(0, migrations=[MoveBudget("node1", "node2", ENTRY)])
+    execute(cluster, engine, plan)
+    assert cluster.get(cluster.node("node0").servers[0], ("k", 0)) == ENTRY
+
+
+def test_migration_charges_the_fabric():
+    cluster = build_cluster(num_nodes=3)
+    put_entries(cluster, "node0", 1)
+    engine, _metrics = engine_for(cluster)
+    before = cluster.fabric.total_bytes
+    start = cluster.env.now
+    plan = RebalancePlan(0, migrations=[MoveBudget("node1", "node2", ENTRY)])
+    execute(cluster, engine, plan)
+    # At least the page itself plus the reserve/free control messages.
+    assert cluster.fabric.total_bytes >= before + ENTRY
+    assert cluster.env.now > start
+
+
+def test_budget_caps_bytes_moved():
+    cluster = build_cluster(num_nodes=3)
+    put_entries(cluster, "node0", 3)
+    engine, metrics = engine_for(cluster)
+    plan = RebalancePlan(0, migrations=[MoveBudget("node1", "node2", ENTRY)])
+    moved = execute(cluster, engine, plan)
+    assert moved == ENTRY
+    assert metrics.migrations_completed == 1
+    assert len(cluster.node("node1").rdms.entries) == 2
+
+
+@pytest.mark.parametrize("crash_at", [5e-6, 1.5e-5, 2.5e-5])
+def test_destination_crash_mid_migration_aborts_cleanly(crash_at):
+    cluster = build_cluster(num_nodes=3)
+    keys = put_entries(cluster, "node0", 1)
+    engine, metrics = engine_for(cluster)
+    env = cluster.env
+
+    def crasher():
+        yield env.timeout(crash_at)
+        cluster.crash_node("node2")
+
+    env.process(crasher())
+    plan = RebalancePlan(0, migrations=[MoveBudget("node1", "node2", ENTRY)])
+    env.run(until=env.process(engine.execute(plan)))
+    assert metrics.migrations_completed == 0
+    assert metrics.migrations_aborted == 1
+    # The dual-entry window is closed, the map still points at the
+    # source, the source copy is intact, nothing leaked on node2.
+    record = cluster.node("node0").ldms.remote_record(keys[0])
+    assert record.replica_nodes == ("node1",)
+    owner_map = cluster.node("node0").ldms.map_of(keys[0][0])
+    assert owner_map.pending_move(keys[0]) is None
+    assert list(cluster.node("node1").rdms.entries) == keys
+    assert list(cluster.node("node2").rdms.entries) == []
+    assert cluster.get(cluster.node("node0").servers[0], ("k", 0)) == ENTRY
+
+
+def test_down_endpoints_are_skipped_without_staging():
+    cluster = build_cluster(num_nodes=3)
+    put_entries(cluster, "node0", 1)
+    engine, metrics = engine_for(cluster)
+    cluster.crash_node("node2")
+    plan = RebalancePlan(0, migrations=[MoveBudget("node1", "node2", ENTRY)])
+    moved = execute(cluster, engine, plan)
+    assert moved == 0
+    assert metrics.migrations_started == 0
+    assert metrics.migrations_aborted == 0
+
+
+def test_full_destination_aborts_via_failed_reserve():
+    cluster = build_cluster(num_nodes=3, slabs=2)
+    keys = put_entries(cluster, "node0", 1)
+    # Fill node2's receive pool completely so the reserve must fail.
+    filler = cluster.node("node2").receive_pool
+    while filler.reserve_entry(ENTRY) is not None:
+        pass
+    engine, metrics = engine_for(cluster)
+    plan = RebalancePlan(0, migrations=[MoveBudget("node1", "node2", ENTRY)])
+    moved = execute(cluster, engine, plan)
+    assert moved == 0
+    assert metrics.migrations_aborted == 1
+    record = cluster.node("node0").ldms.remote_record(keys[0])
+    assert record.replica_nodes == ("node1",)
+
+
+def test_slab_transfer_moves_capacity():
+    cluster = build_cluster(num_nodes=3, slabs=2)
+    engine, metrics = engine_for(cluster)
+    slab = cluster.config.slab_bytes
+    before_src = cluster.node("node1").receive_pool.capacity_bytes
+    before_dst = cluster.node("node2").receive_pool.capacity_bytes
+    plan = RebalancePlan(0, slab_orders=[SlabOrder(src="node1", dst="node2")])
+    execute(cluster, engine, plan)
+    assert metrics.slabs_transferred == 1
+    assert cluster.node("node1").receive_pool.capacity_bytes == before_src - slab
+    assert cluster.node("node2").receive_pool.capacity_bytes == before_dst + slab
+
+
+def test_slab_order_on_down_node_is_skipped():
+    cluster = build_cluster(num_nodes=3, slabs=2)
+    engine, metrics = engine_for(cluster)
+    cluster.crash_node("node2")
+    before = cluster.node("node1").receive_pool.capacity_bytes
+    plan = RebalancePlan(0, slab_orders=[SlabOrder(src="node1", dst="node2")])
+    execute(cluster, engine, plan)
+    assert metrics.slabs_transferred == 0
+    assert cluster.node("node1").receive_pool.capacity_bytes == before

@@ -1,0 +1,173 @@
+"""Unit tests for the leader-side rebalance policies (pure planning)."""
+
+import pytest
+
+from repro.balance.policies import (
+    BALANCE_POLICIES,
+    GreedyHarvestPolicy,
+    MoveBudget,
+    ProportionalSharePolicy,
+    RebalancePlan,
+    SlabOrder,
+    StaticPolicy,
+    ThresholdPolicy,
+    make_balance_policy,
+)
+from repro.balance.telemetry import NodeReport
+
+MiB = 1024 * 1024
+
+
+def report(node_id, used, capacity=4 * MiB, put_rate=0.0):
+    return NodeReport(
+        node_id=node_id,
+        time=0.0,
+        pool_used=0,
+        pool_capacity=0,
+        receive_used=used,
+        receive_capacity=capacity,
+        receive_free=capacity - used,
+        hosted_bytes=used,
+        remote_put_rate=put_rate,
+        fault_in_rate=0.0,
+        shared_pool_misses=0,
+        balloon_reclaimable=0,
+    )
+
+
+def test_move_budget_validation():
+    with pytest.raises(ValueError):
+        MoveBudget("a", "a", 1)
+    with pytest.raises(ValueError):
+        MoveBudget("a", "b", 0)
+    assert MoveBudget("a", "b", 5) == MoveBudget("a", "b", 5)
+
+
+def test_slab_order_validation():
+    with pytest.raises(ValueError):
+        SlabOrder()
+    with pytest.raises(ValueError):
+        SlabOrder(src="a", dst="a")
+    with pytest.raises(ValueError):
+        SlabOrder(src="a", slabs=0)
+
+
+def test_plan_accounting():
+    plan = RebalancePlan(0, migrations=[MoveBudget("a", "b", 10)])
+    assert not plan.is_empty()
+    assert plan.planned_bytes() == 10
+    assert RebalancePlan(0).is_empty()
+
+
+def test_static_policy_never_plans():
+    reports = [report("node0", 4 * MiB), report("node1", 0)]
+    plan = StaticPolicy().plan(0, reports)
+    assert plan.is_empty()
+
+
+def test_threshold_drains_hot_into_cold():
+    reports = [
+        report("node0", int(3.8 * MiB)),  # 95% > high
+        report("node1", 0),  # 0% < low
+        report("node2", 2 * MiB),  # 50%, inside the band
+    ]
+    plan = ThresholdPolicy(high=0.75, low=0.4).plan(0, reports)
+    assert len(plan.migrations) == 1
+    move = plan.migrations[0]
+    assert (move.src, move.dst) == ("node0", "node1")
+    # Exactly the overflow above the high watermark.
+    assert move.nbytes == int(3.8 * MiB) - int(0.75 * 4 * MiB)
+
+
+def test_threshold_idle_inside_band():
+    reports = [report("node0", 2 * MiB), report("node1", int(1.8 * MiB))]
+    assert ThresholdPolicy().plan(0, reports).is_empty()
+
+
+def test_threshold_rejects_inverted_watermarks():
+    with pytest.raises(ValueError):
+        ThresholdPolicy(high=0.3, low=0.5)
+
+
+def test_proportional_targets_group_mean():
+    reports = [report("node0", 4 * MiB), report("node1", 0), report("node2", 0)]
+    plan = ProportionalSharePolicy(tolerance=0.0).plan(0, reports)
+    # Mean utilization is 1/3: node0 sheds down to it, split between the
+    # two receivers deterministically.
+    assert sum(m.nbytes for m in plan.migrations) == pytest.approx(
+        4 * MiB - (4 * MiB) // 3, abs=2
+    )
+    assert {m.src for m in plan.migrations} == {"node0"}
+    assert {m.dst for m in plan.migrations} == {"node1", "node2"}
+
+
+def test_proportional_balanced_group_plans_nothing():
+    reports = [report("node0", MiB), report("node1", MiB)]
+    assert ProportionalSharePolicy().plan(0, reports).is_empty()
+
+
+def test_greedy_packs_biggest_excess_into_most_headroom():
+    reports = [
+        report("node0", 4 * MiB),
+        report("node1", 3 * MiB),
+        report("node2", 0),
+    ]
+    plan = GreedyHarvestPolicy(slack=0.0).plan(0, reports)
+    assert plan.migrations
+    # The hottest node is drained first, into the emptiest node.
+    first = plan.migrations[0]
+    assert (first.src, first.dst) == ("node0", "node2")
+
+
+def test_zero_capacity_reports_are_ignored():
+    reports = [
+        report("node0", 4 * MiB),
+        report("node1", 0, capacity=0),
+    ]
+    # Only one usable report left: nothing to balance against.
+    for name in BALANCE_POLICIES:
+        assert make_balance_policy(name).plan(0, reports).is_empty()
+
+
+def test_small_fragments_are_dropped():
+    reports = [report("node0", 2 * MiB + 1024, capacity=4 * MiB),
+               report("node1", 2 * MiB - 1024, capacity=4 * MiB)]
+    plan = ProportionalSharePolicy(tolerance=0.0).plan(0, reports)
+    assert plan.is_empty()  # 1 KiB is below min_move_bytes
+
+
+def test_pressure_rate_sheds_slabs_to_coldest_calm_node():
+    policy = ProportionalSharePolicy(pressure_rate=10.0)
+    reports = [
+        report("node0", 2 * MiB, put_rate=50.0),  # pressured
+        report("node1", MiB, put_rate=0.0),
+        report("node2", 0, put_rate=0.0),  # coldest calm node
+    ]
+    orders = policy.plan(0, reports).slab_orders
+    assert len(orders) == 1
+    assert (orders[0].src, orders[0].dst) == ("node0", "node2")
+
+
+def test_pressure_without_calm_target_shrinks():
+    policy = ProportionalSharePolicy(pressure_rate=10.0, min_move_bytes=8 * MiB)
+    reports = [
+        report("node0", 2 * MiB, put_rate=50.0),
+        report("node1", 2 * MiB, put_rate=50.0),
+    ]
+    orders = policy.plan(0, reports).slab_orders
+    assert all(o.src is not None and o.dst is None for o in orders)
+
+
+def test_factory_covers_every_policy_name():
+    for name in BALANCE_POLICIES:
+        assert make_balance_policy(name).name == name
+    with pytest.raises(ValueError):
+        make_balance_policy("round-robin")
+
+
+def test_plans_are_deterministic():
+    reports = [report("node0", 4 * MiB), report("node1", 0), report("node2", 0)]
+    for name in BALANCE_POLICIES:
+        first = make_balance_policy(name).plan(0, reports).migrations
+        again = make_balance_policy(name).plan(0, reports).migrations
+        assert list(first) == list(again)

@@ -1,0 +1,80 @@
+"""Tests for the telemetry plane (reports, wire cost, loss)."""
+
+from repro.balance.telemetry import TelemetryPlane
+from repro.metrics.balance import BalanceMetrics
+
+from tests.balance.conftest import KiB, build_cluster, put_entries
+
+
+def collect(cluster, plane, group):
+    return cluster.run_process(plane.collect(group))
+
+
+def test_reports_reflect_node_state():
+    cluster = build_cluster(num_nodes=3)
+    put_entries(cluster, "node0", 4)
+    plane = TelemetryPlane(cluster, BalanceMetrics())
+    group = cluster.groups.groups[0]
+    reports = collect(cluster, plane, group)
+    assert [r.node_id for r in reports] == ["node0", "node1", "node2"]
+    by_node = {r.node_id: r for r in reports}
+    # first_fit piled all four entries onto node1's receive pool.
+    assert by_node["node1"].receive_used == 4 * 64 * KiB
+    assert by_node["node1"].hosted_bytes == 4 * 64 * KiB
+    assert by_node["node2"].receive_used == 0
+    assert by_node["node0"].receive_utilization == 0.0
+    assert 0.0 < by_node["node1"].receive_utilization < 1.0
+
+
+def test_non_leader_reports_cost_wire_time():
+    cluster = build_cluster(num_nodes=3)
+    plane = TelemetryPlane(cluster, BalanceMetrics())
+    group = cluster.groups.groups[0]
+    assert group.leader is not None
+    before_bytes = cluster.fabric.total_bytes
+    before_time = cluster.env.now
+    reports = collect(cluster, plane, group)
+    assert len(reports) == 3
+    # Two members report leader-ward over the wire; the leader is local.
+    assert cluster.fabric.total_bytes == before_bytes + 2 * plane.report_bytes
+    assert cluster.env.now > before_time
+
+
+def test_down_member_is_skipped_and_not_counted_lost():
+    cluster = build_cluster(num_nodes=3)
+    metrics = BalanceMetrics()
+    plane = TelemetryPlane(cluster, metrics)
+    group = cluster.groups.groups[0]
+    down = next(m for m in group.members if m != group.leader)
+    cluster.crash_node(down)
+    reports = collect(cluster, plane, group)
+    assert down not in {r.node_id for r in reports}
+    assert metrics.reports_lost == 0
+    assert metrics.reports_received == 2
+
+
+def test_report_to_down_leader_is_lost():
+    cluster = build_cluster(num_nodes=3)
+    metrics = BalanceMetrics()
+    plane = TelemetryPlane(cluster, metrics)
+    group = cluster.groups.groups[0]
+    # Crash the leader but leave it recorded as leader: sends get lost.
+    cluster.injector.crash_node(group.leader)
+    reports = collect(cluster, plane, group)
+    assert reports == []
+    assert metrics.reports_lost == 2
+
+
+def test_put_rate_uses_own_cursors():
+    cluster = build_cluster(num_nodes=3)
+    plane = TelemetryPlane(cluster, BalanceMetrics())
+    group = cluster.groups.groups[0]
+    collect(cluster, plane, group)
+    node0 = cluster.node("node0")
+    eviction_cursor = node0._remote_puts_at_last_check
+    put_entries(cluster, "node0", 3)
+    reports = collect(cluster, plane, group)
+    by_node = {r.node_id: r for r in reports}
+    assert by_node["node0"].remote_put_rate > 0.0
+    # Telemetry must not advance the eviction manager's cursor.
+    assert node0._remote_puts_at_last_check == eviction_cursor

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import GroupManager, LeaderElection
+from repro.core.election import node_sort_key
 from repro.net import Fabric
 from repro.sim import Environment
 
@@ -96,6 +97,29 @@ def test_leader_of():
     _env, _fabric, _groups, election = build(free_bytes={"node2": 7})
     election.elect_all()
     assert election.leader_of("node0") == "node2"
+
+
+def test_node_sort_key_orders_numerically():
+    ids = ["node10", "node9", "node2", "node11", "node1"]
+    assert sorted(ids, key=node_sort_key) == [
+        "node1", "node2", "node9", "node10", "node11",
+    ]
+
+
+def test_node_sort_key_is_type_stable():
+    # Mixed alpha/numeric/integer ids must sort without ever comparing
+    # int against str (the failure mode of the old str() tie-break).
+    ids = ["rack2/node10", "rack2/node9", "a1b2", "b", 7, "10"]
+    assert sorted(ids, key=node_sort_key) == sorted(ids, key=node_sort_key)
+    assert node_sort_key("rack2/node9") < node_sort_key("rack2/node10")
+    assert node_sort_key(7) < node_sort_key("10")
+
+
+def test_tie_break_is_numeric_aware_past_ten_nodes():
+    """Regression: the old ``str(node_id)`` tie-break put ``node9``
+    above ``node10``; the natural-sort key must prefer ``node10``."""
+    _env, _fabric, _groups, election = build(num_nodes=11, free_bytes={})
+    assert election.elect_all()[0] == "node10"
 
 
 def test_invalid_timeout_rejected():

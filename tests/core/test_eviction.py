@@ -72,6 +72,46 @@ def test_idle_cluster_triggers_nothing():
     assert cluster.eviction.slab_evictions == 0
 
 
+def test_zero_capacity_receive_pool_is_left_alone():
+    """A node that donates no receive slabs must never be shrunk (or
+    underflow) however hard its servers push on the remote tier."""
+    cluster = build_cluster(receive_pool_slabs=0, send_pool_slabs=0,
+                            donation_fraction=0.05)
+    server = cluster.virtual_servers[0]
+    hammer(cluster, server, 300)  # overflows to disk, rate still spikes
+    cluster.env.run(until=cluster.env.now + 2.0)
+    assert cluster.eviction.slab_evictions == 0
+    assert cluster.eviction.entry_evictions == 0
+    for node in cluster.nodes():
+        assert node.receive_pool.capacity_bytes == 0
+
+
+def test_node_crash_between_checks_pauses_its_monitor():
+    cluster = build_cluster(donation_fraction=0.05)
+    server = cluster.virtual_servers[0]
+    hammer(cluster, server, 300)
+    cluster.crash_node("node0")
+    before = cluster.eviction.slab_evictions
+    cluster.env.run(until=cluster.env.now + 2.0)  # must not raise
+    # The down node is skipped, so its pressure triggers no evictions.
+    assert cluster.eviction.slab_evictions == before
+
+
+def test_balloon_callbacks_fire_in_registration_order():
+    cluster = build_cluster()
+    server = cluster.virtual_servers[0]
+    calls = []
+    cluster.eviction.on_balloon(lambda srv, nbytes: calls.append("first"))
+    cluster.eviction.on_balloon(lambda srv, nbytes: calls.append("second"))
+    cluster.eviction.on_balloon(lambda srv, nbytes: calls.append("third"))
+    hammer(cluster, server, 200)
+    cluster.env.run(until=cluster.env.now + 2.0)
+    assert calls, "no balloon callback fired"
+    # Every recommendation walks the listener list in registration order.
+    assert calls[:3] == ["first", "second", "third"]
+    assert len(calls) == 3 * len(cluster.eviction.recommendations)
+
+
 def test_rereplication_after_entry_eviction():
     """Displaced hosted entries get a replacement replica elsewhere."""
     cluster = build_cluster(

@@ -51,6 +51,52 @@ def test_summary_shape(cluster):
     assert monitor.peak_pool_utilization() >= summary["mean_pool_utilization"] - 1e-12
 
 
+def test_zero_capacity_pools_sample_cleanly():
+    cluster = DisaggregatedCluster.build(
+        ClusterConfig(num_nodes=2, servers_per_node=1,
+                      server_memory_bytes=8 * MiB, donation_fraction=0.0,
+                      receive_pool_slabs=0, send_pool_slabs=0, seed=2)
+    )
+    monitor = ClusterUtilizationMonitor(cluster)
+    sample = monitor.sample_now()
+    assert sample.receive_capacity == 0
+    assert sample.receive_utilization == 0.0
+    assert sample.pool_utilization == 0.0
+    summary = monitor.summary()
+    assert summary["mean_receive_utilization"] == 0.0
+    assert summary["mean_pool_utilization"] == 0.0
+
+
+def test_node_crash_between_samples_does_not_raise(cluster):
+    monitor = ClusterUtilizationMonitor(cluster, period=0.1)
+    monitor.start()
+    server = cluster.virtual_servers[0]
+    cluster.put(server, "k", 64 * KiB)
+    cluster.env.run(until=cluster.env.now + 0.25)
+    cluster.crash_node("node1")
+    cluster.env.run(until=cluster.env.now + 0.5)  # keeps sampling
+    assert len(monitor.samples) >= 5
+    latest = monitor.samples[-1]
+    assert 0.0 <= latest.pool_utilization <= 1.0
+    assert 0.0 <= latest.receive_utilization <= 1.0
+
+
+def test_crash_releases_hosted_bytes_in_samples(cluster):
+    monitor = ClusterUtilizationMonitor(cluster)
+    node0 = cluster.nodes()[0]
+
+    def reserve():
+        reply = yield from node0.rdmc.control_call(
+            "node1", {"op": "reserve", "key": "r", "nbytes": 256 * KiB}
+        )
+        assert reply["ok"]
+
+    cluster.run_process(reserve())
+    assert monitor.sample_now().receive_used == 256 * KiB
+    cluster.crash_node("node1")  # drop_all releases the hosted entry
+    assert monitor.sample_now().receive_used == 0
+
+
 def test_receive_utilization_counts_hosted_bytes(cluster):
     monitor = ClusterUtilizationMonitor(cluster)
     node0 = cluster.nodes()[0]

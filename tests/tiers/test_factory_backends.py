@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.runner import (
-    TIER_REGISTRY,
     RunContext,
     run_paging_workload,
 )
@@ -127,17 +126,13 @@ def test_caller_supplied_context_accumulates(spec):
     assert backends == {"fastswap", "linux"}
 
 
-def test_tier_registry_shim_warns_and_delegates(spec):
-    with pytest.warns(DeprecationWarning, match="TIER_REGISTRY is deprecated"):
-        TIER_REGISTRY.clear()
-    result = run_paging_workload("fastswap", spec, 0.5, seed=5)
-    with pytest.warns(DeprecationWarning):
-        legacy_rows = TIER_REGISTRY.rows()
-    assert legacy_rows == result.context.tier_rows()
-    with pytest.warns(DeprecationWarning):
-        TIER_REGISTRY.clear()
-    with pytest.warns(DeprecationWarning):
-        assert TIER_REGISTRY.rows() == []
+def test_tier_registry_shim_is_gone():
+    """The PR-2 deprecation shim promised one release of warnings; it
+    has been removed, and the module must not quietly resurrect it."""
+    import repro.experiments.runner as runner
+
+    assert not hasattr(runner, "TIER_REGISTRY")
+    assert not hasattr(runner, "TierRegistry")
 
 
 def test_format_tier_breakdown_empty_for_plain_results():
