@@ -1,0 +1,52 @@
+"""Tracing overhead: disabled tracing must cost ~nothing.
+
+Every hot path guards its tracer calls with ``if tracer.enabled:``, so
+a run without an active trace session pays one attribute read and one
+branch per call site.  These benchmarks pin that promise: the untraced
+run *is* the pre-tracing engine, and the guard itself is measured in
+isolation.  The traced wall clock rides along in ``extra_info`` so the
+benchmark history shows the enabled-tracing cost too.
+"""
+
+import time
+
+from repro.experiments.runner import run_paging_workload
+from repro.trace import NULL_TRACER, runtime
+from repro.workloads.ml import ML_WORKLOADS
+
+SPEC = ML_WORKLOADS["logistic_regression"].with_overrides(
+    pages=512, iterations=2
+)
+
+
+def _run():
+    return run_paging_workload("fastswap", SPEC, 0.5, seed=0)
+
+
+def test_bench_untraced_run_is_the_baseline(benchmark):
+    result = benchmark.pedantic(_run, iterations=1, rounds=3)
+    assert result.stats["major_faults"] > 0
+    # No session was active: the run recorded no latency rows.
+    assert result.latency_stats == []
+    began = time.perf_counter()
+    with runtime.session() as active:
+        _run()
+    traced_s = time.perf_counter() - began
+    events = active.events_json()
+    assert events, "the traced twin must actually record events"
+    benchmark.extra_info["traced_s"] = traced_s
+    benchmark.extra_info["traced_events"] = len(events)
+
+
+def test_bench_null_tracer_guard(benchmark):
+    """The per-call-site cost of disabled tracing, in isolation."""
+    tracer = NULL_TRACER
+
+    def guarded_loop(n=100_000):
+        taken = 0
+        for _ in range(n):
+            if tracer.enabled:
+                taken += 1
+        return taken
+
+    assert benchmark(guarded_loop) == 0

@@ -121,6 +121,15 @@ class MigrationEngine:
         except ValueError:
             return False  # concurrent move or repair got there first
         self.metrics.migrations_started += 1
+        tracer = self.env.tracer
+        key = list(entry.key)
+        if tracer.enabled:
+            # The reservation window opens with the staged move: from
+            # here, every exit path below emits a matching remap/abort.
+            tracer.instant(
+                "migrate.reserve", key=key, src=src, dst=dst,
+                nbytes=entry.nbytes,
+            )
         try:
             reply = yield from owner.rdmc.control_call(
                 dst, {"op": "reserve", "key": entry.key, "nbytes": entry.nbytes}
@@ -128,11 +137,29 @@ class MigrationEngine:
             if not reply.get("ok"):
                 owner_map.abort_replica_move(entry.key)
                 self.metrics.migrations_aborted += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "migrate.abort", key=key, reason="reserve-refused"
+                    )
                 return False
-            yield from cluster.fabric.transfer(src, dst, entry.nbytes)
-        except (NetworkError, ControlTimeout, RemoteAccessError):
+            copy_span = (
+                tracer.begin(
+                    "migrate.copy", key=key, src=src, dst=dst,
+                    nbytes=entry.nbytes,
+                )
+                if tracer.enabled else None
+            )
+            try:
+                yield from cluster.fabric.transfer(src, dst, entry.nbytes)
+            finally:
+                tracer.end(copy_span)
+        except (NetworkError, ControlTimeout, RemoteAccessError) as error:
             owner_map.abort_replica_move(entry.key)
             self.metrics.migrations_aborted += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "migrate.abort", key=key, reason=type(error).__name__
+                )
             # Roll the destination reservation back; if the destination
             # crashed, its crash already dropped the reservation.
             yield from owner.rdmc.best_effort_free(dst, entry.key)
@@ -142,8 +169,12 @@ class MigrationEngine:
             # The record changed under the migration (entry removed or
             # replica repaired away): treat as an abort.
             self.metrics.migrations_aborted += 1
+            if tracer.enabled:
+                tracer.instant("migrate.abort", key=key, reason="record-changed")
             yield from owner.rdmc.best_effort_free(dst, entry.key)
             return False
+        if tracer.enabled:
+            tracer.instant("migrate.remap", key=key, src=src, dst=dst)
         yield from owner.rdmc.best_effort_free(src, entry.key)
         self.metrics.migrations_completed += 1
         self.metrics.moved_bytes += entry.nbytes

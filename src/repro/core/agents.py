@@ -232,6 +232,12 @@ class Rdmc:
         outcome = yield self.env.any_of([reply, self.env.timeout(CONTROL_TIMEOUT)])
         if reply not in outcome:
             self.control_timeouts += 1
+            if self.env.tracer.enabled:
+                self.env.tracer.instant(
+                    "net.timeout",
+                    timeout_s=CONTROL_TIMEOUT,
+                    what="control:{}".format(target_node_id),
+                )
             raise ControlTimeout(target_node_id)
         return reply.value
 
@@ -380,6 +386,11 @@ class Rdms:
         while True:
             message = yield self.node.device.recv()
             yield self.env.timeout(self.PROCESSING_TIME)
+            if self.node.device.fabric.is_node_down(self.node.node_id):
+                # The CPU died while this request was in flight: a
+                # crashed server must never mutate state it already
+                # lost to drop_all(), nor reply as if it were alive.
+                continue
             body = message.body
             result = self._dispatch(body)
             self.requests_served += 1

@@ -5,7 +5,8 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig7 [--scale 0.5] [--seed 3]
                                          [--jobs 8] [--no-cache] [--json]
-                                         [--tiers]
+                                         [--tiers] [--trace[=PATH]]
+                                         [--trace-filter net,migrate]
     python -m repro.experiments all  [--scale 0.25] [--jobs 8] [--json]
     python -m repro.experiments cache [--clear]
 
@@ -40,9 +41,63 @@ def _list():
 
 
 def _run_one(name, args, cache):
+    trace = getattr(args, "trace", None) is not None
     return engine.run_experiment(
-        name, scale=args.scale, seed=args.seed, jobs=args.jobs, cache=cache
+        name,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=None if trace else cache,
+        trace=trace,
+        trace_filter=_parse_trace_filter(getattr(args, "trace_filter", None)),
     )
+
+
+def _parse_trace_filter(raw):
+    """``"net,migrate"`` -> ``("net", "migrate")`` (None passes through)."""
+    if not raw:
+        return None
+    return tuple(
+        prefix.strip() for prefix in raw.split(",") if prefix.strip()
+    )
+
+
+def _export_trace(run, args):
+    """Write the run's trace artifact; returns the violation count.
+
+    The output format follows the extension: ``.jsonl`` gets the
+    internal wire shape, anything else the Chrome ``trace_event``
+    document (Perfetto-loadable).  The analyzer runs on the events
+    either way, so a traced run doubles as an invariant check.
+    """
+    from repro.trace import TraceAnalyzer, digest, write_chrome, write_jsonl
+
+    path = args.trace or "{}-trace.json".format(args.experiment)
+    events = run.trace_events
+    if path.endswith(".jsonl"):
+        write_jsonl(events, path)
+    else:
+        write_chrome(events, path, meta={
+            "experiment": args.experiment,
+            "scale": args.scale,
+            "seed": args.seed,
+        })
+    print("trace: {} event(s) -> {} (digest {})".format(
+        len(events), path, digest(events)[:16]
+    ))
+    if getattr(args, "trace_filter", None):
+        # Cross-family invariants (crash epochs, retry accounting) need
+        # the full taxonomy; a filtered trace cannot be checked soundly.
+        print("trace: filtered trace; invariant checks skipped")
+        return 0
+    violations = TraceAnalyzer(events).check()
+    if violations:
+        print("trace: {} invariant violation(s):".format(len(violations)))
+        for violation in violations[:20]:
+            print("  [{}] {}".format(violation.invariant, violation.message))
+    else:
+        print("trace: all invariants hold")
+    return len(violations)
 
 
 def _print_run(name, run, show_tiers):
@@ -99,6 +154,16 @@ def main(argv=None):
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(registry.names()))
     _add_run_arguments(run_parser)
+    run_parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="PATH",
+        help="record an execution trace (bypasses the cache); PATH "
+             "ending in .jsonl gets the wire shape, anything else a "
+             "Chrome trace_event document "
+             "(default: <experiment>-trace.json)")
+    run_parser.add_argument(
+        "--trace-filter", default=None, metavar="PREFIXES",
+        help="comma-separated event-name prefixes to keep "
+             "(e.g. net,migrate)")
     all_parser = sub.add_parser("all", help="run every experiment")
     _add_run_arguments(all_parser)
     cache_parser = sub.add_parser("cache", help="inspect the result cache")
@@ -121,6 +186,10 @@ def main(argv=None):
             print(json.dumps(run.to_json()))
         else:
             _print_run(args.experiment, run, args.tiers)
+        if args.trace is not None:
+            violations = _export_trace(run, args)
+            if violations:
+                return 1
     elif args.command == "all":
         documents = []
         for name in registry.names():

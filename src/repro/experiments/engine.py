@@ -215,6 +215,38 @@ def _compute_entry(compute, spec_doc):
     return normalize(compute(spec))
 
 
+def _traced_compute(compute, trace_filter, spec):
+    """Compute one cell inside a trace session; bundle events with it.
+
+    Runs in whichever process executes the cell (the session is
+    process-local), and ships the plain-JSON deterministic event list
+    back beside the payload — collected by cell index, so serial and
+    parallel sweeps produce identical traces.
+    """
+    from repro.trace import runtime
+
+    with runtime.session(filter=trace_filter) as active:
+        payload = compute(spec)
+    return {"payload": payload, "events": active.events_json()}
+
+
+def execute_traced(specs, jobs=1, trace_filter=None, compute=None):
+    """Like :func:`execute`, with tracing: ``(payloads, stats, events)``.
+
+    ``events`` is one event list per cell, in cell order.  Tracing
+    bypasses the result cache entirely — a cached payload carries no
+    events, and a traced sweep must observe every cell executing.
+    """
+    compute = compute or _registry_compute
+    wrapped = partial(
+        _traced_compute, compute, tuple(trace_filter) if trace_filter else None
+    )
+    bundles, stats = execute(specs, jobs=jobs, cache=None, compute=wrapped)
+    payloads = [bundle["payload"] for bundle in bundles]
+    events = [bundle["events"] for bundle in bundles]
+    return payloads, stats, events
+
+
 def execute(specs, jobs=1, cache=None, compute=None):
     """Compute every cell; returns ``(payloads, stats)`` in cell order.
 
@@ -304,6 +336,32 @@ def tier_rows_from(specs, payloads):
     return rows
 
 
+def latency_rows_from(specs, payloads):
+    """Per-(category, op) latency rows carried back in traced payloads.
+
+    Mirrors :func:`tier_rows_from` for the ``latency_stats`` rows a
+    traced runner attaches to its result.
+    """
+    rows = []
+    for spec, payload in zip(specs, payloads):
+        if not isinstance(payload, dict):
+            continue
+        run_doc = payload
+        if not run_doc.get("latency_stats") and isinstance(
+            payload.get("run"), dict
+        ):
+            run_doc = payload["run"]
+        for latency_row in run_doc.get("latency_stats") or []:
+            row = {
+                "backend": run_doc.get("backend", spec.backend),
+                "workload": run_doc.get("workload", spec.workload),
+                "fit": run_doc.get("fit_fraction", spec.fit),
+            }
+            row.update(latency_row)
+            rows.append(row)
+    return rows
+
+
 @dataclass
 class ExperimentRun:
     """Everything one engine invocation produced."""
@@ -314,6 +372,10 @@ class ExperimentRun:
     result: dict
     stats: EngineStats
     tier_rows: list = field(default_factory=list)
+    latency_rows: list = field(default_factory=list)
+    #: Wire-shape trace events, each tagged with its cell index
+    #: (empty unless the sweep ran with ``trace=True``).
+    trace_events: list = field(default_factory=list)
 
     def to_json(self):
         return {
@@ -323,13 +385,30 @@ class ExperimentRun:
         }
 
 
-def run_experiment(name, scale=1.0, seed=0, jobs=1, cache=None, **opts):
-    """Run one registered experiment end to end through the engine."""
+def run_experiment(name, scale=1.0, seed=0, jobs=1, cache=None, trace=False,
+                   trace_filter=None, **opts):
+    """Run one registered experiment end to end through the engine.
+
+    With ``trace=True`` every cell computes inside a trace session
+    (the cache is bypassed) and the run carries the merged event list,
+    each event tagged with its cell index.
+    """
     from repro.experiments import registry
 
     module = registry.load(name)
     specs = module.cells(scale=scale, seed=seed, **opts)
-    payloads, stats = execute(specs, jobs=jobs, cache=cache)
+    trace_events = []
+    if trace:
+        payloads, stats, cell_events = execute_traced(
+            specs, jobs=jobs, trace_filter=trace_filter
+        )
+        for index, events in enumerate(cell_events):
+            for event in events:
+                tagged = dict(event)
+                tagged["cell"] = index
+                trace_events.append(tagged)
+    else:
+        payloads, stats = execute(specs, jobs=jobs, cache=cache)
     result = module.report(list(zip(specs, payloads)))
     return ExperimentRun(
         name=name,
@@ -338,4 +417,6 @@ def run_experiment(name, scale=1.0, seed=0, jobs=1, cache=None, **opts):
         result=result,
         stats=stats,
         tier_rows=tier_rows_from(specs, payloads),
+        latency_rows=latency_rows_from(specs, payloads),
+        trace_events=trace_events,
     )

@@ -57,6 +57,7 @@ class RunContext:
     def __init__(self):
         self.runs = 0
         self._tier_rows = []
+        self._latency_rows = []
 
     def record(self, result):
         """Record a finished runner result (tier rows + run count)."""
@@ -67,6 +68,12 @@ class RunContext:
             result.fit_fraction,
             result.tier_stack,
             result.tier_stats,
+        )
+        self.record_latency_rows(
+            result.backend,
+            result.workload,
+            result.fit_fraction,
+            getattr(result, "latency_stats", None) or [],
         )
 
     def record_tier_rows(self, backend_name, workload, fit_fraction,
@@ -81,17 +88,34 @@ class RunContext:
             row.update(tier_row)
             self._tier_rows.append(row)
 
+    def record_latency_rows(self, backend_name, workload, fit_fraction,
+                            latency_stats):
+        """Per-(category, op) latency histogram rows from a traced run."""
+        for latency_row in latency_stats:
+            row = {
+                "backend": backend_name,
+                "workload": workload,
+                "fit": fit_fraction,
+            }
+            row.update(latency_row)
+            self._latency_rows.append(row)
+
     def tier_rows(self):
         return list(self._tier_rows)
+
+    def latency_rows(self):
+        return list(self._latency_rows)
 
     def merge(self, other):
         """Fold another context's rows into this one (cells -> sweep)."""
         self.runs += other.runs
         self._tier_rows.extend(other.tier_rows())
+        self._latency_rows.extend(other.latency_rows())
 
     def clear(self):
         self.runs = 0
         self._tier_rows.clear()
+        self._latency_rows.clear()
 
 
 def _jsonify(value):
@@ -158,6 +182,8 @@ class PagingRunResult(RunResult):
     tier_stats: list = field(default_factory=list)
     #: Human-readable tier stack, e.g. ``sm -> remote -> disk``.
     tier_stack: str = ""
+    #: Per-(category, op) latency histogram rows (traced runs only).
+    latency_stats: list = field(default_factory=list)
     #: The RunContext this run recorded into (not serialized).
     context: RunContext = field(default=None, repr=False, compare=False)
 
@@ -187,6 +213,8 @@ class KvRunResult(RunResult):
     tier_stats: list = field(default_factory=list)
     #: Human-readable tier stack, e.g. ``sm -> remote -> disk``.
     tier_stack: str = ""
+    #: Per-(category, op) latency histogram rows (traced runs only).
+    latency_stats: list = field(default_factory=list)
     #: The RunContext this run recorded into (not serialized).
     context: RunContext = field(default=None, repr=False, compare=False)
 
@@ -247,6 +275,12 @@ def _collect_tier_stats(backend):
 def _resolve_context(context):
     """The context this run records into (a fresh one when not given)."""
     return context if context is not None else RunContext()
+
+
+def _collect_latency_stats(cluster):
+    """The run environment's latency histogram rows (traced runs only)."""
+    tracer = cluster.env.tracer
+    return tracer.histogram_rows() if tracer.enabled else []
 
 
 def _install_faults(cluster, fault_schedule):
@@ -327,6 +361,7 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
         backend_stats=_collect_backend_stats(backend),
         tier_stats=tier_stats,
         tier_stack=tier_stack,
+        latency_stats=_collect_latency_stats(cluster),
         context=context,
     )
     if fault_histogram is not None:
@@ -420,6 +455,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         operations=completed["ops"],
         tier_stats=tier_stats,
         tier_stack=tier_stack,
+        latency_stats=_collect_latency_stats(cluster),
         context=context,
     )
     context.record(result)

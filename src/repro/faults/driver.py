@@ -40,45 +40,76 @@ class FaultDriver:
         handler = getattr(self, "_apply_" + event.kind)
         yield from handler(event)
 
-    def _note(self, kind, detail):
+    #: Note kinds that undo an earlier fault (traced as ``fault.recover``).
+    RECOVERY_KINDS = ("reboot", "heal", "restore")
+
+    def _note(self, kind, detail, **trace_args):
+        """Record an applied event; mirrors it onto the trace."""
         self.applied.append((self.env.now, kind, detail))
+        tracer = self.env.tracer
+        if tracer.enabled:
+            name = (
+                "fault.recover" if kind in self.RECOVERY_KINDS
+                else "fault.inject"
+            )
+            tracer.instant(name, kind=kind, **trace_args)
 
     def _apply_crash(self, event):
         self.cluster.crash_node(event.node)
-        self._note("crash", event.node)
+        self._note("crash", event.node, node=event.node, until=event.until)
         if event.until is not None:
             yield self.env.timeout(max(0.0, event.until - self.env.now))
+            # The down window closes here: reboot_node lifts the fabric
+            # down-state immediately (recovery listeners fire and peers
+            # may talk to the node again), then spends simulated time
+            # re-registering pools.  The recover event must carry the
+            # reachable-again timestamp, not the re-registration end.
+            self._note("reboot", event.node, node=event.node)
             yield from self.cluster.reboot_node(event.node)
-            self._note("reboot", event.node)
 
     def _apply_server_loss(self, event):
         self.cluster.crash_node(event.node)
-        self._note("server_loss", event.node)
+        self._note("server_loss", event.node, node=event.node)
         return
         yield  # pragma: no cover
 
     def _apply_link_flap(self, event):
         injector = self.cluster.injector
         injector.partition_link(event.node, event.peer)
-        self._note("link_flap", (event.node, event.peer))
+        self._note(
+            "link_flap", (event.node, event.peer),
+            node=event.node, peer=event.peer, until=event.until,
+        )
         yield self.env.timeout(max(0.0, event.until - self.env.now))
         injector.heal_link(event.node, event.peer)
-        self._note("heal", (event.node, event.peer))
+        self._note(
+            "heal", (event.node, event.peer),
+            node=event.node, peer=event.peer,
+        )
 
     def _apply_degrade(self, event):
         injector = self.cluster.injector
         injector.degrade_node(event.node, event.factor)
-        self._note("degrade", (event.node, event.factor))
+        self._note(
+            "degrade", (event.node, event.factor),
+            node=event.node, factor=event.factor, until=event.until,
+        )
         if event.until is not None:
             yield self.env.timeout(max(0.0, event.until - self.env.now))
             injector.restore_node(event.node)
-            self._note("restore", event.node)
+            self._note("restore", event.node, node=event.node)
 
     def _apply_partition(self, event):
         injector = self.cluster.injector
         injector.partition_link(event.node, event.peer)
-        self._note("partition", (event.node, event.peer))
+        self._note(
+            "partition", (event.node, event.peer),
+            node=event.node, peer=event.peer, until=event.until,
+        )
         if event.until is not None:
             yield self.env.timeout(max(0.0, event.until - self.env.now))
             injector.heal_link(event.node, event.peer)
-            self._note("heal", (event.node, event.peer))
+            self._note(
+                "heal", (event.node, event.peer),
+                node=event.node, peer=event.peer,
+            )

@@ -156,15 +156,32 @@ class Fabric:
             dst,
             nbytes,
             base_latency=self.spec.rdma_latency + self.spec.send_recv_extra,
+            op="control",
         )
 
-    def transfer(self, src, dst, nbytes, base_latency=None):
+    def transfer(self, src, dst, nbytes, base_latency=None, op="data"):
         """Generator: move ``nbytes`` from ``src`` to ``dst``.
 
         Holds the sender's TX lane and receiver's RX lane for the wire
         time; raises a :class:`~repro.net.errors.NetworkError` subclass
-        if the path is (or goes) down.
+        if the path is (or goes) down.  ``op`` labels the traffic class
+        ("data" or "control") for tracing only.
         """
+        tracer = self.env.tracer
+        if not tracer.enabled:
+            yield from self._transfer(src, dst, nbytes, base_latency)
+            return
+        began = self.env.now
+        span = tracer.begin("net.send", src=src, dst=dst, nbytes=nbytes, op=op)
+        try:
+            yield from self._transfer(src, dst, nbytes, base_latency)
+        except Exception as error:
+            tracer.end(span, ok=False, error=type(error).__name__)
+            raise
+        tracer.end(span, ok=True)
+        tracer.latency("net", "send." + op, self.env.now - began)
+
+    def _transfer(self, src, dst, nbytes, base_latency=None):
         self._check_path(src, dst)
         src_nic = self._nics[src]
         dst_nic = self._nics[dst]

@@ -146,6 +146,7 @@ class QueuePair:
                 self.remote.node_id,
                 nbytes,
                 base_latency=spec.rdma_latency + spec.send_recv_extra,
+                op="control",
             )
         except NetworkError:
             self._fail()
@@ -249,8 +250,10 @@ class RdmaDevice:
         """Drop all state, mirroring a node crash.
 
         Local QPs error, QPs that peers hold toward this node error (they
-        would observe retry exhaustion), and all regions are revoked.
+        would observe retry exhaustion), all regions are revoked, and
+        undelivered inbox messages die with the node's memory.
         """
+        self.inbox.items.clear()
         for qp in self._qps.values():
             qp._fail()
         self._qps.clear()

@@ -98,6 +98,13 @@ def retrying(env, policy, attempt, retry_on=(NetworkError,), rng=None,
                 break
             if stats is not None:
                 stats.retries += 1
+            if env.tracer.enabled:
+                env.tracer.instant(
+                    "net.retry",
+                    attempt=number,
+                    max_attempts=policy.max_attempts,
+                    error=type(caught).__name__,
+                )
             backoff = policy.delay(number, rng)
             if backoff > 0:
                 yield env.timeout(backoff)
@@ -123,6 +130,8 @@ def call_with_timeout(env, generator, timeout, what=""):
     yield env.any_of([child, watchdog])
     if not child.triggered:
         child.interrupt("timeout after {}s".format(timeout))
+        if env.tracer.enabled:
+            env.tracer.instant("net.timeout", timeout_s=timeout, what=what)
         raise OpTimeout(timeout, what)
     if not child.ok:
         raise child.value

@@ -6,6 +6,7 @@ from itertools import count
 from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.trace.runtime import tracer_for_env
 
 #: Scheduling priorities. Events pushed at the same timestamp fire in
 #: priority order, then insertion order, which keeps runs deterministic.
@@ -34,6 +35,11 @@ class Environment:
         self._heap = []
         self._seq = count()
         self.active_process = None
+        #: The run's tracer: the shared no-op :data:`~repro.trace.tracer.
+        #: NULL_TRACER` unless a trace session is active.  Models guard
+        #: hot paths with ``if env.tracer.enabled:`` so disabled runs
+        #: pay one attribute read and one branch.
+        self.tracer = tracer_for_env(self)
 
     # -- event construction ------------------------------------------------
 

@@ -186,7 +186,15 @@ class VirtualMemory:
         if page_id in self.swapped_valid:
             self.stats.major_faults += 1
             fault_started = self.env.now
+            tracer = self.env.tracer
+            span = (
+                tracer.begin("page.fault", page=page_id, write=write)
+                if tracer.enabled else None
+            )
             extra = yield from self.backend.swap_in(page)
+            if span is not None:
+                tracer.end(span, prefetched=len(extra) if extra else 0)
+                tracer.latency("fault", "major", self.env.now - fault_started)
             if self.fault_histogram is not None:
                 self.fault_histogram.record(self.env.now - fault_started)
             self.stats.swap_ins += 1

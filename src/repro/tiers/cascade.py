@@ -225,14 +225,32 @@ class TierCascade(SwapBackend):
     def place(self, page, stored, start=0):
         """Generator: store ``page`` in the first tier from ``start`` that
         takes it; spill-on-full walks the stack downward."""
+        tracer = self.env.tracer
         for tier in self.tiers[start:]:
             began = self.env.now
+            span = (
+                tracer.begin(
+                    "tier.put", tier=tier.name, page=page.page_id,
+                    stored=stored,
+                )
+                if tracer.enabled else None
+            )
             try:
                 yield from tier.put(page, stored)
             except TierFull:
+                # The un-ended span is simply dropped: refusals record a
+                # tier.miss instant instead.
                 tier.stats.spills.increment()
+                if tracer.enabled:
+                    tracer.instant(
+                        "tier.miss", tier=tier.name, page=page.page_id,
+                        stored=stored,
+                    )
                 continue
             tier.stats.put_latency.record(self.env.now - began)
+            if span is not None:
+                tracer.end(span)
+                tracer.latency("tier", tier.name + ".put", self.env.now - began)
             return
         raise CascadeFull(
             "{}: no tier of [{}] could hold page {} ({} bytes)".format(
@@ -245,14 +263,22 @@ class TierCascade(SwapBackend):
 
     def place_batch(self, batch, nbytes, start=0):
         """Generator: store a whole batch in one tier (one merged write)."""
+        tracer = self.env.tracer
         for tier in self.tiers[start:]:
             began = self.env.now
             try:
                 yield from tier.put_batch(batch, nbytes)
             except TierFull:
                 tier.stats.spills.increment(len(batch))
+                if tracer.enabled:
+                    tracer.instant(
+                        "tier.miss", tier=tier.name, batch=len(batch),
+                        stored=nbytes,
+                    )
                 continue
             tier.stats.put_latency.record(self.env.now - began)
+            if tracer.enabled:
+                tracer.latency("tier", tier.name + ".put", self.env.now - began)
             return
         raise CascadeFull(
             "{}: no tier below index {} could hold a {}-page batch".format(
@@ -262,7 +288,17 @@ class TierCascade(SwapBackend):
 
     def demote(self, page, stored, below):
         """Generator: push a displaced page to the tiers below ``below``."""
-        return self.place(page, stored, below.index + 1)
+        tracer = self.env.tracer
+        if not tracer.enabled:
+            return self.place(page, stored, below.index + 1)
+        return self._traced_demote(page, stored, below, tracer)
+
+    def _traced_demote(self, page, stored, below, tracer):
+        span = tracer.begin(
+            "tier.demote", tier=below.name, page=page.page_id, stored=stored
+        )
+        yield from self.place(page, stored, below.index + 1)
+        tracer.end(span)
 
     def swap_in(self, page):
         """Generator: fetch the page from whichever tier holds it."""
@@ -274,7 +310,17 @@ class TierCascade(SwapBackend):
             ) from None
         tier = self._by_label[label]
         began = self.env.now
+        tracer = self.env.tracer
+        span = (
+            tracer.begin(
+                "tier.hit", tier=tier.name, label=label, page=page.page_id
+            )
+            if tracer.enabled else None
+        )
         extra = yield from tier.get(page, label, meta)
+        if span is not None:
+            tracer.end(span, prefetched=len(extra) if extra else 0)
+            tracer.latency("tier", tier.name + ".get", self.env.now - began)
         tier.stats.get_latency.record(self.env.now - began)
         tier.stats.gets.increment()
         return extra or []

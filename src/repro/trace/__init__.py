@@ -1,0 +1,55 @@
+"""``repro.trace`` — end-to-end event tracing and latency observability.
+
+Not to be confused with :mod:`repro.workloads.traces`, which records
+and replays *page-reference* traces (workload input); this package
+records *execution* traces (simulation output): typed spans and
+instants from the paging substrate, tier cascade, network stack, fault
+driver and migration engine, plus streaming per-op latency histograms.
+
+Layers:
+
+* :mod:`repro.trace.tracer` — the :class:`Tracer` / :data:`NULL_TRACER`
+  pair every :class:`~repro.sim.engine.Environment` carries;
+* :mod:`repro.trace.runtime` — process-local sessions (how tracing
+  turns on for a run);
+* :mod:`repro.trace.histogram` — log-bucketed mergeable latency
+  histograms;
+* :mod:`repro.trace.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``) and compact JSONL, plus canonical digests;
+* :mod:`repro.trace.analyze` — :class:`TraceAnalyzer`, the reusable
+  invariant oracle tests drive traces through.
+"""
+
+from repro.trace.analyze import TraceAnalyzer, TraceInvariantError, Violation
+from repro.trace.export import (
+    digest,
+    load_jsonl,
+    to_chrome,
+    validate_chrome,
+    write_chrome,
+    write_jsonl,
+)
+from repro.trace.histogram import HistogramSet, LatencyHistogram
+from repro.trace.runtime import TraceSession, session, tracer_for_env
+from repro.trace.tracer import EVENT_NAMES, NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "EVENT_NAMES",
+    "HistogramSet",
+    "LatencyHistogram",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceAnalyzer",
+    "TraceInvariantError",
+    "TraceSession",
+    "Tracer",
+    "Violation",
+    "digest",
+    "load_jsonl",
+    "session",
+    "to_chrome",
+    "tracer_for_env",
+    "validate_chrome",
+    "write_chrome",
+    "write_jsonl",
+]

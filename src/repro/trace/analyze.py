@@ -1,0 +1,366 @@
+"""Replay a trace and check structural invariants (the test oracle).
+
+A trace is machine-checkable ground truth for properties the golden
+numbers can only assert indirectly.  :class:`TraceAnalyzer` replays an
+event list and checks four invariant families:
+
+* **nesting** — spans on one track (one simulation process) are
+  properly nested: a span never escapes the span that encloses it, and
+  durations are non-negative;
+* **crash epochs** — no successful network operation begins or
+  completes strictly inside a node's down window (between a
+  ``crash``/``server_loss`` injection and the matching reboot), i.e.
+  no page is ever served over a link whose endpoint was dead;
+* **migration pairing** — every ``migrate.reserve`` is closed by
+  exactly one ``migrate.remap`` or ``migrate.abort`` for the same key,
+  with no overlapping reservation windows per key;
+* **retry accounting** — retries stay below the policy's attempt
+  budget, and a trace with no injected faults contains no retries,
+  timeouts or failed sends.
+
+Checks are scoped per cell (the experiment engine tags each cell's
+events), so a sweep-wide trace is analyzed as independent runs.
+"""
+
+import sys
+from collections import Counter
+
+#: Fault kinds whose injection opens a node-down window.
+_DOWN_KINDS = ("crash", "server_loss")
+
+
+def _slack(a, b):
+    """Ulp-scale tolerance for comparing reconstructed span ends.
+
+    ``ts + dur`` round-trips (exporter microseconds, JSON) can move a
+    boundary by a few ulps; anything inside this slack is a shared
+    boundary, not an overlap.
+    """
+    return 4.0 * sys.float_info.epsilon * max(abs(a), abs(b))
+
+
+class TraceInvariantError(AssertionError):
+    """Raised by :meth:`TraceAnalyzer.assert_ok` when invariants fail."""
+
+
+class Violation:
+    """One invariant violation, anchored to the offending event."""
+
+    __slots__ = ("invariant", "message", "event")
+
+    def __init__(self, invariant, message, event=None):
+        self.invariant = invariant
+        self.message = message
+        self.event = event
+
+    def __repr__(self):
+        return "Violation({}: {})".format(self.invariant, self.message)
+
+
+def _ordered(events):
+    return sorted(events, key=lambda event: (event["ts"], event["seq"]))
+
+
+def _by_cell(events):
+    cells = {}
+    for event in events:
+        cells.setdefault(event.get("cell", 0), []).append(event)
+    return cells
+
+
+class TraceAnalyzer:
+    """Checks the structural invariants of one trace."""
+
+    def __init__(self, events):
+        self.events = list(events)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer):
+        return cls(tracer.events_json())
+
+    @classmethod
+    def from_session(cls, session):
+        return cls(session.events_json())
+
+    @classmethod
+    def from_jsonl(cls, path):
+        from repro.trace.export import load_jsonl
+
+        return cls(load_jsonl(path))
+
+    @classmethod
+    def from_chrome(cls, document):
+        """Rebuild wire events from an exported Chrome trace document.
+
+        The exporter appends events in wire order, so array order
+        recovers ``seq``; metadata events recover cell and track names.
+        """
+        cell_of_pid = {}
+        track_of_tid = {}
+        events = []
+        for index, record in enumerate(document.get("traceEvents", [])):
+            phase = record.get("ph")
+            if phase == "M":
+                if record["name"] == "process_name":
+                    label = record["args"]["name"]
+                    cell = label.split()[-1]
+                    cell_of_pid[record["pid"]] = (
+                        int(cell) if cell.isdigit() else 0
+                    )
+                elif record["name"] == "thread_name":
+                    key = (record["pid"], record["tid"])
+                    track_of_tid[key] = record["args"]["name"]
+                continue
+            if phase not in ("X", "i"):
+                continue
+            events.append({
+                "name": record["name"],
+                "ph": phase,
+                "ts": record["ts"] / 1e6,
+                "dur": record.get("dur", 0.0) / 1e6,
+                "track": track_of_tid.get(
+                    (record["pid"], record["tid"]), "main"
+                ),
+                "seq": index,
+                "args": record.get("args", {}),
+                "cell": cell_of_pid.get(record["pid"], 0),
+            })
+        return cls(events)
+
+    # -- top level -----------------------------------------------------------
+
+    def check(self):
+        """Run every invariant; returns the list of violations."""
+        violations = []
+        for cell, events in sorted(_by_cell(self.events).items()):
+            violations.extend(self.check_nesting(events))
+            violations.extend(self.check_crash_epochs(events))
+            violations.extend(self.check_migration_pairing(events))
+            violations.extend(self.check_retry_accounting(events))
+        return violations
+
+    def assert_ok(self):
+        """Raise :class:`TraceInvariantError` if any invariant fails."""
+        violations = self.check()
+        if violations:
+            raise TraceInvariantError(
+                "{} trace invariant violation(s):\n{}".format(
+                    len(violations),
+                    "\n".join(
+                        "  [{}] {}".format(v.invariant, v.message)
+                        for v in violations[:20]
+                    ),
+                )
+            )
+        return self
+
+    def summary(self):
+        """Event counts per name plus trace-wide extent."""
+        names = Counter(event["name"] for event in self.events)
+        tracks = {event["track"] for event in self.events}
+        end = max(
+            (event["ts"] + event["dur"] for event in self.events),
+            default=0.0,
+        )
+        return {
+            "events": len(self.events),
+            "names": dict(sorted(names.items())),
+            "tracks": len(tracks),
+            "span_end_s": end,
+        }
+
+    # -- invariants ----------------------------------------------------------
+
+    @staticmethod
+    def check_nesting(events):
+        """Spans on one track must nest properly (LIFO begin/end)."""
+        violations = []
+        spans = {}
+        for event in events:
+            if event["ph"] != "X":
+                continue
+            if event["dur"] < 0:
+                violations.append(Violation(
+                    "nesting",
+                    "span {} on {} has negative duration {}".format(
+                        event["name"], event["track"], event["dur"]
+                    ),
+                    event,
+                ))
+                continue
+            spans.setdefault(event["track"], []).append(event)
+        for track, track_spans in sorted(spans.items()):
+            stack = []
+            for span in _ordered(track_spans):
+                begin = span["ts"]
+                end = begin + span["dur"]
+                # A span whose window closed at or before this begin is
+                # a finished sibling/ancestor, not an encloser.
+                while stack and stack[-1][1] <= begin + _slack(
+                    begin, stack[-1][1]
+                ):
+                    stack.pop()
+                if stack and end > stack[-1][1] + _slack(end, stack[-1][1]):
+                    violations.append(Violation(
+                        "nesting",
+                        "span {} [{:.9f}, {:.9f}] on track {!r} escapes "
+                        "enclosing {} ending at {:.9f}".format(
+                            span["name"], begin, end, track,
+                            stack[-1][2]["name"], stack[-1][1],
+                        ),
+                        span,
+                    ))
+                    continue
+                stack.append((begin, end, span))
+        return violations
+
+    @staticmethod
+    def down_windows(events):
+        """``node -> [(down_from, down_until)]`` from the fault events."""
+        windows = {}
+        for event in _ordered(events):
+            args = event["args"]
+            if (
+                event["name"] == "fault.inject"
+                and args.get("kind") in _DOWN_KINDS
+            ):
+                windows.setdefault(args["node"], []).append(
+                    [event["ts"], float("inf")]
+                )
+            elif (
+                event["name"] == "fault.recover"
+                and args.get("kind") == "reboot"
+            ):
+                for window in windows.get(args["node"], ()):
+                    if window[1] == float("inf"):
+                        window[1] = event["ts"]
+                        break
+        return {
+            node: [tuple(window) for window in node_windows]
+            for node, node_windows in windows.items()
+        }
+
+    @classmethod
+    def check_crash_epochs(cls, events):
+        """No successful network op begins/ends inside a down window.
+
+        The fabric checks the path when a transfer starts and again
+        when it would complete, so a send that reports success with
+        either endpoint strictly inside a down epoch means a page was
+        served by a dead node.  Boundary timestamps are allowed: an
+        operation completing at the very instant of a crash raced it
+        legally.
+        """
+        windows = cls.down_windows(events)
+
+        def is_down(node, when):
+            return any(
+                down_from < when < down_until
+                for down_from, down_until in windows.get(node, ())
+            )
+
+        violations = []
+        for event in events:
+            if event["name"] != "net.send" or not event["args"].get("ok"):
+                continue
+            begin = event["ts"]
+            end = begin + event["dur"]
+            for endpoint in ("src", "dst"):
+                node = event["args"].get(endpoint)
+                if node is None:
+                    continue
+                for when, edge in ((begin, "began"), (end, "completed")):
+                    if is_down(node, when):
+                        violations.append(Violation(
+                            "crash-epoch",
+                            "net.send {} -> {} {} at {:.9f} while {} "
+                            "was down".format(
+                                event["args"].get("src"),
+                                event["args"].get("dst"),
+                                edge, when, node,
+                            ),
+                            event,
+                        ))
+        return violations
+
+    @staticmethod
+    def check_migration_pairing(events):
+        """Every ``migrate.reserve`` closes with one remap or abort."""
+        violations = []
+        open_reservations = {}
+        for event in _ordered(events):
+            if not event["name"].startswith("migrate."):
+                continue
+            key = repr(event["args"].get("key"))
+            if event["name"] == "migrate.reserve":
+                if key in open_reservations:
+                    violations.append(Violation(
+                        "migration-pairing",
+                        "overlapping reservations for key {}".format(key),
+                        event,
+                    ))
+                open_reservations[key] = event
+            elif event["name"] == "migrate.remap":
+                if open_reservations.pop(key, None) is None:
+                    violations.append(Violation(
+                        "migration-pairing",
+                        "remap without open reservation for key {}".format(
+                            key
+                        ),
+                        event,
+                    ))
+            elif event["name"] == "migrate.abort":
+                # Standalone aborts are legal (a move can abort before
+                # its reservation was placed); one still closes any
+                # open reservation for the key.
+                open_reservations.pop(key, None)
+        for key, event in sorted(open_reservations.items()):
+            violations.append(Violation(
+                "migration-pairing",
+                "reservation for key {} never remapped or aborted".format(
+                    key
+                ),
+                event,
+            ))
+        return violations
+
+    @staticmethod
+    def check_retry_accounting(events):
+        """Retries respect attempt budgets and require injected faults."""
+        violations = []
+        injected = any(
+            event["name"] == "fault.inject" for event in events
+        )
+        for event in events:
+            name = event["name"]
+            if name == "net.retry":
+                attempt = event["args"].get("attempt")
+                budget = event["args"].get("max_attempts")
+                if (
+                    attempt is not None
+                    and budget is not None
+                    and attempt >= budget
+                ):
+                    violations.append(Violation(
+                        "retry-accounting",
+                        "retry after attempt {}/{} exceeds the "
+                        "policy budget".format(attempt, budget),
+                        event,
+                    ))
+            if injected:
+                continue
+            if name in ("net.retry", "net.timeout"):
+                violations.append(Violation(
+                    "retry-accounting",
+                    "{} in a trace with no injected faults".format(name),
+                    event,
+                ))
+            elif name == "net.send" and event["args"].get("ok") is False:
+                violations.append(Violation(
+                    "retry-accounting",
+                    "failed net.send in a trace with no injected faults",
+                    event,
+                ))
+        return violations

@@ -1,0 +1,190 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and compact JSONL.
+
+The Chrome format (the JSON Object Format of the Trace Event
+specification) loads directly into Perfetto or ``chrome://tracing``:
+spans become complete ``"X"`` events, instants become ``"i"`` events,
+and tracks map to (pid, tid) pairs named through ``"M"`` metadata
+events.  Timestamps are microseconds of *simulated* time.
+
+The JSONL format is one event per line on the internal wire shape —
+the round-trippable source of truth :class:`~repro.trace.analyze.
+TraceAnalyzer` consumes.
+
+Both serializations are canonical (sorted keys, no wall-clock fields),
+so :func:`digest` is stable across processes, worker pools and
+machines: identical (spec, seed) runs yield identical digests.
+"""
+
+import hashlib
+import json
+
+#: Phases the internal wire shape uses ("X" span, "i" instant).
+WIRE_PHASES = ("X", "i")
+
+#: Keys every wire event must carry.
+WIRE_KEYS = ("name", "ph", "ts", "dur", "track", "seq", "args")
+
+
+def _canonical(events):
+    return json.dumps(list(events), sort_keys=True, separators=(",", ":"))
+
+
+def digest(events):
+    """SHA-256 hex digest of the canonical event serialization."""
+    return hashlib.sha256(_canonical(events).encode("utf-8")).hexdigest()
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def dumps_jsonl(events):
+    """One canonical JSON object per line."""
+    return "".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        for event in events
+    )
+
+
+def write_jsonl(events, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_jsonl(events))
+
+
+def load_jsonl(path):
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def to_chrome(events, meta=None):
+    """The Chrome trace_event JSON Object Format document for ``events``.
+
+    Each distinct ``cell`` (attached by the experiment engine; 0 when
+    absent) becomes one pid, each distinct track within it one tid, and
+    both are named via metadata events so Perfetto shows readable
+    process/thread labels.  ``meta`` lands in ``otherData``.
+    """
+    trace_events = []
+    pids = {}
+    tids = {}
+    for event in events:
+        cell = event.get("cell", 0)
+        if cell not in pids:
+            pids[cell] = len(pids) + 1
+            trace_events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[cell],
+                "tid": 0,
+                "args": {"name": "cell {}".format(cell)},
+            })
+        key = (cell, event["track"])
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pids[cell],
+                "tid": tids[key],
+                "args": {"name": event["track"]},
+            })
+        record = {
+            "name": event["name"],
+            "cat": event["name"].split(".", 1)[0],
+            "ph": event["ph"],
+            "ts": event["ts"] * 1e6,
+            "pid": pids[cell],
+            "tid": tids[key],
+            "args": event["args"],
+        }
+        if event["ph"] == "X":
+            record["dur"] = event["dur"] * 1e6
+        else:
+            record["s"] = "t"
+        trace_events.append(record)
+    document = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        document["otherData"] = dict(meta)
+    return document
+
+
+def write_chrome(events, path, meta=None):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome(events, meta=meta), handle, sort_keys=True)
+
+
+def validate_chrome(document):
+    """Structural validation against the trace_event JSON Object Format.
+
+    Returns a list of problems (empty = valid).  Hand-rolled rather
+    than jsonschema-based so validation works in the dependency-free
+    install; the checks mirror what Perfetto's importer requires: a
+    ``traceEvents`` array whose members carry ``ph``/``pid``/``tid``,
+    numeric non-negative ``ts``/``dur``, and a known phase code.
+    """
+    problems = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["traceEvents is missing or not an array"]
+    for index, event in enumerate(trace_events):
+        where = "traceEvents[{}]".format(index)
+        if not isinstance(event, dict):
+            problems.append("{} is not an object".format(where))
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M", "B", "E", "C"):
+            problems.append("{}: unknown phase {!r}".format(where, phase))
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append("{}: missing name".format(where))
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append("{}: {} must be an integer".format(where, key))
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append("{}: args must be an object".format(where))
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append("{}: ts must be a non-negative number".format(where))
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    "{}: dur must be a non-negative number".format(where)
+                )
+        if phase == "i" and event.get("s") not in (None, "t", "p", "g"):
+            problems.append("{}: bad instant scope {!r}".format(
+                where, event.get("s")))
+    return problems
+
+
+def validate_wire(events):
+    """Structural validation of the internal JSONL wire shape."""
+    problems = []
+    for index, event in enumerate(events):
+        where = "event[{}]".format(index)
+        if not isinstance(event, dict):
+            problems.append("{} is not an object".format(where))
+            continue
+        missing = [key for key in WIRE_KEYS if key not in event]
+        if missing:
+            problems.append("{}: missing {}".format(where, ", ".join(missing)))
+            continue
+        if event["ph"] not in WIRE_PHASES:
+            problems.append("{}: unknown phase {!r}".format(where, event["ph"]))
+        if event["dur"] < 0:
+            problems.append("{}: negative duration".format(where))
+    return problems

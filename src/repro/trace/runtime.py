@@ -1,0 +1,88 @@
+"""Process-local trace sessions: how tracing turns on.
+
+Tracing is *ambient per process*: a :class:`TraceSession` is activated
+(usually via the :func:`session` context manager), and every
+:class:`~repro.sim.engine.Environment` constructed while it is active
+receives a live :class:`~repro.trace.tracer.Tracer`; environments built
+outside any session get the shared, free
+:data:`~repro.trace.tracer.NULL_TRACER`.
+
+This indirection is what lets the experiment engine trace cells that
+run inside worker processes: the traced-compute wrapper opens a session
+around the cell's ``compute()`` in whichever process executes it, and
+ships the (plain-JSON, deterministic) event list back with the payload.
+"""
+
+from contextlib import contextmanager
+
+from repro.trace.histogram import HistogramSet
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+_active = None
+
+
+class TraceSession:
+    """Collects the tracers of every environment built while active."""
+
+    def __init__(self, filter=None):
+        self.filter = tuple(filter) if filter else None
+        self.tracers = []
+
+    def tracer_for(self, env):
+        tracer = Tracer(env, filter=self.filter)
+        self.tracers.append(tracer)
+        return tracer
+
+    def events_json(self):
+        """All events, tracer creation order then record order."""
+        events = []
+        for tracer in self.tracers:
+            events.extend(tracer.events_json())
+        return events
+
+    def histograms(self):
+        """Every tracer's histograms folded into one set."""
+        merged = HistogramSet()
+        for tracer in self.tracers:
+            merged.merge(tracer.histograms)
+        return merged
+
+
+def active():
+    """The currently active session, or ``None``."""
+    return _active
+
+
+def start(filter=None):
+    """Activate a new session; returns it.  Errors if one is active."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("a trace session is already active")
+    _active = TraceSession(filter=filter)
+    return _active
+
+
+def stop():
+    """Deactivate and return the active session."""
+    global _active
+    if _active is None:
+        raise RuntimeError("no trace session is active")
+    finished, _active = _active, None
+    return finished
+
+
+@contextmanager
+def session(filter=None):
+    """``with session() as s:`` — trace everything built inside."""
+    current = start(filter=filter)
+    try:
+        yield current
+    finally:
+        stop()
+
+
+def tracer_for_env(env):
+    """The tracer a new environment should carry (engine constructor hook)."""
+    if _active is None:
+        return NULL_TRACER
+    return _active.tracer_for(env)

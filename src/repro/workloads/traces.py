@@ -1,4 +1,10 @@
-"""Recording and replaying page-reference traces.
+"""Recording and replaying page-reference traces (workload *inputs*).
+
+Not to be confused with :mod:`repro.trace`, the execution-tracing
+package: this module records the *page accesses a workload performs*
+(simulation input, replayable in place of a synthetic generator),
+while ``repro.trace`` records the *events a simulation run emits*
+(simulation output, for Perfetto and the trace-invariant analyzer).
 
 Synthetic generators are convenient, but real studies replay captured
 traces.  This module provides a small, versioned on-disk format:
@@ -24,6 +30,8 @@ Format (text, one record per line)::
 """
 
 from repro.mem.compression import CompressibilityProfile
+
+__all__ = ["RecordedTrace", "record_trace", "save_trace", "load_trace"]
 
 FORMAT_MAGIC = "#repro-trace v1"
 

@@ -77,6 +77,48 @@ def test_cache_subcommand_reports_and_clears(capsys, tmp_path):
     assert not list(tmp_path.glob("*.json"))
 
 
+def test_run_with_trace_writes_chrome_artifact(capsys, tmp_path):
+    from repro.trace import validate_chrome
+
+    path = tmp_path / "trace.json"
+    assert main([
+        "run", "fig7", "--scale", "0.1", "--no-cache", "--jobs", "2",
+        "--trace", str(path),
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "digest" in output
+    assert "trace: all invariants hold" in output
+    document = json.loads(path.read_text())
+    assert validate_chrome(document) == []
+    assert document["traceEvents"]
+    assert document["otherData"]["experiment"] == "fig7"
+
+
+def test_run_with_trace_jsonl_and_filter_skips_the_analyzer(capsys, tmp_path):
+    from repro.trace import load_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    assert main([
+        "run", "fig7", "--scale", "0.1", "--no-cache", "--jobs", "1",
+        "--trace", str(path), "--trace-filter", "tier",
+    ]) == 0
+    assert "invariant checks skipped" in capsys.readouterr().out
+    events = load_jsonl(str(path))
+    assert events
+    assert all(event["name"].startswith("tier.") for event in events)
+
+
+def test_traced_run_never_touches_the_cache(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    assert main([
+        "run", "fig7", "--scale", "0.1", "--jobs", "1",
+        "--cache-dir", str(cache_dir),
+        "--trace", str(tmp_path / "trace.json"),
+    ]) == 0
+    capsys.readouterr()
+    assert not list(cache_dir.glob("*.json"))
+
+
 def test_unknown_experiment_is_rejected():
     with pytest.raises(SystemExit):
         main(["run", "fig99"])

@@ -87,3 +87,37 @@ def test_golden_recovery_numbers_for_default_seed(result):
     assert cells[(6.0, 2)]["re_replicated"] == 707
     assert cells[(2.0, 1)]["faults"] == 3
     assert cells[(6.0, 1)]["faults"] == 10
+
+
+def _without_latency_stats(doc):
+    if isinstance(doc, dict):
+        return {
+            key: _without_latency_stats(value)
+            for key, value in doc.items()
+            if key != "latency_stats"
+        }
+    if isinstance(doc, list):
+        return [_without_latency_stats(item) for item in doc]
+    return doc
+
+
+def test_traced_faulted_cell_upholds_trace_invariants():
+    """The golden numbers above are *indirect* evidence the fault path
+    behaves; the trace is direct.  Replay the faultiest replicated cell
+    under tracing and let the invariant oracle check span nesting,
+    crash epochs, migration pairing and retry accounting — then check
+    tracing did not perturb the simulation itself."""
+    from repro.trace import TraceAnalyzer, runtime
+
+    spec = next(
+        spec for spec in rr.cells(scale=SCALE, seed=0)
+        if spec.options["rate"] == 6.0 and spec.options["replication"] == 2
+    )
+    with runtime.session() as active:
+        traced = rr.compute(spec)
+    events = active.events_json()
+    assert any(event["name"] == "fault.inject" for event in events)
+    assert any(event["name"] == "net.send" for event in events)
+    TraceAnalyzer(events).assert_ok()
+    untraced = rr.compute(spec)
+    assert _without_latency_stats(traced) == _without_latency_stats(untraced)

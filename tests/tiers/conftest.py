@@ -6,10 +6,12 @@ stub tiers of bounded capacity and a stub node, no cluster required.
 """
 
 from repro.tiers.base import Tier, TierFull
+from repro.trace import NULL_TRACER
 
 
 class StubEnv:
     now = 0.0
+    tracer = NULL_TRACER
 
 
 class StubNode:

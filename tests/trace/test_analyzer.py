@@ -1,0 +1,287 @@
+"""Unit tests for the trace-invariant analyzer (the test oracle)."""
+
+import pytest
+
+from repro.trace import TraceAnalyzer, TraceInvariantError, to_chrome
+
+
+def wire(name, ts, dur=0.0, track="main", seq=None, cell=None, **args):
+    event = {
+        "name": name,
+        "ph": "X" if dur or name in _SPAN_NAMES else "i",
+        "ts": ts,
+        "dur": dur,
+        "track": track,
+        "seq": seq if seq is not None else wire.counter,
+        "args": args,
+    }
+    wire.counter += 1
+    if cell is not None:
+        event["cell"] = cell
+    return event
+
+
+wire.counter = 0
+_SPAN_NAMES = {"page.fault", "tier.hit", "tier.put", "tier.demote",
+               "net.send", "migrate.copy"}
+
+
+@pytest.fixture(autouse=True)
+def reset_counter():
+    wire.counter = 0
+
+
+# -- nesting -----------------------------------------------------------------
+
+
+def test_properly_nested_spans_pass():
+    events = [
+        wire("page.fault", 0.0, dur=1.0, track="p", page=1),
+        wire("tier.hit", 0.2, dur=0.5, track="p", tier="remote", page=1),
+        wire("net.send", 0.3, dur=0.2, track="p", src="a", dst="b", ok=True),
+        # A sibling beginning exactly where its predecessor ends is legal.
+        wire("net.send", 0.5, dur=0.1, track="p", src="a", dst="b", ok=True),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+def test_escaping_span_is_flagged():
+    events = [
+        wire("tier.hit", 0.0, dur=0.4, track="p", tier="remote", page=1),
+        wire("net.send", 0.2, dur=0.9, track="p", src="a", dst="b", ok=True),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert [v.invariant for v in violations] == ["nesting"]
+    assert "escapes" in violations[0].message
+
+
+def test_negative_duration_is_flagged():
+    events = [wire("net.send", 1.0, dur=-0.5, track="p", ok=True)]
+    assert [v.invariant for v in TraceAnalyzer(events).check()] == ["nesting"]
+
+
+def test_spans_on_different_tracks_do_not_interact():
+    events = [
+        wire("tier.hit", 0.0, dur=0.4, track="p1", tier="sm", page=1),
+        wire("net.send", 0.2, dur=0.9, track="p2", src="a", dst="b", ok=True),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+# -- crash epochs ------------------------------------------------------------
+
+
+def test_send_inside_down_window_is_flagged():
+    events = [
+        wire("fault.inject", 1.0, kind="crash", node="node1", until=2.0),
+        wire("net.send", 1.2, dur=0.1, src="node0", dst="node1", ok=True),
+        wire("fault.recover", 2.0, kind="reboot", node="node1"),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert {v.invariant for v in violations} == {"crash-epoch"}
+    # Both the begin and the end fall inside the window.
+    assert len(violations) == 2
+
+
+def test_send_after_reboot_passes():
+    events = [
+        wire("fault.inject", 1.0, kind="crash", node="node1", until=2.0),
+        wire("fault.recover", 2.0, kind="reboot", node="node1"),
+        wire("net.send", 2.5, dur=0.1, src="node0", dst="node1", ok=True),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+def test_boundary_timestamps_race_legally():
+    events = [
+        wire("fault.inject", 1.0, kind="crash", node="node1", until=2.0),
+        # Completing exactly at the crash instant is a legal race.
+        wire("net.send", 0.8, dur=0.2, src="node0", dst="node1", ok=True),
+        wire("fault.recover", 2.0, kind="reboot", node="node1"),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+def test_server_loss_opens_unbounded_window():
+    events = [
+        wire("fault.inject", 1.0, kind="server_loss", node="node1"),
+        wire("net.send", 99.0, dur=0.1, src="node1", dst="node0", ok=True),
+    ]
+    assert {v.invariant for v in TraceAnalyzer(events).check()} == {
+        "crash-epoch"
+    }
+
+
+def test_failed_send_inside_down_window_is_fine():
+    events = [
+        wire("fault.inject", 1.0, kind="crash", node="node1", until=2.0),
+        wire("net.send", 1.2, dur=0.1, src="node0", dst="node1", ok=False,
+             error="RemoteNodeDown"),
+        wire("fault.recover", 2.0, kind="reboot", node="node1"),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+# -- migration pairing -------------------------------------------------------
+
+
+def test_reserve_remap_pairs_pass():
+    events = [
+        wire("migrate.reserve", 0.0, key=["s", 1], src="a", dst="b"),
+        wire("migrate.copy", 0.1, dur=0.2, key=["s", 1], src="a", dst="b"),
+        wire("migrate.remap", 0.4, key=["s", 1], src="a", dst="b"),
+        wire("migrate.reserve", 0.5, key=["s", 1], src="a", dst="c"),
+        wire("migrate.abort", 0.6, key=["s", 1], reason="reserve-refused"),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+def test_dangling_reservation_is_flagged():
+    events = [wire("migrate.reserve", 0.0, key=["s", 1], src="a", dst="b")]
+    violations = TraceAnalyzer(events).check()
+    assert [v.invariant for v in violations] == ["migration-pairing"]
+    assert "never remapped or aborted" in violations[0].message
+
+
+def test_overlapping_reservations_are_flagged():
+    events = [
+        wire("migrate.reserve", 0.0, key=["s", 1], src="a", dst="b"),
+        wire("migrate.reserve", 0.1, key=["s", 1], src="a", dst="c"),
+        wire("migrate.remap", 0.2, key=["s", 1]),
+    ]
+    assert any(
+        "overlapping" in v.message for v in TraceAnalyzer(events).check()
+    )
+
+
+def test_remap_without_reservation_is_flagged():
+    events = [wire("migrate.remap", 0.0, key=["s", 1])]
+    assert any(
+        "without open reservation" in v.message
+        for v in TraceAnalyzer(events).check()
+    )
+
+
+def test_distinct_keys_do_not_interact():
+    events = [
+        wire("migrate.reserve", 0.0, key=["s", 1]),
+        wire("migrate.reserve", 0.1, key=["s", 2]),
+        wire("migrate.remap", 0.2, key=["s", 1]),
+        wire("migrate.abort", 0.3, key=["s", 2], reason="record-changed"),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+# -- retry accounting --------------------------------------------------------
+
+
+def test_retry_over_budget_is_flagged():
+    events = [
+        wire("fault.inject", 0.0, kind="link_flap", node="a", peer="b"),
+        wire("net.retry", 0.1, attempt=4, max_attempts=4, error="LinkDown"),
+    ]
+    assert any(
+        "exceeds the policy budget" in v.message
+        for v in TraceAnalyzer(events).check()
+    )
+
+
+def test_retry_without_injected_fault_is_flagged():
+    events = [wire("net.retry", 0.1, attempt=1, max_attempts=4,
+                   error="LinkDown")]
+    violations = TraceAnalyzer(events).check()
+    assert any("no injected faults" in v.message for v in violations)
+
+
+def test_failed_send_without_injected_fault_is_flagged():
+    events = [
+        wire("net.send", 0.1, dur=0.1, src="a", dst="b", ok=False,
+             error="RemoteNodeDown"),
+    ]
+    assert any(
+        "failed net.send" in v.message for v in TraceAnalyzer(events).check()
+    )
+
+
+def test_retries_with_injected_faults_pass():
+    events = [
+        wire("fault.inject", 0.0, kind="link_flap", node="a", peer="b",
+             until=1.0),
+        wire("net.retry", 0.1, attempt=1, max_attempts=4, error="LinkDown"),
+        wire("net.timeout", 0.2, timeout_s=0.05, what="control:b"),
+        wire("net.send", 0.3, dur=0.1, src="a", dst="b", ok=False,
+             error="LinkDown"),
+        wire("fault.recover", 1.0, kind="heal", node="a", peer="b"),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+# -- cells are independent ---------------------------------------------------
+
+
+def test_cells_are_checked_independently():
+    # Cell 0 injects a fault; cell 1 does not.  The retry in cell 1 is
+    # a violation even though cell 0 would excuse it.
+    events = [
+        wire("fault.inject", 0.0, kind="crash", node="n", cell=0),
+        wire("net.retry", 0.1, attempt=1, max_attempts=4, cell=1,
+             error="LinkDown"),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert any("no injected faults" in v.message for v in violations)
+
+
+# -- API surface -------------------------------------------------------------
+
+
+def test_assert_ok_raises_with_details():
+    events = [wire("migrate.reserve", 0.0, key=["s", 1])]
+    analyzer = TraceAnalyzer(events)
+    with pytest.raises(TraceInvariantError) as caught:
+        analyzer.assert_ok()
+    assert "migration-pairing" in str(caught.value)
+    assert TraceAnalyzer([]).assert_ok() is not None
+
+
+def test_summary_counts_names_and_extent():
+    events = [
+        wire("net.send", 0.0, dur=0.5, src="a", dst="b", ok=True),
+        wire("net.send", 1.0, dur=0.25, src="a", dst="b", ok=True),
+        wire("fault.inject", 0.2, kind="crash", node="b"),
+    ]
+    summary = TraceAnalyzer(events).summary()
+    assert summary["events"] == 3
+    assert summary["names"] == {"fault.inject": 1, "net.send": 2}
+    assert summary["span_end_s"] == 1.25
+
+
+def test_from_chrome_round_trip_preserves_verdicts():
+    bad = [
+        wire("fault.inject", 1.0, kind="crash", node="node1", until=2.0,
+             cell=0),
+        wire("net.send", 1.2, dur=0.1, src="node0", dst="node1", ok=True,
+             cell=0),
+        wire("migrate.reserve", 3.0, key=["s", 1], cell=1),
+    ]
+    direct = TraceAnalyzer(bad).check()
+    round_tripped = TraceAnalyzer.from_chrome(to_chrome(bad)).check()
+    assert sorted(v.invariant for v in direct) == sorted(
+        v.invariant for v in round_tripped
+    )
+    good = [
+        wire("fault.inject", 1.0, kind="crash", node="node1", until=2.0),
+        wire("fault.recover", 2.0, kind="reboot", node="node1"),
+        wire("net.send", 2.5, dur=0.1, src="node0", dst="node1", ok=True),
+    ]
+    assert TraceAnalyzer.from_chrome(to_chrome(good)).check() == []
+
+
+def test_from_jsonl(tmp_path):
+    from repro.trace import write_jsonl
+
+    events = [wire("migrate.reserve", 0.0, key=["s", 1])]
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(events, path)
+    assert [
+        v.invariant for v in TraceAnalyzer.from_jsonl(path).check()
+    ] == ["migration-pairing"]

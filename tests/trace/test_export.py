@@ -1,0 +1,114 @@
+"""Unit tests for the trace exporters and validators."""
+
+import json
+
+from repro.trace import (
+    digest,
+    load_jsonl,
+    to_chrome,
+    validate_chrome,
+    write_chrome,
+    write_jsonl,
+)
+from repro.trace.export import dumps_jsonl, validate_wire
+
+
+def sample_events():
+    return [
+        {
+            "name": "net.send", "ph": "X", "ts": 0.001, "dur": 2e-6,
+            "track": "drive:node0", "seq": 0,
+            "args": {"src": "node0", "dst": "node1", "nbytes": 4096,
+                     "op": "data", "ok": True},
+        },
+        {
+            "name": "fault.inject", "ph": "i", "ts": 0.002, "dur": 0.0,
+            "track": "fault:0:crash", "seq": 1,
+            "args": {"kind": "crash", "node": "node1", "until": 0.004},
+        },
+        {
+            "name": "tier.hit", "ph": "X", "ts": 0.003, "dur": 1e-6,
+            "track": "main", "seq": 2,
+            "args": {"tier": "sm", "label": "page", "page": 17},
+            "cell": 1,
+        },
+    ]
+
+
+def test_digest_is_stable_and_order_sensitive():
+    events = sample_events()
+    assert digest(events) == digest(json.loads(json.dumps(events)))
+    assert digest(events) != digest(list(reversed(events)))
+    assert digest([]) == digest([])
+
+
+def test_jsonl_round_trip(tmp_path):
+    events = sample_events()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(events, path)
+    assert load_jsonl(path) == events
+    # One canonical object per line.
+    lines = dumps_jsonl(events).splitlines()
+    assert len(lines) == len(events)
+    assert all(json.loads(line) for line in lines)
+
+
+def test_chrome_document_structure():
+    document = to_chrome(sample_events(), meta={"experiment": "fig7"})
+    assert document["otherData"] == {"experiment": "fig7"}
+    records = document["traceEvents"]
+    # Two cells -> two process_name metadata events; three tracks.
+    process_names = [
+        r["args"]["name"] for r in records if r["name"] == "process_name"
+    ]
+    thread_names = [
+        r["args"]["name"] for r in records if r["name"] == "thread_name"
+    ]
+    assert process_names == ["cell 0", "cell 1"]
+    assert thread_names == ["drive:node0", "fault:0:crash", "main"]
+    # Timestamps are microseconds; spans carry dur, instants a scope.
+    span = next(r for r in records if r["name"] == "net.send")
+    assert span["ts"] == 0.001 * 1e6 and span["dur"] == 2e-6 * 1e6
+    assert span["cat"] == "net"
+    instant = next(r for r in records if r["name"] == "fault.inject")
+    assert instant["s"] == "t" and "dur" not in instant
+    # Distinct cells map to distinct pids.
+    tier = next(r for r in records if r["name"] == "tier.hit")
+    assert tier["pid"] != span["pid"]
+
+
+def test_chrome_document_validates(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome(sample_events(), path, meta={"seed": 0})
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert validate_chrome(document) == []
+
+
+def test_validate_chrome_flags_malformed_documents():
+    assert validate_chrome([]) == ["document is not a JSON object"]
+    assert validate_chrome({}) == ["traceEvents is missing or not an array"]
+    problems = validate_chrome({"traceEvents": [
+        {"ph": "Z"},
+        {"ph": "X", "name": "", "pid": "x", "tid": 0, "ts": -1, "dur": None},
+        {"ph": "i", "name": "ok", "pid": 1, "tid": 1, "ts": 0, "s": "bogus"},
+    ]})
+    assert any("unknown phase" in problem for problem in problems)
+    assert any("missing name" in problem for problem in problems)
+    assert any("pid must be an integer" in problem for problem in problems)
+    assert any("ts must be a non-negative" in problem for problem in problems)
+    assert any("dur must be a non-negative" in problem for problem in problems)
+    assert any("bad instant scope" in problem for problem in problems)
+
+
+def test_validate_wire():
+    assert validate_wire(sample_events()) == []
+    problems = validate_wire([
+        {"name": "net.send"},
+        {"name": "net.send", "ph": "B", "ts": 0, "dur": 0, "track": "t",
+         "seq": 0, "args": {}},
+        {"name": "net.send", "ph": "X", "ts": 0, "dur": -1, "track": "t",
+         "seq": 1, "args": {}},
+        "nope",
+    ])
+    assert len(problems) == 4

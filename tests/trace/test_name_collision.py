@@ -1,0 +1,43 @@
+"""``repro.trace`` (execution traces) vs ``repro.workloads.traces``
+(page-reference traces): both import and work side by side."""
+
+import repro.trace
+import repro.workloads.traces
+
+
+def test_both_modules_import_side_by_side():
+    # Execution tracing surface.
+    assert repro.trace.Tracer is not None
+    assert repro.trace.TraceAnalyzer is not None
+    # Workload-trace surface.
+    assert repro.workloads.traces.RecordedTrace is not None
+    assert repro.workloads.traces.load_trace is not None
+    # They share no names: nothing from one shadows the other.
+    execution = set(repro.trace.__all__)
+    workload = set(repro.workloads.traces.__all__)
+    assert not execution & workload
+
+
+def test_docstrings_cross_reference_each_other():
+    assert "repro.workloads.traces" in repro.trace.__doc__
+    assert "repro.trace" in repro.workloads.traces.__doc__
+
+
+def test_recorded_trace_replays_inside_a_trace_session():
+    """A workload trace (input) driving an execution trace (output)."""
+    from repro.experiments.runner import run_paging_workload
+    from repro.trace import TraceAnalyzer, runtime
+    from repro.workloads.ml import ML_WORKLOADS
+    from repro.workloads.traces import record_trace
+    from repro.sim.rng import RngStreams
+
+    spec = ML_WORKLOADS["logistic_regression"].with_overrides(
+        pages=96, iterations=1
+    )
+    recorded = record_trace(spec, RngStreams(0).stream("record"))
+    with runtime.session() as active:
+        result = run_paging_workload("fastswap", recorded, 0.5, seed=0)
+    assert result.stats["major_faults"] > 0
+    events = active.events_json()
+    assert any(event["name"] == "page.fault" for event in events)
+    TraceAnalyzer(events).assert_ok()

@@ -1,0 +1,107 @@
+"""Property tests: traced runs satisfy the invariants, deterministically.
+
+These are the lock on the tentpole: whatever workload, backend and
+seeded fault schedule hypothesis draws, a traced simulation run must
+(a) produce a trace the analyzer certifies clean — spans nest, no page
+is served by a crashed node, every migration reservation closes, retry
+budgets hold — and (b) produce the *same* trace when repeated with the
+same (spec, seed).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_paging_workload
+from repro.faults.schedule import random_schedule
+from repro.sim.rng import RngStreams
+from repro.trace import TraceAnalyzer, digest
+from repro.trace import runtime
+from repro.workloads.ml import ML_WORKLOADS
+
+SPEC = ML_WORKLOADS["logistic_regression"].with_overrides(
+    pages=192, iterations=1
+)
+
+#: Fault schedules only touch the measured node's memory-server peers,
+#: mirroring the resilience experiment (the paper's virtual servers
+#: survive their *own* crash trivially by vanishing).
+PEER_NODES = ("node1", "node2", "node3")
+
+#: Horizon covering the whole run at this spec size.
+HORIZON = 0.2
+
+
+def build_schedule(seed, rate):
+    if rate <= 0:
+        return None
+    rng = RngStreams(seed).stream("trace-props/rate={:g}".format(rate))
+    return random_schedule(
+        rng, PEER_NODES, HORIZON, rate, max_concurrent_down=2
+    )
+
+
+def traced_run(backend, seed, rate):
+    with runtime.session() as active:
+        result = run_paging_workload(
+            backend,
+            SPEC,
+            0.5,
+            seed=seed,
+            fault_schedule=build_schedule(seed, rate),
+        )
+    return result, active.events_json()
+
+
+@given(
+    backend=st.sampled_from(["fastswap", "infiniswap"]),
+    seed=st.integers(min_value=0, max_value=50),
+    rate=st.sampled_from([0.0, 3.0]),
+)
+@settings(max_examples=10, deadline=None)
+def test_traced_runs_satisfy_all_invariants(backend, seed, rate):
+    _result, events = traced_run(backend, seed, rate)
+    assert events, "a paging run must emit events"
+    TraceAnalyzer(events).assert_ok()
+    names = {event["name"] for event in events}
+    assert "page.fault" in names
+    assert "net.send" in names
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    rate=st.sampled_from([0.0, 3.0]),
+)
+@settings(max_examples=6, deadline=None)
+def test_identical_runs_produce_identical_digests(seed, rate):
+    first_result, first = traced_run("fastswap", seed, rate)
+    second_result, second = traced_run("fastswap", seed, rate)
+    assert digest(first) == digest(second)
+    assert first == second
+    assert first_result.latency_stats == second_result.latency_stats
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=4, deadline=None)
+def test_fault_free_traces_contain_no_fault_or_retry_events(seed):
+    _result, events = traced_run("fastswap", seed, 0.0)
+    names = {event["name"] for event in events}
+    assert not names & {"fault.inject", "fault.recover", "net.retry",
+                        "net.timeout"}
+
+
+def test_traced_run_reports_latency_histograms():
+    result, _events = traced_run("fastswap", 3, 0.0)
+    rows = {(row["category"], row["op"]) for row in result.latency_stats}
+    assert ("fault", "major") in rows
+    assert any(category == "net" for category, _op in rows)
+    assert any(category == "tier" for category, _op in rows)
+    # The rows also land on the run context, attributed to the run.
+    context_rows = result.context.latency_rows()
+    assert len(context_rows) == len(result.latency_stats)
+    assert all(row["backend"] == "fastswap" for row in context_rows)
+
+
+def test_untraced_run_records_no_latency_rows():
+    result = run_paging_workload("fastswap", SPEC, 0.5, seed=3)
+    assert result.latency_stats == []
+    assert result.context.latency_rows() == []
