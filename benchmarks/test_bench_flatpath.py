@@ -1,0 +1,124 @@
+"""Benchmark: simulated events/sec, event engine vs flat-path engine.
+
+Three probes of the two-speed engine:
+
+* a fault-free Zipf paging workload driven straight through the
+  engines (same pre-materialized reference string on both sides, only
+  the simulation drive timed) — the headline events/sec ratio,
+  asserted >= 5x;
+* the fig6 sweep end to end with ``--fast-path`` on vs off — what a
+  figure regeneration actually saves (boundary-dominated: the cells
+  page through real backends, so the gain is far below the headline);
+* the memory_balancing experiment, which has no runner-based cells —
+  the flag must cost nothing and change nothing.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import SCALE
+from repro.experiments import memory_balancing
+from repro.experiments.engine import run_experiment
+from repro.experiments.runner import _build, default_cluster_config
+from repro.mem.page import make_pages
+from repro.swap.base import VirtualMemory
+from repro.workloads.batch import ZipfBatchSpec, materialize
+
+#: Fault-free and demand-zero-heavy (~60% first touches), with a
+#: working set small enough that dict probes stay cache-resident:
+#: the flat path's home turf.
+ZIPF = ZipfBatchSpec(pages=65536, length=70_000, zipf_alpha=0.3)
+
+#: Timing reps per engine; the minimum is the robust estimator.
+REPS = 5
+
+
+def _engine_seconds(fast_path):
+    """Seconds to simulate ``ZIPF`` (engine drive only), plus the MMU.
+
+    Builds the same cluster and pre-materializes the same batch on
+    both sides; the timer covers only the simulation run, so the ratio
+    is event engine vs flat-path kernel — not trace generation.
+    """
+    config = default_cluster_config(seed=0)
+    cluster, _node, backend = _build("fastswap", config, None, 24)
+    rng = cluster.rng
+    pages = make_pages(
+        ZIPF.pages,
+        owner="fastswap",
+        compressibility_sampler=ZIPF.compressibility.sampler(
+            rng.stream("pages")
+        ),
+    )
+    mmu = VirtualMemory(
+        cluster.env,
+        pages,
+        ZIPF.pages,
+        backend,
+        cpu=config.calibration.cpu,
+        compute_per_access=ZIPF.compute_per_access,
+    )
+    batch = materialize(ZIPF, rng.stream("trace"))
+
+    def job():
+        yield from backend.setup()
+        if fast_path:
+            yield from mmu.run_batch(batch)
+        else:
+            for page_id, is_write in batch.pairs():
+                yield from mmu.access(page_id, write=is_write)
+        yield from mmu.flush()
+
+    started = time.perf_counter()
+    cluster.run_process(job(), name="paging:fastswap")
+    return mmu, time.perf_counter() - started
+
+
+def _best_engine_rate(fast_path):
+    best = float("inf")
+    for _rep in range(REPS):
+        mmu, elapsed = _engine_seconds(fast_path)
+        best = min(best, elapsed)
+    return mmu, mmu.stats.accesses / best
+
+
+def test_bench_flatpath_zipf_paging(run_once, benchmark):
+    slow_mmu, slow_rate = _best_engine_rate(fast_path=False)
+    fast_mmu, fast_rate = run_once(_best_engine_rate, fast_path=True)
+    assert fast_mmu.stats.snapshot() == slow_mmu.stats.snapshot()
+    assert fast_mmu.env.now == slow_mmu.env.now
+    speedup = fast_rate / slow_rate
+    benchmark.extra_info["event_accesses_per_s"] = round(slow_rate)
+    benchmark.extra_info["flat_accesses_per_s"] = round(fast_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 5.0
+
+
+def test_bench_flatpath_fig6_sweep(run_once, benchmark):
+    started = time.perf_counter()
+    slow = run_experiment("fig6", scale=SCALE, seed=0, jobs=1)
+    slow_s = time.perf_counter() - started
+    started = time.perf_counter()
+    fast = run_once(
+        run_experiment, "fig6", scale=SCALE, seed=0, jobs=1, fast_path=True
+    )
+    fast_s = time.perf_counter() - started
+    assert json.dumps(fast.to_json()) == json.dumps(slow.to_json())
+    benchmark.extra_info["event_sweep_s"] = round(slow_s, 3)
+    benchmark.extra_info["flat_sweep_s"] = round(fast_s, 3)
+    benchmark.extra_info["sweep_speedup"] = round(slow_s / fast_s, 2)
+    # The sweep pages through real backends at fits below 1.0, so most
+    # accesses are boundaries the event engine must handle either way;
+    # the flag must not make regeneration meaningfully slower.
+    assert fast_s < slow_s * 1.25
+
+
+def test_bench_flatpath_memory_balancing_unaffected(run_once, benchmark):
+    slow = run_experiment("memory_balancing", scale=SCALE, seed=0, jobs=1)
+    fast = run_once(
+        run_experiment, "memory_balancing", scale=SCALE, seed=0, jobs=1,
+        fast_path=True,
+    )
+    assert json.dumps(fast.to_json()) == json.dumps(slow.to_json())
+    benchmark.extra_info["cells"] = fast.stats.cells
+    assert memory_balancing  # imported for the registry side effect

@@ -40,13 +40,21 @@ class MigrationEngine:
         """Generator: apply one plan — slab orders first, then pages.
 
         Slab transfers go first so a freshly grown destination pool can
-        absorb the page migrations of the same epoch.
+        absorb the page migrations of the same epoch.  The whole plan
+        runs under a flat-path bulk hold: while slabs or pages are
+        mid-move the simulation is inside a migration epoch, and the
+        two-speed engine must route every access through the event
+        engine rather than bulk over the window.
         """
-        for order in plan.slab_orders:
-            yield from self.apply_slab_order(order)
-        moved = 0
-        for budget in plan.migrations:
-            moved += yield from self.apply_budget(budget)
+        self.env.hold_bulk()
+        try:
+            for order in plan.slab_orders:
+                yield from self.apply_slab_order(order)
+            moved = 0
+            for budget in plan.migrations:
+                moved += yield from self.apply_budget(budget)
+        finally:
+            self.env.release_bulk()
         return moved
 
     # -- donation (slab ownership) ------------------------------------------

@@ -5,9 +5,11 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig7 [--scale 0.5] [--seed 3]
                                          [--jobs 8] [--no-cache] [--json]
-                                         [--tiers] [--trace[=PATH]]
+                                         [--tiers] [--fast-path]
+                                         [--trace[=PATH]]
                                          [--trace-filter net,migrate]
     python -m repro.experiments all  [--scale 0.25] [--jobs 8] [--json]
+                                     [--fast-path]
     python -m repro.experiments cache [--clear]
 
 ``run`` executes one experiment through the parallel engine: the sweep's
@@ -50,6 +52,7 @@ def _run_one(name, args, cache):
         cache=None if trace else cache,
         trace=trace,
         trace_filter=_parse_trace_filter(getattr(args, "trace_filter", None)),
+        fast_path=getattr(args, "fast_path", False),
     )
 
 
@@ -144,6 +147,11 @@ def _add_run_arguments(parser):
                         help="emit a JSON document instead of tables")
     parser.add_argument("--tiers", action="store_true",
                         help="print the per-tier cascade breakdown")
+    parser.add_argument("--fast-path", action=argparse.BooleanOptionalAction,
+                        default=False, dest="fast_path",
+                        help="drive runner-based cells through the "
+                             "two-speed flat-path engine (results are "
+                             "byte-identical; cached under a separate key)")
 
 
 def main(argv=None):

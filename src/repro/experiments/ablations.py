@@ -287,6 +287,7 @@ def _compute_donation(spec):
         cluster_config=default_cluster_config(
             seed=spec.seed, donation_fraction=fraction
         ),
+        fast_path=spec.fast_path,
     )
     return {
         "row": {
@@ -424,6 +425,7 @@ def _compute_tier_cascade(spec):
             seed=spec.seed, donation_fraction=0.02, receive_pool_slabs=1
         ),
         fastswap_config=FastSwapConfig(slabs_per_target=0),
+        fast_path=spec.fast_path,
     )
     return {
         "row": {

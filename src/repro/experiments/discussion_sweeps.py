@@ -154,6 +154,7 @@ def _compute_transport(spec):
         "fastswap", _spec(spec.scale), spec.fit, seed=spec.seed,
         cluster_config=config,
         fastswap_config=FastSwapConfig(sm_fraction=0.0),
+        fast_path=spec.fast_path,
     )
     return {
         "row": {"transport": fabric,
@@ -197,6 +198,7 @@ def _compute_full_disaggregation(spec):
             "fastswap", _spec(spec.scale), spec.fit, seed=spec.seed,
             cluster_config=base,
             fastswap_config=FastSwapConfig(sm_fraction=1.0),
+            fast_path=spec.fast_path,
         )
         return {"row": {"variant": "local",
                         "completion_s": result.completion_time},
@@ -214,6 +216,7 @@ def _compute_full_disaggregation(spec):
         "fastswap", _spec(spec.scale), spec.fit, seed=spec.seed,
         cluster_config=config,
         fastswap_config=FastSwapConfig(sm_fraction=0.0),
+        fast_path=spec.fast_path,
     )
     return {
         "row": {"one_sided_latency_us": latency_us,

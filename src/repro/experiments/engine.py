@@ -24,7 +24,7 @@ import hashlib
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from functools import lru_cache, partial
 from pathlib import Path
 
@@ -46,10 +46,16 @@ class RunSpec:
     seed: int = 0
     scale: float = 1.0
     overrides: str = "{}"
+    #: Drive runner-based cells through the two-speed flat-path engine.
+    #: Results are byte-identical either way, but the flag is part of
+    #: the spec (and therefore the cache key) so an equivalence check
+    #: of ``--fast-path`` on vs off never serves one side from the
+    #: other's cache entry.
+    fast_path: bool = False
 
     @classmethod
     def make(cls, experiment, backend="", workload="", fit=0.0, seed=0,
-             scale=1.0, **overrides):
+             scale=1.0, fast_path=False, **overrides):
         """Build a spec, freezing ``overrides`` into canonical JSON."""
         return cls(
             experiment=experiment,
@@ -59,6 +65,7 @@ class RunSpec:
             seed=seed,
             scale=scale,
             overrides=json.dumps(overrides, sort_keys=True),
+            fast_path=fast_path,
         )
 
     @property
@@ -386,17 +393,21 @@ class ExperimentRun:
 
 
 def run_experiment(name, scale=1.0, seed=0, jobs=1, cache=None, trace=False,
-                   trace_filter=None, **opts):
+                   trace_filter=None, fast_path=False, **opts):
     """Run one registered experiment end to end through the engine.
 
     With ``trace=True`` every cell computes inside a trace session
     (the cache is bypassed) and the run carries the merged event list,
-    each event tagged with its cell index.
+    each event tagged with its cell index.  ``fast_path=True`` stamps
+    every cell spec so runner-based cells drive the two-speed engine;
+    payloads are byte-identical to the event-path sweep.
     """
     from repro.experiments import registry
 
     module = registry.load(name)
     specs = module.cells(scale=scale, seed=seed, **opts)
+    if fast_path:
+        specs = [replace(spec, fast_path=True) for spec in specs]
     trace_events = []
     if trace:
         payloads, stats, cell_events = execute_traced(

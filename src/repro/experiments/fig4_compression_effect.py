@@ -72,6 +72,7 @@ def compute(spec):
             spec.fit,
             seed=spec.seed,
             cluster_config=default_cluster_config(seed=spec.seed, **tight),
+            fast_path=spec.fast_path,
         )
     else:
         result = run_paging_workload(
@@ -84,6 +85,7 @@ def compute(spec):
             cluster_config=default_cluster_config(
                 seed=spec.seed, receive_pool_slabs=1, **tight
             ),
+            fast_path=spec.fast_path,
         )
     return result.to_json()
 

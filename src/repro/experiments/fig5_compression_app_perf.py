@@ -59,6 +59,7 @@ def compute(spec):
         fastswap_config=FastSwapConfig(
             compression=spec.options["compression"], slabs_per_target=1
         ),
+        fast_path=spec.fast_path,
     )
     return result.to_json()
 

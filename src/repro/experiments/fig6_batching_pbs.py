@@ -59,6 +59,7 @@ def compute(spec):
     result = run_paging_workload(
         spec.backend, workload, spec.fit, seed=spec.seed,
         fastswap_config=fastswap_config,
+        fast_path=spec.fast_path,
     )
     return result.to_json()
 

@@ -40,7 +40,8 @@ def compute(spec):
         pages=max(256, int(2048 * spec.scale)), iterations=3
     )
     return run_paging_workload(
-        spec.backend, workload, spec.fit, seed=spec.seed
+        spec.backend, workload, spec.fit, seed=spec.seed,
+        fast_path=spec.fast_path,
     ).to_json()
 
 

@@ -65,6 +65,7 @@ def compute(spec):
     result = run_kv_workload(
         spec.backend, workload, spec.fit, duration=duration, seed=spec.seed,
         fastswap_config=fastswap_config,
+        fast_path=spec.fast_path,
     )
     return result.to_json()
 

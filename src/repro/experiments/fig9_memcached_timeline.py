@@ -71,6 +71,7 @@ def compute(spec):
         window=options["window"],
         seed=spec.seed,
         fastswap_config=fastswap_config,
+        fast_path=spec.fast_path,
     )
     return result.to_json()
 

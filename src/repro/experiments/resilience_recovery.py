@@ -106,6 +106,7 @@ def compute(spec):
         cluster_config=config,
         cold_start=True,
         fault_schedule=schedule,
+        fast_path=spec.fast_path,
     )
     payload = result.to_json()
     payload["schedule"] = schedule.to_json() if schedule is not None else None

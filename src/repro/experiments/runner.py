@@ -56,12 +56,16 @@ class RunContext:
 
     def __init__(self):
         self.runs = 0
+        #: Runs that drove the two-speed (flat-path) engine.
+        self.fast_path_runs = 0
         self._tier_rows = []
         self._latency_rows = []
 
     def record(self, result):
         """Record a finished runner result (tier rows + run count)."""
         self.runs += 1
+        if getattr(result, "fast_path", False):
+            self.fast_path_runs += 1
         self.record_tier_rows(
             result.backend,
             result.workload,
@@ -109,11 +113,13 @@ class RunContext:
     def merge(self, other):
         """Fold another context's rows into this one (cells -> sweep)."""
         self.runs += other.runs
+        self.fast_path_runs += other.fast_path_runs
         self._tier_rows.extend(other.tier_rows())
         self._latency_rows.extend(other.latency_rows())
 
     def clear(self):
         self.runs = 0
+        self.fast_path_runs = 0
         self._tier_rows.clear()
         self._latency_rows.clear()
 
@@ -137,8 +143,11 @@ class RunResult:
     """
 
     kind = ""
-    #: Fields excluded from the JSON payload (non-serializable).
-    _json_exclude = ("context",)
+    #: Fields excluded from the JSON payload: ``context`` is not
+    #: serializable, and ``fast_path`` is an execution-strategy tag —
+    #: the whole point of the two-speed engine is that fast and slow
+    #: runs serialize byte-identically.
+    _json_exclude = ("context", "fast_path")
 
     def to_json(self):
         payload = {"kind": self.kind}
@@ -186,6 +195,8 @@ class PagingRunResult(RunResult):
     latency_stats: list = field(default_factory=list)
     #: The RunContext this run recorded into (not serialized).
     context: RunContext = field(default=None, repr=False, compare=False)
+    #: Whether the run drove the flat-path kernel (not serialized).
+    fast_path: bool = field(default=False, compare=False)
 
     kind = "paging"
 
@@ -217,6 +228,8 @@ class KvRunResult(RunResult):
     latency_stats: list = field(default_factory=list)
     #: The RunContext this run recorded into (not serialized).
     context: RunContext = field(default=None, repr=False, compare=False)
+    #: Whether the run drove the flat-path kernel (not serialized).
+    fast_path: bool = field(default=False, compare=False)
 
     kind = "kv"
 
@@ -294,11 +307,18 @@ def _install_faults(cluster, fault_schedule):
     return driver
 
 
+def _fallback_windows(fault_schedule):
+    """Blackout windows the flat-path kernel must route around."""
+    if fault_schedule is None:
+        return ()
+    return fault_schedule.blackout_windows()
+
+
 def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
                         cluster_config=None, fastswap_config=None,
                         slabs_per_target=24, prefetch_capacity=128,
                         record_fault_latency=False, fault_schedule=None,
-                        context=None):
+                        context=None, fast_path=False):
     """Run an ML trace to completion under paging; returns the result.
 
     ``fit_fraction`` is the paper's "N% configuration": what share of
@@ -307,7 +327,10 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
     :class:`~repro.faults.schedule.FaultSchedule`) injects failures as
     timed events while the workload runs; ``context`` aggregates
     several runs into one :class:`RunContext` (one is created per run
-    when omitted).
+    when omitted).  ``fast_path=True`` pre-materializes the reference
+    string and drives it through the two-speed engine
+    (:meth:`~repro.swap.base.VirtualMemory.run_batch`) — bit-identical
+    results, fewer simulation events.
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
@@ -338,6 +361,7 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
         prefetch_capacity=prefetch_capacity,
         compute_per_access=spec.compute_per_access,
         fault_histogram=fault_histogram,
+        fallback_windows=_fallback_windows(fault_schedule),
     )
     if hasattr(backend, "bind_page_table"):
         backend.bind_page_table(mmu.pages, mmu.stats)
@@ -345,8 +369,14 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
     def job():
         yield from backend.setup()
         mmu.stats.start_time = cluster.env.now
-        for page_id, is_write in spec.trace(rng.stream("trace")):
-            yield from mmu.access(page_id, write=is_write)
+        if fast_path:
+            from repro.workloads.batch import materialize
+
+            batch = materialize(spec, rng.stream("trace"))
+            yield from mmu.run_batch(batch)
+        else:
+            for page_id, is_write in spec.trace(rng.stream("trace")):
+                yield from mmu.access(page_id, write=is_write)
         yield from mmu.flush()
         mmu.stats.end_time = cluster.env.now
 
@@ -363,6 +393,7 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
         tier_stack=tier_stack,
         latency_stats=_collect_latency_stats(cluster),
         context=context,
+        fast_path=fast_path,
     )
     if fault_histogram is not None:
         result.stats["fault_p50_s"] = fault_histogram.percentile(0.5)
@@ -375,14 +406,16 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
                     window=0.5, seed=0, cluster_config=None,
                     fastswap_config=None, slabs_per_target=24,
                     cold_start=False, prefetch_capacity=None,
-                    fault_schedule=None, context=None):
+                    fault_schedule=None, context=None, fast_path=False):
     """Closed-loop KV serving for ``duration`` simulated seconds.
 
     ``cold_start=True`` begins with the whole store swapped out (the
     post-pressure recovery scenario of Figure 9); otherwise the run
     starts with the hottest pages resident.  All tuning arguments are
     keyword-only; see :func:`run_paging_workload` for
-    ``fault_schedule`` and ``context``.
+    ``fault_schedule``, ``context`` and ``fast_path``.  KV ops stay
+    closed-loop under ``fast_path`` (the window bookkeeping needs the
+    clock after every op), so only each op's page burst is bulked.
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
@@ -411,6 +444,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         cpu=cluster_config.calibration.cpu,
         compute_per_access=spec.compute_per_op,
         prefetch_capacity=prefetch_capacity,
+        fallback_windows=_fallback_windows(fault_schedule),
     )
     if hasattr(backend, "bind_page_table"):
         backend.bind_page_table(mmu.pages, mmu.stats)
@@ -418,6 +452,8 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
     completed = {"ops": 0}
 
     def client():
+        if fast_path:
+            from repro.sim import flatpath
         yield from backend.setup()
         if cold_start:
             # Everything starts swapped out: fill and forcibly evict.
@@ -431,8 +467,29 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         operations = spec.operations(rng.stream("ops"))
         while cluster.env.now - start < duration:
             first_page, count, is_write = next(operations)
-            for offset in range(count):
-                yield from mmu.access(first_page + offset, write=is_write)
+            if fast_path:
+                # Bulk the op's page burst; fall back to the event
+                # engine for whatever the kernel would not inline.  An
+                # op whose first page would immediately major-fault
+                # (cold starts are all such ops) skips the kernel.
+                if (
+                    first_page not in mmu.resident
+                    and first_page not in mmu.prefetch
+                    and first_page in mmu.swapped_valid
+                ):
+                    index = 0
+                else:
+                    index, _reason = flatpath.advance(
+                        mmu,
+                        range(first_page, first_page + count),
+                        (is_write,) * count,
+                        0,
+                    )
+                for offset in range(index, count):
+                    yield from mmu.access(first_page + offset, write=is_write)
+            else:
+                for offset in range(count):
+                    yield from mmu.access(first_page + offset, write=is_write)
             yield from mmu.flush()
             window_ops += 1
             completed["ops"] += 1
@@ -457,6 +514,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         tier_stack=tier_stack,
         latency_stats=_collect_latency_stats(cluster),
         context=context,
+        fast_path=fast_path,
     )
     context.record(result)
     return result

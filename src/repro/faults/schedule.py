@@ -85,6 +85,19 @@ class FaultSchedule:
     def __iter__(self):
         return iter(self.events)
 
+    def blackout_windows(self):
+        """``(start, end)`` spans the flat-path kernel must stay out of.
+
+        One window per scheduled event, whatever its kind — a degrade
+        or partition perturbs latencies just as observably as a crash —
+        closing at ``down_until`` (``inf`` for permanent losses, which
+        conservatively pins the rest of the run to the event engine).
+        Overlaps are not merged; the kernel treats the tuple as a set.
+        """
+        return tuple(
+            (event.at, event.down_until) for event in self.events
+        )
+
     def down_intervals(self):
         """``(start, end, node)`` spans during which a node is down."""
         return [

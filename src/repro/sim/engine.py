@@ -35,6 +35,11 @@ class Environment:
         self._heap = []
         self._seq = count()
         self.active_process = None
+        #: While positive, the flat-path kernel must not run: some
+        #: multi-step protocol (e.g. a staged page migration) is in an
+        #: intermediate state that bulk execution is not allowed to
+        #: overlap.  Managed via :meth:`hold_bulk` / :meth:`release_bulk`.
+        self.bulk_holds = 0
         #: The run's tracer: the shared no-op :data:`~repro.trace.tracer.
         #: NULL_TRACER` unless a trace session is active.  Models guard
         #: hot paths with ``if env.tracer.enabled:`` so disabled runs
@@ -62,6 +67,18 @@ class Environment:
     def any_of(self, events):
         """Condition event succeeding when any of ``events`` succeeds."""
         return AnyOf(self, events)
+
+    # -- flat-path gating --------------------------------------------------
+
+    def hold_bulk(self):
+        """Forbid flat-path bulk execution until the matching release."""
+        self.bulk_holds += 1
+
+    def release_bulk(self):
+        """Release one :meth:`hold_bulk` (pair them with try/finally)."""
+        if self.bulk_holds <= 0:
+            raise SimulationError("release_bulk without a matching hold")
+        self.bulk_holds -= 1
 
     # -- scheduling --------------------------------------------------------
 

@@ -20,6 +20,7 @@ Design notes
 from collections import OrderedDict
 
 from repro.hw.latency import CpuSpec
+from repro.sim import flatpath
 
 
 class PagingStats:
@@ -114,6 +115,12 @@ class VirtualMemory:
         :class:`~repro.hw.latency.CpuSpec` for fault-path costs.
     prefetch_capacity:
         Size of the prefetch buffer / swap cache, in pages.
+    fallback_windows:
+        ``(start, end)`` spans of simulated time during which the
+        flat-path kernel must not run (fault-injection windows); the
+        event engine handles every access inside them.  Only consulted
+        by :meth:`run_batch` — the streamed :meth:`access` path ignores
+        them.
     """
 
     #: Cost of a resident hit (TLB+cache-missing DRAM access).
@@ -123,7 +130,7 @@ class VirtualMemory:
 
     def __init__(self, env, pages, capacity_pages, backend, cpu=None,
                  prefetch_capacity=128, compute_per_access=1.0e-6,
-                 fault_histogram=None):
+                 fault_histogram=None, fallback_windows=()):
         if capacity_pages < 1:
             raise ValueError("capacity_pages must be >= 1")
         self.env = env
@@ -142,6 +149,9 @@ class VirtualMemory:
         self.swapped_valid = set()
         self.stats = PagingStats()
         self._pending_time = 0.0
+        self.fallback_windows = tuple(sorted(fallback_windows))
+        #: What the flat-path kernel did for this instance.
+        self.flat_stats = flatpath.FlatPathStats()
 
     # -- capacity (ballooning hook) ------------------------------------------
 
@@ -203,6 +213,60 @@ class VirtualMemory:
             # First touch: demand-zero fault, no backend involved.
             self.stats.minor_faults += 1
         self._insert_resident(page, write)
+
+    def run_batch(self, batch):
+        """Generator: drive a pre-materialized
+        :class:`~repro.workloads.batch.AccessBatch` (two-speed engine).
+
+        Fault-free stretches execute through the flat-path kernel
+        (:func:`repro.sim.flatpath.advance`); every boundary access —
+        major fault, eviction I/O, scheduled events, fault-injection
+        window, held migration epoch — runs through the ordinary
+        :meth:`access` generator, so the run is bit-identical to
+        streaming the same reference string one access at a time.
+
+        Open-loop batches (``gaps`` set) are not bulked: the timed
+        waits between accesses must interleave with other processes,
+        so the whole batch runs on the event engine.
+        """
+        addresses = batch.addresses
+        writes = batch.writes
+        gaps = batch.gaps
+        total = len(addresses)
+        if gaps is not None:
+            for index in range(total):
+                gap = gaps[index]
+                if gap > 0.0:
+                    yield self.env.timeout(gap)
+                yield from self.access(addresses[index], write=writes[index])
+            return
+        resident = self.resident
+        prefetch = self.prefetch
+        swapped_valid = self.swapped_valid
+        index = 0
+        while index < total:
+            # Cheap pre-checks: an access that would immediately hit a
+            # boundary — a major fault, or an eviction whose LRU victim
+            # needs swap-out I/O — goes straight to the event engine.
+            # Fault storms and thrashing would otherwise pay the
+            # kernel's entry cost once per access for zero bulked work.
+            page_id = addresses[index]
+            if page_id not in resident:
+                if page_id not in prefetch and page_id in swapped_valid:
+                    yield from self.access(page_id, write=writes[index])
+                    index += 1
+                    continue
+                if len(resident) >= self.capacity_pages:
+                    victim_id, victim = next(iter(resident.items()))
+                    if victim.dirty or victim_id not in swapped_valid:
+                        yield from self.access(page_id, write=writes[index])
+                        index += 1
+                        continue
+            index, reason = flatpath.advance(self, addresses, writes, index)
+            if reason is None:
+                break
+            yield from self.access(addresses[index], write=writes[index])
+            index += 1
 
     def flush(self):
         """Generator: charge accumulated cheap-path time (end of run)."""

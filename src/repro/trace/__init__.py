@@ -26,6 +26,7 @@ from repro.trace.export import (
     load_jsonl,
     to_chrome,
     validate_chrome,
+    without_categories,
     write_chrome,
     write_jsonl,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "to_chrome",
     "tracer_for_env",
     "validate_chrome",
+    "without_categories",
     "write_chrome",
     "write_jsonl",
 ]

@@ -16,7 +16,12 @@ event list and checks four invariant families:
   with no overlapping reservation windows per key;
 * **retry accounting** — retries stay below the policy's attempt
   budget, and a trace with no injected faults contains no retries,
-  timeouts or failed sends.
+  timeouts or failed sends;
+* **flat-path windows** — ``flatpath.bulk`` spans (stretches the
+  flat-path kernel executed without events) never overlap a
+  fault-injection window or an open migration window: the two-speed
+  engine's run-boundary detector actually handed those back to the
+  event engine.
 
 Checks are scoped per cell (the experiment engine tags each cell's
 events), so a sweep-wide trace is analyzed as independent runs.
@@ -139,6 +144,7 @@ class TraceAnalyzer:
             violations.extend(self.check_crash_epochs(events))
             violations.extend(self.check_migration_pairing(events))
             violations.extend(self.check_retry_accounting(events))
+            violations.extend(self.check_flatpath_windows(events))
         return violations
 
     def assert_ok(self):
@@ -324,6 +330,80 @@ class TraceAnalyzer:
                 ),
                 event,
             ))
+        return violations
+
+    @staticmethod
+    def check_flatpath_windows(events):
+        """Flat-path bulk spans stay clear of fault/migration windows.
+
+        Fault windows pair ``fault.inject`` with the next
+        ``fault.recover`` on the same node (unrecovered faults stay
+        open forever); migration windows pair ``migrate.reserve`` with
+        the closing ``remap``/``abort`` for the key.  A bulk span
+        merely *touching* a window boundary is legal — the detector
+        stops the kernel exactly at the edge.
+        """
+        bulks = [
+            event for event in events if event["name"] == "flatpath.bulk"
+        ]
+        if not bulks:
+            return []
+        forever = float("inf")
+        windows = []  # (start, end, label)
+        open_faults = {}  # node -> [start, ...] oldest first
+        open_moves = {}  # key repr -> start
+        for event in _ordered(events):
+            name = event["name"]
+            args = event["args"]
+            if name == "fault.inject":
+                open_faults.setdefault(args.get("node"), []).append(
+                    event["ts"]
+                )
+            elif name == "fault.recover":
+                starts = open_faults.get(args.get("node"))
+                if starts:
+                    windows.append((
+                        starts.pop(0), event["ts"],
+                        "fault on {}".format(args.get("node")),
+                    ))
+            elif name == "migrate.reserve":
+                open_moves[repr(args.get("key"))] = event["ts"]
+            elif name in ("migrate.remap", "migrate.abort"):
+                start = open_moves.pop(repr(args.get("key")), None)
+                if start is not None:
+                    windows.append((
+                        start, event["ts"],
+                        "migration of {}".format(args.get("key")),
+                    ))
+        for node, starts in sorted(open_faults.items()):
+            for start in starts:
+                windows.append(
+                    (start, forever, "fault on {}".format(node))
+                )
+        for key, start in sorted(open_moves.items()):
+            windows.append((start, forever, "migration of {}".format(key)))
+        violations = []
+        for span in bulks:
+            begin = span["ts"]
+            end = begin + span["dur"]
+            for window_start, window_end, label in windows:
+                right_edge = (
+                    window_end if window_end == forever
+                    else window_end - _slack(begin, window_end)
+                )
+                if (
+                    begin < right_edge
+                    and window_start + _slack(window_start, end) < end
+                ):
+                    violations.append(Violation(
+                        "flatpath-window",
+                        "flatpath.bulk [{:.9f}, {:.9f}] overlaps the {} "
+                        "window [{:.9f}, {:.9f}]".format(
+                            begin, end, label, window_start, window_end
+                        ),
+                        span,
+                    ))
+                    break
         return violations
 
     @staticmethod

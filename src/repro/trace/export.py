@@ -34,6 +34,22 @@ def digest(events):
     return hashlib.sha256(_canonical(events).encode("utf-8")).hexdigest()
 
 
+def without_categories(events, *categories):
+    """``events`` minus the given dotted-name categories.
+
+    The equivalence tooling's view of a fast-path trace: stripping the
+    ``flatpath`` category (whose events draw sequence numbers from a
+    separate counter precisely so this works) must recover the
+    event-path run's trace byte for byte —
+    ``digest(without_categories(fast, "flatpath")) == digest(slow)``.
+    """
+    prefixes = tuple(category + "." for category in categories)
+    return [
+        event for event in events
+        if not event["name"].startswith(prefixes)
+    ]
+
+
 # -- JSONL ------------------------------------------------------------------
 
 

@@ -43,7 +43,15 @@ EVENT_NAMES = frozenset({
     "migrate.copy",
     "migrate.remap",
     "migrate.abort",
+    "flatpath.bulk",
 })
+
+#: Category of kernel-bookkeeping events that exist only on fast-path
+#: runs.  They draw sequence numbers from a separate counter so that
+#: stripping them (``repro.trace.export.without_categories``) recovers
+#: a byte-identical event-path trace — no fast-path event ever shifts
+#: the ``seq`` of a semantic event.
+META_CATEGORY = "flatpath."
 
 #: Track used for events emitted outside any simulation process.
 MAIN_TRACK = "main"
@@ -111,9 +119,16 @@ class Tracer:
         self.events = []
         self.histograms = HistogramSet()
         self._seq = count()
+        self._meta_seq = count()
         self._filter = tuple(filter) if filter else None
 
     # -- internals -----------------------------------------------------------
+
+    def _next_seq(self, name):
+        counter = (
+            self._meta_seq if name.startswith(META_CATEGORY) else self._seq
+        )
+        return next(counter)
 
     def _track(self):
         process = getattr(self.env, "active_process", None)
@@ -142,7 +157,9 @@ class Tracer:
         """
         if not self._wanted(name):
             return None
-        return Span(name, self._track(), self.env.now, next(self._seq), args)
+        return Span(
+            name, self._track(), self.env.now, self._next_seq(name), args
+        )
 
     def end(self, span, **extra):
         """Close a span (no-op when ``begin`` filtered it out)."""
@@ -180,7 +197,7 @@ class Tracer:
             "ts": self.env.now,
             "dur": 0.0,
             "track": self._track(),
-            "seq": next(self._seq),
+            "seq": self._next_seq(name),
             "args": args,
         }
         self.events.append(event)

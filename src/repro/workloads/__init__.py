@@ -9,6 +9,8 @@ compressibility.
 
 * :mod:`repro.workloads.patterns` — reusable access-pattern primitives
   (scans, Zipf, strides);
+* :mod:`repro.workloads.batch` — pre-materialized access batches, the
+  input contract of the flat-path kernel (two-speed engine);
 * :mod:`repro.workloads.ml` — iterative analytics workloads (PageRank,
   Logistic Regression, TunkRank, K-Means, SVM, Connected Components,
   ALS) as page-reference traces;
@@ -18,6 +20,7 @@ compressibility.
   with its (scaled) working set, input size and profile.
 """
 
+from repro.workloads.batch import AccessBatch, ZipfBatchSpec, materialize
 from repro.workloads.catalog import (
     APPLICATIONS,
     ApplicationSpec,
@@ -31,16 +34,19 @@ from repro.workloads.traces import RecordedTrace, load_trace, record_trace, save
 
 __all__ = [
     "APPLICATIONS",
+    "AccessBatch",
     "ApplicationSpec",
     "KV_WORKLOADS",
     "KvWorkloadSpec",
     "ML_WORKLOADS",
     "MlWorkloadSpec",
     "RecordedTrace",
+    "ZipfBatchSpec",
     "ZipfSampler",
     "get_application",
     "iter_applications",
     "load_trace",
+    "materialize",
     "record_trace",
     "save_trace",
 ]

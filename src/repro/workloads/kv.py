@@ -43,15 +43,40 @@ class KvWorkloadSpec:
     def pages(self):
         return self.keys * self.pages_per_key
 
+    def _sampler(self, rng):
+        # Clamp the slab-locality block to the key space: a store so
+        # small that one slab covers it is simply one block (identical
+        # to the old silently degenerate layout, but explicit — the
+        # sampler now rejects locality_block > n).
+        return ZipfSampler(self.keys, self.zipf_alpha, rng,
+                           locality_block=min(self.locality_block, self.keys))
+
     def operations(self, rng):
         """Infinite stream of ``(first_page_id, page_count, is_write)``."""
-        zipf = ZipfSampler(self.keys, self.zipf_alpha, rng,
-                           locality_block=self.locality_block)
+        zipf = self._sampler(rng)
         while True:
             key = zipf.sample()
             yield key * self.pages_per_key, self.pages_per_key, (
                 rng.random() >= self.read_fraction
             )
+
+    def operations_batch(self, rng, count):
+        """``count`` operations as a list, drawn in :meth:`operations`
+        order (key draw, then write coin, per operation).
+
+        One-shot: every call builds a fresh sampler, so chunked callers
+        should keep the generator from :meth:`operations` instead.
+        """
+        zipf = self._sampler(rng)
+        sample = zipf.sample
+        random = rng.random
+        pages_per_key = self.pages_per_key
+        read_fraction = self.read_fraction
+        return [
+            (sample() * pages_per_key, pages_per_key,
+             random() >= read_fraction)
+            for _ in range(count)
+        ]
 
     def with_overrides(self, **kwargs):
         from dataclasses import replace

@@ -55,6 +55,35 @@ class MlWorkloadSpec:
                 if self.random_ratio and rng.random() < self.random_ratio:
                     yield zipf.sample(), rng.random() < self.write_fraction
 
+    def trace_batch(self, rng):
+        """The same reference string as an
+        :class:`~repro.workloads.batch.AccessBatch`.
+
+        Draws from ``rng`` in exactly the interleaved order
+        :meth:`trace` does (write flag, ratio coin, then the optional
+        Zipf draw and its write flag), so a batched run replays the
+        streamed run's string bit for bit.
+        """
+        from repro.workloads.batch import AccessBatch
+
+        addresses = []
+        writes = []
+        add_address = addresses.append
+        add_write = writes.append
+        random = rng.random
+        write_fraction = self.write_fraction
+        ratio = self.random_ratio
+        zipf = ZipfSampler(self.pages, self.zipf_alpha, rng)
+        sample = zipf.sample
+        for _ in range(self.iterations):
+            for page_id in range(self.pages):
+                add_address(page_id)
+                add_write(random() < write_fraction)
+                if ratio and random() < ratio:
+                    add_address(sample())
+                    add_write(random() < write_fraction)
+        return AccessBatch(addresses, writes)
+
     def with_overrides(self, **kwargs):
         """A copy with fields replaced (for sweeps)."""
         from dataclasses import replace

@@ -23,6 +23,15 @@ class ZipfSampler:
             raise ValueError("alpha must be >= 0")
         if locality_block < 1:
             raise ValueError("locality_block must be >= 1")
+        if locality_block > n:
+            # A block wider than the address space degenerates to a
+            # single unshuffled block — silently indistinguishable from
+            # permute=False, which is never what the caller meant.
+            raise ValueError(
+                "locality_block ({}) must not exceed n ({})".format(
+                    locality_block, n
+                )
+            )
         self.n = n
         self.alpha = alpha
         weights = [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
@@ -56,6 +65,29 @@ class ZipfSampler:
         rank = bisect.bisect_left(self._cumulative, target)
         rank = min(rank, self.n - 1)
         return self._mapping[rank] if self._mapping else rank
+
+    def sample_many(self, k):
+        """``k`` draws as a list — one table walk per draw, no generator
+        frames.
+
+        Consumes the RNG in exactly the order ``k`` :meth:`sample` calls
+        would, so a batched caller and a one-at-a-time caller sharing a
+        seed see the same stream.
+        """
+        random = self._rng.random
+        search = bisect.bisect_left
+        cumulative = self._cumulative
+        total = self._total
+        top = self.n - 1
+        mapping = self._mapping
+        if mapping is not None:
+            return [
+                mapping[min(search(cumulative, random() * total), top)]
+                for _ in range(k)
+            ]
+        return [
+            min(search(cumulative, random() * total), top) for _ in range(k)
+        ]
 
 
 def sequential_scan(n, start=0):

@@ -1,0 +1,90 @@
+"""Golden equivalence: ``--fast-path`` changes speed, never numbers."""
+
+import json
+
+import pytest
+
+from repro.experiments import engine
+from repro.experiments.__main__ import main
+from repro.experiments.engine import RunSpec, run_experiment
+from repro.experiments.runner import run_paging_workload
+from repro.trace import TraceAnalyzer, digest
+from repro.workloads import ML_WORKLOADS
+
+#: Representative runner-based experiments: paging sweeps (fig6, fig7),
+#: KV throughput (fig8), cold-start timeline (fig9), chaos + replication
+#: (resilience_recovery), and a non-runner sweep that must simply ignore
+#: the flag (memory_balancing).
+GOLDEN = [
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "resilience_recovery",
+    "memory_balancing",
+]
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_experiment_results_identical_fast_vs_slow(name):
+    slow = run_experiment(name, scale=0.1, seed=0, jobs=1)
+    fast = run_experiment(name, scale=0.1, seed=0, jobs=1, fast_path=True)
+    assert json.dumps(fast.to_json()) == json.dumps(slow.to_json())
+
+
+def test_fast_path_is_part_of_the_cache_key():
+    slow_spec = RunSpec.make("fig7", backend="fastswap", workload="als")
+    fast_spec = RunSpec.make(
+        "fig7", backend="fastswap", workload="als", fast_path=True
+    )
+    assert slow_spec.cache_key() != fast_spec.cache_key()
+    assert RunSpec.from_dict(fast_spec.to_dict()) == fast_spec
+
+
+def test_traced_sweep_digest_equal_modulo_flatpath():
+    from repro.trace import without_categories
+
+    slow = run_experiment("fig6", scale=0.1, seed=0, jobs=1, trace=True)
+    fast = run_experiment(
+        "fig6", scale=0.1, seed=0, jobs=1, trace=True, fast_path=True
+    )
+    assert json.dumps(fast.to_json()) == json.dumps(slow.to_json())
+    stripped = without_categories(fast.trace_events, "flatpath")
+    assert digest(stripped) == digest(slow.trace_events)
+    # The fast sweep actually bulked: flat-path spans are present, and
+    # the analyzer (including the flatpath-window invariant) is clean.
+    bulks = [e for e in fast.trace_events if e["name"] == "flatpath.bulk"]
+    assert bulks
+    assert TraceAnalyzer(fast.trace_events).check() == []
+
+
+def test_fast_path_runs_are_counted_in_the_context():
+    spec = ML_WORKLOADS["logistic_regression"].with_overrides(pages=256)
+    result = run_paging_workload("fastswap", spec, 0.5, seed=1,
+                                 fast_path=True)
+    assert result.fast_path is True
+    assert result.context.fast_path_runs == 1
+    assert "fast_path" not in result.to_json()
+
+
+def test_cli_accepts_fast_path_flags(capsys, tmp_path):
+    argv = ["run", "fig7", "--scale", "0.1", "--jobs", "1", "--json",
+            "--cache-dir", str(tmp_path / "a"), "--fast-path"]
+    assert main(argv) == 0
+    fast_doc = capsys.readouterr().out
+    argv = ["run", "fig7", "--scale", "0.1", "--jobs", "1", "--json",
+            "--cache-dir", str(tmp_path / "b"), "--no-fast-path"]
+    assert main(argv) == 0
+    slow_doc = capsys.readouterr().out
+    assert json.loads(fast_doc)["result"] == json.loads(slow_doc)["result"]
+
+
+def test_cached_rerun_hits_under_fast_path(tmp_path):
+    cache = engine.ResultCache(tmp_path / "cache")
+    first = run_experiment("fig7", scale=0.1, seed=0, jobs=1, cache=cache,
+                           fast_path=True)
+    assert first.stats.cache_misses > 0
+    second = run_experiment("fig7", scale=0.1, seed=0, jobs=1, cache=cache,
+                            fast_path=True)
+    assert second.stats.cache_hits == second.stats.cells
+    assert json.dumps(second.result) == json.dumps(first.result)

@@ -1,0 +1,105 @@
+"""Property: flat-path and event-path runs are indistinguishable.
+
+For random (workload, seed, chaos schedule) triples, driving the same
+runner with ``fast_path=True`` and ``fast_path=False`` must produce
+identical :class:`PagingStats` counters, identical clocks, identical
+serialized payloads — and, when traced, identical latency rows and an
+identical trace once the flat-path meta events are stripped.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_paging_workload
+from repro.faults.schedule import FaultSchedule, random_schedule
+from repro.sim.rng import RngStreams
+from repro.trace import digest, runtime, without_categories
+from repro.workloads import ML_WORKLOADS
+from repro.workloads.batch import ZipfBatchSpec
+
+WORKLOAD_NAMES = sorted(ML_WORKLOADS)
+
+
+@st.composite
+def paging_cases(draw):
+    if draw(st.booleans()):
+        spec = ML_WORKLOADS[draw(st.sampled_from(WORKLOAD_NAMES))]
+        spec = spec.with_overrides(pages=draw(st.integers(64, 256)))
+    else:
+        spec = ZipfBatchSpec(
+            pages=draw(st.integers(32, 128)),
+            length=draw(st.integers(64, 512)),
+            zipf_alpha=draw(st.floats(0.0, 1.2)),
+            write_fraction=draw(st.floats(0.0, 0.5)),
+        )
+    fit = draw(st.sampled_from([1.0, 0.75, 0.5, 0.3]))
+    seed = draw(st.integers(0, 2 ** 16))
+    chaos_seed = draw(st.one_of(st.none(), st.integers(0, 2 ** 8)))
+    return spec, fit, seed, chaos_seed
+
+
+def chaos_for(chaos_seed):
+    if chaos_seed is None:
+        return None
+    return random_schedule(
+        RngStreams(chaos_seed).stream("chaos"),
+        ["node0", "node1", "node2", "node3"],
+        horizon=0.05,
+        rate=3,
+    )
+
+
+@given(paging_cases())
+@settings(max_examples=12, deadline=None)
+def test_fast_and_slow_paging_runs_are_identical(case):
+    spec, fit, seed, chaos_seed = case
+    schedule = chaos_for(chaos_seed)
+    slow = run_paging_workload(
+        "fastswap", spec, fit, seed=seed, fault_schedule=schedule
+    )
+    fast = run_paging_workload(
+        "fastswap", spec, fit, seed=seed, fault_schedule=schedule,
+        fast_path=True,
+    )
+    assert fast.stats == slow.stats
+    assert fast.completion_time == slow.completion_time
+    assert json.dumps(fast.to_json()) == json.dumps(slow.to_json())
+
+
+@given(paging_cases())
+@settings(max_examples=4, deadline=None)
+def test_traced_runs_agree_modulo_flatpath_meta(case):
+    spec, fit, seed, chaos_seed = case
+    schedule = chaos_for(chaos_seed)
+    with runtime.session() as active:
+        slow = run_paging_workload(
+            "fastswap", spec, fit, seed=seed, fault_schedule=schedule
+        )
+        slow_events = active.events_json()
+    with runtime.session() as active:
+        fast = run_paging_workload(
+            "fastswap", spec, fit, seed=seed, fault_schedule=schedule,
+            fast_path=True,
+        )
+        fast_events = active.events_json()
+    assert json.dumps(fast.latency_stats) == json.dumps(slow.latency_stats)
+    assert digest(without_categories(fast_events, "flatpath")) == digest(
+        slow_events
+    )
+
+
+def test_chaos_schedule_blackouts_route_through_event_engine():
+    # Deterministic anchor: a permanent loss opens an infinite blackout,
+    # so every access after it must take the event path.
+    spec = ZipfBatchSpec(pages=64, length=400)
+    schedule = FaultSchedule.single("server_loss", "node1", 0.0001, 0.05)
+    slow = run_paging_workload(
+        "fastswap", spec, 0.5, seed=9, fault_schedule=schedule
+    )
+    fast = run_paging_workload(
+        "fastswap", spec, 0.5, seed=9, fault_schedule=schedule,
+        fast_path=True,
+    )
+    assert json.dumps(fast.to_json()) == json.dumps(slow.to_json())

@@ -1,0 +1,173 @@
+"""Unit tests for the flat-path kernel and its boundary discipline."""
+
+import pytest
+
+from repro.sim.errors import SimulationError
+from repro.mem.page import make_pages
+from repro.sim import Environment, flatpath
+from repro.swap.base import SwapBackend, VirtualMemory
+
+NPAGES = 16
+
+
+class NullBackend(SwapBackend):
+    """Zero-latency backend so only the MMU's own charges matter."""
+
+    name = "null"
+
+    def __init__(self, env):
+        self.env = env
+        self.held = set()
+        self.discards = 0
+
+    def swap_out(self, page):
+        self.held.add(page.page_id)
+        yield self.env.timeout(1e-6)
+
+    def swap_in(self, page):
+        yield self.env.timeout(1e-6)
+        return []
+
+    def discard(self, page):
+        self.held.discard(page.page_id)
+        self.discards += 1
+
+
+def make_vm(capacity=NPAGES, windows=(), env=None):
+    env = env or Environment()
+    backend = NullBackend(env)
+    vm = VirtualMemory(
+        env, make_pages(NPAGES), capacity, backend,
+        prefetch_capacity=4, fallback_windows=windows,
+    )
+    return env, vm
+
+
+def test_advance_runs_demand_zero_and_hits_to_the_end():
+    env, vm = make_vm()
+    addresses = [0, 1, 2, 0, 1, 2, 3]
+    writes = [False] * len(addresses)
+    index, reason = flatpath.advance(vm, addresses, writes, 0)
+    assert (index, reason) == (len(addresses), None)
+    assert vm.stats.accesses == len(addresses)
+    assert vm.stats.resident_hits == 3
+    assert vm.stats.minor_faults == 4
+    assert env.now > 0.0  # demand-zero faults flushed the clock
+    assert vm.flat_stats.bulk_runs == 1
+    assert vm.flat_stats.bulk_accesses == len(addresses)
+
+
+def test_advance_equals_event_engine_exactly():
+    addresses = [0, 1, 2, 3, 0, 1, 4, 5, 2, 0]
+    writes = [i % 3 == 0 for i in range(len(addresses))]
+
+    env_a, vm_a = make_vm(capacity=3)
+    index, reason = flatpath.advance(vm_a, addresses, writes, 0)
+
+    env_b, vm_b = make_vm(capacity=3)
+
+    def job():
+        for page_id, is_write in zip(addresses[:index], writes[:index]):
+            yield from vm_b.access(page_id, write=is_write)
+
+    env_b.process(job())
+    env_b.run()
+    assert env_a.now == env_b.now
+    assert vm_a._pending_time == vm_b._pending_time
+    assert vm_a.stats.snapshot() == vm_b.stats.snapshot()
+    assert list(vm_a.resident) == list(vm_b.resident)
+    assert vm_a.swapped_valid == vm_b.swapped_valid
+
+
+def test_major_fault_is_a_boundary_and_left_untouched():
+    env, vm = make_vm(capacity=2)
+    # Page 0 evicted clean after 1 and 2 displace it? Use explicit setup:
+    vm.swapped_valid.add(5)
+    addresses = [0, 1, 5]
+    index, reason = flatpath.advance(vm, addresses, [False] * 3, 0)
+    assert (index, reason) == (2, "major-fault")
+    assert 5 not in vm.resident and 5 in vm.swapped_valid
+    assert vm.flat_stats.boundaries["major-fault"] == 1
+
+
+def test_dirty_eviction_is_a_boundary():
+    env, vm = make_vm(capacity=2)
+    index, reason = flatpath.advance(vm, [0, 1], [True, True], 0)
+    assert reason is None
+    # Both resident pages are dirty: the next miss must evict via I/O.
+    index, reason = flatpath.advance(vm, [0, 1, 2], [False] * 3, 0)
+    assert (index, reason) == (2, "eviction-io")
+    assert 2 not in vm.resident
+
+
+def test_bulk_hold_blocks_the_kernel():
+    env, vm = make_vm()
+    env.hold_bulk()
+    index, reason = flatpath.advance(vm, [0, 1], [False, False], 0)
+    assert (index, reason) == (0, "bulk-hold")
+    env.release_bulk()
+    index, reason = flatpath.advance(vm, [0, 1], [False, False], 0)
+    assert (index, reason) == (2, None)
+
+
+def test_release_without_hold_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.release_bulk()
+
+
+def test_inside_fault_window_blocks_immediately():
+    env, vm = make_vm(windows=((0.0, 1.0),))
+    index, reason = flatpath.advance(vm, [0], [False], 0)
+    assert (index, reason) == (0, "fault-window")
+
+
+def test_clock_jump_never_crosses_a_window_start():
+    env, vm = make_vm(windows=((1e-9, 1.0),))
+    # Access 0 is a demand-zero fault whose flush would land past the
+    # window start; the kernel must stop before executing it.
+    index, reason = flatpath.advance(vm, [0, 1], [False, False], 0)
+    assert (index, reason) == (0, "fault-window")
+    assert env.now < 1e-9
+
+
+def test_imminent_events_block_demand_zero_inlining():
+    env, vm = make_vm()
+    env.timeout(1e-9)  # would pop before the flush: could interleave
+    index, reason = flatpath.advance(vm, [0], [False], 0)
+    assert (index, reason) == (0, "sched-events")
+
+
+def test_far_future_events_do_not_block_demand_zero_inlining():
+    env, vm = make_vm()
+    env.timeout(1.0)  # pops long after anything this stretch charges
+    index, reason = flatpath.advance(vm, [0, 1], [False, False], 0)
+    assert (index, reason) == (2, None)
+    assert 0.0 < env.now < 1.0  # flushed inline; the event is pending
+
+
+def test_resident_hits_inline_even_with_scheduled_events():
+    env, vm = make_vm()
+    index, reason = flatpath.advance(vm, [0], [False], 0)
+    assert reason is None
+    env.timeout(1.0)
+    # Hits never advance the clock, so the pending event is no obstacle.
+    index, reason = flatpath.advance(vm, [0, 0, 0], [False, True, False], 0)
+    assert (index, reason) == (3, None)
+    assert vm.stats.resident_hits == 3
+
+
+def test_stop_argument_bounds_the_stretch():
+    env, vm = make_vm()
+    index, reason = flatpath.advance(vm, [0, 1, 2], [False] * 3, 0, stop=2)
+    assert (index, reason) == (2, None)
+    assert vm.stats.accesses == 2
+
+
+def test_stats_snapshot_shape():
+    env, vm = make_vm()
+    flatpath.advance(vm, [0, 0], [False, False], 0)
+    snap = vm.flat_stats.snapshot()
+    assert snap == {
+        "bulk_runs": 1, "bulk_accesses": 2, "boundaries": {}
+    }

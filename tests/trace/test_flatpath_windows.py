@@ -1,0 +1,103 @@
+"""The flatpath-window invariant and the flat-path meta-event strip."""
+
+from repro.trace import TraceAnalyzer, digest, without_categories
+
+
+def _event(name, ts, dur=0.0, seq=0, **args):
+    ph = "X" if dur or name == "flatpath.bulk" else "i"
+    return {
+        "name": name, "ph": ph, "ts": ts, "dur": dur,
+        "track": "proc:0", "seq": seq, "args": args,
+    }
+
+
+def _bulk(ts, dur, seq=0):
+    return _event("flatpath.bulk", ts, dur, seq=seq, accesses=10,
+                  boundary="end-of-batch")
+
+
+def test_bulk_span_inside_fault_window_is_a_violation():
+    events = [
+        _event("fault.inject", 1.0, seq=1, kind="crash", node="node2"),
+        _bulk(1.2, 0.1, seq=2),
+        _event("fault.recover", 2.0, seq=3, kind="reboot", node="node2"),
+    ]
+    violations = TraceAnalyzer(events).check_flatpath_windows(events)
+    assert len(violations) == 1
+    assert violations[0].invariant == "flatpath-window"
+    assert "node2" in violations[0].message
+
+
+def test_bulk_span_overlapping_unrecovered_fault_is_a_violation():
+    # No recover event: the window stays open forever.
+    events = [
+        _event("fault.inject", 1.0, seq=1, kind="server_loss", node="node3"),
+        _bulk(5.0, 0.5, seq=2),
+    ]
+    assert TraceAnalyzer(events).check_flatpath_windows(events)
+
+
+def test_bulk_span_inside_migration_window_is_a_violation():
+    events = [
+        _event("migrate.reserve", 1.0, seq=1, key=["vs0", 7]),
+        _bulk(1.1, 0.2, seq=2),
+        _event("migrate.remap", 2.0, seq=3, key=["vs0", 7]),
+    ]
+    violations = TraceAnalyzer(events).check_flatpath_windows(events)
+    assert len(violations) == 1
+    assert "migration" in violations[0].message
+
+
+def test_bulk_spans_outside_and_touching_windows_are_legal():
+    events = [
+        _bulk(0.0, 1.0, seq=1),  # ends exactly at the window start
+        _event("fault.inject", 1.0, seq=2, kind="crash", node="node1"),
+        _event("fault.recover", 2.0, seq=3, kind="reboot", node="node1"),
+        _bulk(2.0, 0.5, seq=4),  # begins exactly at the window end
+        _event("migrate.reserve", 4.0, seq=5, key=["vs0", 1]),
+        _event("migrate.abort", 4.5, seq=6, key=["vs0", 1],
+               reason="reserve-refused"),
+        _bulk(4.5, 0.25, seq=7),
+    ]
+    assert TraceAnalyzer(events).check_flatpath_windows(events) == []
+
+
+def test_no_bulk_spans_short_circuits():
+    events = [
+        _event("fault.inject", 1.0, seq=1, kind="crash", node="node1"),
+    ]
+    assert TraceAnalyzer(events).check_flatpath_windows(events) == []
+
+
+def test_check_includes_flatpath_windows_per_cell():
+    # Cell 0 is clean; cell 1 overlaps — only cell 1's span violates.
+    clean = _bulk(0.0, 0.5, seq=1)
+    clean["cell"] = 0
+    inject = _event("fault.inject", 1.0, seq=1, kind="crash", node="n")
+    inject["cell"] = 1
+    guilty = _bulk(1.1, 0.1, seq=2)
+    guilty["cell"] = 1
+    violations = [
+        v for v in TraceAnalyzer([clean, inject, guilty]).check()
+        if v.invariant == "flatpath-window"
+    ]
+    assert len(violations) == 1
+    assert violations[0].event is guilty
+
+
+def test_without_categories_strips_only_the_named_category():
+    bulk = _bulk(0.0, 0.5, seq=1)
+    fault = _event("fault.inject", 1.0, seq=2, kind="crash", node="n")
+    kept = without_categories([bulk, fault], "flatpath")
+    assert kept == [fault]
+    # Prefix matching is on the dotted category, not raw startswith:
+    # a hypothetical "flat" category must not strip "flatpath.bulk".
+    assert without_categories([bulk, fault], "flat") == [bulk, fault]
+
+
+def test_without_categories_restores_event_path_digest():
+    fault = _event("fault.inject", 1.0, seq=2, kind="crash", node="n")
+    with_meta = [_bulk(0.0, 0.5, seq=1), fault]
+    assert digest(without_categories(with_meta, "flatpath")) == digest(
+        [fault]
+    )

@@ -87,3 +87,22 @@ def test_interleave_ratio_one():
 
 def test_take():
     assert take(iter(range(100)), 3) == [0, 1, 2]
+
+
+def test_zipf_rejects_locality_block_wider_than_n():
+    with pytest.raises(ValueError):
+        ZipfSampler(8, 1.0, random.Random(0), locality_block=9)
+    # The boundary itself is legal: one block covering everything.
+    ZipfSampler(8, 1.0, random.Random(0), locality_block=8)
+
+
+def test_zipf_single_item_always_draws_it():
+    sampler = ZipfSampler(1, 1.0, random.Random(4))
+    assert [sampler.sample() for _ in range(20)] == [0] * 20
+    assert sampler.sample_many(20) == [0] * 20
+
+
+def test_zipf_alpha_zero_sample_many_matches_sample():
+    one = ZipfSampler(16, 0.0, random.Random(6))
+    many = ZipfSampler(16, 0.0, random.Random(6))
+    assert many.sample_many(64) == [one.sample() for _ in range(64)]
