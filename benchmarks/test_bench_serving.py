@@ -1,0 +1,29 @@
+"""Benchmark: the open-loop QoS serving sweep."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import open_loop_serving
+
+
+def test_bench_open_loop_serving(run_once, benchmark):
+    result = run_once(open_loop_serving.run, scale=SCALE)
+    rows = result["rows"]
+    # Shape: gold's envelope goodput share dominates best-effort in
+    # every cell, and squeezing the disk-backed system costs goodput.
+    for row in rows:
+        assert row["gold_envelope"] >= row["bestEffort_envelope"] - 1e-9
+    collapsed = [
+        row for row in rows
+        if row["system"] == "linux" and row["fit"] == 0.35
+    ]
+    assert any(row["goodput_rps"] < row["offered"] for row in collapsed)
+    simulated_requests = sum(row["offered"] for row in rows)
+    simulated_users = max(row["users"] for row in rows)
+    wall = benchmark.stats["mean"]
+    benchmark.extra_info["simulated_users_per_cell"] = simulated_users
+    benchmark.extra_info["simulated_requests"] = simulated_requests
+    benchmark.extra_info["simulated_requests_per_sec"] = (
+        simulated_requests / wall if wall > 0 else 0.0
+    )
+    benchmark.extra_info["aggregate_goodput_rps"] = sum(
+        row["goodput_rps"] for row in rows
+    )

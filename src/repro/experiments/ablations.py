@@ -368,7 +368,7 @@ def _compute_ballooning(spec):
     def job():
         yield from backend.setup()
         mmu.stats.start_time = cluster.env.now
-        for page_id, is_write in workload.trace(cluster.rng.stream("t")):
+        for page_id, is_write in workload.iter_accesses(cluster.rng.stream("t")):
             yield from mmu.access(page_id, write=is_write)
         yield from mmu.flush()
         mmu.stats.end_time = cluster.env.now
@@ -514,7 +514,7 @@ def _run_paging_tenants(spec, tenants, seed, core_concurrency, sm_fraction):
         def job(backend=backend, mmu=mmu, index=index):
             yield from backend.setup()
             mmu.stats.start_time = cluster.env.now
-            for page_id, is_write in spec.trace(
+            for page_id, is_write in spec.iter_accesses(
                 cluster.rng.stream("trace{}".format(index))
             ):
                 yield from mmu.access(page_id, write=is_write)

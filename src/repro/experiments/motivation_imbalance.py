@@ -101,7 +101,7 @@ def compute(spec):
     def job():
         yield from backend.setup()
         mmu.stats.start_time = cluster.env.now
-        for page_id, is_write in workload.trace(cluster.rng.stream("trace")):
+        for page_id, is_write in workload.iter_accesses(cluster.rng.stream("trace")):
             yield from mmu.access(page_id, write=is_write)
         yield from mmu.flush()
         mmu.stats.end_time = cluster.env.now

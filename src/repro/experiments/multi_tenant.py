@@ -29,10 +29,27 @@ EXPERIMENT = "multi_tenant"
 SYSTEMS = ("fastswap", "infiniswap", "linux")
 
 
+def _participating_nodes(cluster, tenants):
+    """Nodes whose donated shared pools a tenant can actually fill.
+
+    Tier-1 puts go to the *local* node's shared memory pool (LDMS
+    order: shared pool, then remote, then disk), so only nodes hosting
+    a tenant ever see shared-pool usage.  When ``tenants`` is below the
+    cluster size (the experiment always builds ``max(4, tenants)``
+    nodes), averaging utilization over all nodes dilutes the mean by
+    ``num_nodes / tenants`` — pools no workload runs next to can never
+    be filled.  Utilization is therefore reported over the
+    participating nodes only.
+    """
+    return cluster.nodes()[:tenants]
+
+
 def _run_system(system, spec, tenants, seed):
     config = default_cluster_config(seed=seed, num_nodes=max(4, tenants))
     cluster = DisaggregatedCluster.build(config)
-    monitor = ClusterUtilizationMonitor(cluster, period=0.01)
+    monitor = ClusterUtilizationMonitor(
+        cluster, period=0.01, nodes=_participating_nodes(cluster, tenants)
+    )
     monitor.start()
     jobs = []
     mmus = []
@@ -61,7 +78,7 @@ def _run_system(system, spec, tenants, seed):
             yield from backend.setup()
             mmu.stats.start_time = cluster.env.now
             trace_rng = cluster.rng.stream("trace{}".format(index))
-            for page_id, is_write in spec.trace(trace_rng):
+            for page_id, is_write in spec.iter_accesses(trace_rng):
                 yield from mmu.access(page_id, write=is_write)
             yield from mmu.flush()
             mmu.stats.end_time = cluster.env.now

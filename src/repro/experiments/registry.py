@@ -76,6 +76,10 @@ EXPERIMENTS = {
         _PACKAGE + ".memory_balancing",
         "balancing policy x skewed pressure x group size",
     ),
+    "open_loop_serving": (
+        _PACKAGE + ".open_loop_serving",
+        "open-loop QoS serving: goodput under SLO",
+    ),
 }
 
 

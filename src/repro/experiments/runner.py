@@ -249,6 +249,22 @@ _RESULT_KINDS = {
 }
 
 
+def register_result_kind(cls):
+    """Register a :class:`RunResult` subclass for ``from_json`` dispatch.
+
+    Packages that define their own result kinds (e.g. :mod:`repro.serve`)
+    call this at import time instead of being imported here, which keeps
+    the runner free of upward dependencies.  Usable as a decorator.
+    """
+    if not cls.kind:
+        raise ValueError("result class must set a non-empty kind")
+    existing = _RESULT_KINDS.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ValueError("result kind {!r} already registered".format(cls.kind))
+    _RESULT_KINDS[cls.kind] = cls
+    return cls
+
+
 def _build(backend_name, cluster_config, fastswap_config, slabs_per_target):
     cluster = DisaggregatedCluster.build(cluster_config)
     node = cluster.nodes()[0]
@@ -349,9 +365,9 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
     capacity = max(1, int(spec.pages * fit_fraction))
     fault_histogram = None
     if record_fault_latency:
-        from repro.metrics.stats import Histogram
+        from repro.trace.histogram import LatencyHistogram
 
-        fault_histogram = Histogram(least=1e-7, factor=2.0, buckets=32)
+        fault_histogram = LatencyHistogram(least=1e-7, buckets=32)
     mmu = VirtualMemory(
         cluster.env,
         pages,
@@ -375,7 +391,7 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
             batch = materialize(spec, rng.stream("trace"))
             yield from mmu.run_batch(batch)
         else:
-            for page_id, is_write in spec.trace(rng.stream("trace")):
+            for page_id, is_write in spec.iter_accesses(rng.stream("trace")):
                 yield from mmu.access(page_id, write=is_write)
         yield from mmu.flush()
         mmu.stats.end_time = cluster.env.now
@@ -396,8 +412,9 @@ def run_paging_workload(backend_name, spec, fit_fraction, *, seed=0,
         fast_path=fast_path,
     )
     if fault_histogram is not None:
-        result.stats["fault_p50_s"] = fault_histogram.percentile(0.5)
-        result.stats["fault_p99_s"] = fault_histogram.percentile(0.99)
+        result.stats["fault_p50_s"] = fault_histogram.p50
+        result.stats["fault_p99_s"] = fault_histogram.p99
+        result.stats["fault_p999_s"] = fault_histogram.p999
     context.record(result)
     return result
 
@@ -464,7 +481,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         start = cluster.env.now
         window_end = start + window
         window_ops = 0
-        operations = spec.operations(rng.stream("ops"))
+        operations = spec.iter_operations(rng.stream("ops"))
         while cluster.env.now - start < duration:
             first_page, count, is_write = next(operations)
             if fast_path:

@@ -39,12 +39,22 @@ class UtilizationSample:
 
 
 class ClusterUtilizationMonitor:
-    """Samples pool usage across a cluster on a fixed period."""
+    """Samples pool usage across a cluster on a fixed period.
 
-    def __init__(self, cluster, period=0.05):
+    ``nodes`` restricts sampling to a subset of the cluster (e.g. the
+    nodes actually *participating* in an experiment).  Averaging over
+    the full cluster dilutes utilization with pools no workload can
+    ever touch — tier-1 puts land in the local node's shared pool, so
+    with one tenant on a four-node cluster three donated pools sit
+    idle by construction and the cluster-wide mean understates the
+    participating pools' utilization by 4x.
+    """
+
+    def __init__(self, cluster, period=0.05, nodes=None):
         if period <= 0:
             raise ValueError("period must be positive")
         self.cluster = cluster
+        self.nodes = list(nodes) if nodes is not None else None
         self.period = period
         self.samples = []
         self.pool_series = TimeSeries("pool-utilization")
@@ -60,7 +70,7 @@ class ClusterUtilizationMonitor:
 
     def sample_now(self):
         """Take one snapshot immediately."""
-        nodes = self.cluster.nodes()
+        nodes = self.nodes if self.nodes is not None else self.cluster.nodes()
         sample = UtilizationSample(
             self.cluster.env.now,
             sum(n.shared_pool.used_bytes for n in nodes),

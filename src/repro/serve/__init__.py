@@ -1,0 +1,49 @@
+"""Open-loop multi-tenant serving: arrivals, QoS classes, SLO accounting.
+
+This package turns the simulator into a production-style serving
+testbed (the paper's serving discussion, scaled down): tenant classes
+with arrival processes offer load open-loop, one front-end node under
+memory pressure serves it through a swap backend, and an accountant
+scores the outcome against per-class latency SLOs.
+
+* :mod:`repro.serve.arrivals` — Poisson, bursty (MMPP) and diurnal
+  arrival processes, with tenant aggregation (a hundred thousand
+  tenants cost one stream);
+* :mod:`repro.serve.qos` — QoS classes (gold / silver / bestEffort)
+  and :class:`~repro.serve.qos.TenantClassSpec`, the open-loop
+  implementation of the unified WorkloadSpec protocol;
+* :mod:`repro.serve.accountant` — goodput-under-SLO, violation
+  fractions, Jain fairness; mergeable across workers;
+* :mod:`repro.serve.driver` — the priority-scheduled serving loop on
+  the two-speed engine.
+
+See ``docs/SERVING.md`` for the methodology.
+"""
+
+from repro.serve.accountant import ClassAccount, SloAccountant, jain_fairness
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrival_process,
+)
+from repro.serve.driver import ServingRunResult, run_serving_workload
+from repro.serve.qos import QOS_CLASSES, QosClass, TenantClassSpec, default_mix
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ClassAccount",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "QOS_CLASSES",
+    "QosClass",
+    "ServingRunResult",
+    "SloAccountant",
+    "TenantClassSpec",
+    "default_mix",
+    "jain_fairness",
+    "make_arrival_process",
+    "run_serving_workload",
+]

@@ -1,0 +1,234 @@
+"""SLO accounting: goodput, violation fractions, cross-class fairness.
+
+The :class:`SloAccountant` is the serving driver's scoreboard.  Every
+completed request records its latency (completion minus arrival, so
+queueing delay counts) into a per-class
+:class:`~repro.trace.histogram.LatencyHistogram` and a pair of
+counters; from those it reports the quantities the paper's serving
+discussion cares about:
+
+* **goodput-under-SLO** — requests per second that *met* their class
+  SLO (raw throughput flatters a system that serves best-effort while
+  gold requests rot in the queue);
+* **per-class violation fraction** — the share of completed requests
+  over SLO;
+* **Jain fairness** over per-class SLO attainment — 1.0 when every
+  class meets its SLO equally, 1/n when one class takes everything.
+
+Accountants merge (histograms and counters add), so per-worker
+accounting in a parallel sweep folds into the same numbers a serial
+run produces — the serving analogue of the engine's byte-identical
+cells contract.
+"""
+
+from repro.trace.histogram import LatencyHistogram
+
+__all__ = ["ClassAccount", "SloAccountant", "jain_fairness"]
+
+#: Histogram shape for request latencies: 100 ns resolution spans a
+#: DRAM-speed hit to ~10k seconds of queueing collapse in 40 buckets.
+_LEAST = 1e-7
+_BUCKETS = 40
+
+
+def jain_fairness(values):
+    """Jain's index: ``(sum x)^2 / (n * sum x^2)``, in ``[1/n, 1]``."""
+    values = list(values)
+    if not values:
+        return 1.0
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(value * value for value in values)
+    if sum_of_squares == 0.0:
+        return 1.0
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+class ClassAccount:
+    """One QoS class's counters + latency histogram."""
+
+    __slots__ = ("name", "slo_s", "offered", "completed", "slo_met",
+                 "histogram")
+
+    def __init__(self, name, slo_s):
+        self.name = name
+        self.slo_s = slo_s
+        #: Requests that arrived (offered load), completed or not.
+        self.offered = 0
+        self.completed = 0
+        #: Completed within the class SLO.
+        self.slo_met = 0
+        self.histogram = LatencyHistogram(least=_LEAST, buckets=_BUCKETS)
+
+    def record_offered(self, count=1):
+        self.offered += count
+
+    def record_completion(self, latency):
+        self.completed += 1
+        self.histogram.record(latency)
+        if latency <= self.slo_s:
+            self.slo_met += 1
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def violation_fraction(self):
+        """Share of *completed* requests over SLO."""
+        if self.completed == 0:
+            return 0.0
+        return 1.0 - self.slo_met / self.completed
+
+    @property
+    def attainment(self):
+        """SLO-met share of *offered* load (unserved requests count
+        against the class — a starved class attains nothing)."""
+        if self.offered == 0:
+            return 1.0
+        return self.slo_met / self.offered
+
+    def within(self, threshold):
+        """Share of *offered* load completed at or below ``threshold``.
+
+        Unlike :attr:`attainment` this evaluates every class at the
+        *same* latency envelope, which is the quantity a priority
+        scheduler actually orders: gold's delay distribution dominates
+        best-effort's at any common threshold, while per-class SLOs of
+        different widths can rank either way (a 25 ms backlog violates
+        a 20 ms gold SLO but not a 200 ms best-effort one).  Estimated
+        from the latency histogram (see
+        :meth:`~repro.trace.histogram.LatencyHistogram.cdf`).
+        """
+        if self.offered == 0:
+            return 1.0
+        return self.histogram.cdf(threshold) * self.completed / self.offered
+
+    def merge(self, other):
+        if (self.name, self.slo_s) != (other.name, other.slo_s):
+            raise ValueError("cannot merge accounts of different classes")
+        self.offered += other.offered
+        self.completed += other.completed
+        self.slo_met += other.slo_met
+        self.histogram.merge(other.histogram)
+        return self
+
+    def to_json(self):
+        return {
+            "name": self.name,
+            "slo_s": self.slo_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "slo_met": self.slo_met,
+            "histogram": self.histogram.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, doc):
+        account = cls(doc["name"], doc["slo_s"])
+        account.offered = doc["offered"]
+        account.completed = doc["completed"]
+        account.slo_met = doc["slo_met"]
+        account.histogram = LatencyHistogram.from_json(doc["histogram"])
+        return account
+
+
+class SloAccountant:
+    """Per-class SLO scoreboard for one serving run (or one worker)."""
+
+    def __init__(self):
+        self._accounts = {}
+
+    def account(self, qos):
+        """The (lazily created) account for a :class:`QosClass`."""
+        existing = self._accounts.get(qos.name)
+        if existing is None:
+            existing = ClassAccount(qos.name, qos.slo_s)
+            self._accounts[qos.name] = existing
+        elif existing.slo_s != qos.slo_s:
+            raise ValueError(
+                "class {!r} already tracked with a different SLO".format(
+                    qos.name
+                )
+            )
+        return existing
+
+    def __len__(self):
+        return len(self._accounts)
+
+    def __iter__(self):
+        return iter(sorted(self._accounts.items()))
+
+    def get(self, name):
+        return self._accounts.get(name)
+
+    # -- reporting ---------------------------------------------------------
+
+    def goodput(self, duration):
+        """Aggregate requests-per-second that met their class SLO."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return sum(a.slo_met for a in self._accounts.values()) / duration
+
+    def class_goodput(self, name, duration):
+        account = self._accounts[name]
+        return account.slo_met / duration
+
+    def fairness(self):
+        """Jain's index over per-class SLO attainment."""
+        return jain_fairness(
+            account.attainment for _name, account in self
+        )
+
+    def envelope(self):
+        """The loosest SLO across tracked classes — the common latency
+        threshold cross-class dominance is judged at."""
+        if not self._accounts:
+            return 0.0
+        return max(account.slo_s for account in self._accounts.values())
+
+    def rows(self, duration):
+        """One flat report row per class, deterministically ordered."""
+        envelope = self.envelope()
+        rows = []
+        for name, account in self:
+            row = {
+                "class": name,
+                "slo_s": account.slo_s,
+                "offered": account.offered,
+                "completed": account.completed,
+                "slo_met": account.slo_met,
+                "goodput_rps": account.slo_met / duration,
+                "violation_fraction": account.violation_fraction,
+                "attainment": account.attainment,
+                "envelope_s": envelope,
+                "envelope_attainment": account.within(envelope),
+            }
+            row.update(
+                (key, value)
+                for key, value in account.histogram.snapshot().items()
+                if key != "count"
+            )
+            rows.append(row)
+        return rows
+
+    # -- merging / serialization -------------------------------------------
+
+    def merge(self, other):
+        """Fold another accountant in (associative; see module doc)."""
+        for name, account in other._accounts.items():
+            mine = self._accounts.get(name)
+            if mine is None:
+                self._accounts[name] = ClassAccount.from_json(
+                    account.to_json()
+                )
+            else:
+                mine.merge(account)
+        return self
+
+    def to_json(self):
+        return [account.to_json() for _name, account in self]
+
+    @classmethod
+    def from_json(cls, docs):
+        accountant = cls()
+        for doc in docs:
+            accountant._accounts[doc["name"]] = ClassAccount.from_json(doc)
+        return accountant

@@ -1,0 +1,217 @@
+"""Open-loop arrival processes: Poisson, bursty (MMPP), diurnal.
+
+An arrival process turns an aggregate request rate into a concrete,
+deterministic sequence of arrival timestamps.  All three processes are
+pure functions of the RNG handed in — the same ``(process, seed)``
+always yields the same arrivals — which is what lets the serving
+driver pre-generate request schedules and the experiment engine keep
+serial and parallel sweeps byte-identical.
+
+Tenant aggregation
+------------------
+
+The superposition of ``N`` independent Poisson streams of rate ``r``
+is a Poisson stream of rate ``N*r``, so a tenant *class* of a hundred
+thousand identical tenants costs exactly one stream to simulate —
+request count scales with ``duration * N * r``, not with ``N``.  The
+same collapse is applied to the modulated processes: burst phases and
+diurnal cycles modulate the class's aggregate rate (tenants of one
+class move together — the adversarial case for SLOs, since bursts
+stack instead of averaging out).  :meth:`ArrivalProcess.aggregate`
+performs the scaling; :class:`repro.serve.qos.TenantClassSpec` calls
+it with its tenant count.
+"""
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "make_arrival_process",
+]
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base contract: a rate plus a deterministic timestamp generator."""
+
+    #: Aggregate arrival rate in requests per simulated second.
+    rate: float
+
+    kind = "abstract"
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+
+    def arrival_times(self, rng, duration, modulation=None):
+        """All arrivals in ``[0, duration)``, strictly increasing.
+
+        ``modulation``, when given, is a separate RNG for the process's
+        *envelope* draws (burst phase windows), leaving ``rng`` to the
+        within-envelope arrival draws.  Handing every class of a mix an
+        identically seeded ``modulation`` correlates their load surges
+        (tenants move together) while keeping individual arrivals
+        independent; by default the envelope shares ``rng``.
+        """
+        raise NotImplementedError
+
+    def gaps(self, rng, duration, modulation=None):
+        """The same arrivals as inter-arrival gaps (``AccessBatch.gaps``
+        shape: gap ``i`` is the wait *before* arrival ``i``)."""
+        gaps = []
+        previous = 0.0
+        for time in self.arrival_times(rng, duration, modulation):
+            gaps.append(time - previous)
+            previous = time
+        return gaps
+
+    def aggregate(self, tenants):
+        """The superposed process of ``tenants`` identical streams."""
+        if tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        return replace(self, rate=self.rate * tenants)
+
+    def to_json(self):
+        doc = {"kind": self.kind}
+        doc.update(
+            (name, getattr(self, name)) for name in self.__dataclass_fields__
+        )
+        return doc
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: i.i.d. exponential gaps at ``rate``."""
+
+    kind = "poisson"
+
+    def arrival_times(self, rng, duration, modulation=None):
+        # Memoryless: there is no envelope, ``modulation`` is unused.
+        times = []
+        now = 0.0
+        expovariate = rng.expovariate
+        rate = self.rate
+        while True:
+            now += expovariate(rate)
+            if now >= duration:
+                return times
+            times.append(now)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """MMPP on/off arrivals: exponential bursts at ``burst_factor`` times
+    the mean rate, separated by silent periods.
+
+    A two-state Markov-modulated Poisson process: the class is ON for
+    an exponential holding time with mean ``on_fraction * cycle`` and
+    OFF for mean ``(1 - on_fraction) * cycle``.  All arrivals happen
+    while ON, at rate ``rate / on_fraction`` — so the time-average rate
+    is exactly ``rate`` and the instantaneous burst intensity is
+    ``1 / on_fraction`` (the ``burst_factor`` property) times the mean.
+    """
+
+    #: Fraction of time spent in the ON (bursting) state.
+    on_fraction: float = 0.125
+    #: Mean ON+OFF cycle length in seconds.
+    cycle: float = 0.4
+
+    kind = "bursty"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0.0 < self.on_fraction < 1.0:
+            raise ValueError("on_fraction must be in (0, 1)")
+        if self.cycle <= 0:
+            raise ValueError("cycle must be positive")
+
+    @property
+    def burst_factor(self):
+        """Instantaneous ON rate relative to the mean rate."""
+        return 1.0 / self.on_fraction
+
+    def arrival_times(self, rng, duration, modulation=None):
+        times = []
+        expovariate = rng.expovariate
+        window = (modulation or rng).expovariate
+        on_rate = self.rate / self.on_fraction
+        mean_on = self.on_fraction * self.cycle
+        mean_off = (1.0 - self.on_fraction) * self.cycle
+        now = 0.0
+        while now < duration:
+            # ON: a burst of exponential gaps at the boosted rate.
+            on_end = now + window(1.0 / mean_on)
+            while True:
+                now += expovariate(on_rate)
+                if now >= on_end or now >= duration:
+                    break
+                times.append(now)
+            # OFF: silence.
+            now = on_end + window(1.0 / mean_off)
+        return [time for time in times if time < duration]
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally modulated arrivals (a compressed day/night cycle).
+
+    Instantaneous rate ``rate * (1 + depth * sin(2*pi*t / period))``,
+    sampled by thinning (Lewis-Shedler): candidates are drawn at the
+    peak rate and accepted with probability ``lambda(t) / peak`` — one
+    extra uniform draw per candidate, still a pure function of the RNG.
+    """
+
+    #: Cycle length in simulated seconds (a scaled-down "day").
+    period: float = 2.0
+    #: Modulation depth in [0, 1): 0 = flat, 0.9 = deep trough.
+    depth: float = 0.8
+
+    kind = "diurnal"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0.0 <= self.depth < 1.0:
+            raise ValueError("depth must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def arrival_times(self, rng, duration, modulation=None):
+        # The envelope is the deterministic sinusoid itself — classes
+        # sharing (period, depth) are already phase-aligned, so
+        # ``modulation`` is unused.
+        times = []
+        expovariate = rng.expovariate
+        random = rng.random
+        peak = self.rate * (1.0 + self.depth)
+        omega = 2.0 * math.pi / self.period
+        now = 0.0
+        while True:
+            now += expovariate(peak)
+            if now >= duration:
+                return times
+            intensity = self.rate * (1.0 + self.depth * math.sin(omega * now))
+            if random() * peak < intensity:
+                times.append(now)
+
+
+_KINDS = {
+    cls.kind: cls
+    for cls in (PoissonArrivals, BurstyArrivals, DiurnalArrivals)
+}
+
+
+def make_arrival_process(kind, rate, **params):
+    """Factory keyed on the ``kind`` strings experiments sweep over."""
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            "unknown arrival kind {!r}; expected one of {}".format(
+                kind, sorted(_KINDS)
+            )
+        ) from None
+    return cls(rate=rate, **params)

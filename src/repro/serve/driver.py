@@ -1,0 +1,323 @@
+"""The open-loop multi-tenant serving driver.
+
+One simulated front-end node serves the aggregate request streams of
+several tenant classes (:class:`~repro.serve.qos.TenantClassSpec`)
+against one swap backend under memory pressure.  Requests arrive
+open-loop — the arrival processes do not wait for the server — so
+queueing delay is real: a slow backend does not slow the offered load
+down, it grows the queue, and latency (completion minus arrival)
+shows it.  The :class:`~repro.serve.accountant.SloAccountant` turns
+completions into goodput-under-SLO, violation fractions and fairness.
+
+Scheduling: non-preemptive priority.  When the server frees up, the
+highest-priority class with a request waiting is served next (FIFO
+within a class, class index breaks priority ties).  A request in
+service always runs to completion.
+
+Two-speed execution
+-------------------
+
+Request schedules are pre-generated per class from named RNG streams
+(arrivals and operations draw from *separate* streams), so the fast
+and event paths consume identical randomness.  Under ``fast_path``:
+
+* each request's page burst runs through
+  :meth:`~repro.swap.base.VirtualMemory.run_batch` (the flat-path
+  kernel, byte-identical by its equivalence contract);
+* idle waits until the next arrival and the per-request pending-time
+  flush are applied as direct clock jumps, but only when the resulting
+  timeout would pop *strictly before* everything already on the event
+  heap and no bulk hold is active — the same strict-compare argument
+  the flat-path kernel uses: a strict winner fires with nothing able
+  to observe the wait, so adding to the clock is the identical float
+  computation (``env._seq`` is deliberately not consumed, which
+  shifts all later tie-break sequence numbers uniformly).
+
+Everything else — chaos windows, backend retries, fault-driver events
+on the heap — falls back to the ordinary event engine, so serving
+composes with :mod:`repro.faults` unchanged.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import (
+    RunContext,
+    RunResult,
+    _build,
+    _collect_backend_stats,
+    _collect_latency_stats,
+    _collect_tier_stats,
+    _fallback_windows,
+    _install_faults,
+    _resolve_context,
+    register_result_kind,
+)
+from repro.experiments.runner import default_cluster_config
+from repro.mem.page import make_pages
+from repro.serve.accountant import SloAccountant
+from repro.sim.rng import derive_seed
+from repro.swap.base import VirtualMemory
+from repro.workloads.batch import AccessBatch
+
+__all__ = ["ServingRunResult", "run_serving_workload"]
+
+
+@register_result_kind
+@dataclass
+class ServingRunResult(RunResult):
+    """Outcome of one open-loop serving run."""
+
+    backend: str
+    workload: str
+    fit_fraction: float
+    duration: float
+    #: Simulated users: the sum of all classes' tenant counts.
+    users: int
+    offered: int
+    completed: int
+    #: Aggregate requests/s that met their class SLO.
+    goodput_rps: float
+    #: Jain fairness over per-class SLO attainment.
+    fairness: float
+    #: Per-class accounting rows (goodput, violations, percentiles).
+    class_rows: list = field(default_factory=list)
+    #: The accountant's JSON form (mergeable across runs).
+    accounts: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    backend_stats: dict = field(default_factory=dict)
+    tier_stats: list = field(default_factory=list)
+    tier_stack: str = ""
+    latency_stats: list = field(default_factory=list)
+    #: The RunContext this run recorded into (not serialized).
+    context: RunContext = field(default=None, repr=False, compare=False)
+    #: Whether the run drove the flat-path kernel (not serialized).
+    fast_path: bool = field(default=False, compare=False)
+
+    kind = "serving"
+
+    def row(self):
+        return {
+            "backend": self.backend,
+            "workload": self.workload,
+            "fit": self.fit_fraction,
+            "users": self.users,
+            "offered": self.offered,
+            "goodput_rps": self.goodput_rps,
+            "fairness": self.fairness,
+        }
+
+
+class _ClassQueue:
+    """One tenant class's pre-generated request schedule."""
+
+    __slots__ = ("spec", "index", "requests", "next")
+
+    def __init__(self, spec, index, requests):
+        self.spec = spec
+        self.index = index
+        #: ``(arrival_s, first_page, page_count, is_write)`` per request.
+        self.requests = requests
+        self.next = 0
+
+    @property
+    def head_arrival(self):
+        return self.requests[self.next][0]
+
+    @property
+    def exhausted(self):
+        return self.next >= len(self.requests)
+
+    def pop(self):
+        request = self.requests[self.next]
+        self.next += 1
+        return request
+
+
+def _generate_schedules(mix, rng, duration):
+    """Pre-generate every class's arrivals and operations.
+
+    Arrivals and operations draw from separate named streams keyed by
+    class index, so the schedule is a pure function of ``(mix, seed,
+    duration)`` — the determinism the property tests pin down.
+
+    Every class gets a *fresh, identically seeded* modulation RNG, so
+    burst envelopes are phase-aligned across classes: a surge is a
+    surge for everyone (tenants move together).  Uncorrelated phases
+    would let a class's private burst hit a congested window no other
+    class sees — breaking the cross-class delay dominance the priority
+    scheduler otherwise guarantees.
+    """
+    queues = []
+    for index, spec in enumerate(mix):
+        modulation = random.Random(derive_seed(rng.seed, "serve-modulation"))
+        arrivals = spec.arrival_process.arrival_times(
+            rng.stream("serve-arrivals{}".format(index)), duration,
+            modulation,
+        )
+        operations = spec.ops_batch(
+            rng.stream("serve-ops{}".format(index)), len(arrivals)
+        )
+        requests = [
+            (arrival, first_page, count, is_write)
+            for arrival, (first_page, count, is_write)
+            in zip(arrivals, operations)
+        ]
+        queues.append(_ClassQueue(spec, index, requests))
+    return queues
+
+
+def _inline_jump(env, delay):
+    """Advance the clock by ``delay`` without an event, when nothing
+    could observe the wait; returns False to request event fallback."""
+    if env.bulk_holds:
+        return False
+    new_now = env.now + delay
+    heap = env._heap
+    if heap and heap[0][0] <= new_now:
+        return False
+    env.now = new_now
+    return True
+
+
+def run_serving_workload(backend_name, mix, fit_fraction, *, duration=2.0,
+                         seed=0, cluster_config=None, fastswap_config=None,
+                         slabs_per_target=24, prefetch_capacity=None,
+                         fault_schedule=None, context=None, fast_path=False):
+    """Serve ``mix`` (a list of TenantClassSpecs) open-loop.
+
+    All classes contend for one store: the page space is the largest
+    class workload's, the resident capacity is ``fit_fraction`` of it.
+    Arrivals are generated for ``[0, duration)`` and the queue drains
+    fully, so offered == completed at the end; requests arriving late
+    in a collapsed system simply complete (and miss their SLO) late.
+    """
+    if not 0.0 < fit_fraction <= 1.0:
+        raise ValueError("fit_fraction must be in (0, 1]")
+    if not mix:
+        raise ValueError("mix must name at least one tenant class")
+    context = _resolve_context(context)
+    cluster_config = cluster_config or default_cluster_config(seed=seed)
+    cluster, node, backend = _build(
+        backend_name, cluster_config, fastswap_config, slabs_per_target
+    )
+    _install_faults(cluster, fault_schedule)
+    rng = cluster.rng
+    store = max((spec.workload for spec in mix), key=lambda w: w.pages)
+    pages = make_pages(
+        store.pages,
+        owner=backend_name,
+        compressibility_sampler=store.compressibility.sampler(
+            rng.stream("pages")
+        ),
+    )
+    capacity = max(1, int(store.pages * fit_fraction))
+    if prefetch_capacity is None:
+        prefetch_capacity = max(128, capacity // 4)
+    mmu = VirtualMemory(
+        cluster.env,
+        pages,
+        capacity,
+        backend,
+        cpu=cluster_config.calibration.cpu,
+        compute_per_access=store.compute_per_op,
+        prefetch_capacity=prefetch_capacity,
+        fallback_windows=_fallback_windows(fault_schedule),
+    )
+    if hasattr(backend, "bind_page_table"):
+        backend.bind_page_table(mmu.pages, mmu.stats)
+
+    queues = _generate_schedules(mix, rng, duration)
+    accountant = SloAccountant()
+    for queue in queues:
+        accountant.account(queue.spec.qos).record_offered(
+            len(queue.requests)
+        )
+    # Service order among ready classes: priority, then class index.
+    order = sorted(queues, key=lambda q: (q.spec.qos.priority, q.index))
+    env = cluster.env
+
+    def server():
+        yield from backend.setup()
+        mmu.stats.start_time = env.now
+        # Arrival timestamps are relative to service start: offered
+        # load begins when the backend is up, so setup cost (slab
+        # reservation etc.) is not billed to the first requests.
+        epoch = env.now
+        while True:
+            ready = None
+            next_arrival = float("inf")
+            for queue in order:
+                if queue.exhausted:
+                    continue
+                arrival = epoch + queue.head_arrival
+                if arrival <= env.now:
+                    ready = queue
+                    break
+                if arrival < next_arrival:
+                    next_arrival = arrival
+            if ready is None:
+                if next_arrival == float("inf"):
+                    break  # every queue drained
+                delay = next_arrival - env.now
+                if not (fast_path and _inline_jump(env, delay)):
+                    yield env.timeout(delay)
+                continue
+            offset_arrival, first_page, count, is_write = ready.pop()
+            arrival = epoch + offset_arrival
+            if fast_path:
+                yield from mmu.run_batch(AccessBatch(
+                    list(range(first_page, first_page + count)),
+                    [is_write] * count,
+                ))
+            else:
+                for offset in range(count):
+                    yield from mmu.access(first_page + offset,
+                                          write=is_write)
+            # Charge the accumulated cheap-path time now: completion
+            # latency must include it (the event path's lazy
+            # accumulation is an accounting trick, not a time machine).
+            pending = mmu._pending_time
+            if pending > 0.0:
+                if fast_path and _inline_jump(env, pending):
+                    mmu._pending_time = 0.0
+                else:
+                    yield from mmu._flush_pending()
+            accountant.account(ready.spec.qos).record_completion(
+                env.now - arrival
+            )
+        yield from mmu.flush()
+        mmu.stats.end_time = env.now
+
+    cluster.run_process(server(), name="serve:{}".format(backend_name))
+    tier_stats, tier_stack = _collect_tier_stats(backend)
+    users = sum(spec.tenants for spec in mix)
+    offered = sum(len(queue.requests) for queue in queues)
+    completed = sum(
+        account.completed for _name, account in accountant
+    )
+    workload_name = "+".join(
+        sorted({spec.workload.name for spec in mix})
+    )
+    result = ServingRunResult(
+        backend=backend_name,
+        workload=workload_name,
+        fit_fraction=fit_fraction,
+        duration=duration,
+        users=users,
+        offered=offered,
+        completed=completed,
+        goodput_rps=accountant.goodput(duration),
+        fairness=accountant.fairness(),
+        class_rows=accountant.rows(duration),
+        accounts=accountant.to_json(),
+        stats=mmu.stats.snapshot(),
+        backend_stats=_collect_backend_stats(backend),
+        tier_stats=tier_stats,
+        tier_stack=tier_stack,
+        latency_stats=_collect_latency_stats(cluster),
+        context=context,
+        fast_path=fast_path,
+    )
+    context.record(result)
+    return result

@@ -1,0 +1,182 @@
+"""QoS classes and tenant classes for open-loop serving.
+
+A :class:`QosClass` is a service tier — a scheduling priority plus a
+latency SLO.  A :class:`TenantClassSpec` is what the serving driver
+actually runs: *many* identical tenants of one QoS class collapsed
+into a single aggregate request stream (see
+:mod:`repro.serve.arrivals` for why superposition makes the tenant
+count free), issuing operations from a shared KV-style workload spec.
+
+``TenantClassSpec`` implements the unified WorkloadSpec protocol of
+:mod:`repro.workloads.spec` — ``name`` / ``pages`` /
+``compressibility`` / ``iter_accesses`` / ``as_batch`` — with the
+``arrival_process`` hook *populated*: this is the open-loop spec the
+protocol reserved the hook for, and ``as_batch`` fills
+``AccessBatch.gaps`` from the arrival process.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.serve.arrivals import make_arrival_process
+from repro.workloads.kv import KV_WORKLOADS
+
+__all__ = [
+    "QosClass",
+    "QOS_CLASSES",
+    "TenantClassSpec",
+    "default_mix",
+]
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """One service tier: who gets scheduled first, and what they were
+    promised."""
+
+    name: str
+    #: Scheduling priority: lower fires first (gold = 0).
+    priority: int
+    #: Latency SLO in seconds (arrival to completion).
+    slo_s: float
+
+    def __post_init__(self):
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+
+
+#: The three service tiers every serving experiment sweeps.  SLOs are
+#: set relative to the simulator's fault-path costs (an HDD fault is
+#: ~8 ms, a remote fault ~10 us): gold tolerates one disk fault but
+#: not sustained queueing, silver tolerates a short backlog,
+#: best-effort only asks not to starve outright.  Keeping every SLO
+#: above the worst single-request service time is what makes
+#: attainment monotone in priority — violations then measure
+#: *queueing*, which the priority scheduler orders, rather than
+#: unlucky device draws, which it cannot.
+QOS_CLASSES = {
+    "gold": QosClass("gold", priority=0, slo_s=2.0e-2),
+    "silver": QosClass("silver", priority=1, slo_s=5.0e-2),
+    "bestEffort": QosClass("bestEffort", priority=2, slo_s=2.0e-1),
+}
+
+
+@dataclass(frozen=True)
+class TenantClassSpec:
+    """One tenant class: ``tenants`` identical open-loop clients.
+
+    The class's aggregate request stream is
+    ``arrival.aggregate(tenants)``; each request is one operation of
+    ``workload`` (a KV-style spec).  Request count — and therefore
+    simulation cost — scales with ``duration * tenants *
+    per_tenant_rate``, never with ``tenants`` alone.
+    """
+
+    qos: QosClass
+    #: Number of identical tenants aggregated into this class.
+    tenants: int
+    #: Request rate of one tenant, in requests per second.
+    per_tenant_rate: float
+    #: Arrival process kind: "poisson", "bursty" or "diurnal".
+    arrival_kind: str = "poisson"
+    #: Extra arrival-process parameters (e.g. ``on_fraction``).
+    arrival_params: dict = field(default_factory=dict)
+    #: The operation mix all tenants of the class share.
+    workload: object = field(
+        default_factory=lambda: KV_WORKLOADS["memcached"]
+    )
+
+    def __post_init__(self):
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        if self.per_tenant_rate <= 0:
+            raise ValueError("per_tenant_rate must be positive")
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self):
+        return "{}:{}".format(self.qos.name, self.workload.name)
+
+    @property
+    def pages(self):
+        return self.workload.pages
+
+    @property
+    def compressibility(self):
+        return self.workload.compressibility
+
+    @property
+    def aggregate_rate(self):
+        return self.tenants * self.per_tenant_rate
+
+    # -- WorkloadSpec protocol ---------------------------------------------
+
+    @property
+    def arrival_process(self):
+        """The class's aggregate arrival stream (the open-loop hook)."""
+        return make_arrival_process(
+            self.arrival_kind, self.per_tenant_rate, **self.arrival_params
+        ).aggregate(self.tenants)
+
+    def iter_operations(self, rng):
+        return self.workload.iter_operations(rng)
+
+    def ops_batch(self, rng, count):
+        return self.workload.ops_batch(rng, count)
+
+    def iter_accesses(self, rng):
+        return self.workload.iter_accesses(rng)
+
+    def as_batch(self, rng, length, arrival_rng=None, duration=None):
+        """``length`` operations, page-expanded, with ``gaps`` filled
+        from the arrival process when ``arrival_rng`` and ``duration``
+        are given (each operation's first page carries the wait before
+        its request; burst pages follow back to back)."""
+        batch = self.workload.as_batch(rng, length)
+        if arrival_rng is None or duration is None:
+            return batch
+        gaps = []
+        arrival_gaps = self.arrival_process.gaps(arrival_rng, duration)
+        per_op = self.workload.pages_per_key
+        for gap in arrival_gaps[: len(batch) // per_op]:
+            gaps.append(gap)
+            gaps.extend(0.0 for _ in range(per_op - 1))
+        if len(gaps) < len(batch):
+            return replace_batch_prefix(batch, gaps)
+        batch.gaps = gaps
+        return batch
+
+    def with_overrides(self, **kwargs):
+        return replace(self, **kwargs)
+
+
+def replace_batch_prefix(batch, gaps):
+    """Trim ``batch`` to the accesses covered by ``gaps`` (an arrival
+    window shorter than the requested operation count)."""
+    from repro.workloads.batch import AccessBatch
+
+    count = len(gaps)
+    return AccessBatch(batch.addresses[:count], batch.writes[:count], gaps)
+
+
+def default_mix(tenants_per_class=40_000, arrival_kind="poisson",
+                workload=None, per_tenant_rate=0.005, arrival_params=None):
+    """The standard three-class mix (one class per QoS tier).
+
+    Defaults give ``3 * tenants_per_class`` simulated users; with
+    40k tenants per class at 5 mrps each, the aggregate offered load
+    is 600 requests per simulated second across 120k users.
+    """
+    workload = workload or KV_WORKLOADS["memcached"]
+    params = dict(arrival_params or {})
+    return [
+        TenantClassSpec(
+            qos=QOS_CLASSES[name],
+            tenants=tenants_per_class,
+            per_tenant_rate=per_tenant_rate,
+            arrival_kind=arrival_kind,
+            arrival_params=params,
+            workload=workload,
+        )
+        for name in ("gold", "silver", "bestEffort")
+    ]

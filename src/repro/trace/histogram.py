@@ -73,10 +73,17 @@ class LatencyHistogram:
         return self.sum / self.total if self.total else 0.0
 
     def percentile(self, fraction):
-        """Upper bucket bound covering the requested quantile.
+        """Quantile estimate with linear intra-bucket interpolation.
 
-        The estimate for a quantile in the overflow bucket is the last
-        finite bound (the histogram cannot see past its range).
+        Walks the cumulative counts to the bucket holding the
+        ``fraction`` quantile, then interpolates linearly between the
+        bucket's bounds by the quantile's rank within it (the standard
+        assumption that mass is uniform inside a bucket).  Bucket 0
+        interpolates over ``[0, least]``; a quantile landing in the
+        overflow bucket is clamped to the last finite bound — the
+        histogram cannot see past its range.  The estimate is therefore
+        never below the true quantile's lower bucket bound nor above
+        its upper bound, and error is at most one octave.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
@@ -85,10 +92,61 @@ class LatencyHistogram:
         target = fraction * self.total
         seen = 0
         for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if seen + count >= target:
+                within = (target - seen) / count
+                if index >= self.buckets - 1:
+                    return self.least * (2.0 ** (self.buckets - 2))
+                upper = self.least * (2.0 ** index)
+                lower = 0.0 if index == 0 else upper / 2.0
+                return lower + (upper - lower) * max(0.0, within)
             seen += count
-            if seen >= target:
-                return self.least * (2.0 ** min(index, self.buckets - 2))
         return self.least * (2.0 ** (self.buckets - 2))
+
+    def cdf(self, value):
+        """Estimated fraction of recorded samples at or below ``value``.
+
+        The inverse of :meth:`percentile` under the same
+        uniform-within-bucket assumption: full buckets below ``value``
+        count whole, the bucket containing ``value`` contributes the
+        linear fraction of its span covered.  Samples in the overflow
+        bucket are strictly above the last finite bound, so they never
+        count toward a finite ``value`` — the estimate is conservative
+        from below.  An empty histogram vacuously reports 1.0.
+        """
+        if value < 0:
+            raise ValueError("latencies are non-negative")
+        if self.total == 0:
+            return 1.0
+        index = self.bucket_index(value)
+        seen = sum(self.counts[:index])
+        count = self.counts[index]
+        if count:
+            if index == self.buckets - 1:
+                within = 0.0  # overflow samples are above any finite value
+            else:
+                upper = self.least * (2.0 ** index)
+                lower = 0.0 if index == 0 else upper / 2.0
+                within = (value - lower) / (upper - lower)
+            seen += count * min(1.0, max(0.0, within))
+        return min(1.0, seen / self.total)
+
+    @property
+    def p50(self):
+        return self.percentile(0.50)
+
+    @property
+    def p90(self):
+        return self.percentile(0.90)
+
+    @property
+    def p99(self):
+        return self.percentile(0.99)
+
+    @property
+    def p999(self):
+        return self.percentile(0.999)
 
     # -- merging -------------------------------------------------------------
 
@@ -133,9 +191,10 @@ class LatencyHistogram:
         return {
             "count": self.total,
             "mean_s": self.mean,
-            "p50_s": self.percentile(0.50),
-            "p90_s": self.percentile(0.90),
-            "p99_s": self.percentile(0.99),
+            "p50_s": self.p50,
+            "p90_s": self.p90,
+            "p99_s": self.p99,
+            "p999_s": self.p999,
         }
 
 

@@ -1,25 +1,26 @@
 """Pre-materialized access batches (the fast half of the two-speed engine).
 
-The one-at-a-time workload contract — ``spec.trace(rng)`` yielding
-``(page_id, is_write)`` pairs — costs a generator resume per access,
-which is fine for driving the event engine but dominates wall-clock
-once the flat-path kernel (:mod:`repro.sim.flatpath`) makes the access
-itself cheap.  An :class:`AccessBatch` is the batched contract: plain
-parallel arrays of addresses and write flags (plus optional open-loop
-inter-arrival gaps) that generators fill up front and the kernel
-indexes without any per-access Python frames.
+The one-at-a-time workload contract — ``spec.iter_accesses(rng)``
+yielding ``(page_id, is_write)`` pairs — costs a generator resume per
+access, which is fine for driving the event engine but dominates
+wall-clock once the flat-path kernel (:mod:`repro.sim.flatpath`) makes
+the access itself cheap.  An :class:`AccessBatch` is the batched
+contract: plain parallel arrays of addresses and write flags (plus
+optional open-loop inter-arrival gaps) that generators fill up front
+and the kernel indexes without any per-access Python frames.
 
-Equivalence rule: a spec's ``trace_batch(rng)`` must consume ``rng`` in
-exactly the order ``trace(rng)`` does, so batched and streamed runs of
-the same seed see the same reference string.  Specs without a
-``trace_batch`` are handled by :func:`materialize`, which simply drains
-``trace()`` — always equivalent, just not faster to generate.
+Equivalence rule: a spec's ``as_batch(rng)`` must consume ``rng`` in
+exactly the order ``iter_accesses(rng)`` does, so batched and streamed
+runs of the same seed see the same reference string.  Specs without an
+``as_batch`` are handled by :func:`materialize`, which simply drains
+the stream — always equivalent, just not faster to generate.
 """
 
 from dataclasses import dataclass, field
 
 from repro.mem.compression import CompressibilityProfile
 from repro.workloads.patterns import ZipfSampler
+from repro.workloads.spec import deprecated_method, spec_batch
 
 __all__ = ["AccessBatch", "ZipfBatchSpec", "materialize"]
 
@@ -71,17 +72,16 @@ class AccessBatch:
         return zip(self.addresses, self.writes)
 
 
-def materialize(spec, rng):
+def materialize(spec, rng, length=None):
     """``spec``'s reference string as an :class:`AccessBatch`.
 
-    Uses the spec's native ``trace_batch`` when it has one; otherwise
-    drains the streamed ``trace()`` — so duck-typed specs (e.g.
-    :class:`~repro.workloads.traces.RecordedTrace`) batch for free.
+    Protocol dispatch (see :mod:`repro.workloads.spec`): uses the
+    spec's native ``as_batch`` when it has one; otherwise drains the
+    streamed ``iter_accesses()`` — so duck-typed specs batch for free.
+    ``length`` (operation count) is required by specs whose stream is
+    infinite and ignored by the rest.
     """
-    trace_batch = getattr(spec, "trace_batch", None)
-    if trace_batch is not None:
-        return trace_batch(rng)
-    return AccessBatch.from_pairs(spec.trace(rng))
+    return spec_batch(spec, rng, length)
 
 
 @dataclass
@@ -96,6 +96,9 @@ class ZipfBatchSpec:
     stepping stones; not part of the paper's Table 1.
     """
 
+    #: Open-loop hook of the WorkloadSpec protocol (closed-loop here).
+    arrival_process = None
+
     name: str = "zipf"
     pages: int = 4096
     #: Total accesses drawn.
@@ -107,7 +110,7 @@ class ZipfBatchSpec:
         default_factory=lambda: CompressibilityProfile("zipf", 2.5)
     )
 
-    def trace_batch(self, rng):
+    def as_batch(self, rng):
         sampler = ZipfSampler(self.pages, self.zipf_alpha, rng)
         addresses = sampler.sample_many(self.length)
         random = rng.random
@@ -115,10 +118,14 @@ class ZipfBatchSpec:
         writes = [random() < write_fraction for _ in range(self.length)]
         return AccessBatch(addresses, writes)
 
-    def trace(self, rng):
-        return self.trace_batch(rng).pairs()
+    def iter_accesses(self, rng):
+        return self.as_batch(rng).pairs()
 
     def with_overrides(self, **kwargs):
         from dataclasses import replace
 
         return replace(self, **kwargs)
+
+    # Pre-unification surface (one release of deprecation shims).
+    trace = deprecated_method("trace", "iter_accesses")
+    trace_batch = deprecated_method("trace_batch", "as_batch")

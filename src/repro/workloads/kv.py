@@ -16,11 +16,25 @@ from dataclasses import dataclass, field
 
 from repro.mem.compression import CompressibilityProfile
 from repro.workloads.patterns import ZipfSampler
+from repro.workloads.spec import deprecated_method
 
 
 @dataclass
 class KvWorkloadSpec:
-    """Shape of one key-value serving workload."""
+    """Shape of one key-value serving workload.
+
+    Implements the unified WorkloadSpec protocol
+    (:mod:`repro.workloads.spec`) at both granularities: the
+    operation-level ``iter_operations``/``ops_batch`` surface serving
+    drivers need, and the page-level ``iter_accesses``/``as_batch``
+    expansion (each operation becomes ``pages_per_key`` consecutive
+    page touches) every paging consumer understands.
+    """
+
+    #: Open-loop hook of the WorkloadSpec protocol: the closed-loop
+    #: Table 1 clients issue the next operation immediately.
+    #: :mod:`repro.serve` wraps specs with a real arrival process.
+    arrival_process = None
 
     name: str
     #: Keys in the store; each key's value occupies ``pages_per_key`` pages.
@@ -51,7 +65,7 @@ class KvWorkloadSpec:
         return ZipfSampler(self.keys, self.zipf_alpha, rng,
                            locality_block=min(self.locality_block, self.keys))
 
-    def operations(self, rng):
+    def iter_operations(self, rng):
         """Infinite stream of ``(first_page_id, page_count, is_write)``."""
         zipf = self._sampler(rng)
         while True:
@@ -60,12 +74,13 @@ class KvWorkloadSpec:
                 rng.random() >= self.read_fraction
             )
 
-    def operations_batch(self, rng, count):
-        """``count`` operations as a list, drawn in :meth:`operations`
-        order (key draw, then write coin, per operation).
+    def ops_batch(self, rng, count):
+        """``count`` operations as a list, drawn in
+        :meth:`iter_operations` order (key draw, then write coin, per
+        operation).
 
         One-shot: every call builds a fresh sampler, so chunked callers
-        should keep the generator from :meth:`operations` instead.
+        should keep the generator from :meth:`iter_operations` instead.
         """
         zipf = self._sampler(rng)
         sample = zipf.sample
@@ -78,10 +93,37 @@ class KvWorkloadSpec:
             for _ in range(count)
         ]
 
+    def iter_accesses(self, rng):
+        """Infinite page-granular stream: each operation expanded to
+        its ``pages_per_key`` consecutive page touches (the write flag
+        covers the whole burst), drawing from ``rng`` in exactly
+        :meth:`iter_operations` order."""
+        for first_page, count, is_write in self.iter_operations(rng):
+            for offset in range(count):
+                yield first_page + offset, is_write
+
+    def as_batch(self, rng, length):
+        """``length`` operations, page-expanded, as an
+        :class:`~repro.workloads.batch.AccessBatch` (RNG-order
+        identical to :meth:`iter_accesses`)."""
+        from repro.workloads.batch import AccessBatch
+
+        addresses = []
+        writes = []
+        for first_page, count, is_write in self.ops_batch(rng, length):
+            for offset in range(count):
+                addresses.append(first_page + offset)
+                writes.append(is_write)
+        return AccessBatch(addresses, writes)
+
     def with_overrides(self, **kwargs):
         from dataclasses import replace
 
         return replace(self, **kwargs)
+
+    # Pre-unification surface (one release of deprecation shims).
+    operations = deprecated_method("operations", "iter_operations")
+    operations_batch = deprecated_method("operations_batch", "ops_batch")
 
 
 def _profile(name, mean, sigma=0.4, incompressible=0.1):

@@ -17,11 +17,21 @@ from dataclasses import dataclass, field
 
 from repro.mem.compression import CompressibilityProfile
 from repro.workloads.patterns import ZipfSampler
+from repro.workloads.spec import deprecated_method
 
 
 @dataclass
 class MlWorkloadSpec:
-    """Shape of one iterative analytics workload."""
+    """Shape of one iterative analytics workload.
+
+    Implements the unified WorkloadSpec protocol
+    (:mod:`repro.workloads.spec`): ``iter_accesses``/``as_batch`` plus
+    the closed-loop ``arrival_process = None`` hook.
+    """
+
+    #: Open-loop hook of the WorkloadSpec protocol: ML sweeps are
+    #: closed-loop (accesses issue back to back).
+    arrival_process = None
 
     name: str
     #: Working-set size in pages (already scaled for simulation).
@@ -46,7 +56,7 @@ class MlWorkloadSpec:
         """Expected trace length."""
         return int(self.pages * self.iterations * (1.0 + self.random_ratio))
 
-    def trace(self, rng):
+    def iter_accesses(self, rng):
         """Generate the ``(page_id, is_write)`` reference stream."""
         zipf = ZipfSampler(self.pages, self.zipf_alpha, rng)
         for _ in range(self.iterations):
@@ -55,14 +65,14 @@ class MlWorkloadSpec:
                 if self.random_ratio and rng.random() < self.random_ratio:
                     yield zipf.sample(), rng.random() < self.write_fraction
 
-    def trace_batch(self, rng):
+    def as_batch(self, rng):
         """The same reference string as an
         :class:`~repro.workloads.batch.AccessBatch`.
 
         Draws from ``rng`` in exactly the interleaved order
-        :meth:`trace` does (write flag, ratio coin, then the optional
-        Zipf draw and its write flag), so a batched run replays the
-        streamed run's string bit for bit.
+        :meth:`iter_accesses` does (write flag, ratio coin, then the
+        optional Zipf draw and its write flag), so a batched run
+        replays the streamed run's string bit for bit.
         """
         from repro.workloads.batch import AccessBatch
 
@@ -89,6 +99,10 @@ class MlWorkloadSpec:
         from dataclasses import replace
 
         return replace(self, **kwargs)
+
+    # Pre-unification surface (one release of deprecation shims).
+    trace = deprecated_method("trace", "iter_accesses")
+    trace_batch = deprecated_method("trace_batch", "as_batch")
 
 
 def _profile(name, mean, sigma=0.35, incompressible=0.05):

@@ -1,0 +1,127 @@
+"""The unified workload-spec protocol (streamed + batched + open-loop).
+
+Historically the two workload families exposed *split* surfaces: ML
+specs had ``trace(rng)`` / ``trace_batch(rng)``, KV specs had
+``operations(rng)`` / ``operations_batch(rng, count)``.  Every consumer
+(runners, the flat-path kernel, experiments, benchmarks) had to know
+which family it was holding.  This module defines the one contract they
+all implement now — the **WorkloadSpec protocol**:
+
+``name`` / ``pages`` / ``compressibility``
+    Identification and sizing, unchanged.
+
+``iter_accesses(rng)``
+    The streamed contract: an iterator of ``(page_id, is_write)``
+    pairs.  Finite for trace-shaped workloads (ML sweeps, recorded
+    traces), infinite for serving workloads (each operation expanded to
+    its page burst).
+
+``as_batch(rng)`` / ``as_batch(rng, length)``
+    The batched contract: the same reference string as an
+    :class:`~repro.workloads.batch.AccessBatch`, drawing from ``rng``
+    in exactly the order ``iter_accesses`` does, so streamed and
+    batched runs of one seed are bit-identical.  Specs whose stream is
+    infinite require ``length`` (the number of *operations* to
+    materialize).
+
+``arrival_process``
+    The open-loop hook, consumed by :mod:`repro.serve`: ``None`` for
+    closed-loop specs (accesses issue back to back — every Table 1
+    workload), or an arrival-process object (see
+    :mod:`repro.serve.arrivals`) whose inter-arrival gaps fill
+    ``AccessBatch.gaps``.  Closed-loop consumers ignore it.
+
+Operation-granular specs (the KV family) additionally keep
+``iter_operations(rng)`` / ``ops_batch(rng, count)`` yielding
+``(first_page_id, page_count, is_write)`` tuples — serving drivers
+need operation boundaries that a flat page stream erases.
+
+The old method names remain as deprecation shims (one release): they
+delegate to the new names and emit :class:`DeprecationWarning`.
+"""
+
+import warnings
+
+__all__ = [
+    "deprecated_method",
+    "iter_accesses",
+    "spec_batch",
+]
+
+
+def deprecated_method(old, new):
+    """A method shim: ``old()`` warns and delegates to ``new()``.
+
+    Used by the workload dataclasses to keep the pre-unification
+    surface (``trace``/``trace_batch``/``operations``/
+    ``operations_batch``) importable for one release.
+    """
+
+    def shim(self, *args, **kwargs):
+        warnings.warn(
+            "{}() is deprecated; use {}() (unified WorkloadSpec "
+            "protocol, see repro.workloads.spec)".format(old, new),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, new)(*args, **kwargs)
+
+    shim.__name__ = old
+    shim.__doc__ = "Deprecated alias for :meth:`{}`.".format(new)
+    return shim
+
+
+def iter_accesses(spec, rng):
+    """``spec``'s streamed reference string, protocol-dispatched.
+
+    Prefers the unified ``iter_accesses`` method; falls back to the
+    legacy ``trace`` method (with a deprecation warning) so duck-typed
+    third-party specs keep working for one release.
+    """
+    method = getattr(spec, "iter_accesses", None)
+    if method is not None:
+        return method(rng)
+    legacy = getattr(spec, "trace", None)
+    if legacy is not None:
+        warnings.warn(
+            "spec {!r} only implements the legacy trace() surface; "
+            "rename it to iter_accesses()".format(
+                getattr(spec, "name", spec)
+            ),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return legacy(rng)
+    raise TypeError(
+        "{!r} does not implement the WorkloadSpec protocol "
+        "(no iter_accesses)".format(spec)
+    )
+
+
+def spec_batch(spec, rng, length=None):
+    """``spec``'s reference string as an ``AccessBatch``.
+
+    Prefers the spec's native ``as_batch`` (passing ``length`` only
+    when given, so finite specs keep their one-argument signature);
+    otherwise drains the streamed contract — always equivalent, just
+    not faster to generate.
+    """
+    from repro.workloads.batch import AccessBatch
+
+    method = getattr(spec, "as_batch", None)
+    if method is None:
+        legacy = getattr(spec, "trace_batch", None)
+        if legacy is not None:
+            warnings.warn(
+                "spec {!r} only implements the legacy trace_batch() "
+                "surface; rename it to as_batch()".format(
+                    getattr(spec, "name", spec)
+                ),
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return legacy(rng)
+        return AccessBatch.from_pairs(iter_accesses(spec, rng))
+    if length is None:
+        return method(rng)
+    return method(rng, length)

@@ -13,10 +13,11 @@ traces.  This module provides a small, versioned on-disk format:
   :class:`RecordedTrace`;
 * :func:`save_trace` / :func:`load_trace` — a line-oriented text format
   with a self-describing header;
-* :class:`RecordedTrace` — duck-types the workload-spec interface the
-  runner expects (``name``, ``pages``, ``compute_per_access``,
-  ``compressibility``, ``trace(rng)``), so a loaded trace drops
-  straight into :func:`repro.experiments.runner.run_paging_workload`.
+* :class:`RecordedTrace` — duck-types the unified WorkloadSpec
+  protocol (``name``, ``pages``, ``compute_per_access``,
+  ``compressibility``, ``iter_accesses(rng)``; see
+  :mod:`repro.workloads.spec`), so a loaded trace drops straight into
+  :func:`repro.experiments.runner.run_paging_workload`.
 
 Format (text, one record per line)::
 
@@ -30,6 +31,8 @@ Format (text, one record per line)::
 """
 
 from repro.mem.compression import CompressibilityProfile
+from repro.workloads.spec import deprecated_method
+from repro.workloads.spec import iter_accesses as _iter_accesses
 
 __all__ = ["RecordedTrace", "record_trace", "save_trace", "load_trace"]
 
@@ -57,10 +60,17 @@ class RecordedTrace:
     def __len__(self):
         return len(self.accesses)
 
-    def trace(self, rng=None):
+    #: Open-loop hook of the WorkloadSpec protocol (replay is
+    #: closed-loop).
+    arrival_process = None
+
+    def iter_accesses(self, rng=None):
         """Replay the recorded accesses (``rng`` accepted for interface
         compatibility; replay is exact and ignores it)."""
         return iter(self.accesses)
+
+    # Pre-unification surface (one release of deprecation shims).
+    trace = deprecated_method("trace", "iter_accesses")
 
     def with_overrides(self, **kwargs):
         """Interface parity with the generator specs (only
@@ -84,7 +94,7 @@ class RecordedTrace:
 
 def record_trace(spec, rng):
     """Materialize ``spec``'s reference stream into a RecordedTrace."""
-    accesses = list(spec.trace(rng))
+    accesses = list(_iter_accesses(spec, rng))
     return RecordedTrace(
         spec.name,
         spec.pages,

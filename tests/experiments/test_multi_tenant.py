@@ -1,6 +1,12 @@
 """Tests for the multi-tenant contention experiment."""
 
+import pytest
+
+from repro.core.cluster import DisaggregatedCluster
 from repro.experiments import multi_tenant
+from repro.experiments.runner import default_cluster_config
+from repro.metrics.utilization import ClusterUtilizationMonitor
+from repro.workloads.ml import ML_WORKLOADS
 
 TINY = 0.12
 
@@ -22,6 +28,58 @@ def test_fairness_reported():
     result = multi_tenant.run(scale=TINY, tenants=2)
     for row in result["rows"]:
         assert row["fairness"] >= 1.0
+
+
+def test_single_tenant_utilization_excludes_idle_pools():
+    """Regression: utilization is averaged over *participating* nodes.
+
+    Tier-1 puts land in the local node's shared pool, so with one
+    tenant on the experiment's four-node cluster the other three
+    donated pools are idle by construction.  The old cluster-wide
+    average divided the same used bytes by all four capacities,
+    diluting the reported utilization by exactly 4x.
+    """
+    config = default_cluster_config(seed=0, num_nodes=4)
+    cluster = DisaggregatedCluster.build(config)
+    participating = multi_tenant._participating_nodes(cluster, tenants=1)
+    assert [node.node_id for node in participating] == ["node0"]
+
+    spec = ML_WORKLOADS["logistic_regression"].with_overrides(
+        pages=max(256, int(2048 * TINY)), iterations=3
+    )
+    corrected = multi_tenant._run_system("fastswap", spec, 1, seed=0)
+    corrected_util = corrected["mean_pool_utilization"]
+    assert corrected_util > 0
+
+    # Replay the identical run under the old cluster-wide monitor: the
+    # corrected value must be exactly the diluted one scaled by the
+    # capacity ratio (same used bytes, participating-only denominator).
+    diluted_monitor = {}
+    original = ClusterUtilizationMonitor.__init__
+
+    def spy(self, cluster, period=0.05, nodes=None):
+        original(self, cluster, period=period, nodes=None)
+        diluted_monitor["monitor"] = self
+
+    ClusterUtilizationMonitor.__init__ = spy
+    try:
+        diluted = multi_tenant._run_system("fastswap", spec, 1, seed=0)
+    finally:
+        ClusterUtilizationMonitor.__init__ = original
+    assert diluted["mean_pool_utilization"] == pytest.approx(
+        corrected_util / 4.0
+    )
+
+
+def test_full_tenancy_utilization_unchanged_by_participation_filter():
+    """With tenants == nodes every pool participates: the filter covers
+    the whole cluster and reported numbers match the pre-fix ones."""
+    config = default_cluster_config(seed=0, num_nodes=4)
+    cluster = DisaggregatedCluster.build(config)
+    participating = multi_tenant._participating_nodes(cluster, tenants=4)
+    assert sorted(node.node_id for node in participating) == sorted(
+        node.node_id for node in cluster.nodes()
+    )
 
 
 def test_scaling_is_sublinear_for_fastswap():

@@ -1,0 +1,127 @@
+"""Gate and regression tests for the open_loop_serving experiment."""
+
+import json
+
+import pytest
+
+from repro.experiments import open_loop_serving as ols
+from repro.experiments.registry import EXPERIMENTS, load
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ols.run(scale=SCALE, seed=0)
+
+
+def rows_by_cell(result):
+    return {
+        (row["system"], row["arrival"], row["fit"], row["chaos"]): row
+        for row in result["rows"]
+    }
+
+
+def test_registered():
+    assert "open_loop_serving" in EXPERIMENTS
+    assert load("open_loop_serving") is ols
+
+
+def test_sweep_covers_the_full_grid(result):
+    cells = rows_by_cell(result)
+    assert len(cells) == len(ols.SYSTEMS) * len(ols.ARRIVALS) * len(
+        ols.PRESSURES
+    )
+    for system in ols.SYSTEMS:
+        for arrival in ols.ARRIVALS:
+            for fit, chaos in ols.PRESSURES:
+                assert (system, arrival, fit, chaos) in cells
+
+
+def test_three_classes_and_aggregated_users(result):
+    for row in result["rows"]:
+        for name in ("gold", "silver", "bestEffort"):
+            assert name + "_attainment" in row
+            assert name + "_envelope" in row
+            assert name + "_p99_s" in row
+        # Aggregation makes the user count free: at this tiny scale each
+        # cell still simulates thousands of users, and the offered
+        # request count is orders of magnitude below the user count.
+        assert row["users"] >= 3000
+        assert row["offered"] < row["users"]
+
+
+def test_full_scale_cells_reach_hundred_thousand_users():
+    spec = ols.cells(scale=1.0, seed=0)[0]
+    mix = ols._mix(spec)
+    assert sum(s.tenants for s in mix) >= 100_000
+
+
+def test_gate_gold_envelope_dominates_best_effort(result):
+    """THE gate: at the common latency envelope, gold's goodput share
+    is at least best-effort's in every cell (delay dominance of the
+    priority scheduler; see the experiment module docstring)."""
+    for row in result["rows"]:
+        assert row["gold_envelope"] >= row["bestEffort_envelope"] - 1e-9, row
+
+
+def test_pressure_separates_the_systems(result):
+    """Squeezed, the disk-backed system collapses into queueing while
+    the RDMA systems keep goodput equal to offered load."""
+    cells = rows_by_cell(result)
+    for arrival in ols.ARRIVALS:
+        linux = cells[("linux", arrival, 0.35, False)]
+        assert linux["goodput_rps"] < linux["offered"]
+        assert linux["bestEffort_attainment"] < 0.9
+        for system in ("fastswap", "infiniswap"):
+            row = cells[(system, arrival, 0.35, False)]
+            assert row["goodput_rps"] == pytest.approx(row["offered"])
+            assert row["gold_p99_s"] < 1e-3
+            assert linux["gold_p99_s"] > row["gold_p99_s"]
+
+
+def test_comfortable_cells_meet_every_slo(result):
+    cells = rows_by_cell(result)
+    for system in ("fastswap", "infiniswap"):
+        for arrival in ols.ARRIVALS:
+            row = cells[(system, arrival, 0.7, False)]
+            for name in ("gold", "silver", "bestEffort"):
+                assert row[name + "_attainment"] == pytest.approx(1.0)
+
+
+def test_chaos_schedule_is_system_independent():
+    first = ols.build_schedule(0, True, 1.0)
+    again = ols.build_schedule(0, True, 1.0)
+    assert first.events == again.events
+    assert ols.build_schedule(0, False, 1.0) is None
+    assert {e.node for e in first.events if e.node} <= set(ols.PEER_NODES)
+
+
+def test_chaos_never_improves_goodput(result):
+    cells = rows_by_cell(result)
+    for system in ols.SYSTEMS:
+        for arrival in ols.ARRIVALS:
+            clean = cells[(system, arrival, 0.35, False)]
+            chaos = cells[(system, arrival, 0.35, True)]
+            assert chaos["goodput_rps"] <= clean["goodput_rps"] + 1e-9
+            assert chaos["offered"] == clean["offered"]
+
+
+def test_compute_is_deterministic_and_fast_path_equivalent():
+    from dataclasses import replace
+
+    spec = next(
+        s for s in ols.cells(scale=SCALE, seed=0)
+        if s.backend == "infiniswap" and s.options["chaos"]
+    )
+    slow = ols.compute(spec)
+    fast = ols.compute(replace(spec, fast_path=True))
+    assert json.dumps(slow, sort_keys=True) == json.dumps(
+        fast, sort_keys=True
+    )
+
+
+def test_render_mentions_the_qos_columns(result):
+    table = ols.render(result)
+    assert "goodput" in table
+    assert "gold" in table and "bestEffort" in table

@@ -1,0 +1,55 @@
+"""Property tests: histogram percentiles against sorted raw samples."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import LatencyHistogram
+
+LATENCIES = st.floats(
+    min_value=1e-9, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    samples=st.lists(LATENCIES, min_size=1, max_size=300),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_percentile_stays_inside_exact_quantiles_bucket(samples, fraction):
+    """The interpolated estimate never leaves the bucket that holds the
+    exact (rank-based) quantile of the raw samples."""
+    histogram = LatencyHistogram(least=1e-9, buckets=48)
+    for value in samples:
+        histogram.record(value)
+    ordered = sorted(samples)
+    target = fraction * len(ordered)
+    exact = ordered[max(0, math.ceil(target) - 1)]
+    index = histogram.bucket_index(exact)
+    upper = histogram.least * 2.0 ** index
+    lower = 0.0 if index == 0 else upper / 2.0
+    estimate = histogram.percentile(fraction)
+    assert lower <= estimate <= upper
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    shards=st.lists(
+        st.lists(LATENCIES, min_size=0, max_size=80), min_size=1, max_size=6
+    )
+)
+def test_merged_shards_equal_serial_recording(shards):
+    """Recording shard-by-shard and merging == recording serially."""
+    serial = LatencyHistogram(least=1e-9, buckets=48)
+    merged = LatencyHistogram(least=1e-9, buckets=48)
+    for shard in shards:
+        worker = LatencyHistogram(least=1e-9, buckets=48)
+        for value in shard:
+            serial.record(value)
+            worker.record(value)
+        merged.merge(worker)
+    assert merged.counts == serial.counts
+    assert merged.total == serial.total
+    for fraction in (0.5, 0.9, 0.99, 0.999):
+        assert merged.percentile(fraction) == serial.percentile(fraction)

@@ -1,0 +1,163 @@
+"""Property tests for the serving layer.
+
+Three contracts under randomized inputs:
+
+* arrival generation is a pure function of ``(process, seed)``;
+* per-worker SLO accountants merged in any grouping equal serial
+  recording (counts exactly, float sums to the ulp);
+* the histogram ``cdf`` is consistent with both the raw samples and
+  the interpolating ``percentile`` it inverts.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.accountant import SloAccountant
+from repro.serve.arrivals import make_arrival_process
+from repro.serve.qos import QOS_CLASSES
+from repro.trace import LatencyHistogram
+
+ARRIVAL_SPECS = st.fixed_dictionaries(
+    {
+        "kind": st.sampled_from(["poisson", "bursty", "diurnal"]),
+        "rate": st.floats(min_value=1.0, max_value=500.0),
+    }
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=ARRIVAL_SPECS, seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_arrivals_pure_function_of_spec_and_seed(spec, seed):
+    process = make_arrival_process(spec["kind"], spec["rate"])
+    first = process.arrival_times(random.Random(seed), 2.0)
+    again = process.arrival_times(random.Random(seed), 2.0)
+    assert first == again
+    assert first == sorted(first)
+    assert all(0.0 <= time < 2.0 for time in first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    latencies=st.lists(
+        st.tuples(
+            st.sampled_from(["gold", "silver", "bestEffort"]),
+            st.floats(min_value=1e-8, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=0,
+        max_size=200,
+    ),
+    workers=st.integers(min_value=1, max_value=5),
+)
+def test_merged_worker_accountants_equal_serial(latencies, workers):
+    serial = SloAccountant()
+    shards = [SloAccountant() for _ in range(workers)]
+    for index, (name, latency) in enumerate(latencies):
+        for sink in (serial, shards[index % workers]):
+            account = sink.account(QOS_CLASSES[name])
+            account.record_offered()
+            account.record_completion(latency)
+    merged = SloAccountant()
+    for shard in shards:
+        merged.merge(shard)
+    merged_docs = merged.to_json()
+    serial_docs = serial.to_json()
+    assert len(merged_docs) == len(serial_docs)
+    for merged_doc, serial_doc in zip(merged_docs, serial_docs):
+        assert math.isclose(
+            merged_doc["histogram"].pop("sum"),
+            serial_doc["histogram"].pop("sum"),
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+        assert merged_doc == serial_doc
+    assert merged.fairness() == serial.fairness()
+    assert merged.rows(1.0) is not None
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    arrival=st.sampled_from(["poisson", "bursty", "diurnal"]),
+    seed=st.integers(min_value=0, max_value=999),
+    fit=st.sampled_from([0.3, 0.6, 1.0]),
+)
+def test_fast_path_digest_equals_event_path(arrival, seed, fit):
+    """The flat-path serving run produces byte-identical results to the
+    event-engine run for any (arrival process, seed, pressure)."""
+    import json
+
+    from repro.serve.driver import run_serving_workload
+    from repro.serve.qos import default_mix
+    from repro.workloads.kv import KV_WORKLOADS
+
+    workload = KV_WORKLOADS["memcached"].with_overrides(
+        keys=128, zipf_alpha=0.75
+    )
+    mix = default_mix(
+        tenants_per_class=500,
+        arrival_kind=arrival,
+        workload=workload,
+        per_tenant_rate=0.4,
+    )
+    docs = [
+        json.dumps(
+            run_serving_workload(
+                "fastswap", mix, fit, duration=0.3, seed=seed,
+                fast_path=fast,
+            ).to_json(),
+            sort_keys=True,
+        )
+        for fast in (False, True)
+    ]
+    assert docs[0] == docs[1]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=1e-9, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=300,
+    ),
+    threshold=st.floats(min_value=1e-9, max_value=20.0),
+)
+def test_cdf_brackets_exact_empirical_fraction(samples, threshold):
+    """The interpolated cdf never strays past the bucket resolution:
+    it is bounded by the exact empirical fractions at the enclosing
+    bucket bounds of the threshold."""
+    histogram = LatencyHistogram(least=1e-9, buckets=48)
+    for value in samples:
+        histogram.record(value)
+    index = histogram.bucket_index(threshold)
+    upper = histogram.least * 2.0 ** index
+    lower = 0.0 if index == 0 else upper / 2.0
+    exact_below = sum(1 for v in samples if v <= lower) / len(samples)
+    exact_above = sum(1 for v in samples if v <= upper) / len(samples)
+    estimate = histogram.cdf(threshold)
+    assert exact_below - 1e-12 <= estimate <= exact_above + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=1e-9, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=200,
+    ),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_cdf_inverts_percentile(samples, fraction):
+    """Round trip: cdf(percentile(q)) == q under the shared
+    uniform-within-bucket assumption (up to float error), whenever the
+    quantile stays below the overflow clamp."""
+    histogram = LatencyHistogram(least=1e-9, buckets=48)
+    for value in samples:
+        histogram.record(value)
+    quantile = histogram.percentile(fraction)
+    if quantile >= histogram.least * 2.0 ** (histogram.buckets - 2):
+        return  # clamped into/at the overflow bound; not invertible
+    assert math.isclose(histogram.cdf(quantile), fraction, abs_tol=1e-9)

@@ -1,0 +1,117 @@
+"""SLO accounting: counters, goodput, fairness, envelope, merging."""
+
+import pytest
+
+from repro.serve.accountant import ClassAccount, SloAccountant, jain_fairness
+from repro.serve.qos import QOS_CLASSES
+
+
+def test_jain_fairness_bounds():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    assert jain_fairness([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+    assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+def test_class_account_counters():
+    account = ClassAccount("gold", slo_s=1e-3)
+    account.record_offered(4)
+    account.record_completion(5e-4)   # met
+    account.record_completion(2e-3)   # violated
+    account.record_completion(1e-3)   # met (boundary counts)
+    assert (account.offered, account.completed, account.slo_met) == (4, 3, 2)
+    assert account.violation_fraction == pytest.approx(1.0 / 3.0)
+    # Attainment is over *offered*: the unserved request counts against.
+    assert account.attainment == pytest.approx(2.0 / 4.0)
+
+
+def test_within_evaluates_common_envelope():
+    tight = ClassAccount("gold", slo_s=1e-3)
+    loose = ClassAccount("bestEffort", slo_s=1e-1)
+    for account in (tight, loose):
+        account.record_offered(2)
+        account.record_completion(2e-2)  # violates gold, meets bestEffort
+        account.record_completion(1e-4)
+    assert tight.attainment == pytest.approx(0.5)
+    assert loose.attainment == pytest.approx(1.0)
+    # At the common 100 ms envelope both served everything in time.
+    assert tight.within(1e-1) == pytest.approx(1.0, abs=1e-9)
+    assert loose.within(1e-1) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_accountant_goodput_fairness_and_rows():
+    accountant = SloAccountant()
+    gold = accountant.account(QOS_CLASSES["gold"])
+    best = accountant.account(QOS_CLASSES["bestEffort"])
+    gold.record_offered(10)
+    best.record_offered(10)
+    for _ in range(10):
+        gold.record_completion(1e-4)
+    for index in range(10):
+        best.record_completion(1e-4 if index < 5 else 10.0)
+    assert accountant.goodput(2.0) == pytest.approx((10 + 5) / 2.0)
+    assert accountant.class_goodput("gold", 2.0) == pytest.approx(5.0)
+    assert accountant.fairness() == pytest.approx(
+        jain_fairness([1.0, 0.5]))
+    rows = accountant.rows(2.0)
+    assert [row["class"] for row in rows] == ["bestEffort", "gold"]
+    for row in rows:
+        assert row["envelope_s"] == pytest.approx(QOS_CLASSES["bestEffort"].slo_s)
+        assert {"attainment", "envelope_attainment", "p99_s",
+                "violation_fraction"} <= set(row)
+
+
+def test_account_requires_consistent_slo():
+    accountant = SloAccountant()
+    accountant.account(QOS_CLASSES["gold"])
+    clone = type(QOS_CLASSES["gold"])("gold", priority=0, slo_s=9.0)
+    with pytest.raises(ValueError):
+        accountant.account(clone)
+
+
+def test_merge_equals_serial_recording():
+    latencies = [(index % 7) * 3e-4 for index in range(50)]
+    serial = SloAccountant()
+    shards = [SloAccountant() for _ in range(3)]
+    for index, latency in enumerate(latencies):
+        for sink in (serial, shards[index % 3]):
+            account = sink.account(QOS_CLASSES["silver"])
+            account.record_offered()
+            account.record_completion(latency)
+    merged = SloAccountant()
+    for shard in shards:
+        merged.merge(shard)
+    merged_doc, = merged.to_json()
+    serial_doc, = serial.to_json()
+    # Bucket counts and counters merge exactly; only the running float
+    # ``sum`` is sensitive to addition order (shard-then-fold vs
+    # strictly serial), so it gets an ulp-level tolerance.
+    assert merged_doc["histogram"]["sum"] == pytest.approx(
+        serial_doc["histogram"]["sum"], rel=1e-12
+    )
+    merged_doc["histogram"].pop("sum")
+    serial_doc["histogram"].pop("sum")
+    assert merged_doc == serial_doc
+    # Merging must deep-copy: mutating the merged accountant afterwards
+    # does not write through into the shard it came from.
+    merged.account(QOS_CLASSES["silver"]).record_offered()
+    assert shards[0].account(QOS_CLASSES["silver"]).offered != \
+        merged.account(QOS_CLASSES["silver"]).offered
+
+
+def test_merge_rejects_mismatched_classes():
+    left = ClassAccount("gold", slo_s=1e-3)
+    right = ClassAccount("gold", slo_s=2e-3)
+    with pytest.raises(ValueError):
+        left.merge(right)
+
+
+def test_json_round_trip():
+    accountant = SloAccountant()
+    account = accountant.account(QOS_CLASSES["gold"])
+    account.record_offered(3)
+    account.record_completion(1e-4)
+    account.record_completion(5e-2)
+    restored = SloAccountant.from_json(accountant.to_json())
+    assert restored.to_json() == accountant.to_json()
+    assert restored.get("gold").attainment == account.attainment

@@ -1,0 +1,124 @@
+"""Arrival processes: determinism, rate sanity, aggregation, phases."""
+
+import random
+
+import pytest
+
+from repro.serve.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrival_process,
+)
+
+DURATION = 20.0
+
+
+def processes(rate=50.0):
+    return [
+        PoissonArrivals(rate=rate),
+        BurstyArrivals(rate=rate),
+        DiurnalArrivals(rate=rate),
+    ]
+
+
+@pytest.mark.parametrize("process", processes(), ids=lambda p: p.kind)
+def test_arrivals_are_deterministic_per_seed(process):
+    first = process.arrival_times(random.Random(42), DURATION)
+    again = process.arrival_times(random.Random(42), DURATION)
+    other = process.arrival_times(random.Random(43), DURATION)
+    assert first == again
+    assert first != other
+
+
+@pytest.mark.parametrize("process", processes(), ids=lambda p: p.kind)
+def test_arrivals_sorted_and_inside_window(process):
+    times = process.arrival_times(random.Random(0), DURATION)
+    assert times == sorted(times)
+    assert all(0.0 <= time < DURATION for time in times)
+
+
+@pytest.mark.parametrize("process", processes(), ids=lambda p: p.kind)
+def test_time_average_rate_matches_nominal(process):
+    """Over many cycles the realized rate is the nominal rate (the MMPP
+    boost and the diurnal thinning both preserve the mean)."""
+    count = len(process.arrival_times(random.Random(1), 200.0))
+    expected = process.rate * 200.0
+    assert expected * 0.85 <= count <= expected * 1.15
+
+
+def test_aggregate_scales_rate_not_arrival_count_per_tenant():
+    single = PoissonArrivals(rate=2.0)
+    crowd = single.aggregate(100_000)
+    assert crowd.rate == pytest.approx(200_000.0)
+    assert crowd.kind == single.kind
+    # Request count scales with rate * duration, not with tenants:
+    # a short window of a 200k-rps class is ~2000 arrivals, not 100k.
+    times = crowd.arrival_times(random.Random(0), 0.01)
+    assert 1500 <= len(times) <= 2500
+
+
+def test_bursty_clusters_relative_to_poisson():
+    """At equal mean rate the MMPP squeezes arrivals into ON windows, so
+    its peak short-window count is several times Poisson's."""
+    def peak_window_count(process):
+        times = process.arrival_times(random.Random(3), DURATION)
+        window = 0.05
+        best = 0
+        lo = 0
+        for hi, time in enumerate(times):
+            while times[lo] < time - window:
+                lo += 1
+            best = max(best, hi - lo + 1)
+        return best
+
+    poisson = peak_window_count(PoissonArrivals(rate=200.0))
+    bursty = peak_window_count(BurstyArrivals(rate=200.0))
+    assert bursty > 2 * poisson
+
+
+def test_shared_modulation_aligns_burst_phases():
+    """Two classes given identically seeded modulation RNGs see the
+    same ON/OFF windows even though their arrival draws differ."""
+    process = BurstyArrivals(rate=300.0)
+
+    def on_window_signature(arrival_seed):
+        times = process.arrival_times(
+            random.Random(arrival_seed), DURATION, random.Random(99)
+        )
+        # Quantize to 10 ms: arrivals only happen inside ON windows, so
+        # the occupied-bucket set fingerprints the envelope phase.
+        return {int(time / 0.01) for time in times}
+
+    first = on_window_signature(1)
+    second = on_window_signature(2)
+    assert first != second  # different arrivals...
+    overlap = len(first & second) / max(1, len(first | second))
+    assert overlap > 0.5  # ...but the same burst windows
+
+
+def test_factory_round_trip_and_validation():
+    process = make_arrival_process("bursty", 10.0, on_fraction=0.25)
+    assert isinstance(process, BurstyArrivals)
+    assert process.on_fraction == 0.25
+    assert process.to_json()["kind"] == "bursty"
+    with pytest.raises(ValueError):
+        make_arrival_process("weibull", 10.0)
+    with pytest.raises(ValueError):
+        PoissonArrivals(rate=0.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(rate=1.0, on_fraction=1.5)
+    with pytest.raises(ValueError):
+        DiurnalArrivals(rate=1.0, depth=1.0)
+
+
+def test_gaps_are_prefix_sums_of_arrivals():
+    process = PoissonArrivals(rate=100.0)
+    times = process.arrival_times(random.Random(5), 2.0)
+    gaps = process.gaps(random.Random(5), 2.0)
+    assert len(gaps) == len(times)
+    total = 0.0
+    for gap, time in zip(gaps, times):
+        assert gap >= 0.0
+        total += gap
+        assert total == pytest.approx(time)

@@ -1,0 +1,130 @@
+"""The serving driver: two-speed equivalence, priority, open-loop latency."""
+
+import json
+
+import pytest
+
+from repro.serve.driver import run_serving_workload
+from repro.serve.qos import QOS_CLASSES, TenantClassSpec, default_mix
+from repro.workloads.kv import KV_WORKLOADS
+
+WORKLOAD = KV_WORKLOADS["memcached"].with_overrides(keys=409, zipf_alpha=0.75)
+
+
+def small_mix(arrival_kind="poisson", per_tenant_rate=0.15, tenants=2000):
+    return default_mix(
+        tenants_per_class=tenants,
+        arrival_kind=arrival_kind,
+        workload=WORKLOAD,
+        per_tenant_rate=per_tenant_rate,
+    )
+
+
+def run(backend="fastswap", fit=0.35, *, fast_path, mix=None, schedule=None,
+        duration=0.5, seed=0):
+    return run_serving_workload(
+        backend, mix or small_mix(), fit, duration=duration, seed=seed,
+        fault_schedule=schedule, fast_path=fast_path,
+    )
+
+
+@pytest.mark.parametrize("arrival", ["poisson", "bursty", "diurnal"])
+def test_fast_path_is_byte_identical(arrival):
+    docs = [
+        json.dumps(
+            run(mix=small_mix(arrival), fast_path=fast).to_json(),
+            sort_keys=True,
+        )
+        for fast in (False, True)
+    ]
+    assert docs[0] == docs[1]
+
+
+def test_fast_path_is_byte_identical_under_chaos():
+    from repro.experiments.open_loop_serving import build_schedule
+
+    schedule = build_schedule(0, True, 0.5)
+    docs = [
+        json.dumps(
+            run("infiniswap", mix=small_mix("bursty"), schedule=schedule,
+                fast_path=fast).to_json(),
+            sort_keys=True,
+        )
+        for fast in (False, True)
+    ]
+    assert docs[0] == docs[1]
+
+
+def test_runs_are_deterministic_per_seed():
+    first = run(fast_path=True).to_json()
+    again = run(fast_path=True).to_json()
+    other = run(fast_path=True, seed=1).to_json()
+    assert first == again
+    assert first != other
+
+
+def test_queue_drains_fully_and_offered_is_counted():
+    result = run(fast_path=True)
+    assert result.offered > 0
+    assert result.completed == result.offered
+    assert result.users == sum(spec.tenants for spec in small_mix())
+    accounts = {doc["name"]: doc for doc in result.accounts}
+    assert set(accounts) == {"gold", "silver", "bestEffort"}
+    for doc in accounts.values():
+        assert doc["completed"] == doc["offered"]
+
+
+def test_priority_gives_gold_the_shorter_queue():
+    """Overload the disk-backed system: gold, served first, must keep a
+    far better envelope attainment (and shorter tail) than bestEffort."""
+    result = run("linux", fast_path=True, duration=1.0,
+                 mix=small_mix(tenants=4000))
+    rows = {row["class"]: row for row in result.class_rows}
+    gold, best = rows["gold"], rows["bestEffort"]
+    assert best["attainment"] < 0.9  # the overload actually bit
+    assert gold["envelope_attainment"] >= best["envelope_attainment"]
+    assert gold["p99_s"] <= best["p99_s"]
+    assert 0.0 < result.fairness <= 1.0
+    assert result.goodput_rps < result.offered / result.duration
+
+
+def test_latency_includes_queueing_delay():
+    """A single-class overload shows open-loop accounting: completions
+    keep their arrival timestamps, so latency grows with the backlog
+    instead of the arrival rate throttling down."""
+    mix = [
+        TenantClassSpec(
+            qos=QOS_CLASSES["gold"],
+            tenants=4000,
+            per_tenant_rate=0.5,
+            workload=WORKLOAD,
+        )
+    ]
+    relaxed = run(mix=[mix[0].with_overrides(tenants=40)], fast_path=True,
+                  duration=0.5)
+    slammed = run("linux", mix=mix, fast_path=True, duration=0.5)
+    fast_p99 = {r["class"]: r for r in relaxed.class_rows}["gold"]["p99_s"]
+    slow = {r["class"]: r for r in slammed.class_rows}["gold"]
+    assert slow["p99_s"] > 100 * fast_p99
+    assert slow["violation_fraction"] > 0.0
+
+
+def test_fit_fraction_validation():
+    with pytest.raises(ValueError):
+        run(fit=0.0, fast_path=False)
+    with pytest.raises(ValueError):
+        run(fit=1.5, fast_path=False)
+    with pytest.raises(ValueError):
+        run_serving_workload("fastswap", [], 0.5)
+
+
+def test_result_json_round_trip():
+    from repro.experiments.runner import RunResult
+
+    result = run(fast_path=True)
+    doc = result.to_json()
+    assert doc["kind"] == "serving"
+    assert "context" not in doc and "fast_path" not in doc
+    restored = RunResult.from_json(doc)
+    assert type(restored) is type(result)
+    assert restored.to_json() == doc

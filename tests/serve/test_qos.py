@@ -1,0 +1,85 @@
+"""QoS classes and TenantClassSpec's WorkloadSpec-protocol compliance."""
+
+import random
+
+import pytest
+
+from repro.serve.arrivals import BurstyArrivals
+from repro.serve.qos import QOS_CLASSES, QosClass, TenantClassSpec, default_mix
+from repro.workloads.kv import KV_WORKLOADS
+
+
+def test_qos_tiers_are_ordered():
+    gold, silver, best = (
+        QOS_CLASSES["gold"], QOS_CLASSES["silver"], QOS_CLASSES["bestEffort"]
+    )
+    assert gold.priority < silver.priority < best.priority
+    assert gold.slo_s < silver.slo_s < best.slo_s
+    with pytest.raises(ValueError):
+        QosClass("broken", priority=0, slo_s=0.0)
+
+
+def test_default_mix_covers_every_tier_once():
+    mix = default_mix(tenants_per_class=10)
+    assert [spec.qos.name for spec in mix] == ["gold", "silver", "bestEffort"]
+    assert all(spec.tenants == 10 for spec in mix)
+
+
+def test_spec_implements_workload_protocol():
+    spec = default_mix(tenants_per_class=100)[0]
+    assert spec.name == "gold:memcached"
+    assert spec.pages == spec.workload.pages
+    assert spec.compressibility is spec.workload.compressibility
+    stream = spec.iter_accesses(random.Random(0))
+    page, is_write = next(stream)
+    assert 0 <= page < spec.pages and isinstance(is_write, bool)
+    batch = spec.as_batch(random.Random(0), 16)
+    assert len(batch) == 16 * spec.workload.pages_per_key
+
+
+def test_arrival_process_hook_is_populated_and_aggregated():
+    """The open-loop spec is what the protocol reserved the hook for:
+    closed-loop specs carry ``arrival_process = None``, this one carries
+    the class's aggregate stream."""
+    assert KV_WORKLOADS["memcached"].arrival_process is None
+    spec = TenantClassSpec(
+        qos=QOS_CLASSES["gold"],
+        tenants=50_000,
+        per_tenant_rate=0.01,
+        arrival_kind="bursty",
+        arrival_params={"on_fraction": 0.25},
+    )
+    process = spec.arrival_process
+    assert isinstance(process, BurstyArrivals)
+    assert process.rate == pytest.approx(500.0)
+    assert process.on_fraction == 0.25
+    assert spec.aggregate_rate == pytest.approx(500.0)
+
+
+def test_as_batch_fills_gaps_from_arrival_process():
+    spec = TenantClassSpec(
+        qos=QOS_CLASSES["silver"],
+        tenants=2000,
+        per_tenant_rate=0.05,
+        workload=KV_WORKLOADS["voltdb"],  # pages_per_key == 2
+    )
+    batch = spec.as_batch(
+        random.Random(0), 400, arrival_rng=random.Random(1), duration=1.0
+    )
+    assert batch.gaps is not None
+    per_op = spec.workload.pages_per_key
+    assert len(batch) % per_op == 0
+    # First page of each operation carries the inter-arrival wait;
+    # the burst pages ride back to back.
+    assert all(gap == 0.0 for gap in batch.gaps[1::per_op])
+    assert sum(batch.gaps) <= 1.0
+    assert any(gap > 0.0 for gap in batch.gaps[::per_op])
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TenantClassSpec(qos=QOS_CLASSES["gold"], tenants=0,
+                        per_tenant_rate=1.0)
+    with pytest.raises(ValueError):
+        TenantClassSpec(qos=QOS_CLASSES["gold"], tenants=1,
+                        per_tenant_rate=0.0)

@@ -52,7 +52,7 @@ def run_with_crash(backend_name, crash_at, fs_config=None, seed=3):
     def job():
         yield from backend.setup()
         mmu.stats.start_time = cluster.env.now
-        for page_id, is_write in SPEC.trace(cluster.rng.stream("t")):
+        for page_id, is_write in SPEC.iter_accesses(cluster.rng.stream("t")):
             yield from mmu.access(page_id, write=is_write)
         yield from mmu.flush()
         mmu.stats.end_time = cluster.env.now

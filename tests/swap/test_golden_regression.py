@@ -177,7 +177,7 @@ def test_nvm_golden():
     def job():
         yield from backend.setup()
         mmu.stats.start_time = cluster.env.now
-        for page_id, is_write in spec.trace(rng.stream("trace")):
+        for page_id, is_write in spec.iter_accesses(rng.stream("trace")):
             yield from mmu.access(page_id, write=is_write)
         yield from mmu.flush()
         mmu.stats.end_time = cluster.env.now

@@ -50,17 +50,38 @@ def test_mean_and_count():
 
 
 def test_percentile_brackets_exact_quantiles():
-    """p50/p99 estimates stay within one bucket of the exact quantile."""
+    """Estimates stay within the exact quantile's bucket (one octave)."""
     values = [1e-6 * (1.1 ** i) for i in range(200)]
     histogram = LatencyHistogram()
     for value in values:
         histogram.record(value)
     ordered = sorted(values)
-    for fraction in (0.50, 0.90, 0.99):
+    for fraction in (0.50, 0.90, 0.99, 0.999):
         exact = ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
         estimate = histogram.percentile(fraction)
-        # The estimate is an upper bucket bound enclosing the quantile.
-        assert exact <= estimate <= exact * 2.0
+        # Interpolation keeps the estimate inside the bucket that holds
+        # the exact quantile: never below its lower bound, never above
+        # its upper bound.
+        assert exact / 2.0 <= estimate <= exact * 2.0
+
+
+def test_percentile_interpolates_within_bucket():
+    histogram = LatencyHistogram(least=1.0, buckets=8)
+    # 100 values in bucket 2, i.e. (2, 4].
+    for _ in range(100):
+        histogram.record(3.0)
+    # The median rank is halfway through the bucket's mass: midpoint.
+    assert histogram.percentile(0.5) == pytest.approx(3.0)
+    assert histogram.percentile(0.25) == pytest.approx(2.5)
+    assert histogram.percentile(1.0) == pytest.approx(4.0)
+
+
+def test_percentile_accessors_are_monotone():
+    histogram = LatencyHistogram()
+    for i in range(1000):
+        histogram.record(1e-6 * (1 + i))
+    assert histogram.p50 <= histogram.p90 <= histogram.p99 <= histogram.p999
+    assert histogram.snapshot()["p999_s"] == histogram.p999
 
 
 def test_percentile_edge_cases():
@@ -70,6 +91,15 @@ def test_percentile_edge_cases():
     assert histogram.percentile(0.0) <= histogram.percentile(1.0)
     with pytest.raises(ValueError):
         histogram.percentile(1.5)
+
+
+def test_percentile_overflow_bucket_clamps_to_last_finite_bound():
+    histogram = LatencyHistogram(least=1.0, buckets=4)
+    for _ in range(10):
+        histogram.record(1e9)
+    assert histogram.percentile(0.5) == histogram.least * 2.0 ** (
+        histogram.buckets - 2
+    )
 
 
 def test_merge_is_associative_and_commutative():

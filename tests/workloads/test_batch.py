@@ -30,36 +30,36 @@ def test_materialize_falls_back_to_streamed_trace():
         RngStreams(5).stream("trace"),
     )
     batch = materialize(recorded, RngStreams(5).stream("trace"))
-    assert list(batch.pairs()) == list(recorded.trace())
+    assert list(batch.pairs()) == list(recorded.iter_accesses())
 
 
 @pytest.mark.parametrize("name", sorted(ML_WORKLOADS))
 def test_ml_trace_batch_equals_trace(name):
     spec = ML_WORKLOADS[name].with_overrides(pages=128)
-    batch = spec.trace_batch(RngStreams(11).stream("trace"))
-    streamed = list(spec.trace(RngStreams(11).stream("trace")))
+    batch = spec.as_batch(RngStreams(11).stream("trace"))
+    streamed = list(spec.iter_accesses(RngStreams(11).stream("trace")))
     assert list(batch.pairs()) == streamed
 
 
 @pytest.mark.parametrize("name", sorted(KV_WORKLOADS))
 def test_kv_operations_batch_equals_operations_prefix(name):
     spec = KV_WORKLOADS[name].with_overrides(keys=200)
-    batched = spec.operations_batch(RngStreams(7).stream("ops"), 500)
-    stream = spec.operations(RngStreams(7).stream("ops"))
+    batched = spec.ops_batch(RngStreams(7).stream("ops"), 500)
+    stream = spec.iter_operations(RngStreams(7).stream("ops"))
     assert batched == [next(stream) for _ in range(500)]
 
 
 def test_zipf_batch_spec_trace_is_its_batch():
     spec = ZipfBatchSpec(pages=64, length=256)
-    batch = spec.trace_batch(random.Random(3))
+    batch = spec.as_batch(random.Random(3))
     assert len(batch) == 256
     assert all(0 <= address < 64 for address in batch.addresses)
-    assert list(spec.trace(random.Random(3))) == list(batch.pairs())
+    assert list(spec.iter_accesses(random.Random(3))) == list(batch.pairs())
 
 
 def test_zipf_batch_spec_overrides():
     spec = ZipfBatchSpec().with_overrides(pages=16, length=8)
-    assert spec.pages == 16 and len(spec.trace_batch(random.Random(0))) == 8
+    assert spec.pages == 16 and len(spec.as_batch(random.Random(0))) == 8
 
 
 def test_sample_many_matches_repeated_sample():

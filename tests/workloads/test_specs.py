@@ -41,7 +41,7 @@ def test_catalog_kv_workloads_resolve():
 
 def test_ml_trace_shape():
     spec = ML_WORKLOADS["kmeans"].with_overrides(pages=64, iterations=2)
-    trace = list(spec.trace(random.Random(0)))
+    trace = list(spec.iter_accesses(random.Random(0)))
     page_ids = [page_id for page_id, _w in trace]
     assert max(page_ids) < 64
     assert min(page_ids) == 0
@@ -53,27 +53,27 @@ def test_ml_trace_write_fraction():
     spec = ML_WORKLOADS["kmeans"].with_overrides(
         pages=256, iterations=4, write_fraction=0.5
     )
-    trace = list(spec.trace(random.Random(0)))
+    trace = list(spec.iter_accesses(random.Random(0)))
     writes = sum(1 for _p, w in trace if w)
     assert 0.4 < writes / len(trace) < 0.6
 
 
 def test_ml_trace_deterministic():
     spec = ML_WORKLOADS["svm"].with_overrides(pages=64, iterations=1)
-    a = list(spec.trace(random.Random(5)))
-    b = list(spec.trace(random.Random(5)))
+    a = list(spec.iter_accesses(random.Random(5)))
+    b = list(spec.iter_accesses(random.Random(5)))
     assert a == b
 
 
 def test_ml_approximate_accesses():
     spec = ML_WORKLOADS["pagerank"].with_overrides(pages=1000, iterations=2)
-    trace_length = len(list(spec.trace(random.Random(0))))
+    trace_length = len(list(spec.iter_accesses(random.Random(0))))
     assert trace_length == pytest.approx(spec.approximate_accesses, rel=0.15)
 
 
 def test_kv_operations_stream():
     spec = KV_WORKLOADS["voltdb"].with_overrides(keys=32)
-    stream = spec.operations(random.Random(0))
+    stream = spec.iter_operations(random.Random(0))
     for _ in range(100):
         first_page, count, is_write = next(stream)
         assert count == 2
@@ -83,6 +83,6 @@ def test_kv_operations_stream():
 
 def test_kv_read_fraction():
     spec = KV_WORKLOADS["memcached"].with_overrides(keys=64)
-    stream = spec.operations(random.Random(1))
+    stream = spec.iter_operations(random.Random(1))
     writes = sum(1 for _ in range(2000) if next(stream)[2])
     assert writes / 2000 == pytest.approx(0.05, abs=0.02)

@@ -28,8 +28,8 @@ def test_record_materializes_generator(small_spec):
 
 def test_replay_is_exact(small_spec):
     trace = record_trace(small_spec, random.Random(4))
-    assert list(trace.trace()) == trace.accesses
-    assert list(trace.trace(random.Random(999))) == trace.accesses
+    assert list(trace.iter_accesses()) == trace.accesses
+    assert list(trace.iter_accesses(random.Random(999))) == trace.accesses
 
 
 def test_save_load_roundtrip(small_spec, tmp_path):
