@@ -1,0 +1,33 @@
+"""Benchmark: redundancy scheme x fault rate sweep (Section IV-D)."""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import resilience_recovery
+
+
+def test_bench_redundancy_sweep(run_once, benchmark):
+    result = run_once(resilience_recovery.run, scale=SCALE)
+    cells = {
+        (row["scheme"], row["rate"], row["replication"]): row
+        for row in result["rows"]
+    }
+    top_rate = max(resilience_recovery.RATES)
+    triple = cells[("replicated", top_rate, 3)]
+    one_rtt = cells[("one-rtt", top_rate, 3)]
+    erasure = cells[("erasure", top_rate, None)]
+    # Shape: every redundant scheme survives the faultiest schedule...
+    assert triple["pages_lost"] == 0
+    assert one_rtt["pages_lost"] == 0
+    assert erasure["pages_lost"] == 0
+    assert cells[("replicated", top_rate, 1)]["pages_lost"] > 0
+    # ...erasure coding at half of replication's memory overhead...
+    assert erasure["overhead_x"] <= 1.6 < triple["overhead_x"] == 3.0
+    # ...and the one-RTT protocol at one fabric round per put instead
+    # of one per copy.
+    assert one_rtt["write_rounds"] == one_rtt["puts"]
+    assert triple["write_rounds"] == 3 * triple["puts"]
+    benchmark.extra_info["ec_overhead_x"] = erasure["overhead_x"]
+    benchmark.extra_info["ec_degraded_reads"] = erasure["degraded_reads"]
+    benchmark.extra_info["ec_repair_mean_s"] = erasure["repair_mean_s"]
+    benchmark.extra_info["one_rtt_rounds_saved"] = (
+        triple["write_rounds"] - one_rtt["write_rounds"]
+    )

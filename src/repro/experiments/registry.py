@@ -70,7 +70,7 @@ EXPERIMENTS = {
     ),
     "resilience_recovery": (
         _PACKAGE + ".resilience_recovery",
-        "fault rate x replication resilience",
+        "redundancy scheme x fault rate resilience",
     ),
     "memory_balancing": (
         _PACKAGE + ".memory_balancing",

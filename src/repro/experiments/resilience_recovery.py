@@ -1,20 +1,34 @@
-"""Resilience under failures: fault rate x replication factor.
+"""Resilience under failures: redundancy scheme x fault rate.
 
 The paper's resilience problem (Section IV-D): disaggregation makes
 every node's DRAM a shared dependency, so "the failure of one machine
 can cause the failure of many others".  This experiment quantifies the
-replication answer on the ``replicated-remote`` cascade: a closed-loop
-KV store runs cold-start over replicated remote memory while a seeded
-fault schedule — node crashes, one permanent memory-server loss, link
-flaps, latency degradation, partial partitions — plays out underneath.
+redundancy answers on the tier cascade: a closed-loop KV store runs
+cold-start over resilient remote memory while a seeded fault schedule
+— node crashes, one permanent memory-server loss, link flaps, latency
+degradation, partial partitions — plays out underneath.
 
-The sweep crosses fault intensity with the replication factor.  The
-schedule for a given (seed, rate) is *identical across replication
-cells* (it is drawn from its own RNG stream before any cluster exists),
-so the cells differ only in how much redundancy absorbs the same
-faults.  With the schedule capped at 2 concurrently down memory servers,
-``replication=3`` must report zero lost pages, while ``replication=1``
-loses every page hosted by the permanently lost server.
+The sweep crosses fault intensity with the redundancy scheme:
+
+* ``replicated`` — write-all / read-one replication at factors 1..3
+  (``r``-x memory overhead);
+* ``one-rtt`` — the same triple replication, written with the
+  SWARM-style single-round protocol (one fabric fan-out per put with
+  in-place conflict detection instead of ~``r`` serialized rounds);
+* ``erasure`` — Hydra-style 4+2 Reed-Solomon striping (1.5x memory
+  overhead), with degraded reads reconstructing from any 4 surviving
+  fragments and background reconstruction re-striping lost ones.
+
+The schedule for a given (seed, rate) is *identical across scheme
+cells* (it is drawn from its own RNG stream before any cluster
+exists), so the cells differ only in how much redundancy — and of what
+shape — absorbs the same faults.  With the schedule capped at 2
+concurrently down memory servers, ``replication=3``, ``one-rtt`` and
+``erasure`` (which tolerates 2 lost fragments) must all report zero
+lost pages, while ``replication=1`` loses every page hosted by the
+permanently lost server.  The report's ``overhead_x``, ``repair_*``
+and ``op_p99_s`` columns expose the memory-overhead / recovery-time /
+tail-latency trade-off between the schemes.
 """
 
 import sys
@@ -30,8 +44,8 @@ PEER_NODES = ("node1", "node2", "node3")
 
 #: At most this many memory servers may be down at once (permanent
 #: losses count for the rest of the horizon).  Kept strictly below the
-#: largest replication factor so triple replication provably never
-#: loses a page.
+#: largest replication factor — and at the erasure code's parity count
+#: — so triple replication and 4+2 striping provably never lose a page.
 MAX_CONCURRENT_DOWN = 2
 
 #: Expected random fault events over the horizon (0 = healthy baseline;
@@ -40,32 +54,53 @@ RATES = (0.0, 2.0, 6.0)
 
 REPLICATIONS = (1, 2, 3)
 
+#: The erasure cells stripe 4+2 and need six distinct fragment holders,
+#: so they run on a wider testbed (7 peers); the fault schedules still
+#: only ever touch :data:`PEER_NODES`, keeping them byte-identical
+#: across schemes.
+EC_NUM_NODES = 8
+EC_DATA_SHARDS = 4
+EC_PARITY_SHARDS = 2
+
 
 def cells(scale=1.0, seed=0, duration=4.0, window=0.2):
-    """One cell per (fault rate, replication factor)."""
-    return [
-        RunSpec.make(
+    """One cell per (scheme, fault rate[, replication factor])."""
+
+    def make(backend, rate, scheme, replication):
+        return RunSpec.make(
             EXPERIMENT,
-            backend="replicated-remote",
+            backend=backend,
             workload="memcached",
             fit=0.5,
             seed=seed,
             scale=scale,
+            scheme=scheme,
             rate=rate,
             replication=replication,
             duration=duration,
             window=window,
         )
+
+    specs = [
+        make("replicated-remote", rate, "replicated", replication)
         for rate in RATES
         for replication in REPLICATIONS
     ]
+    specs.extend(
+        make("replicated-remote-1rtt", rate, "one-rtt", max(REPLICATIONS))
+        for rate in RATES
+    )
+    specs.extend(
+        make("ec-remote", rate, "erasure", None) for rate in RATES
+    )
+    return specs
 
 
 def build_schedule(seed, rate, horizon):
-    """The fault schedule for one (seed, rate) — replication-independent.
+    """The fault schedule for one (seed, rate) — scheme-independent.
 
     Drawn from a dedicated RNG stream named by the rate alone, so every
-    replication cell of the sweep faces byte-identical faults.
+    scheme cell of the sweep faces byte-identical faults.
     """
     from repro.faults.schedule import random_schedule
     from repro.sim.rng import RngStreams
@@ -93,9 +128,12 @@ def compute(spec):
         keys=max(512, int(4096 * spec.scale))
     )
     schedule = build_schedule(spec.seed, options["rate"], duration)
-    config = default_cluster_config(
-        seed=spec.seed, replication_factor=options["replication"]
-    )
+    if options["scheme"] == "erasure":
+        config = default_cluster_config(seed=spec.seed, num_nodes=EC_NUM_NODES)
+    else:
+        config = default_cluster_config(
+            seed=spec.seed, replication_factor=options["replication"]
+        )
     result = run_kv_workload(
         spec.backend,
         workload,
@@ -107,35 +145,46 @@ def compute(spec):
         cold_start=True,
         fault_schedule=schedule,
         fast_path=spec.fast_path,
+        record_op_latency=True,
     )
     payload = result.to_json()
     payload["schedule"] = schedule.to_json() if schedule is not None else None
     return payload
 
 
-def _replicated_row(payload):
+def _redundant_row(payload):
     for row in payload.get("tier_stats", ()):
-        if row.get("tier") == "replicated":
+        if row.get("tier") in ("replicated", "erasure"):
             return row
     return {}
 
 
 def report(results):
     indexed = {
-        (spec.options["rate"], spec.options["replication"]): payload
+        (
+            spec.options["scheme"],
+            spec.options["rate"],
+            spec.options["replication"],
+        ): payload
         for spec, payload in results
     }
     baseline = {
-        replication: indexed[(0.0, replication)]["mean_throughput"]
-        for _rate, replication in indexed
-        if (0.0, replication) in indexed
+        (scheme, replication): indexed[(scheme, 0.0, replication)][
+            "mean_throughput"
+        ]
+        for scheme, _rate, replication in indexed
+        if (scheme, 0.0, replication) in indexed
     }
     rows = []
-    for (rate, replication), payload in sorted(indexed.items()):
-        tier = _replicated_row(payload)
-        healthy = baseline.get(replication)
+    for (scheme, rate, replication), payload in sorted(
+        indexed.items(), key=lambda item: (item[0][0], item[0][1],
+                                           item[0][2] or 0)
+    ):
+        tier = _redundant_row(payload)
+        healthy = baseline.get((scheme, replication))
         rows.append(
             {
+                "scheme": scheme,
                 "rate": rate,
                 "replication": replication,
                 "mean_ops_s": payload["mean_throughput"],
@@ -147,6 +196,10 @@ def report(results):
                 "degraded_reads": tier.get("degraded_reads"),
                 "repairs": tier.get("repairs_completed"),
                 "repair_mean_s": tier.get("repair_mean_s"),
+                "overhead_x": tier.get("overhead_x"),
+                "write_rounds": tier.get("write_rounds"),
+                "puts": tier.get("puts"),
+                "op_p99_s": payload.get("op_latency", {}).get("p99_s"),
                 "faults": (
                     len(payload["schedule"]["events"])
                     if payload.get("schedule")
@@ -158,7 +211,7 @@ def report(results):
 
 
 def run(scale=1.0, seed=0, duration=4.0, window=0.2):
-    """Recovery metrics per (fault rate, replication factor)."""
+    """Recovery metrics per (redundancy scheme, fault rate)."""
     return run_serial(
         sys.modules[__name__],
         scale=scale,
@@ -172,8 +225,8 @@ def render(result):
     return format_table(
         result["rows"],
         title=(
-            "Resilience — fault rate x replication "
-            "(cold-start KV over replicated remote memory)"
+            "Resilience — redundancy scheme x fault rate "
+            "(cold-start KV over resilient remote memory)"
         ),
         float_format="{:.4g}",
     )

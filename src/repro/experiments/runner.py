@@ -226,6 +226,9 @@ class KvRunResult(RunResult):
     tier_stack: str = ""
     #: Per-(category, op) latency histogram rows (traced runs only).
     latency_stats: list = field(default_factory=list)
+    #: Per-operation latency percentiles (``record_op_latency`` runs
+    #: only): p50/p99/p999 seconds over every completed KV op.
+    op_latency: dict = field(default_factory=dict)
     #: The RunContext this run recorded into (not serialized).
     context: RunContext = field(default=None, repr=False, compare=False)
     #: Whether the run drove the flat-path kernel (not serialized).
@@ -423,7 +426,8 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
                     window=0.5, seed=0, cluster_config=None,
                     fastswap_config=None, slabs_per_target=24,
                     cold_start=False, prefetch_capacity=None,
-                    fault_schedule=None, context=None, fast_path=False):
+                    fault_schedule=None, context=None, fast_path=False,
+                    record_op_latency=False):
     """Closed-loop KV serving for ``duration`` simulated seconds.
 
     ``cold_start=True`` begins with the whole store swapped out (the
@@ -433,6 +437,10 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
     ``fault_schedule``, ``context`` and ``fast_path``.  KV ops stay
     closed-loop under ``fast_path`` (the window bookkeeping needs the
     clock after every op), so only each op's page burst is bulked.
+    ``record_op_latency=True`` times every completed op (access burst
+    plus flush) into a histogram and fills ``result.op_latency`` with
+    p50/p99/p999 — the tail a fault window stretches; op timings are
+    byte-identical between the fast and event paths.
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
@@ -467,6 +475,11 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         backend.bind_page_table(mmu.pages, mmu.stats)
     timeline = []
     completed = {"ops": 0}
+    op_histogram = None
+    if record_op_latency:
+        from repro.trace.histogram import LatencyHistogram
+
+        op_histogram = LatencyHistogram(least=1e-7, buckets=32)
 
     def client():
         if fast_path:
@@ -484,6 +497,7 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         operations = spec.iter_operations(rng.stream("ops"))
         while cluster.env.now - start < duration:
             first_page, count, is_write = next(operations)
+            op_began = cluster.env.now
             if fast_path:
                 # Bulk the op's page burst; fall back to the event
                 # engine for whatever the kernel would not inline.  An
@@ -508,6 +522,8 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
                 for offset in range(count):
                     yield from mmu.access(first_page + offset, write=is_write)
             yield from mmu.flush()
+            if op_histogram is not None:
+                op_histogram.record(cluster.env.now - op_began)
             window_ops += 1
             completed["ops"] += 1
             while cluster.env.now >= window_end:
@@ -530,6 +546,16 @@ def run_kv_workload(backend_name, spec, fit_fraction, *, duration=5.0,
         tier_stats=tier_stats,
         tier_stack=tier_stack,
         latency_stats=_collect_latency_stats(cluster),
+        op_latency=(
+            {
+                "count": op_histogram.total,
+                "p50_s": op_histogram.p50,
+                "p99_s": op_histogram.p99,
+                "p999_s": op_histogram.p999,
+            }
+            if op_histogram is not None
+            else {}
+        ),
         context=context,
         fast_path=fast_path,
     )

@@ -181,6 +181,85 @@ class Fabric:
         tracer.end(span, ok=True)
         tracer.latency("net", "send." + op, self.env.now - began)
 
+    def fanout(self, src, dsts, nbytes_each, base_latency=None, op="data"):
+        """Generator: one fan-out round from ``src`` to every ``dsts``.
+
+        The SWARM-style single-round write primitive: the sender posts
+        one doorbell that replicates ``nbytes_each`` to every
+        destination in parallel, holding its TX lane for *one* wire
+        time (the slowest path) instead of once per copy.  All paths
+        are checked at start and at completion — a destination that is
+        (or goes) down fails the whole round; nothing is delivered
+        partially.  Emits a single ``net.send`` span carrying the
+        ``dsts`` list and a ``fanout`` count.
+        """
+        dsts = list(dsts)
+        if not dsts:
+            return
+        tracer = self.env.tracer
+        if not tracer.enabled:
+            yield from self._fanout(src, dsts, nbytes_each, base_latency)
+            return
+        began = self.env.now
+        span = tracer.begin(
+            "net.send",
+            src=src,
+            dsts=dsts,
+            nbytes=nbytes_each * len(dsts),
+            op=op,
+            fanout=len(dsts),
+        )
+        try:
+            yield from self._fanout(src, dsts, nbytes_each, base_latency)
+        except Exception as error:
+            tracer.end(span, ok=False, error=type(error).__name__)
+            raise
+        tracer.end(span, ok=True)
+        tracer.latency("net", "send." + op, self.env.now - began)
+
+    def _fanout(self, src, dsts, nbytes_each, base_latency=None):
+        for dst in dsts:
+            self._check_path(src, dst)
+        src_nic = self._nics[src]
+        # Acquire the TX lane plus every destination RX lane in one
+        # canonical global order (same rule as ``_transfer``): no cycle
+        # of holders can form whatever else is in flight.
+        lanes = sorted(
+            [("{}:tx".format(src), src_nic.tx)]
+            + [
+                ("{}:rx".format(dst), self._nics[dst].rx)
+                for dst in dsts
+            ],
+            key=lambda pair: pair[0],
+        )
+        granted = []
+        try:
+            for _key, lane in lanes:
+                request = lane.request()
+                yield request
+                granted.append((lane, request))
+            if self._core is not None:
+                core_request = self._core.request()
+                yield core_request
+                granted.append((self._core, core_request))
+            yield self.env.timeout(max(
+                self.transfer_time(nbytes_each, base_latency)
+                * self.degrade_factor(src, dst)
+                for dst in dsts
+            ))
+            # Any endpoint that died mid-flight loses the whole round.
+            for dst in dsts:
+                self._check_path(src, dst)
+            src_nic.bytes_sent += nbytes_each * len(dsts)
+            src_nic.messages_sent += 1
+            for dst in dsts:
+                self._nics[dst].bytes_received += nbytes_each
+            self.total_bytes += nbytes_each * len(dsts)
+            self.total_messages += 1
+        finally:
+            for lane, request in granted:
+                lane.release(request)
+
     def _transfer(self, src, dst, nbytes, base_latency=None):
         self._check_path(src, dst)
         src_nic = self._nics[src]

@@ -22,6 +22,7 @@ from repro.tiers.disk import BatchSpillTier
 from repro.tiers.nvm import NvmTier
 from repro.tiers.pbs import PbsController
 from repro.tiers.remote import RemoteRdmaTier
+from repro.tiers.erasure import ErasureCodedRemoteTier
 from repro.tiers.remote_block import DiskBackupTier, RemoteBlockTier
 from repro.tiers.replicated import ReplicatedRemoteTier
 
@@ -39,6 +40,8 @@ BACKEND_NAMES = (
     "nvm-remote",
     "zswap-remote",
     "replicated-remote",
+    "replicated-remote-1rtt",
+    "ec-remote",
 )
 
 
@@ -95,15 +98,47 @@ def _make_zswap_remote(node, directory, pool_bytes, slabs_per_target, cpu,
     )
 
 
-def _make_replicated_remote(node, directory, slabs_per_target, cpu, rng):
+def _make_ec_remote(node, directory, slabs_per_target, cpu, rng,
+                    data_shards=4, parity_shards=2):
+    """Hydra-style erasure-coded remote memory: every page is striped
+    k-of-n across peer areas (1.5x memory at the default 4+2 instead of
+    replication's r-x); degraded reads reconstruct from any ``k``
+    surviving fragments inside the fault window, and background
+    reconstruction re-stripes lost fragments onto spare or readmitted
+    nodes."""
+    return TierCascade(
+        node,
+        [
+            ErasureCodedRemoteTier(
+                node,
+                directory,
+                data_shards=data_shards,
+                parity_shards=parity_shards,
+                slabs_per_target=slabs_per_target,
+                rng=rng,
+            ),
+            DiskBackupTier(node, op_overhead=cpu.block_layer_overhead),
+        ],
+        name="ec-remote",
+        failover=FailoverToReplica(),
+    )
+
+
+def _make_replicated_remote(node, directory, slabs_per_target, cpu, rng,
+                            write_protocol="write-all"):
     """Hydra-style resilient remote memory (Section IV-D): every page is
     written to ``replication_factor`` peer areas in parallel; reads fall
     over to surviving replicas and only past the last to the disk
     backup.  Crashes trigger re-replication; recovered peers are
-    re-admitted and topped up."""
+    re-admitted and topped up.  ``write_protocol="one-rtt"`` selects
+    the SWARM-style single-round write path (one fabric fan-out per
+    put, in-place conflict detection via version tags)."""
     from repro.net.retry import RetryPolicy
 
     replication = node.config.replication_factor
+    name = "replicated-remote"
+    if write_protocol == "one-rtt":
+        name = "replicated-remote-1rtt"
     return TierCascade(
         node,
         [
@@ -114,10 +149,11 @@ def _make_replicated_remote(node, directory, slabs_per_target, cpu, rng):
                 slabs_per_target=slabs_per_target,
                 retry=RetryPolicy(max_attempts=3, base_delay=20e-6),
                 rng=rng,
+                write_protocol=write_protocol,
             ),
             DiskBackupTier(node, op_overhead=cpu.block_layer_overhead),
         ],
-        name="replicated-remote",
+        name=name,
         failover=FailoverToReplica(),
     )
 
@@ -163,6 +199,13 @@ def make_swap_backend(name, node, directory, rng=None, fastswap_config=None,
         return _make_nvm_remote(node, directory, slabs_per_target, cpu)
     if name == "replicated-remote":
         return _make_replicated_remote(node, directory, slabs_per_target, cpu, rng)
+    if name == "replicated-remote-1rtt":
+        return _make_replicated_remote(
+            node, directory, slabs_per_target, cpu, rng,
+            write_protocol="one-rtt",
+        )
+    if name == "ec-remote":
+        return _make_ec_remote(node, directory, slabs_per_target, cpu, rng)
     assert name == "zswap-remote"
     return _make_zswap_remote(
         node, directory, zswap_pool_bytes, slabs_per_target, cpu, rng

@@ -36,6 +36,7 @@ from repro.tiers.cascade import (
 )
 from repro.tiers.compressed import CompressedPoolTier, CompressionLayer
 from repro.tiers.disk import BatchSpillTier, DiskSwapTier
+from repro.tiers.erasure import ErasureCodedRemoteTier, StripeCodec, StripeMap
 from repro.tiers.nvm import NvmTier
 from repro.tiers.pbs import PbsController
 from repro.tiers.remote import RemoteArea, RemoteRdmaTier
@@ -53,6 +54,7 @@ __all__ = [
     "DiskBackupTier",
     "DiskSwapTier",
     "DisplacedPage",
+    "ErasureCodedRemoteTier",
     "EvictAndRebuild",
     "FailFastFailover",
     "FailoverPolicy",
@@ -67,6 +69,8 @@ __all__ = [
     "ReplicatedRemoteTier",
     "SharedPoolTier",
     "SpillDownFailover",
+    "StripeCodec",
+    "StripeMap",
     "Tier",
     "TierCascade",
     "TierFull",

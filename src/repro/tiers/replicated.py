@@ -17,7 +17,18 @@ implements it on the cascade contract:
 * **re-replication** — a crash orphans the victim's copies; a repair
   process copies each orphaned page from a surviving holder to a new
   area, and recovered nodes are re-admitted (fresh area reservation,
-  with backoff) and topped up with under-replicated pages.
+  with backoff) and topped up with under-replicated pages in merged
+  per-source batches (one read and one write per batch, not per page).
+
+The write path is selectable by policy (``write_protocol``):
+``"write-all"`` issues one RDMA WRITE per copy — the copies run in
+parallel but serialize on the sender's TX lane, so a put costs ~``r``
+wire rounds; ``"one-rtt"`` is the SWARM-style single-round variant —
+queue pairs are pre-connected at setup and a put is a single fabric
+fan-out round (one doorbell, one ``net.send``) carrying a version tag
+each target compares in place, so a stale earlier incarnation of the
+page is detected and superseded with no extra round and no rollback
+(a round that cannot reach every target delivers nothing and spills).
 
 :class:`ReplicaMap` is the pure bookkeeping core (page -> holders,
 holder -> pages, failure/repair transitions) — separated so the
@@ -135,6 +146,13 @@ class ReplicatedRemoteTier(Tier):
         max_attempts=6, base_delay=1e-4, multiplier=4.0, max_delay=0.05
     )
 
+    #: Largest merged transfer a readmission top-up batch issues (stays
+    #: within one slab's worth of any receive region).
+    TOP_UP_BATCH_BYTES = 1 << 20
+
+    #: Selectable write protocols (see the module docstring).
+    WRITE_PROTOCOLS = ("write-all", "one-rtt")
+
     def __init__(
         self,
         node,
@@ -145,10 +163,17 @@ class ReplicatedRemoteTier(Tier):
         retry=None,
         rng=None,
         tracker=None,
+        write_protocol="write-all",
     ):
         super().__init__()
         if replication < 1:
             raise ValueError("replication must be >= 1")
+        if write_protocol not in self.WRITE_PROTOCOLS:
+            raise ValueError(
+                "unknown write protocol {!r}; valid: {}".format(
+                    write_protocol, ", ".join(self.WRITE_PROTOCOLS)
+                )
+            )
         self.node = node
         self.env = node.env
         self.directory = directory
@@ -163,13 +188,25 @@ class ReplicatedRemoteTier(Tier):
         self.tracker.clock = lambda: self.env.now
         self.map = ReplicaMap(replication)
         self.areas = {}  # node_id -> RemoteArea
+        self.write_protocol = write_protocol
         self._listening = False
         self._repairs = []
+        #: Version tags for the one-RTT in-place conflict check: each
+        #: fan-out round stamps its targets with a fresh tag; finding a
+        #: tag from an earlier incarnation of the page is a detected
+        #: (and superseded) conflict.
+        self._versions = {}
+        self._version_counter = 0
         # Counters for reports and tests.
         self.reads = 0
         self.replica_fallbacks = 0
         self.fallback_reads = 0
         self.rebuilds = 0
+        #: Fabric rounds spent by committed puts: ``write-all`` pays
+        #: one serialized TX-lane round per copy, ``one-rtt`` exactly
+        #: one fan-out round per put.
+        self.write_rounds = 0
+        self.conflicts_detected = 0
 
     # -- setup ---------------------------------------------------------------
 
@@ -184,6 +221,16 @@ class ReplicatedRemoteTier(Tier):
             if self.directory.is_down(peer):
                 continue
             yield from self._reserve_area(peer)
+        if self.write_protocol == "one-rtt":
+            # The one-RTT protocol pays connection setup here, once,
+            # so a put is a single fan-out round on the data plane.
+            for peer in sorted(self.areas):
+                try:
+                    yield from self.node.device.connect(
+                        self.directory.device_of(peer)
+                    )
+                except _TRANSIENT:
+                    continue
 
     def _reserve_area(self, peer):
         slab_bytes = self.node.config.slab_bytes
@@ -208,6 +255,9 @@ class ReplicatedRemoteTier(Tier):
 
     def put(self, page, nbytes):
         """Generator: write ``replication`` copies in parallel, or spill."""
+        if self.write_protocol == "one-rtt":
+            yield from self._put_one_rtt(page, nbytes)
+            return
         targets = self._select_targets(nbytes)
         if targets is None:
             raise TierFull(
@@ -246,6 +296,59 @@ class ReplicatedRemoteTier(Tier):
         self.cascade.record(page.page_id, self.name, nbytes)
         self.stats.puts.increment()
         self.stats.bytes_in.increment(nbytes * len(targets))
+        self.write_rounds += len(targets)
+
+    def _put_one_rtt(self, page, nbytes):
+        """Generator: one fan-out round to every target, or spill.
+
+        There is no rollback round: the fan-out delivers to all targets
+        or to none (a mid-flight endpoint failure loses the whole
+        round), and conflicts with an earlier incarnation of the page
+        are detected in place via the version tag the round carries.
+        """
+        targets = self._select_targets(nbytes)
+        if targets is None:
+            raise TierFull(
+                "{}: fewer than {} live areas with {} free bytes".format(
+                    self.name, self.replication, nbytes
+                )
+            )
+        yield self.env.timeout(self.REMOTE_PER_PAGE_OVERHEAD)
+        try:
+            yield from self._fanout_write(targets, nbytes)
+        except _TRANSIENT:
+            self.stats.failovers.increment()
+            if not self.cascade.failover.spill_on_failure:
+                raise RemoteAccessError(
+                    "one-RTT replica round to {} failed".format(targets)
+                )
+            yield from self.cascade.place(page, nbytes, self.index + 1)
+            return
+        if page.page_id in self._versions:
+            # A target still held the tag of an earlier incarnation of
+            # this page: detected by the in-place comparison, counted,
+            # and superseded by this round's tag — no second round.
+            self.conflicts_detected += 1
+        self._versions[page.page_id] = self._version_counter
+        self._version_counter += 1
+        for target in targets:
+            area = self.areas.get(target)
+            if area is not None:
+                area.used_bytes += nbytes
+        self.map.place(page.page_id, targets)
+        self.cascade.record(page.page_id, self.name, nbytes)
+        self.stats.puts.increment()
+        self.stats.bytes_in.increment(nbytes * len(targets))
+        self.write_rounds += 1
+
+    def _fanout_write(self, targets, nbytes):
+        """Generator: a single doorbell replicating to every target."""
+        for target in targets:
+            if self.directory.receive_region_of(target) is None:
+                raise RemoteAccessError("no region on {!r}".format(target))
+        fabric = self.node.device.fabric
+        yield self.env.timeout(fabric.spec.per_message_overhead)
+        yield from fabric.fanout(self.node.node_id, targets, nbytes)
 
     def _select_targets(self, nbytes):
         live = sorted(
@@ -303,7 +406,13 @@ class ReplicatedRemoteTier(Tier):
             )
         self.tracker.degraded_reads.increment()
         self.fallback_reads += 1
+        began = self.env.now
         yield from self.node.hdd.read(self.node.alloc_disk_span(0), PAGE_SIZE)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.latency(
+                "tier", self.name + ".read.degraded", self.env.now - began
+            )
         return []
 
     def _read_copy(self, holder, stored):
@@ -427,31 +536,74 @@ class ReplicatedRemoteTier(Tier):
                 yield self.env.timeout(policy.delay(attempt, self._rng))
 
     def _top_up(self, node_id):
-        """Generator: copy under-replicated pages onto the returned peer."""
+        """Generator: batch-copy under-replicated pages onto the peer.
+
+        Pages are grouped by surviving source holder and shipped as
+        merged transfers — one read from the source and one write to
+        the recovered node per batch — instead of a round trip per
+        page, so readmission recovery time scales with bytes moved,
+        not page count.  Batches cap at :attr:`TOP_UP_BATCH_BYTES`;
+        bookkeeping is re-verified per page after each batch lands
+        (the cluster kept running while the batch flew).
+        """
+        area = self.areas.get(node_id)
+        if area is None or self.directory.is_down(node_id):
+            return
+        groups = {}  # source holder -> [(page_id, stored)]
+        budget = area.free_bytes
         for page_id in self.map.under_replicated():
-            area = self.areas.get(node_id)
-            if area is None or self.directory.is_down(node_id):
-                return
             label, meta = self.cascade.location(page_id)
             if label != self.name:
                 continue
             stored = meta
             holders = self.map.holders(page_id)
-            if node_id in holders or area.free_bytes < stored:
+            if node_id in holders or stored > budget:
                 continue
             survivors = [
                 holder for holder in holders if not self.directory.is_down(holder)
             ]
             if not survivors:
                 continue
-            try:
-                yield from self._one_sided(survivors[0], stored, write=False)
-                yield from self._one_sided(node_id, stored, write=True)
-            except _TRANSIENT:
-                continue
-            area.used_bytes += stored
-            self.map.add_holder(page_id, node_id)
-            self.tracker.pages_re_replicated.increment()
+            groups.setdefault(survivors[0], []).append((page_id, stored))
+            budget -= stored
+        for source in sorted(groups):
+            for batch in self._chunk_batches(groups[source]):
+                total = sum(stored for _page_id, stored in batch)
+                try:
+                    yield from self._one_sided(source, total, write=False)
+                    yield from self._one_sided(node_id, total, write=True)
+                except _TRANSIENT:
+                    continue
+                area = self.areas.get(node_id)
+                if area is None or self.directory.is_down(node_id):
+                    return
+                for page_id, stored in batch:
+                    label, _meta = self.cascade.location(page_id)
+                    if label != self.name:
+                        continue  # moved or discarded mid-flight
+                    holders = self.map.holders(page_id)
+                    if (
+                        node_id in holders
+                        or source not in holders
+                        or len(holders) >= self.map.factor
+                        or area.free_bytes < stored
+                    ):
+                        continue
+                    area.used_bytes += stored
+                    self.map.add_holder(page_id, node_id)
+                    self.tracker.pages_re_replicated.increment()
+
+    def _chunk_batches(self, pages):
+        """Split ``[(page_id, stored)]`` at the merged-transfer cap."""
+        batch, batch_bytes = [], 0
+        for page_id, stored in pages:
+            if batch and batch_bytes + stored > self.TOP_UP_BATCH_BYTES:
+                yield batch
+                batch, batch_bytes = [], 0
+            batch.append((page_id, stored))
+            batch_bytes += stored
+        if batch:
+            yield batch
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -482,6 +634,11 @@ class ReplicatedRemoteTier(Tier):
                 "replication": self.replication,
                 "replica_fallbacks": self.replica_fallbacks,
                 "rebuilds": self.rebuilds,
+                "write_protocol": self.write_protocol,
+                "write_rounds": self.write_rounds,
+                "conflicts_detected": self.conflicts_detected,
+                # Physical bytes per logical byte stored (r copies).
+                "overhead_x": float(self.replication),
             }
         )
         return row

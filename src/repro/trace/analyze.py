@@ -17,6 +17,14 @@ event list and checks four invariant families:
 * **retry accounting** — retries stay below the policy's attempt
   budget, and a trace with no injected faults contains no retries,
   timeouts or failed sends;
+* **reconstruction** — erasure-coded repair spans
+  (``ec.reconstruct`` with ``mode="repair"``) only run for nodes that
+  actually crashed, never begin before the crash epoch they repair,
+  and never read from or write to a node inside its down window (the
+  repair routes *around* the crash epoch, not through it); degraded
+  reads (``mode="degraded-read"``) happen only inside the fault
+  window — between the first injection and the point the system has
+  fully healed;
 * **flat-path windows** — ``flatpath.bulk`` spans (stretches the
   flat-path kernel executed without events) never overlap a
   fault-injection window or an open migration window: the two-speed
@@ -144,6 +152,7 @@ class TraceAnalyzer:
             violations.extend(self.check_crash_epochs(events))
             violations.extend(self.check_migration_pairing(events))
             violations.extend(self.check_retry_accounting(events))
+            violations.extend(self.check_reconstruction(events))
             violations.extend(self.check_flatpath_windows(events))
         return violations
 
@@ -273,8 +282,10 @@ class TraceAnalyzer:
                 continue
             begin = event["ts"]
             end = begin + event["dur"]
-            for endpoint in ("src", "dst"):
-                node = event["args"].get(endpoint)
+            endpoints = [event["args"].get("src"), event["args"].get("dst")]
+            # Fan-out sends carry their destinations as a list.
+            endpoints.extend(event["args"].get("dsts") or ())
+            for node in endpoints:
                 if node is None:
                     continue
                 for when, edge in ((begin, "began"), (end, "completed")):
@@ -284,11 +295,132 @@ class TraceAnalyzer:
                             "net.send {} -> {} {} at {:.9f} while {} "
                             "was down".format(
                                 event["args"].get("src"),
-                                event["args"].get("dst"),
+                                event["args"].get("dst")
+                                or event["args"].get("dsts"),
                                 edge, when, node,
                             ),
                             event,
                         ))
+        return violations
+
+    @classmethod
+    def check_reconstruction(cls, events):
+        """Erasure-coded reconstruction respects the epochs it heals.
+
+        A ``mode="repair"`` span rebuilds fragments a crashed node (its
+        ``victim`` arg) lost: it must follow a real crash of that node,
+        never begin before the crash epoch it repairs, and never
+        overlap that epoch on a dead endpoint — its ``source`` and
+        ``target`` nodes stay outside every down window while the span
+        runs (the repair routes *around* the crash, not through it).
+        A ``mode="degraded-read"`` span reconstructs a page from parity
+        at read time: legal only inside the fault window — at or after
+        the first injection, and not after the system fully healed
+        (every down window closed, the last recovery and the last
+        repair both finished).
+        """
+        spans = [
+            event for event in events
+            if event["name"] == "ec.reconstruct" and event["ph"] == "X"
+        ]
+        if not spans:
+            return []
+        windows = cls.down_windows(events)
+
+        def is_down(node, when):
+            return any(
+                down_from < when < down_until
+                for down_from, down_until in windows.get(node, ())
+            )
+
+        inject_times = [
+            event["ts"] for event in events
+            if event["name"] == "fault.inject"
+        ]
+        first_fault = min(inject_times) if inject_times else None
+        still_down = any(
+            down_until == float("inf")
+            for node_windows in windows.values()
+            for _down_from, down_until in node_windows
+        )
+        heal_marks = [
+            event["ts"] for event in events
+            if event["name"] == "fault.recover"
+        ] + [
+            span["ts"] + span["dur"] for span in spans
+            if span["args"].get("mode") == "repair"
+        ]
+        healed = (
+            float("inf") if still_down or not heal_marks
+            else max(heal_marks)
+        )
+        violations = []
+        for span in _ordered(spans):
+            mode = span["args"].get("mode")
+            begin = span["ts"]
+            end = begin + span["dur"]
+            if mode == "repair":
+                victim = span["args"].get("victim")
+                victim_windows = windows.get(victim, ())
+                if not victim_windows:
+                    violations.append(Violation(
+                        "reconstruction",
+                        "repair at {:.9f} for {!r}, which never "
+                        "crashed".format(begin, victim),
+                        span,
+                    ))
+                    continue
+                epoch_start = victim_windows[0][0]
+                if begin + _slack(begin, epoch_start) < epoch_start:
+                    violations.append(Violation(
+                        "reconstruction",
+                        "repair for {!r} began at {:.9f}, before the "
+                        "crash epoch starting at {:.9f}".format(
+                            victim, begin, epoch_start
+                        ),
+                        span,
+                    ))
+                if not span["args"].get("ok"):
+                    # An aborted attempt may have *ended* because an
+                    # endpoint died mid-flight; only committed repairs
+                    # must stay clear of down windows.
+                    continue
+                for endpoint in ("source", "target"):
+                    node = span["args"].get(endpoint)
+                    if node is None:
+                        continue
+                    for when, edge in ((begin, "began"), (end, "completed")):
+                        if is_down(node, when):
+                            violations.append(Violation(
+                                "reconstruction",
+                                "repair for {!r} {} at {:.9f} while its "
+                                "{} {!r} was down".format(
+                                    victim, edge, when, endpoint, node
+                                ),
+                                span,
+                            ))
+            elif mode == "degraded-read":
+                if first_fault is None:
+                    violations.append(Violation(
+                        "reconstruction",
+                        "degraded read at {:.9f} in a trace with no "
+                        "injected faults".format(begin),
+                        span,
+                    ))
+                elif begin + _slack(begin, first_fault) < first_fault:
+                    violations.append(Violation(
+                        "reconstruction",
+                        "degraded read at {:.9f} before the first fault "
+                        "at {:.9f}".format(begin, first_fault),
+                        span,
+                    ))
+                elif begin > healed + _slack(begin, healed):
+                    violations.append(Violation(
+                        "reconstruction",
+                        "degraded read at {:.9f} after the system fully "
+                        "healed at {:.9f}".format(begin, healed),
+                        span,
+                    ))
         return violations
 
     @staticmethod

@@ -43,6 +43,8 @@ EVENT_NAMES = frozenset({
     "migrate.copy",
     "migrate.remap",
     "migrate.abort",
+    "ec.encode",
+    "ec.reconstruct",
     "flatpath.bulk",
 })
 

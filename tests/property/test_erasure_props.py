@@ -1,0 +1,217 @@
+"""Property tests for erasure-coded striping under failure schedules.
+
+Two layers, both pure and hypothesis-drivable without a simulator:
+
+* :class:`~repro.tiers.erasure.StripeCodec` — for *any* (k, m) shape
+  and payload, every k-subset of the n = k + m fragments reconstructs
+  the payload bit-identically, and any missing fragment rebuilt from
+  survivors matches the original encoding exactly (so repair is
+  idempotent and order-independent);
+* :class:`~repro.tiers.erasure.StripeMap` — under arbitrary
+  interleavings of placements, failures, repairs and recoveries capped
+  at ``m`` concurrently down nodes, no page is ever lost, the
+  forward/reverse indexes agree, and a crash *mid-reconstruction*
+  (modelled by replaying ``set_fragment`` for fragments a dead repair
+  already restored) never duplicates a fragment index or lands two
+  fragments of one page on one node.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiers.erasure import StripeCodec, StripeMap
+
+NODES = tuple("n{}".format(index) for index in range(8))
+
+
+@st.composite
+def codec_case(draw):
+    """A code shape, a payload, and the index set of surviving fragments."""
+    data_shards = draw(st.integers(1, 5))
+    parity_shards = draw(st.integers(1, 4))
+    total = data_shards + parity_shards
+    payload = draw(st.binary(min_size=1, max_size=2048))
+    survivors = draw(
+        st.sets(
+            st.integers(0, total - 1),
+            min_size=data_shards,
+            max_size=total,
+        )
+    )
+    return data_shards, parity_shards, payload, sorted(survivors)
+
+
+@given(codec_case())
+@settings(max_examples=80)
+def test_any_k_surviving_fragments_reconstruct_bit_identically(case):
+    data_shards, parity_shards, payload, survivors = case
+    codec = StripeCodec(data_shards, parity_shards)
+    fragments = codec.encode(payload)
+    assert len(fragments) == data_shards + parity_shards
+    frag = codec.fragment_size(len(payload))
+    assert all(len(fragment) == frag for fragment in fragments)
+    subset = {index: fragments[index] for index in survivors}
+    assert codec.reconstruct(subset, len(payload)) == payload
+
+
+@given(codec_case())
+@settings(max_examples=80)
+def test_rebuilt_fragments_match_the_original_encoding(case):
+    data_shards, parity_shards, payload, survivors = case
+    codec = StripeCodec(data_shards, parity_shards)
+    fragments = codec.encode(payload)
+    subset = {index: fragments[index] for index in survivors[:data_shards]}
+    for index in range(data_shards + parity_shards):
+        if index in subset:
+            continue
+        rebuilt = codec.rebuild_fragment(subset, index, len(payload))
+        assert rebuilt == fragments[index], index
+
+
+@st.composite
+def stripe_workload(draw):
+    """A code shape and an op sequence honouring the down cap of ``m``."""
+    data_shards = draw(st.integers(2, 4))
+    parity_shards = draw(st.integers(1, 3))
+    ops = []
+    for _ in range(draw(st.integers(1, 60))):
+        ops.append(
+            draw(
+                st.one_of(
+                    st.tuples(st.just("place"), st.integers(0, 30)),
+                    st.tuples(st.just("fail"), st.integers(0, len(NODES) - 1)),
+                    st.tuples(
+                        st.just("recover"), st.integers(0, len(NODES) - 1)
+                    ),
+                )
+            )
+        )
+    return data_shards, parity_shards, ops
+
+
+def restripe(smap, down, pages):
+    """Instantly rebuild missing fragments where live capacity allows."""
+    for page_id in pages:
+        held = smap.fragments(page_id)
+        holders = set(held.values())
+        for index in smap.missing(page_id):
+            target = next(
+                (
+                    node
+                    for node in NODES
+                    if node not in down and node not in holders
+                ),
+                None,
+            )
+            if target is None:
+                break
+            if smap.set_fragment(page_id, index, target):
+                holders.add(target)
+
+
+def drive(smap, ops, parity_shards):
+    """Replay an op sequence; yields after every step for invariants."""
+    total = smap.data_shards + smap.parity_shards
+    down = set()
+    placed = set()
+    for op, value in ops:
+        if op == "place":
+            up = [node for node in NODES if node not in down]
+            if len(up) < total:
+                continue  # the tier spills instead of short-striping
+            smap.place(value, up[:total])
+            placed.add(value)
+        elif op == "fail":
+            node = NODES[value]
+            if node in down or len(down) + 1 > parity_shards:
+                continue  # the schedule keeps <= m nodes down
+            down.add(node)
+            degraded, lost = smap.drop_node(node)
+            assert lost == [], "lost {} with only {} down".format(
+                lost, len(down)
+            )
+            restripe(smap, down, degraded)
+        else:
+            node = NODES[value]
+            if node in down:
+                down.discard(node)
+                restripe(smap, down, smap.under_striped())
+        yield down, placed
+
+
+@given(stripe_workload())
+@settings(max_examples=60)
+def test_no_page_lost_under_at_most_m_concurrent_failures(workload):
+    data_shards, parity_shards, ops = workload
+    smap = StripeMap(data_shards, parity_shards)
+    down, placed = set(), set()
+    for down, placed in drive(smap, ops, parity_shards):
+        pass
+    # Every page ever placed still holds >= k live fragments — enough
+    # to reconstruct it bit-identically (the codec property above).
+    for page_id in placed:
+        live = [
+            node
+            for node in smap.fragments(page_id).values()
+            if node not in down
+        ]
+        assert len(live) >= data_shards, page_id
+
+
+@given(stripe_workload())
+@settings(max_examples=60)
+def test_fragment_indexes_stay_consistent(workload):
+    data_shards, parity_shards, ops = workload
+    smap = StripeMap(data_shards, parity_shards)
+    for _down, placed in drive(smap, ops, parity_shards):
+        # After *every* step: forward and reverse maps agree, and no
+        # node holds two fragments of one page.
+        for node in NODES:
+            for page_id in smap.pages_on(node):
+                assert node in smap.fragments(page_id).values()
+        for page_id in placed:
+            assert page_id in smap
+            nodes = list(smap.fragments(page_id).values())
+            assert len(set(nodes)) == len(nodes), page_id
+            assert len(nodes) <= smap.total_shards
+
+
+@given(stripe_workload())
+@settings(max_examples=60)
+def test_mid_reconstruction_crash_never_duplicates_fragments(workload):
+    """A repair that dies mid-flight and is retried (or races a second
+    repair for the same stripe) replays ``set_fragment`` for work
+    already committed; the map must reject every replay, so fragments
+    are never lost *or* duplicated."""
+    data_shards, parity_shards, ops = workload
+    smap = StripeMap(data_shards, parity_shards)
+    committed = []  # (page_id, index, node) accepted by set_fragment
+    down, placed = set(), set()
+    for down, placed in drive(smap, ops, parity_shards):
+        committed = [
+            (page_id, index, node)
+            for page_id, index, node in committed
+            if smap.fragments(page_id).get(index) == node
+        ]
+        for page_id in smap.under_striped():
+            for index in smap.missing(page_id):
+                holders = set(smap.fragments(page_id).values())
+                target = next(
+                    (
+                        node
+                        for node in NODES
+                        if node not in down and node not in holders
+                    ),
+                    None,
+                )
+                if target is not None and smap.set_fragment(
+                    page_id, index, target
+                ):
+                    committed.append((page_id, index, target))
+    # Replay every commit as a crashed-and-retried repair would.
+    for page_id, index, node in committed:
+        assert not smap.set_fragment(page_id, index, node)
+        assert not smap.set_fragment(page_id, index, "n-spare")
+    for page_id in placed:
+        nodes = list(smap.fragments(page_id).values())
+        assert len(set(nodes)) == len(nodes)
