@@ -1,0 +1,83 @@
+"""Benchmarks: arena allocation throughput and the fragmentation sweep."""
+
+import random
+
+from benchmarks.conftest import SCALE
+from repro.experiments import allocation_fragmentation
+from repro.mem.allocator import AllocationError
+from repro.mem.arena import make_allocator
+
+CAPACITY = 4 * 1024 * 1024
+CHURN_OPS = 20000
+SIZES = (512, 1024, 2048, 4096, 16384)
+
+
+def churn(allocator, ops=CHURN_OPS, seed=0):
+    """A deterministic alloc-heavy churn loop; returns ops completed."""
+    rng = random.Random(seed)
+    live = []
+    completed = 0
+    for _ in range(ops):
+        if live and rng.random() < 0.45:
+            allocator.free(live.pop(rng.randrange(len(live))))
+        else:
+            try:
+                live.append(allocator.allocate(rng.choice(SIZES)))
+            except AllocationError:
+                allocator.free(live.pop(rng.randrange(len(live))))
+        completed += 1
+    return completed, live
+
+
+def test_bench_arena_churn_throughput(benchmark):
+    def run():
+        return churn(make_allocator("arena", CAPACITY))
+
+    completed, _live = benchmark(run)
+    assert completed == CHURN_OPS
+    arena = make_allocator("arena", CAPACITY)
+    churn(arena)
+    stats = arena.frag_stats()
+    assert arena.conserves()
+    benchmark.extra_info["capacity_mb"] = CAPACITY / (1024.0 * 1024.0)
+    benchmark.extra_info["external_fragmentation"] = (
+        stats.external_fragmentation
+    )
+    benchmark.extra_info["internal_fragmentation"] = (
+        stats.internal_fragmentation
+    )
+    benchmark.extra_info["metadata_fraction"] = stats.metadata_fraction
+
+
+def test_bench_uniform_churn_throughput(benchmark):
+    """The idealized counter baseline the arena's cost is judged
+    against: same churn, zero fragmentation by construction."""
+
+    def run():
+        return churn(make_allocator("uniform", CAPACITY))
+
+    completed, _live = benchmark(run)
+    assert completed == CHURN_OPS
+    uniform = make_allocator("uniform", CAPACITY)
+    churn(uniform)
+    stats = uniform.frag_stats()
+    assert stats.external_fragmentation == 0.0
+    benchmark.extra_info["external_fragmentation"] = 0.0
+
+
+def test_bench_allocation_fragmentation(run_once, benchmark):
+    result = run_once(allocation_fragmentation.run, scale=SCALE)
+    # Shape: the harvest-yield gap is strictly positive on arena cells,
+    # zero on the uniform baseline, and compaction keeps external
+    # fragmentation under the CI bound while restoring moved bytes.
+    gaps = {(row["churn"], row["alloc"]): row for row in result["gaps"]}
+    for churn_level in allocation_fragmentation.CHURN:
+        assert gaps[(churn_level, "arena")]["yield_gap"] > 0.0
+        assert gaps[(churn_level, "uniform")]["yield_gap"] == 0.0
+    for row in allocation_fragmentation.compaction_rows(result):
+        assert row["ext_frag"] < allocation_fragmentation.COMPACT_EXT_FRAG_BOUND
+        assert row["moved_mb"] > 0.0
+    worst = max(result["gaps"], key=lambda row: row["yield_gap"])
+    benchmark.extra_info["max_yield_gap"] = worst["yield_gap"]
+    benchmark.extra_info["max_gap_churn"] = worst["churn"]
+    benchmark.extra_info["aborted_raw"] = worst["aborted_raw"]

@@ -88,6 +88,7 @@ class BalanceController:
                 self.metrics.empty_plans += 1
                 continue
             self.metrics.plans_built += 1
+            self.metrics.planned_bytes += plan.planned_bytes()
             yield from self.engine.execute(plan)
             self.metrics.plan_latency.record(self.env.now - started)
         self.metrics.record_cov(self.env.now, self.cluster_cov())

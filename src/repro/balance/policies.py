@@ -137,13 +137,21 @@ class RebalancePolicy:
 
     name = "abstract"
 
-    def __init__(self, min_move_bytes=64 * 1024, pressure_rate=None):
+    def __init__(self, min_move_bytes=64 * 1024, pressure_rate=None,
+                 respect_allocatable=True):
         #: Smallest byte budget worth a migration (plan granularity).
         self.min_move_bytes = min_move_bytes
         #: Remote-put rate above which a node is considered pressured
         #: and sheds one receive-pool slab per epoch (donation
         #: transfer); ``None`` disables donation orders.
         self.pressure_rate = pressure_rate
+        #: Clamp each receiver's absorbable bytes to what its pool can
+        #: actually place at the migration grain (see
+        #: :data:`~repro.balance.telemetry.HARVEST_GRAIN`).  ``False``
+        #: plans against the raw free counter — the historical
+        #: behaviour, which over-plans into fragmented receivers and
+        #: erodes harvest yield through reserve-refused aborts.
+        self.respect_allocatable = respect_allocatable
 
     def plan(self, group_id, reports):
         """Fold one telemetry round into a :class:`RebalancePlan`."""
@@ -156,6 +164,15 @@ class RebalancePolicy:
 
     def _migrations(self, reports):
         raise NotImplementedError
+
+    def _absorbable(self, report, deficit):
+        """A receiver's deficit, clamped to what it can actually place."""
+        if not self.respect_allocatable:
+            return deficit
+        allocatable = getattr(report, "allocatable_bytes", None)
+        if allocatable is None:
+            return deficit
+        return min(deficit, allocatable)
 
     def _slab_orders(self, reports):
         """Pressured nodes shed one slab each to the coldest calm node.
@@ -227,7 +244,12 @@ class ThresholdPolicy(RebalancePolicy):
                 for r in donors
             ],
             [
-                [r.node_id, self.high * r.receive_capacity - r.receive_used]
+                [
+                    r.node_id,
+                    self._absorbable(
+                        r, self.high * r.receive_capacity - r.receive_used
+                    ),
+                ]
                 for r in receivers
             ],
             self.min_move_bytes,
@@ -258,7 +280,12 @@ class ProportionalSharePolicy(RebalancePolicy):
         return _match(
             [[r.node_id, r.receive_used - mean * r.receive_capacity] for r in donors],
             [
-                [r.node_id, mean * r.receive_capacity - r.receive_used]
+                [
+                    r.node_id,
+                    self._absorbable(
+                        r, mean * r.receive_capacity - r.receive_used
+                    ),
+                ]
                 for r in receivers
             ],
             self.min_move_bytes,
@@ -289,7 +316,9 @@ class GreedyHarvestPolicy(RebalancePolicy):
             for r in reports
         }
         headroom = {
-            r.node_id: (mean - self.slack) * r.receive_capacity - r.receive_used
+            r.node_id: self._absorbable(
+                r, (mean - self.slack) * r.receive_capacity - r.receive_used
+            )
             for r in reports
         }
         order = {r.node_id: _report_key(r) for r in reports}

@@ -18,6 +18,12 @@ from repro.net.errors import NetworkError
 #: Wire size of one serialized NodeReport (a handful of counters).
 REPORT_BYTES = 256
 
+#: Allocation grain the telemetry plane quotes allocatable bytes at —
+#: the compressed-page granularity migrations actually move.  Reported
+#: per epoch so harvest policies plan against what a fragmented
+#: receive pool can really place, not its raw free counter.
+HARVEST_GRAIN = 64 * 1024
+
 
 class NodeReport:
     """One node manager's state, as published to its group leader."""
@@ -30,6 +36,7 @@ class NodeReport:
         "receive_used",
         "receive_capacity",
         "receive_free",
+        "allocatable_bytes",
         "hosted_bytes",
         "remote_put_rate",
         "fault_in_rate",
@@ -39,7 +46,8 @@ class NodeReport:
 
     def __init__(self, node_id, time, pool_used, pool_capacity, receive_used,
                  receive_capacity, receive_free, hosted_bytes, remote_put_rate,
-                 fault_in_rate, shared_pool_misses, balloon_reclaimable):
+                 fault_in_rate, shared_pool_misses, balloon_reclaimable,
+                 allocatable_bytes=None):
         self.node_id = node_id
         self.time = time
         self.pool_used = pool_used
@@ -47,6 +55,11 @@ class NodeReport:
         self.receive_used = receive_used
         self.receive_capacity = receive_capacity
         self.receive_free = receive_free
+        #: Receive-pool bytes actually satisfiable at the migration
+        #: grain (:data:`HARVEST_GRAIN`); ``None`` when the reporter
+        #: predates the field.  Under fragmentation this falls below
+        #: ``receive_free`` — the gap raw-counter harvesting plans into.
+        self.allocatable_bytes = allocatable_bytes
         self.hosted_bytes = hosted_bytes
         #: Remote puts per second since the previous report (the node's
         #: outbound pressure on the cluster tier).
@@ -119,6 +132,9 @@ class TelemetryPlane:
             receive_used=node.receive_pool.used_bytes,
             receive_capacity=node.receive_pool.capacity_bytes,
             receive_free=node.receive_pool.free_bytes,
+            allocatable_bytes=node.receive_pool.allocatable_bytes(
+                HARVEST_GRAIN
+            ),
             hosted_bytes=node.rdms.hosted_bytes,
             remote_put_rate=put_rate,
             fault_in_rate=get_rate,

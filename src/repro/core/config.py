@@ -37,6 +37,11 @@ class ClusterConfig:
     #: Chunk size classes used by pools (compressed page granularities
     #: plus larger classes for RDD partitions).
     size_classes: tuple = (512, 1024, 2048, 4096, 65536, 262144, 1048576)
+    #: Allocation policy backing node pools: "slab" (memcached-style,
+    #: the historical default), "uniform" (idealized single-counter
+    #: baseline) or "arena" (jemalloc-style extents/runs with real
+    #: fragmentation; see docs/ALLOCATION.md).
+    alloc_policy: str = "slab"
     #: Replicas per remote entry ("triple replica modularity", §IV-D).
     replication_factor: int = 3
     #: Placement policy: "random", "round_robin", "weighted_round_robin",
@@ -77,6 +82,10 @@ class ClusterConfig:
             raise ValueError("group_size 1 is degenerate (no peers to share with)")
         if self.heartbeat_timeout <= self.heartbeat_period:
             raise ValueError("heartbeat_timeout must exceed heartbeat_period")
+        if self.alloc_policy not in ("slab", "uniform", "arena"):
+            raise ValueError(
+                "alloc_policy must be 'slab', 'uniform' or 'arena'"
+            )
 
     @property
     def total_servers(self):

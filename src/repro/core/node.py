@@ -37,18 +37,21 @@ class PhysicalNode:
             size_classes=config.size_classes,
             slab_bytes=config.slab_bytes,
             name="shm:{}".format(node_id),
+            policy=config.alloc_policy,
         )
         self.send_pool = RdmaBufferPool(
             self.device,
             role="send",
             size_classes=config.size_classes,
             slab_bytes=config.slab_bytes,
+            policy=config.alloc_policy,
         )
         self.receive_pool = RdmaBufferPool(
             self.device,
             role="receive",
             size_classes=config.size_classes,
             slab_bytes=config.slab_bytes,
+            policy=config.alloc_policy,
         )
         self.servers = []
         #: Agents, wired by the cluster facade.

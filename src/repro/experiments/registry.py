@@ -80,6 +80,10 @@ EXPERIMENTS = {
         _PACKAGE + ".open_loop_serving",
         "open-loop QoS serving: goodput under SLO",
     ),
+    "allocation_fragmentation": (
+        _PACKAGE + ".allocation_fragmentation",
+        "allocator churn x fragmentation x harvest yield",
+    ),
 }
 
 

@@ -5,6 +5,11 @@ Building blocks under the disaggregated memory system:
 * :mod:`repro.mem.page` — pages with per-page compressibility;
 * :mod:`repro.mem.allocator` — a slab/chunk allocator in the memcached
   style, used by the shared pool and by compressed stores;
+* :mod:`repro.mem.arena` — a jemalloc-style extent/run arena with real
+  fragmentation, the idealized uniform-slot baseline, and the
+  ``make_allocator`` policy factory;
+* :mod:`repro.mem.fragstats` — the :class:`FragmentationStats`
+  reporting surface shared by every allocator backend;
 * :mod:`repro.mem.compression` — the multi-granularity compression
   model of Section IV-H (FastSwap's 512 B/1 K/2 K/4 K classes) and a
   zbud-pairing model of zswap;
@@ -15,6 +20,14 @@ Building blocks under the disaggregated memory system:
 """
 
 from repro.mem.allocator import AllocationError, Chunk, SlabAllocator
+from repro.mem.arena import (
+    ALLOC_POLICIES,
+    Allocation,
+    Arena,
+    UniformAllocator,
+    geometric_size_classes,
+    make_allocator,
+)
 from repro.mem.buffer_pool import RdmaBufferPool
 from repro.mem.compression import (
     CompressibilityProfile,
@@ -22,20 +35,28 @@ from repro.mem.compression import (
     GranularityStore,
     ZbudStore,
 )
+from repro.mem.fragstats import FragmentationStats
 from repro.mem.page import Page, make_pages
 from repro.mem.shared_pool import SharedMemoryPool, SharedSlot
 
 __all__ = [
+    "ALLOC_POLICIES",
+    "Allocation",
     "AllocationError",
+    "Arena",
     "Chunk",
     "CompressibilityProfile",
     "CompressionEngine",
+    "FragmentationStats",
     "GranularityStore",
     "Page",
     "RdmaBufferPool",
     "SharedMemoryPool",
     "SharedSlot",
     "SlabAllocator",
+    "UniformAllocator",
     "ZbudStore",
+    "geometric_size_classes",
+    "make_allocator",
     "make_pages",
 ]

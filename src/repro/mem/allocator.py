@@ -9,7 +9,17 @@ This is the allocator behind the node shared-memory pool and the
 compressed page stores, where Figure 3's effective compression ratios
 come from: what a page *costs* is the chunk size of its class, not its
 raw compressed size.
+
+It shares the :class:`~repro.mem.fragstats.FragmentationStats`
+reporting surface with the jemalloc-style :mod:`repro.mem.arena`
+backends.  Unlike the arena, slab metadata (per-slab headers and
+free-list entries) is *reported* in the stats but not carved out of
+the pool's capacity, preserving the allocator's historical behaviour;
+the ``live + free + metadata == capacity`` conservation identity is an
+arena-only guarantee.
 """
+
+from repro.mem.fragstats import FragmentationStats, build_histogram
 
 
 class AllocationError(Exception):
@@ -57,6 +67,10 @@ class SlabAllocator:
     """Allocates chunks of the configured size classes from a byte pool."""
 
     DEFAULT_SLAB_BYTES = 1024 * 1024
+    #: Per-slab descriptor cost, charged whether or not the slab is assigned.
+    SLAB_HEADER_BYTES = 64
+    #: Per free-chunk free-list entry cost on assigned slabs.
+    FREELIST_ENTRY_BYTES = 8
 
     def __init__(self, capacity_bytes, size_classes, slab_bytes=None):
         if slab_bytes is None:
@@ -96,6 +110,41 @@ class SlabAllocator:
                 free += len(slab.free_indices) * chunk_size
         return free
 
+    @property
+    def payload_bytes(self):
+        return self.stored_payload_bytes
+
+    @property
+    def live_bytes(self):
+        return self.stored_chunk_bytes
+
+    @property
+    def metadata_bytes(self):
+        """Slab headers plus free-list entries on assigned slabs.
+
+        Reported overhead only — the slab allocator does not carve its
+        bookkeeping out of the pool, so this does not reduce
+        ``free_bytes`` (see the module docstring).
+        """
+        metadata = self.total_slabs * self.SLAB_HEADER_BYTES
+        for slabs in self._class_slabs.values():
+            for slab in slabs:
+                metadata += len(slab.free_indices) * self.FREELIST_ENTRY_BYTES
+        return metadata
+
+    @property
+    def largest_free_extent(self):
+        """Largest contiguous free range (a whole slab, else a chunk)."""
+        if self._free_slabs:
+            return self.slab_bytes
+        largest = 0
+        for chunk_size, slabs in self._class_slabs.items():
+            if chunk_size <= largest:
+                continue
+            if any(slab.free_indices for slab in slabs):
+                largest = chunk_size
+        return largest
+
     def utilization(self):
         """stored payload bytes / pool capacity."""
         if self.capacity_bytes == 0:
@@ -107,6 +156,53 @@ class SlabAllocator:
         if self.stored_chunk_bytes == 0:
             return 0.0
         return 1.0 - self.stored_payload_bytes / self.stored_chunk_bytes
+
+    def allocatable_bytes(self, request=None):
+        """Bytes satisfiable by requests of ``request`` payload each.
+
+        A slab assigned to one class only serves that class, so free
+        chunks of other classes do not help a request: what counts is
+        free chunks of the request's own class plus whatever whole free
+        slabs could be assigned to it.  Requests above the largest
+        class split into largest-class pieces (the
+        :meth:`allocate_entry` contract).
+        """
+        if request is None:
+            request = self.size_classes[-1]
+        if request <= 0:
+            raise ValueError("request must be positive")
+        chunk_size = self.class_for(request)
+        if chunk_size is None:
+            largest = self.size_classes[-1]
+            pieces_per_request = -(-request // largest)
+            piece_capacity = self.allocatable_bytes(largest) // largest
+            return (piece_capacity // pieces_per_request) * request
+        per_slab = self.slab_bytes // chunk_size
+        count = len(self._free_slabs) * per_slab
+        for slab in self._class_slabs[chunk_size]:
+            count += len(slab.free_indices)
+        return count * request
+
+    def free_extent_sizes(self):
+        """Sizes feeding the free-extent histogram (slabs + free chunks)."""
+        sizes = [self.slab_bytes] * len(self._free_slabs)
+        for chunk_size, slabs in self._class_slabs.items():
+            for slab in slabs:
+                sizes.extend([chunk_size] * len(slab.free_indices))
+        return sizes
+
+    def frag_stats(self):
+        """The shared :class:`FragmentationStats` snapshot."""
+        return FragmentationStats(
+            capacity_bytes=self.capacity_bytes,
+            payload_bytes=self.stored_payload_bytes,
+            live_bytes=self.stored_chunk_bytes,
+            free_bytes=self.free_bytes,
+            metadata_bytes=self.metadata_bytes,
+            largest_free_extent=self.largest_free_extent,
+            allocatable_bytes=self.allocatable_bytes(),
+            free_extent_histogram=build_histogram(self.free_extent_sizes()),
+        )
 
     def class_for(self, nbytes):
         """Smallest size class that fits ``nbytes`` (None if too big)."""
@@ -201,6 +297,14 @@ class SlabAllocator:
             self._free_slabs.pop()
         self.capacity_bytes -= removed * self.slab_bytes
         return removed
+
+    def compact(self):
+        """Slab pools don't defragment in place; a no-op (0 bytes moved).
+
+        Chunk packing already keeps at most one partial slab per class,
+        so the arena-style consolidation pass has nothing to do here.
+        """
+        return 0
 
     def _next_slab_id(self):
         highest = -1

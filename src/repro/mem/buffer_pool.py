@@ -14,6 +14,18 @@ local pressure rises, which this class supports via :meth:`shrink`.
 """
 
 from repro.mem.allocator import AllocationError, SlabAllocator
+from repro.mem.arena import make_allocator
+
+
+class _TicketedEntry(list):
+    """An entry's block handles, tagged with the pool's reserve ticket.
+
+    Subclasses ``list`` so every existing caller that treats the
+    reservation as an opaque chunk list keeps working; the ticket pairs
+    the ``alloc.reserve``/``alloc.free`` trace instants.
+    """
+
+    ticket = None
 
 
 class RdmaBufferPool:
@@ -22,15 +34,22 @@ class RdmaBufferPool:
     DEFAULT_SLAB_BYTES = 1024 * 1024
 
     def __init__(self, device, role, size_classes=(512, 1024, 2048, 4096),
-                 slab_bytes=None, name=None):
+                 slab_bytes=None, name=None, policy="slab"):
         if role not in ("send", "receive"):
             raise ValueError("role must be 'send' or 'receive'")
         self.device = device
         self.env = device.env
         self.role = role
+        self.policy = policy
         self.slab_bytes = slab_bytes or self.DEFAULT_SLAB_BYTES
         self.name = name or "{}-pool:{}".format(role, device.node_id)
-        self._allocator = SlabAllocator(0, size_classes, self.slab_bytes)
+        self._allocator = make_allocator(
+            policy, 0, size_classes=size_classes, slab_bytes=self.slab_bytes
+        )
+        # Only arena-backed pools narrate allocation: the historical
+        # backends keep their traces (and seq numbering) untouched.
+        self._traced = policy == "arena"
+        self._ticket = 0
         self._regions = []  # one MemoryRegion per registered slab
         self.registrations = 0
         self.deregistrations = 0
@@ -53,6 +72,40 @@ class RdmaBufferPool:
     def regions(self):
         """The registered memory regions backing this pool."""
         return list(self._regions)
+
+    def allocatable_bytes(self, request=None):
+        """Bytes actually satisfiable at the ``request`` grain.
+
+        Under fragmentation this can be far below :attr:`free_bytes`;
+        the balance telemetry reports it so harvest policies plan
+        against what the pool can really absorb.
+        """
+        return self._allocator.allocatable_bytes(request)
+
+    def frag_stats(self):
+        """The allocator's :class:`FragmentationStats` snapshot."""
+        return self._allocator.frag_stats()
+
+    def compact(self):
+        """Defragment the backing allocator; returns the bytes copied.
+
+        Callers charge the returned byte count at DRAM-copy cost.  A
+        no-op (0) on the slab and uniform backends.
+        """
+        tracer = self.env.tracer
+        if not (self._traced and tracer.enabled):
+            return self._allocator.compact()
+        live = self._allocator.live_bytes
+        span = tracer.begin(
+            "alloc.compact", store=self.name, live_before=live
+        )
+        moved = self._allocator.compact()
+        tracer.end(
+            span,
+            live_after=self._allocator.live_bytes,
+            moved_bytes=moved,
+        )
+        return moved
 
     def grow(self, slab_count):
         """Generator: register ``slab_count`` new slabs (costs time)."""
@@ -108,12 +161,33 @@ class RdmaBufferPool:
     def reserve_entry(self, nbytes):
         """Allocate chunks covering ``nbytes``; ``None`` when full."""
         try:
-            return self._allocator.allocate_entry(nbytes)
+            chunks = self._allocator.allocate_entry(nbytes)
         except AllocationError:
             return None
+        if self._traced:
+            entry = _TicketedEntry(chunks)
+            self._ticket += 1
+            entry.ticket = self._ticket
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "alloc.reserve",
+                    store=self.name,
+                    key=entry.ticket,
+                    nbytes=nbytes,
+                )
+            return entry
+        return chunks
 
     def release_entry(self, chunks):
         """Return an entry's chunks to the pool."""
+        ticket = getattr(chunks, "ticket", None)
+        if ticket is not None:
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "alloc.free", store=self.name, key=ticket
+                )
         self._allocator.free_entry(chunks)
 
     def purge_revoked(self):

@@ -13,6 +13,7 @@ cluster level, and charges shared-memory copy time for every operation.
 from collections import OrderedDict
 
 from repro.mem.allocator import AllocationError, SlabAllocator
+from repro.mem.arena import make_allocator
 
 
 class SharedSlot:
@@ -35,14 +36,21 @@ class SharedMemoryPool:
 
     DEFAULT_SIZE_CLASSES = (512, 1024, 2048, 4096)
 
-    def __init__(self, env, spec, size_classes=None, slab_bytes=None, name="shm"):
+    def __init__(self, env, spec, size_classes=None, slab_bytes=None,
+                 name="shm", policy="slab"):
         self.env = env
         self.spec = spec
         self.name = name
+        self.policy = policy
         self.size_classes = tuple(size_classes or self.DEFAULT_SIZE_CLASSES)
         self.slab_bytes = slab_bytes or SlabAllocator.DEFAULT_SLAB_BYTES
         self.donations = {}
-        self._allocator = SlabAllocator(0, self.size_classes, self.slab_bytes)
+        self._allocator = make_allocator(
+            policy, 0, size_classes=self.size_classes,
+            slab_bytes=self.slab_bytes,
+        )
+        # Only arena-backed pools narrate allocation (trace stability).
+        self._traced = policy == "arena"
         self._entries = OrderedDict()  # key -> SharedSlot, LRU order
         self.puts = 0
         self.gets = 0
@@ -61,6 +69,31 @@ class SharedMemoryPool:
     @property
     def free_bytes(self):
         return self._allocator.free_bytes
+
+    def allocatable_bytes(self, request=None):
+        """Bytes actually satisfiable at the ``request`` grain."""
+        return self._allocator.allocatable_bytes(request)
+
+    def frag_stats(self):
+        """The allocator's :class:`FragmentationStats` snapshot."""
+        return self._allocator.frag_stats()
+
+    def compact(self):
+        """Defragment the backing allocator; returns the bytes copied."""
+        tracer = self.env.tracer
+        if not (self._traced and tracer.enabled):
+            return self._allocator.compact()
+        live = self._allocator.live_bytes
+        span = tracer.begin(
+            "alloc.compact", store=self.name, live_before=live
+        )
+        moved = self._allocator.compact()
+        tracer.end(
+            span,
+            live_after=self._allocator.live_bytes,
+            moved_bytes=moved,
+        )
+        return moved
 
     def donate(self, server_id, nbytes):
         """Add ``nbytes`` from ``server_id`` to the pool."""
@@ -112,6 +145,10 @@ class SharedMemoryPool:
             chunks = self._allocator.allocate_entry(nbytes)
         except AllocationError:
             return None
+        if self._traced and self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "alloc.reserve", store=self.name, key=key, nbytes=nbytes
+            )
         slot = SharedSlot(key, chunks, nbytes)
         self._entries[key] = slot
         return slot
@@ -147,6 +184,10 @@ class SharedMemoryPool:
     def remove(self, key):
         """Drop the entry under ``key``, freeing its chunk (no time cost)."""
         slot = self._entries.pop(key)
+        if self._traced and self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "alloc.free", store=self.name, key=key
+            )
         self._allocator.free_entry(slot.chunks)
         return slot.nbytes
 

@@ -39,6 +39,10 @@ class BalanceMetrics:
         self.migrations_completed = 0
         self.migrations_aborted = 0
         self.moved_bytes = 0
+        #: Bytes the leader *planned* to move (sum of move budgets).
+        #: ``moved_bytes / planned_bytes`` is the harvest yield; the
+        #: shortfall is reserve-refused aborts on fragmented receivers.
+        self.planned_bytes = 0
         self.slabs_transferred = 0
         self.slabs_shrunk = 0
         self.slabs_grown = 0
@@ -87,6 +91,13 @@ class BalanceMetrics:
                 converged = time
         return converged
 
+    def harvest_yield(self):
+        """Fraction of planned bytes that actually moved (1.0 if none
+        were planned)."""
+        if self.planned_bytes == 0:
+            return 1.0
+        return self.moved_bytes / self.planned_bytes
+
     def snapshot(self):
         return {
             "epochs": self.epochs,
@@ -98,6 +109,8 @@ class BalanceMetrics:
             "migrations_completed": self.migrations_completed,
             "migrations_aborted": self.migrations_aborted,
             "moved_bytes": self.moved_bytes,
+            "planned_bytes": self.planned_bytes,
+            "harvest_yield": self.harvest_yield(),
             "slabs_transferred": self.slabs_transferred,
             "slabs_shrunk": self.slabs_shrunk,
             "slabs_grown": self.slabs_grown,

@@ -35,7 +35,7 @@ from repro.net.errors import NetworkError
 from repro.net.rdma import RemoteAccessError
 from repro.net.retry import RetryPolicy
 from repro.tiers.base import DisplacedPage, Tier, TierFull
-from repro.tiers.remote import RemoteArea
+from repro.tiers.remote import RemoteArea, area_policy
 
 _TRANSIENT = (NetworkError, RemoteAccessError)
 
@@ -430,7 +430,13 @@ class ErasureCodedRemoteTier(Tier):
             return False
         if not reply.get("ok"):
             return False
-        self.areas[peer] = RemoteArea(peer, nbytes)
+        self.areas[peer] = RemoteArea(
+            peer,
+            nbytes,
+            policy=area_policy(self.node),
+            env=self.env,
+            name="{}:{}->{}".format(self.name, self.node.node_id, peer),
+        )
         return True
 
     # -- swap-out path (stripe fan-out) --------------------------------------
@@ -463,7 +469,7 @@ class ErasureCodedRemoteTier(Tier):
         yield self.env.all_of(
             [
                 self.env.process(
-                    self._write_fragment(target, frag, outcomes),
+                    self._write_fragment(page.page_id, target, frag, outcomes),
                     name="stripe:{}:{}".format(page.page_id, target),
                 )
                 for target in targets
@@ -476,7 +482,7 @@ class ErasureCodedRemoteTier(Tier):
             for target in winners:
                 area = self.areas.get(target)
                 if area is not None:
-                    area.used_bytes -= frag
+                    area.release(page.page_id)
             self.stats.failovers.increment()
             if not self.cascade.failover.spill_on_failure:
                 raise RemoteAccessError(
@@ -498,7 +504,7 @@ class ErasureCodedRemoteTier(Tier):
             (
                 area
                 for area in self.areas.values()
-                if area.free_bytes >= frag
+                if area.can_fit(frag)
                 and not self.directory.is_down(area.node_id)
             ),
             key=lambda area: (-area.free_bytes, area.node_id),
@@ -507,15 +513,18 @@ class ErasureCodedRemoteTier(Tier):
             return None
         return [area.node_id for area in live[: self.codec.total_shards]]
 
-    def _write_fragment(self, target, frag, outcomes):
+    def _write_fragment(self, page_id, target, frag, outcomes):
         try:
             yield from self._one_sided(target, frag, write=True)
         except _TRANSIENT:
             outcomes[target] = False
         else:
             area = self.areas.get(target)
-            if area is not None:
-                area.used_bytes += frag
+            if area is not None and not area.reserve(page_id, frag):
+                # An arena-backed area refused the fragment despite the
+                # selection-time check: fragmentation left no usable run.
+                outcomes[target] = False
+                return
             outcomes[target] = True
 
     # -- swap-in path --------------------------------------------------------
@@ -703,7 +712,7 @@ class ErasureCodedRemoteTier(Tier):
                     area is None
                     or self.directory.is_down(target)
                     or target in fragments.values()
-                    or area.free_bytes < frag
+                    or not area.can_fit(frag)
                 ):
                     return
                 destination = target
@@ -743,12 +752,14 @@ class ErasureCodedRemoteTier(Tier):
                 area is None
                 or self.directory.is_down(destination)
                 or self.cascade.location(page_id)[0] != self.name
+                or not area.reserve(page_id, frag)
             ):
                 continue
             if self.map.set_fragment(page_id, index, destination):
-                area.used_bytes += frag
                 self.fragments_rebuilt += 1
                 self.tracker.pages_re_replicated.increment()
+            else:
+                area.release(page_id)
             if target is not None:
                 return  # one fragment per readmitted node per page
 
@@ -772,7 +783,7 @@ class ErasureCodedRemoteTier(Tier):
                 area
                 for area in self.areas.values()
                 if area.node_id not in exclude
-                and area.free_bytes >= frag
+                and area.can_fit(frag)
                 and not self.directory.is_down(area.node_id)
             ),
             key=lambda area: (-area.free_bytes, area.node_id),
@@ -820,12 +831,11 @@ class ErasureCodedRemoteTier(Tier):
     # -- bookkeeping ---------------------------------------------------------
 
     def forget(self, page_id, label, meta):
-        frag = self._fragment_size(meta)
         held = self.map.fragments(page_id)
         for _index, holder in held.items():
             area = self.areas.get(holder)
             if area is not None:
-                area.used_bytes -= frag
+                area.release(page_id)
         self.map.remove_page(page_id)
 
     def _one_sided(self, target, nbytes, write):

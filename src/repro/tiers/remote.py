@@ -16,24 +16,147 @@ SSD tier and the HDD fallback cheap.
 
 from repro.core.errors import ControlTimeout
 from repro.hw.latency import PAGE_SIZE
+from repro.mem.allocator import AllocationError
+from repro.mem.arena import make_allocator
 from repro.net.errors import NetworkError
 from repro.net.rdma import RemoteAccessError
 from repro.tiers.base import Tier
 
 
 class RemoteArea:
-    """Bookkeeping for slab space reserved on one remote node."""
+    """The client-side view of slab space reserved on one remote node.
 
-    __slots__ = ("node_id", "capacity_bytes", "used_bytes")
+    Historically a single used-byte counter — the idealized uniform
+    model.  It is now a *keyed store* over a pluggable allocator
+    (:func:`repro.mem.arena.make_allocator`): every page or fragment is
+    reserved under a key and released by it, so when the cluster runs
+    the ``arena`` policy the area models the real extent/run layout of
+    the peer's pool — including the fragmentation that makes a page
+    unplaceable despite ample raw free bytes.  The default ``uniform``
+    policy reproduces the historical counter bit for bit.
+    """
 
-    def __init__(self, node_id, capacity_bytes):
+    __slots__ = ("node_id", "allocator", "policy", "name", "_env", "_held",
+                 "_capacity", "_used")
+
+    def __init__(self, node_id, capacity_bytes, policy="uniform", env=None,
+                 name=None):
+        if policy not in ("uniform", "arena"):
+            raise ValueError("area policy must be 'uniform' or 'arena'")
         self.node_id = node_id
-        self.capacity_bytes = capacity_bytes
-        self.used_bytes = 0
+        self.policy = policy
+        self.name = name or "area:{}".format(node_id)
+        self._env = env
+        self._held = {}  # key -> block handles (arena) or nbytes (uniform)
+        self._capacity = int(capacity_bytes)
+        self._used = 0
+        self.allocator = (
+            make_allocator("arena", capacity_bytes) if policy == "arena"
+            else None
+        )
+
+    @property
+    def capacity_bytes(self):
+        return self._capacity
+
+    @property
+    def used_bytes(self):
+        if self.allocator is not None:
+            return self._capacity - self.allocator.free_bytes
+        return self._used
 
     @property
     def free_bytes(self):
         return self.capacity_bytes - self.used_bytes
+
+    def can_fit(self, nbytes):
+        """Whether a reservation of ``nbytes`` should succeed.
+
+        Uniform areas answer from the free counter (the historical
+        check); arena areas answer from the free-extent structure, so
+        fragmented areas stop attracting placements they would refuse.
+        """
+        if self.allocator is not None:
+            return self.allocator.allocatable_bytes(nbytes) >= nbytes
+        return self.free_bytes >= nbytes
+
+    def holds(self, key):
+        return key in self._held
+
+    def reserve(self, key, nbytes):
+        """Reserve ``nbytes`` under ``key``; False when it cannot fit.
+
+        Uniform reservations never fail: the historical counter added
+        blindly after a caller's own free-bytes check, overcommitting
+        under racing writers, and that behaviour is preserved bit for
+        bit.  Arena reservations go through the extent allocator and
+        refuse when fragmentation leaves no usable space.
+        """
+        if key in self._held:
+            raise ValueError(
+                "{}: duplicate reservation {!r}".format(self.name, key)
+            )
+        if self.allocator is None:
+            self._held[key] = nbytes
+            self._used += nbytes
+            return True
+        try:
+            blocks = self.allocator.allocate_entry(nbytes)
+        except AllocationError:
+            return False
+        self._held[key] = blocks
+        if self._env is not None:
+            tracer = self._env.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "alloc.reserve", store=self.name, key=key, nbytes=nbytes
+                )
+        return True
+
+    def release(self, key):
+        """Release the reservation under ``key``; returns its payload bytes
+        (0 when the key is unknown — e.g. the area was rebuilt after a
+        crash)."""
+        held = self._held.pop(key, None)
+        if held is None:
+            return 0
+        if self.allocator is None:
+            self._used -= held
+            return held
+        payload = sum(block.payload_bytes for block in held)
+        if self._env is not None:
+            tracer = self._env.tracer
+            if tracer.enabled:
+                tracer.instant("alloc.free", store=self.name, key=key)
+        self.allocator.free_entry(held)
+        return payload
+
+    def frag_stats(self):
+        if self.allocator is not None:
+            return self.allocator.frag_stats()
+        from repro.mem.fragstats import FragmentationStats, build_histogram
+
+        free = max(self.free_bytes, 0)
+        return FragmentationStats(
+            capacity_bytes=self._capacity,
+            payload_bytes=self._used,
+            live_bytes=self._used,
+            free_bytes=free,
+            metadata_bytes=0,
+            largest_free_extent=free,
+            allocatable_bytes=free,
+            free_extent_histogram=build_histogram([free] if free else []),
+        )
+
+
+def area_policy(node):
+    """The RemoteArea policy for a cluster config's ``alloc_policy``.
+
+    Areas never modelled memcached slabs — anything but ``arena``
+    keeps the historical uniform counter.
+    """
+    policy = getattr(getattr(node, "config", None), "alloc_policy", "slab")
+    return "arena" if policy == "arena" else "uniform"
 
 
 class RemoteRdmaTier(Tier):
@@ -92,7 +215,15 @@ class RemoteRdmaTier(Tier):
             except (NetworkError, ControlTimeout):
                 continue
             if reply.get("ok"):
-                self.areas[peer] = RemoteArea(peer, nbytes)
+                self.areas[peer] = RemoteArea(
+                    peer,
+                    nbytes,
+                    policy=area_policy(self.node),
+                    env=self.env,
+                    name="{}:{}->{}".format(
+                        self.name, self.node.node_id, peer
+                    ),
+                )
 
     # -- swap-out path -------------------------------------------------------
 
@@ -113,6 +244,10 @@ class RemoteRdmaTier(Tier):
         batch, self._pending = self._pending, []
         nbytes, self._pending_bytes = self._pending_bytes, 0
         area = self._pick_area(nbytes)
+        if area is not None and not self._reserve_batch(area, batch):
+            # An arena-backed area refused the batch despite the
+            # heuristic check: fragmentation made it unplaceable.
+            area = None
         if area is None:
             # Cluster full: the compressed batch cascades down a tier.
             self.stats.spills.increment(len(batch))
@@ -123,22 +258,34 @@ class RemoteRdmaTier(Tier):
             yield from self._one_sided(area.node_id, nbytes, write=True)
         except (NetworkError, RemoteAccessError):
             # Target died mid-batch: cascade this batch down a tier.
+            for page, _stored in batch:
+                area.release(page.page_id)
             self.stats.failovers.increment(len(batch))
             if not self.cascade.failover.spill_on_failure:
                 raise
             yield from self.cascade.place_batch(batch, nbytes, self.index + 1)
             return
-        area.used_bytes += nbytes
         for page, stored in batch:
             self.cascade.record(page.page_id, self.name, (area.node_id, stored))
         self.batches += 1
         self.pages_out += len(batch)
 
+    def _reserve_batch(self, area, batch):
+        """Reserve every page of the batch on ``area``, all or nothing."""
+        reserved = []
+        for page, stored in batch:
+            if not area.reserve(page.page_id, stored):
+                for key in reserved:
+                    area.release(key)
+                return False
+            reserved.append(page.page_id)
+        return True
+
     def _pick_area(self, nbytes):
         live = [
             area
             for area in self.areas.values()
-            if area.free_bytes >= nbytes
+            if area.can_fit(nbytes)
             and not self.directory.is_down(area.node_id)
         ]
         if not live:
@@ -198,10 +345,10 @@ class RemoteRdmaTier(Tier):
                     self._pending_bytes -= stored
                     break
         else:
-            target, stored = meta
+            target, _stored = meta
             area = self.areas.get(target)
             if area is not None:
-                area.used_bytes -= stored
+                area.release(page_id)
 
     def drain(self):
         """Generator: flush any partially filled remote batch."""

@@ -17,7 +17,7 @@ from repro.hw.latency import PAGE_SIZE, CpuSpec
 from repro.net.errors import NetworkError
 from repro.net.rdma import RemoteAccessError
 from repro.tiers.base import Tier, TierFull
-from repro.tiers.remote import RemoteArea
+from repro.tiers.remote import RemoteArea, area_policy
 
 
 class RemoteBlockTier(Tier):
@@ -81,7 +81,15 @@ class RemoteBlockTier(Tier):
             except (NetworkError, ControlTimeout):
                 continue
             if reply.get("ok"):
-                self.areas[target] = RemoteArea(target, nbytes)
+                self.areas[target] = RemoteArea(
+                    target,
+                    nbytes,
+                    policy=area_policy(self.node),
+                    env=self.env,
+                    name="{}:{}->{}".format(
+                        self.backend_name, self.node.node_id, target
+                    ),
+                )
         if not self.areas:
             raise NoRemoteCapacity(
                 "{}: no remote slab space obtained".format(self.backend_name)
@@ -98,7 +106,7 @@ class RemoteBlockTier(Tier):
     def _place(self):
         viable = [
             area for area in self._live_areas()
-            if area.free_bytes >= PAGE_SIZE
+            if area.can_fit(PAGE_SIZE)
         ]
         if not viable:
             return None
@@ -112,9 +120,8 @@ class RemoteBlockTier(Tier):
     def put(self, page, nbytes):
         """Generator: one block write = block layer + RDMA WRITE."""
         area = self._place()
-        if area is None:
+        if area is None or not area.reserve(page.page_id, PAGE_SIZE):
             raise TierFull("no free slab area")
-        area.used_bytes += PAGE_SIZE
         self.cascade.record(page.page_id, self.name, area.node_id)
         self.stats.puts.increment()
         self.stats.bytes_in.increment(PAGE_SIZE)
@@ -155,7 +162,7 @@ class RemoteBlockTier(Tier):
     def forget(self, page_id, label, meta):
         area = self.areas.get(meta)
         if area is not None:
-            area.used_bytes -= PAGE_SIZE
+            area.release(page_id)
 
     def _one_sided(self, target, nbytes, write):
         region = self.directory.receive_region_of(target)

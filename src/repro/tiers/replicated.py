@@ -43,7 +43,7 @@ from repro.net.errors import NetworkError
 from repro.net.rdma import RemoteAccessError
 from repro.net.retry import RetryPolicy, retrying
 from repro.tiers.base import DisplacedPage, Tier, TierFull
-from repro.tiers.remote import RemoteArea
+from repro.tiers.remote import RemoteArea, area_policy
 
 _TRANSIENT = (NetworkError, RemoteAccessError)
 
@@ -248,7 +248,13 @@ class ReplicatedRemoteTier(Tier):
             return False
         if not reply.get("ok"):
             return False
-        self.areas[peer] = RemoteArea(peer, nbytes)
+        self.areas[peer] = RemoteArea(
+            peer,
+            nbytes,
+            policy=area_policy(self.node),
+            env=self.env,
+            name="{}:{}->{}".format(self.name, self.node.node_id, peer),
+        )
         return True
 
     # -- swap-out path (write-all) -------------------------------------------
@@ -270,7 +276,7 @@ class ReplicatedRemoteTier(Tier):
         yield self.env.all_of(
             [
                 self.env.process(
-                    self._write_copy(target, nbytes, outcomes),
+                    self._write_copy(page.page_id, target, nbytes, outcomes),
                     name="replicate:{}:{}".format(page.page_id, target),
                 )
                 for target in targets
@@ -282,7 +288,7 @@ class ReplicatedRemoteTier(Tier):
             for target in winners:
                 area = self.areas.get(target)
                 if area is not None:
-                    area.used_bytes -= nbytes
+                    area.release(page.page_id)
             self.stats.failovers.increment()
             if not self.cascade.failover.spill_on_failure:
                 raise RemoteAccessError(
@@ -324,6 +330,30 @@ class ReplicatedRemoteTier(Tier):
                 )
             yield from self.cascade.place(page, nbytes, self.index + 1)
             return
+        reserved = []
+        refused = False
+        for target in targets:
+            area = self.areas.get(target)
+            if area is None:
+                continue
+            if area.reserve(page.page_id, nbytes):
+                reserved.append(area)
+            else:
+                # Arena-only: a fragmented target could not place the
+                # copy.  The round delivers to all or none, so undo the
+                # reservations and spill (uniform areas never refuse).
+                refused = True
+                break
+        if refused:
+            for area in reserved:
+                area.release(page.page_id)
+            self.stats.failovers.increment()
+            if not self.cascade.failover.spill_on_failure:
+                raise RemoteAccessError(
+                    "one-RTT replica round to {} refused".format(targets)
+                )
+            yield from self.cascade.place(page, nbytes, self.index + 1)
+            return
         if page.page_id in self._versions:
             # A target still held the tag of an earlier incarnation of
             # this page: detected by the in-place comparison, counted,
@@ -331,10 +361,6 @@ class ReplicatedRemoteTier(Tier):
             self.conflicts_detected += 1
         self._versions[page.page_id] = self._version_counter
         self._version_counter += 1
-        for target in targets:
-            area = self.areas.get(target)
-            if area is not None:
-                area.used_bytes += nbytes
         self.map.place(page.page_id, targets)
         self.cascade.record(page.page_id, self.name, nbytes)
         self.stats.puts.increment()
@@ -355,7 +381,7 @@ class ReplicatedRemoteTier(Tier):
             (
                 area
                 for area in self.areas.values()
-                if area.free_bytes >= nbytes
+                if area.can_fit(nbytes)
                 and not self.directory.is_down(area.node_id)
             ),
             key=lambda area: (-area.free_bytes, area.node_id),
@@ -364,15 +390,18 @@ class ReplicatedRemoteTier(Tier):
             return None
         return [area.node_id for area in live[: self.replication]]
 
-    def _write_copy(self, target, nbytes, outcomes):
+    def _write_copy(self, page_id, target, nbytes, outcomes):
         try:
             yield from self._one_sided(target, nbytes, write=True)
         except _TRANSIENT:
             outcomes[target] = False
         else:
             area = self.areas.get(target)
-            if area is not None:
-                area.used_bytes += nbytes
+            if area is not None and not area.reserve(page_id, nbytes):
+                # An arena-backed area refused the copy: fragmentation
+                # made it unplaceable despite the selection-time check.
+                outcomes[target] = False
+                return
             outcomes[target] = True
 
     # -- swap-in path (read-one) ---------------------------------------------
@@ -476,8 +505,8 @@ class ReplicatedRemoteTier(Tier):
             except _TRANSIENT:
                 continue
             area = self.areas.get(target)
-            if area is not None:
-                area.used_bytes += stored
+            if area is None or not area.reserve(page_id, stored):
+                continue
             self.map.add_holder(page_id, target)
             self.tracker.pages_re_replicated.increment()
         self.tracker.complete_repair(node_id)
@@ -502,7 +531,7 @@ class ReplicatedRemoteTier(Tier):
                 area
                 for area in self.areas.values()
                 if area.node_id not in exclude
-                and area.free_bytes >= nbytes
+                and area.can_fit(nbytes)
                 and not self.directory.is_down(area.node_id)
             ),
             key=lambda area: (-area.free_bytes, area.node_id),
@@ -586,10 +615,10 @@ class ReplicatedRemoteTier(Tier):
                         node_id in holders
                         or source not in holders
                         or len(holders) >= self.map.factor
-                        or area.free_bytes < stored
+                        or not area.can_fit(stored)
+                        or not area.reserve(page_id, stored)
                     ):
                         continue
-                    area.used_bytes += stored
                     self.map.add_holder(page_id, node_id)
                     self.tracker.pages_re_replicated.increment()
 
@@ -611,7 +640,7 @@ class ReplicatedRemoteTier(Tier):
         for holder in self.map.holders(page_id):
             area = self.areas.get(holder)
             if area is not None:
-                area.used_bytes -= meta
+                area.release(page_id)
         self.map.remove_page(page_id)
 
     def _one_sided(self, target, nbytes, write):

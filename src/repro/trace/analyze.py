@@ -29,7 +29,12 @@ event list and checks four invariant families:
   flat-path kernel executed without events) never overlap a
   fault-injection window or an open migration window: the two-speed
   engine's run-boundary detector actually handed those back to the
-  event engine.
+  event engine;
+* **allocation** — per store, every ``alloc.free`` releases a key with
+  a live ``alloc.reserve`` (no double-free, no free-without-reserve),
+  a key is never reserved twice without an intervening free, and
+  ``alloc.compact`` spans never change live bytes (defragmentation
+  moves data, it neither creates nor destroys it).
 
 Checks are scoped per cell (the experiment engine tags each cell's
 events), so a sweep-wide trace is analyzed as independent runs.
@@ -154,6 +159,7 @@ class TraceAnalyzer:
             violations.extend(self.check_retry_accounting(events))
             violations.extend(self.check_reconstruction(events))
             violations.extend(self.check_flatpath_windows(events))
+            violations.extend(self.check_allocation(events))
         return violations
 
     def assert_ok(self):
@@ -536,6 +542,60 @@ class TraceAnalyzer:
                         span,
                     ))
                     break
+        return violations
+
+    @staticmethod
+    def check_allocation(events):
+        """Allocator narration is sound: reserve/free pair per key and
+        compaction conserves live bytes."""
+        violations = []
+        live = {}  # (store, key repr) -> reserve event
+        for event in _ordered(events):
+            name = event["name"]
+            if not name.startswith("alloc."):
+                continue
+            args = event["args"]
+            if name == "alloc.compact":
+                before = args.get("live_before")
+                after = args.get("live_after")
+                if before is not None and after is not None and before != after:
+                    violations.append(Violation(
+                        "allocation",
+                        "compaction on {!r} changed live bytes "
+                        "{} -> {}".format(
+                            args.get("store"), before, after
+                        ),
+                        event,
+                    ))
+                moved = args.get("moved_bytes")
+                if moved is not None and moved < 0:
+                    violations.append(Violation(
+                        "allocation",
+                        "compaction on {!r} reports negative moved "
+                        "bytes {}".format(args.get("store"), moved),
+                        event,
+                    ))
+                continue
+            handle = (args.get("store"), repr(args.get("key")))
+            if name == "alloc.reserve":
+                if handle in live:
+                    violations.append(Violation(
+                        "allocation",
+                        "key {} reserved twice on store {!r} without an "
+                        "intervening free".format(handle[1], handle[0]),
+                        event,
+                    ))
+                live[handle] = event
+            elif name == "alloc.free":
+                if live.pop(handle, None) is None:
+                    violations.append(Violation(
+                        "allocation",
+                        "free of key {} on store {!r} with no live "
+                        "reservation (double free?)".format(
+                            handle[1], handle[0]
+                        ),
+                        event,
+                    ))
         return violations
 
     @staticmethod

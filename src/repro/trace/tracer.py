@@ -46,6 +46,9 @@ EVENT_NAMES = frozenset({
     "ec.encode",
     "ec.reconstruct",
     "flatpath.bulk",
+    "alloc.reserve",
+    "alloc.free",
+    "alloc.compact",
 })
 
 #: Category of kernel-bookkeeping events that exist only on fast-path

@@ -1,0 +1,116 @@
+"""Regression: harvest planning against fragmented receivers.
+
+A receive pool can report plenty of raw free bytes while none of them
+are placeable at the migration grain (fragmentation).  Historically the
+planners budgeted against the raw counter and every planned migration
+died with a reserve-refused abort.  With ``respect_allocatable`` (the
+default) a receiver's deficit is clamped to its reported
+``allocatable_bytes``, so fragmented receivers stop attracting budgets
+they cannot honour.
+"""
+
+from repro.balance.policies import (
+    GreedyHarvestPolicy,
+    MoveBudget,
+    ThresholdPolicy,
+)
+from repro.balance.telemetry import NodeReport
+
+MiB = 1024 * 1024
+
+
+def report(node_id, used, capacity, allocatable=None):
+    return NodeReport(
+        node_id=node_id,
+        time=0.0,
+        pool_used=0,
+        pool_capacity=0,
+        receive_used=used,
+        receive_capacity=capacity,
+        receive_free=capacity - used,
+        hosted_bytes=used,
+        remote_put_rate=0.0,
+        fault_in_rate=0.0,
+        shared_pool_misses=0,
+        balloon_reclaimable=0,
+        allocatable_bytes=allocatable,
+    )
+
+
+def fleet():
+    """One hot donor, one fragmented cold receiver, one clean one.
+
+    The fragmented receiver has *more* raw free bytes than the clean
+    one but can only place a sliver of them.
+    """
+    return [
+        report("node0", used=9 * MiB, capacity=10 * MiB,
+               allocatable=1 * MiB),
+        report("node1", used=1 * MiB, capacity=10 * MiB,
+               allocatable=128 * 1024),  # swiss-cheesed
+        report("node2", used=2 * MiB, capacity=10 * MiB,
+               allocatable=8 * MiB),  # clean
+    ]
+
+
+def by_dst(moves):
+    totals = {}
+    for move in moves:
+        totals[move.dst] = totals.get(move.dst, 0) + move.nbytes
+    return totals
+
+
+def test_greedy_raw_planning_over_promises_the_fragmented_receiver():
+    """The golden before: raw-free planning pours the biggest budget
+    into the emptiest (most fragmented) receiver."""
+    plan = GreedyHarvestPolicy(respect_allocatable=False).plan(0, fleet())
+    totals = by_dst(plan.migrations)
+    # node1 looks emptiest, so greedy fills it first — far beyond the
+    # 128 KiB it can actually place.
+    assert totals["node1"] > 1 * MiB
+    assert plan.planned_bytes() > 4 * MiB
+
+
+def test_greedy_allocatable_planning_respects_the_fragmented_receiver():
+    """The golden after: the same fleet, planned against allocatable
+    bytes — node1 gets at most what it can place, the clean receiver
+    absorbs the rest, and nothing is over-promised."""
+    plan = GreedyHarvestPolicy().plan(0, fleet())
+    totals = by_dst(plan.migrations)
+    assert totals.get("node1", 0) <= 128 * 1024
+    assert totals["node2"] > totals.get("node1", 0)
+    for move in plan.migrations:
+        assert move.src == "node0"
+
+
+def test_threshold_clamps_receiver_deficits_too():
+    raw = ThresholdPolicy(respect_allocatable=False).plan(0, fleet())
+    aware = ThresholdPolicy().plan(0, fleet())
+    assert by_dst(raw.migrations).get("node1", 0) > 128 * 1024
+    assert by_dst(aware.migrations).get("node1", 0) <= 128 * 1024
+
+
+def test_missing_allocatable_field_falls_back_to_raw_free():
+    """Reports without the field (older reporters) plan exactly as the
+    raw baseline — the clamp is strictly opt-in per report."""
+    old = [
+        report("node0", used=9 * MiB, capacity=10 * MiB),
+        report("node1", used=1 * MiB, capacity=10 * MiB),
+        report("node2", used=2 * MiB, capacity=10 * MiB),
+    ]
+    raw = GreedyHarvestPolicy(respect_allocatable=False).plan(0, old)
+    aware = GreedyHarvestPolicy().plan(0, old)
+    assert list(raw.migrations) == list(aware.migrations)
+
+
+def test_fully_fragmented_receiver_attracts_nothing():
+    reports = [
+        report("node0", used=9 * MiB, capacity=10 * MiB, allocatable=MiB),
+        report("node1", used=1 * MiB, capacity=10 * MiB, allocatable=0),
+    ]
+    plan = GreedyHarvestPolicy().plan(0, reports)
+    assert plan.is_empty()
+    raw = GreedyHarvestPolicy(respect_allocatable=False).plan(0, reports)
+    assert raw.migrations == (
+        MoveBudget("node0", "node1", raw.migrations[0].nbytes),
+    )

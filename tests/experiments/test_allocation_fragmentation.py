@@ -1,0 +1,109 @@
+"""Determinism and acceptance tests for allocation_fragmentation."""
+
+import pytest
+
+from repro.experiments import allocation_fragmentation as af
+
+SCALE = 0.05
+DURATION = 2.0
+
+
+@pytest.fixture(scope="module")
+def result():
+    return af.run(scale=SCALE, seed=0, duration=DURATION)
+
+
+def rows_by_cell(result):
+    return {
+        (row["churn"], row["alloc"], row["balance"], row["compact"]): row
+        for row in result["rows"]
+    }
+
+
+def test_compute_is_deterministic():
+    spec = next(
+        spec for spec in af.cells(scale=SCALE, seed=0, duration=DURATION)
+        if spec.backend == "arena" and spec.options["balance"] == "raw"
+    )
+    assert af.compute(spec) == af.compute(spec)
+
+
+def test_sweep_covers_the_full_grid(result):
+    cells = rows_by_cell(result)
+    expected = {
+        (churn, alloc, balance, False)
+        for churn in af.CHURN
+        for alloc in af.ALLOC_POLICIES
+        for balance in af.BALANCE_ARMS
+    } | {(churn, "arena", "alloc", True) for churn in af.CHURN}
+    assert set(cells) == expected
+
+
+def test_churned_arena_pools_are_fragmented(result):
+    """The workload earns its name: churned arena pools report high
+    external fragmentation and a large unusable-free gap, while the
+    uniform baseline (by construction) never fragments."""
+    for row in result["rows"]:
+        if row["alloc"] == "arena" and not row["compact"]:
+            assert row["ext_frag"] > 0.5, row
+            assert row["unusable_mb"] > 0.0, row
+        if row["alloc"] == "uniform":
+            assert row["unusable_mb"] == 0.0, row
+
+
+def test_harvest_yield_gap_is_nonzero_on_arena(result):
+    """The acceptance property: allocatable-aware planning beats
+    raw-free planning on fragmented arena pools, and the two arms are
+    indistinguishable on the idealized uniform pools."""
+    gaps = {(row["churn"], row["alloc"]): row for row in result["gaps"]}
+    for churn in af.CHURN:
+        arena = gaps[(churn, "arena")]
+        assert arena["yield_gap"] > 0.0, arena
+        assert arena["yield_alloc"] == 1.0
+        assert arena["aborted_raw"] > 0
+        assert arena["aborted_alloc"] == 0
+        uniform = gaps[(churn, "uniform")]
+        assert uniform["yield_gap"] == 0.0, uniform
+        assert uniform["aborted_raw"] == 0
+
+
+def test_raw_planning_erodes_into_aborts(result):
+    """Raw-free planning on arena pools plans epoch after epoch into
+    receivers that refuse every reserve — planned bytes balloon while
+    almost nothing moves."""
+    cells = rows_by_cell(result)
+    for churn in af.CHURN:
+        raw = cells[(churn, "arena", "raw", False)]
+        aware = cells[(churn, "arena", "alloc", False)]
+        assert raw["aborted"] > 0
+        assert raw["planned_mb"] > raw["moved_mb"]
+        assert raw["planned_mb"] > aware["planned_mb"]
+        assert aware["aborted"] == 0
+
+
+def test_compaction_recovers_harvestable_space(result):
+    """With the compaction daemon on, churned arena pools defragment
+    (external fragmentation under the CI bound), the balancer actually
+    moves bytes again, and the copy cost is accounted."""
+    compacted = af.compaction_rows(result)
+    assert len(compacted) == len(af.CHURN)
+    cells = rows_by_cell(result)
+    for row in compacted:
+        assert row["ext_frag"] < af.COMPACT_EXT_FRAG_BOUND, row
+        assert row["compact_mb"] > 0.0
+        uncompacted = cells[(row["churn"], "arena", "alloc", False)]
+        assert row["moved_mb"] > uncompacted["moved_mb"]
+
+
+def test_balance_off_cells_move_nothing(result):
+    for row in result["rows"]:
+        if row["balance"] == "off":
+            assert row["planned_mb"] == 0.0
+            assert row["moved_mb"] == 0.0
+            assert row["aborted"] == 0
+
+
+def test_render_includes_both_tables(result):
+    rendered = af.render(result)
+    assert "Allocation fragmentation" in rendered
+    assert "Harvest-yield gap" in rendered

@@ -49,7 +49,7 @@ def test_swap_area_exhaustion_degrades_to_disk(cluster, node, pages):
     backend = setup_backend(cluster, node, Nbdx, slabs_per_target=1)
     # Fill every reserved area to force exhaustion.
     for area in backend.areas.values():
-        area.used_bytes = area.capacity_bytes
+        area.reserve(("fill", area.node_id), area.capacity_bytes)
 
     def scenario():
         yield from backend.swap_out(pages[0])

@@ -285,3 +285,82 @@ def test_from_jsonl(tmp_path):
     assert [
         v.invariant for v in TraceAnalyzer.from_jsonl(path).check()
     ] == ["migration-pairing"]
+
+
+# -- allocation narration ----------------------------------------------------
+
+
+def test_allocation_reserve_free_pairs_pass():
+    events = [
+        wire("alloc.reserve", 0.0, store="receive-pool:node2", key=1,
+             nbytes=512),
+        wire("alloc.reserve", 0.1, store="receive-pool:node2", key=2,
+             nbytes=1024),
+        wire("alloc.free", 0.2, store="receive-pool:node2", key=1),
+        wire("alloc.free", 0.3, store="receive-pool:node2", key=2),
+        # Re-reserving a freed key is a legal recycle.
+        wire("alloc.reserve", 0.4, store="receive-pool:node2", key=1,
+             nbytes=2048),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+def test_double_reserve_same_key_is_flagged():
+    events = [
+        wire("alloc.reserve", 0.0, store="pool", key=7, nbytes=512),
+        wire("alloc.reserve", 0.1, store="pool", key=7, nbytes=512),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert [v.invariant for v in violations] == ["allocation"]
+    assert "reserved twice" in violations[0].message
+
+
+def test_free_without_reservation_is_flagged():
+    events = [
+        wire("alloc.reserve", 0.0, store="pool", key=7, nbytes=512),
+        wire("alloc.free", 0.1, store="pool", key=7),
+        wire("alloc.free", 0.2, store="pool", key=7),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert [v.invariant for v in violations] == ["allocation"]
+    assert "double free" in violations[0].message
+
+
+def test_allocation_keys_are_scoped_per_store():
+    events = [
+        wire("alloc.reserve", 0.0, store="pool-a", key=1, nbytes=512),
+        wire("alloc.reserve", 0.1, store="pool-b", key=1, nbytes=512),
+        wire("alloc.free", 0.2, store="pool-a", key=1),
+        wire("alloc.free", 0.3, store="pool-b", key=1),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+def test_compaction_changing_live_bytes_is_flagged():
+    events = [
+        wire("alloc.compact", 0.0, dur=0.1, store="pool",
+             live_before=4096, live_after=2048, moved_bytes=2048),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert [v.invariant for v in violations] == ["allocation"]
+    assert "changed live bytes" in violations[0].message
+
+
+def test_compaction_negative_moved_bytes_is_flagged():
+    events = [
+        wire("alloc.compact", 0.0, dur=0.1, store="pool",
+             live_before=4096, live_after=4096, moved_bytes=-1),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert [v.invariant for v in violations] == ["allocation"]
+    assert "negative moved" in violations[0].message
+
+
+def test_conserving_compaction_passes():
+    events = [
+        wire("alloc.reserve", 0.0, store="pool", key=1, nbytes=4096),
+        wire("alloc.compact", 0.5, dur=0.1, store="pool",
+             live_before=4096, live_after=4096, moved_bytes=4096),
+        wire("alloc.free", 1.0, store="pool", key=1),
+    ]
+    assert TraceAnalyzer(events).check() == []
