@@ -27,3 +27,39 @@ def test_bench_open_loop_serving(run_once, benchmark):
     benchmark.extra_info["aggregate_goodput_rps"] = sum(
         row["goodput_rps"] for row in rows
     )
+
+
+def test_bench_million_user_admission_cell(run_once, benchmark):
+    """One full-scale shed cell: 1.05M users, batched arrivals on the
+    flat path, queue-depth shedding.  The timed run is the fast path;
+    the event-engine run of the identical cell (per-access yields,
+    per-arrival heap pushes) is timed alongside for the speedup."""
+    import time
+    from dataclasses import replace
+
+    spec = next(
+        s for s in open_loop_serving.cells(scale=1.0, seed=0)
+        if s.options.get("policy") == "queue-depth"
+        and s.options["qos_mix"] == "scan-heavy"
+        and not s.options["chaos"]
+    )
+    payload = run_once(open_loop_serving.compute, replace(spec,
+                                                          fast_path=True))
+    start = time.perf_counter()
+    event_payload = open_loop_serving.compute(spec)
+    event_wall = time.perf_counter() - start
+    assert payload == event_payload  # two-speed equivalence, full scale
+    assert payload["users"] >= 1_000_000
+    assert payload["shed"] > 0
+    assert payload["completed"] + payload["shed"] == payload["offered"]
+    wall = benchmark.stats["mean"]
+    benchmark.extra_info["simulated_users"] = payload["users"]
+    benchmark.extra_info["users_per_sec"] = (
+        payload["users"] / wall if wall > 0 else 0.0
+    )
+    benchmark.extra_info["shed_fraction"] = (
+        payload["shed"] / payload["offered"]
+    )
+    benchmark.extra_info["speedup_vs_event_path"] = (
+        event_wall / wall if wall > 0 else 0.0
+    )

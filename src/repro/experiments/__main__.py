@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments run fig7 [--scale 0.5] [--seed 3]
                                          [--jobs 8] [--no-cache] [--json]
                                          [--tiers] [--fast-path]
+                                         [--cells 0,3,8-10]
                                          [--trace[=PATH]]
                                          [--trace-filter net,migrate]
     python -m repro.experiments all  [--scale 0.25] [--jobs 8] [--json]
@@ -53,7 +54,25 @@ def _run_one(name, args, cache):
         trace=trace,
         trace_filter=_parse_trace_filter(getattr(args, "trace_filter", None)),
         fast_path=getattr(args, "fast_path", False),
+        cells=_parse_cells(getattr(args, "cells", None)),
     )
+
+
+def _parse_cells(raw):
+    """``"0,3,8-10"`` -> ``[0, 3, 8, 9, 10]`` (None passes through)."""
+    if not raw:
+        return None
+    indices = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            low, _sep, high = part.partition("-")
+            indices.extend(range(int(low), int(high) + 1))
+        else:
+            indices.append(int(part))
+    return indices
 
 
 def _parse_trace_filter(raw):
@@ -152,6 +171,11 @@ def _add_run_arguments(parser):
                         help="drive runner-based cells through the "
                              "two-speed flat-path engine (results are "
                              "byte-identical; cached under a separate key)")
+    parser.add_argument("--cells", default=None, metavar="INDICES",
+                        help="run only these sweep cells, as a comma list "
+                             "of indices and inclusive ranges "
+                             "(e.g. 0,3,8-10); the report covers just "
+                             "the subset")
 
 
 def main(argv=None):

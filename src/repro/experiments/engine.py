@@ -392,20 +392,46 @@ class ExperimentRun:
         }
 
 
+def select_cells(specs, subset):
+    """The ``subset`` of ``specs`` by sweep index, order-preserving.
+
+    ``subset`` is an iterable of cell indices into the full sweep
+    (duplicates collapse, order is the sweep's own); indices outside
+    the sweep raise — a silent drop would let a CI step gate on an
+    empty subset.
+    """
+    specs = list(specs)
+    wanted = sorted(set(subset))
+    bad = [index for index in wanted if not 0 <= index < len(specs)]
+    if bad:
+        raise ValueError(
+            "cell indices {} outside the sweep (0..{})".format(
+                bad, len(specs) - 1
+            )
+        )
+    return [specs[index] for index in wanted]
+
+
 def run_experiment(name, scale=1.0, seed=0, jobs=1, cache=None, trace=False,
-                   trace_filter=None, fast_path=False, **opts):
+                   trace_filter=None, fast_path=False, cells=None, **opts):
     """Run one registered experiment end to end through the engine.
 
     With ``trace=True`` every cell computes inside a trace session
     (the cache is bypassed) and the run carries the merged event list,
     each event tagged with its cell index.  ``fast_path=True`` stamps
     every cell spec so runner-based cells drive the two-speed engine;
-    payloads are byte-identical to the event-path sweep.
+    payloads are byte-identical to the event-path sweep.  ``cells``
+    (an iterable of sweep indices) restricts the run to a subset of
+    the declared cells — the report covers just that subset, which is
+    how CI drives a single million-user cell without paying for the
+    whole sweep.
     """
     from repro.experiments import registry
 
     module = registry.load(name)
     specs = module.cells(scale=scale, seed=seed, **opts)
+    if cells is not None:
+        specs = select_cells(specs, cells)
     if fast_path:
         specs = [replace(spec, fast_path=True) for spec in specs]
     trace_events = []

@@ -47,7 +47,7 @@ class ClassAccount:
     """One QoS class's counters + latency histogram."""
 
     __slots__ = ("name", "slo_s", "offered", "completed", "slo_met",
-                 "histogram")
+                 "shed", "histogram")
 
     def __init__(self, name, slo_s):
         self.name = name
@@ -57,10 +57,17 @@ class ClassAccount:
         self.completed = 0
         #: Completed within the class SLO.
         self.slo_met = 0
+        #: Refused by admission control: never served, never completed.
+        #: Billed separately from SLO violations — a shed request is an
+        #: explicit refusal, a violation is a broken promise.
+        self.shed = 0
         self.histogram = LatencyHistogram(least=_LEAST, buckets=_BUCKETS)
 
     def record_offered(self, count=1):
         self.offered += count
+
+    def record_shed(self, count=1):
+        self.shed += count
 
     def record_completion(self, latency):
         self.completed += 1
@@ -69,6 +76,18 @@ class ClassAccount:
             self.slo_met += 1
 
     # -- derived -----------------------------------------------------------
+
+    @property
+    def admitted(self):
+        """Offered load that passed admission (the queueable share)."""
+        return self.offered - self.shed
+
+    @property
+    def shed_fraction(self):
+        """Share of offered load refused by admission control."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
 
     @property
     def violation_fraction(self):
@@ -107,6 +126,7 @@ class ClassAccount:
         self.offered += other.offered
         self.completed += other.completed
         self.slo_met += other.slo_met
+        self.shed += other.shed
         self.histogram.merge(other.histogram)
         return self
 
@@ -117,6 +137,7 @@ class ClassAccount:
             "offered": self.offered,
             "completed": self.completed,
             "slo_met": self.slo_met,
+            "shed": self.shed,
             "histogram": self.histogram.to_json(),
         }
 
@@ -126,6 +147,8 @@ class ClassAccount:
         account.offered = doc["offered"]
         account.completed = doc["completed"]
         account.slo_met = doc["slo_met"]
+        # Pre-admission-control documents have no shed counter.
+        account.shed = doc.get("shed", 0)
         account.histogram = LatencyHistogram.from_json(doc["histogram"])
         return account
 
@@ -193,6 +216,9 @@ class SloAccountant:
                 "class": name,
                 "slo_s": account.slo_s,
                 "offered": account.offered,
+                "admitted": account.admitted,
+                "shed": account.shed,
+                "shed_fraction": account.shed_fraction,
                 "completed": account.completed,
                 "slo_met": account.slo_met,
                 "goodput_rps": account.slo_met / duration,

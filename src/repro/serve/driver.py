@@ -10,35 +10,55 @@ shows it.  The :class:`~repro.serve.accountant.SloAccountant` turns
 completions into goodput-under-SLO, violation fractions and fairness.
 
 Scheduling: non-preemptive priority.  When the server frees up, the
-highest-priority class with a request waiting is served next (FIFO
-within a class, class index breaks priority ties).  A request in
+highest-priority class with an admitted request waiting is served next
+(FIFO within a class, class index breaks priority ties).  A request in
 service always runs to completion.
+
+Admission control sits at the arrival drain: the moment the server
+first observes a request (its arrival time passes the clock), the
+configured :class:`~repro.serve.admission.AdmissionPolicy` either
+enqueues it or sheds it.  A shed request never touches the backend —
+it acquires no service spans — and is billed to the accountant's
+``shed`` counter, separate from SLO violations.  The default
+:class:`~repro.serve.admission.NoShed` policy reproduces the
+pre-admission driver exactly.
 
 Two-speed execution
 -------------------
 
-Request schedules are pre-generated per class from named RNG streams
-(arrivals and operations draw from *separate* streams), so the fast
-and event paths consume identical randomness.  Under ``fast_path``:
+The whole schedule is pre-materialized in bulk: class arrival arrays
+are generated and superposed by :func:`repro.serve.arrivals.aggregate`
+(one merged, admission-ordered timeline — no per-request heap pushes),
+and each class's operations are flattened into one
+:class:`~repro.workloads.batch.AccessBatch` plus per-request bounds
+(:func:`~repro.workloads.batch.flatten_requests`).  Arrivals and
+operations draw from *separate* named RNG streams, so the fast and
+event paths consume identical randomness.  Under ``fast_path``:
 
 * each request's page burst runs through
-  :meth:`~repro.swap.base.VirtualMemory.run_batch` (the flat-path
-  kernel, byte-identical by its equivalence contract);
+  :meth:`~repro.swap.base.VirtualMemory.run_batch` over its
+  ``(start, stop)`` slice of the class batch (the flat-path kernel,
+  byte-identical by its equivalence contract, with zero per-request
+  array allocation);
 * idle waits until the next arrival and the per-request pending-time
-  flush are applied as direct clock jumps, but only when the resulting
+  flush are applied as direct clock jumps via
+  :func:`~repro.sim.flatpath.inline_jump`, but only when the resulting
   timeout would pop *strictly before* everything already on the event
-  heap and no bulk hold is active — the same strict-compare argument
-  the flat-path kernel uses: a strict winner fires with nothing able
-  to observe the wait, so adding to the clock is the identical float
-  computation (``env._seq`` is deliberately not consumed, which
+  heap and no bulk hold is active — a strict winner fires with nothing
+  able to observe the wait, so adding to the clock is the identical
+  float computation (``env._seq`` is deliberately not consumed, which
   shifts all later tie-break sequence numbers uniformly).
+
+Admission decisions see only arrival timestamps, queue depths and the
+clock at drain moments — identical on both paths — so shedding
+preserves the equivalence contract.
 
 Everything else — chaos windows, backend retries, fault-driver events
 on the heap — falls back to the ordinary event engine, so serving
 composes with :mod:`repro.faults` unchanged.
 """
 
-import random
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.experiments.runner import (
@@ -56,9 +76,11 @@ from repro.experiments.runner import (
 from repro.experiments.runner import default_cluster_config
 from repro.mem.page import make_pages
 from repro.serve.accountant import SloAccountant
-from repro.sim.rng import derive_seed
+from repro.serve.admission import NoShed
+from repro.serve.arrivals import aggregate
+from repro.sim.flatpath import inline_jump
 from repro.swap.base import VirtualMemory
-from repro.workloads.batch import AccessBatch
+from repro.workloads.batch import flatten_requests
 
 __all__ = ["ServingRunResult", "run_serving_workload"]
 
@@ -80,6 +102,12 @@ class ServingRunResult(RunResult):
     goodput_rps: float
     #: Jain fairness over per-class SLO attainment.
     fairness: float
+    #: Requests refused by admission control (never served).
+    shed: int = 0
+    #: Offered load that passed admission (``offered - shed``).
+    admitted: int = 0
+    #: The admission policy's JSON form (``{"policy": "none"}`` etc.).
+    policy: dict = field(default_factory=dict)
     #: Per-class accounting rows (goodput, violations, percentiles).
     class_rows: list = field(default_factory=list)
     #: The accountant's JSON form (mergeable across runs).
@@ -108,94 +136,28 @@ class ServingRunResult(RunResult):
         }
 
 
-class _ClassQueue:
-    """One tenant class's pre-generated request schedule."""
-
-    __slots__ = ("spec", "index", "requests", "next")
-
-    def __init__(self, spec, index, requests):
-        self.spec = spec
-        self.index = index
-        #: ``(arrival_s, first_page, page_count, is_write)`` per request.
-        self.requests = requests
-        self.next = 0
-
-    @property
-    def head_arrival(self):
-        return self.requests[self.next][0]
-
-    @property
-    def exhausted(self):
-        return self.next >= len(self.requests)
-
-    def pop(self):
-        request = self.requests[self.next]
-        self.next += 1
-        return request
-
-
-def _generate_schedules(mix, rng, duration):
-    """Pre-generate every class's arrivals and operations.
-
-    Arrivals and operations draw from separate named streams keyed by
-    class index, so the schedule is a pure function of ``(mix, seed,
-    duration)`` — the determinism the property tests pin down.
-
-    Every class gets a *fresh, identically seeded* modulation RNG, so
-    burst envelopes are phase-aligned across classes: a surge is a
-    surge for everyone (tenants move together).  Uncorrelated phases
-    would let a class's private burst hit a congested window no other
-    class sees — breaking the cross-class delay dominance the priority
-    scheduler otherwise guarantees.
-    """
-    queues = []
-    for index, spec in enumerate(mix):
-        modulation = random.Random(derive_seed(rng.seed, "serve-modulation"))
-        arrivals = spec.arrival_process.arrival_times(
-            rng.stream("serve-arrivals{}".format(index)), duration,
-            modulation,
-        )
-        operations = spec.ops_batch(
-            rng.stream("serve-ops{}".format(index)), len(arrivals)
-        )
-        requests = [
-            (arrival, first_page, count, is_write)
-            for arrival, (first_page, count, is_write)
-            in zip(arrivals, operations)
-        ]
-        queues.append(_ClassQueue(spec, index, requests))
-    return queues
-
-
-def _inline_jump(env, delay):
-    """Advance the clock by ``delay`` without an event, when nothing
-    could observe the wait; returns False to request event fallback."""
-    if env.bulk_holds:
-        return False
-    new_now = env.now + delay
-    heap = env._heap
-    if heap and heap[0][0] <= new_now:
-        return False
-    env.now = new_now
-    return True
-
-
 def run_serving_workload(backend_name, mix, fit_fraction, *, duration=2.0,
                          seed=0, cluster_config=None, fastswap_config=None,
                          slabs_per_target=24, prefetch_capacity=None,
-                         fault_schedule=None, context=None, fast_path=False):
+                         fault_schedule=None, admission=None, context=None,
+                         fast_path=False):
     """Serve ``mix`` (a list of TenantClassSpecs) open-loop.
 
     All classes contend for one store: the page space is the largest
     class workload's, the resident capacity is ``fit_fraction`` of it.
-    Arrivals are generated for ``[0, duration)`` and the queue drains
-    fully, so offered == completed at the end; requests arriving late
-    in a collapsed system simply complete (and miss their SLO) late.
+    Arrivals are generated for ``[0, duration)`` and the admitted queue
+    drains fully, so ``offered == completed + shed`` at the end;
+    requests arriving late in a collapsed system simply complete (and
+    miss their SLO) late.  ``admission`` is an
+    :class:`~repro.serve.admission.AdmissionPolicy` (default: admit
+    everything).
     """
     if not 0.0 < fit_fraction <= 1.0:
         raise ValueError("fit_fraction must be in (0, 1]")
     if not mix:
         raise ValueError("mix must name at least one tenant class")
+    if admission is None:
+        admission = NoShed()
     context = _resolve_context(context)
     cluster_config = cluster_config or default_cluster_config(seed=seed)
     cluster, node, backend = _build(
@@ -227,14 +189,29 @@ def run_serving_workload(backend_name, mix, fit_fraction, *, duration=2.0,
     if hasattr(backend, "bind_page_table"):
         backend.bind_page_table(mmu.pages, mmu.stats)
 
-    queues = _generate_schedules(mix, rng, duration)
-    accountant = SloAccountant()
-    for queue in queues:
-        accountant.account(queue.spec.qos).record_offered(
-            len(queue.requests)
+    # The batched schedule: one merged arrival timeline across classes
+    # (admission order), one flattened access batch per class.
+    schedule = aggregate(mix, rng, duration)
+    batches = []
+    all_bounds = []
+    for index, spec in enumerate(mix):
+        operations = spec.ops_batch(
+            rng.stream("serve-ops{}".format(index)),
+            schedule.per_class[index],
         )
+        batch, bounds = flatten_requests(operations)
+        batches.append(batch)
+        all_bounds.append(bounds)
+
+    accountant = SloAccountant()
+    accounts = []
+    for index, spec in enumerate(mix):
+        account = accountant.account(spec.qos)
+        account.record_offered(schedule.per_class[index])
+        accounts.append(account)
     # Service order among ready classes: priority, then class index.
-    order = sorted(queues, key=lambda q: (q.spec.qos.priority, q.index))
+    order = sorted(range(len(mix)), key=lambda i: (mix[i].qos.priority, i))
+    admission.reset(mix)
     env = cluster.env
 
     def server():
@@ -244,58 +221,101 @@ def run_serving_workload(backend_name, mix, fit_fraction, *, duration=2.0,
         # load begins when the backend is up, so setup cost (slab
         # reservation etc.) is not billed to the first requests.
         epoch = env.now
+        times = schedule.times
+        classes = schedule.classes
+        total = len(times)
+        pos = 0
+        #: Per-class FIFO of admitted ``(ordinal, arrival)`` pairs.
+        queues = [deque() for _spec in mix]
+        #: Next request ordinal per class (indexes the bounds arrays).
+        ordinals = [0] * len(mix)
+        tracer = env.tracer
         while True:
-            ready = None
-            next_arrival = float("inf")
-            for queue in order:
-                if queue.exhausted:
-                    continue
-                arrival = epoch + queue.head_arrival
-                if arrival <= env.now:
-                    ready = queue
+            # Admission drain: offer the policy every request whose
+            # arrival time the clock has passed, in merged order.
+            while pos < total:
+                offset_arrival = times[pos]
+                arrival = epoch + offset_arrival
+                if arrival > env.now:
                     break
-                if arrival < next_arrival:
-                    next_arrival = arrival
-            if ready is None:
-                if next_arrival == float("inf"):
-                    break  # every queue drained
-                delay = next_arrival - env.now
-                if not (fast_path and _inline_jump(env, delay)):
+                index = classes[pos]
+                spec = mix[index]
+                queue = queues[index]
+                ordinal = ordinals[index]
+                ordinals[index] = ordinal + 1
+                pos += 1
+                # The policy's congestion signal: how long the oldest
+                # admitted request has been waiting (scheduling lag).
+                oldest = None
+                for pending in queues:
+                    if pending and (oldest is None
+                                    or pending[0][1] < oldest):
+                        oldest = pending[0][1]
+                lag = 0.0 if oldest is None else env.now - oldest
+                if admission.admit(index, spec, offset_arrival,
+                                   lag, len(queue)):
+                    queue.append((ordinal, arrival))
+                else:
+                    accounts[index].record_shed()
+                    if tracer.enabled:
+                        tracer.instant(
+                            "admit.shed",
+                            qos=spec.qos.name,
+                            tenant_class=index,
+                            request=ordinal,
+                        )
+            ready = -1
+            for index in order:
+                if queues[index]:
+                    ready = index
+                    break
+            if ready < 0:
+                if pos >= total:
+                    break  # every arrival drained and served
+                delay = (epoch + times[pos]) - env.now
+                if not (fast_path and inline_jump(env, delay)):
                     yield env.timeout(delay)
                 continue
-            offset_arrival, first_page, count, is_write = ready.pop()
-            arrival = epoch + offset_arrival
+            ordinal, arrival = queues[ready].popleft()
+            spec = mix[ready]
+            bounds = all_bounds[ready]
+            start, stop = bounds[ordinal], bounds[ordinal + 1]
+            span = (
+                tracer.begin("serve.request", qos=spec.qos.name,
+                             tenant_class=ready, request=ordinal)
+                if tracer.enabled else None
+            )
             if fast_path:
-                yield from mmu.run_batch(AccessBatch(
-                    list(range(first_page, first_page + count)),
-                    [is_write] * count,
-                ))
+                yield from mmu.run_batch(batches[ready], start, stop)
             else:
-                for offset in range(count):
-                    yield from mmu.access(first_page + offset,
-                                          write=is_write)
+                addresses = batches[ready].addresses
+                writes = batches[ready].writes
+                for offset in range(start, stop):
+                    yield from mmu.access(addresses[offset],
+                                          write=writes[offset])
             # Charge the accumulated cheap-path time now: completion
             # latency must include it (the event path's lazy
             # accumulation is an accounting trick, not a time machine).
             pending = mmu._pending_time
             if pending > 0.0:
-                if fast_path and _inline_jump(env, pending):
+                if fast_path and inline_jump(env, pending):
                     mmu._pending_time = 0.0
                 else:
                     yield from mmu._flush_pending()
-            accountant.account(ready.spec.qos).record_completion(
-                env.now - arrival
-            )
+            if span is not None:
+                tracer.end(span, accesses=stop - start)
+            accounts[ready].record_completion(env.now - arrival)
         yield from mmu.flush()
         mmu.stats.end_time = env.now
 
     cluster.run_process(server(), name="serve:{}".format(backend_name))
     tier_stats, tier_stack = _collect_tier_stats(backend)
     users = sum(spec.tenants for spec in mix)
-    offered = sum(len(queue.requests) for queue in queues)
+    offered = len(schedule)
     completed = sum(
         account.completed for _name, account in accountant
     )
+    shed = sum(account.shed for _name, account in accountant)
     workload_name = "+".join(
         sorted({spec.workload.name for spec in mix})
     )
@@ -309,6 +329,9 @@ def run_serving_workload(backend_name, mix, fit_fraction, *, duration=2.0,
         completed=completed,
         goodput_rps=accountant.goodput(duration),
         fairness=accountant.fairness(),
+        shed=shed,
+        admitted=offered - shed,
+        policy=admission.to_json(),
         class_rows=accountant.rows(duration),
         accounts=accountant.to_json(),
         stats=mmu.stats.snapshot(),

@@ -214,7 +214,7 @@ class VirtualMemory:
             self.stats.minor_faults += 1
         self._insert_resident(page, write)
 
-    def run_batch(self, batch):
+    def run_batch(self, batch, start=0, stop=None):
         """Generator: drive a pre-materialized
         :class:`~repro.workloads.batch.AccessBatch` (two-speed engine).
 
@@ -225,6 +225,13 @@ class VirtualMemory:
         :meth:`access` generator, so the run is bit-identical to
         streaming the same reference string one access at a time.
 
+        ``start``/``stop`` select the half-open access slice
+        ``[start, stop)`` (default: the whole batch) without copying:
+        request-oriented callers — the serving driver above all —
+        build one batch per tenant class and replay it one request
+        window at a time, so a million-user schedule costs zero
+        per-request array allocations.
+
         Open-loop batches (``gaps`` set) are not bulked: the timed
         waits between accesses must interleave with other processes,
         so the whole batch runs on the event engine.
@@ -232,9 +239,9 @@ class VirtualMemory:
         addresses = batch.addresses
         writes = batch.writes
         gaps = batch.gaps
-        total = len(addresses)
+        total = len(addresses) if stop is None else stop
         if gaps is not None:
-            for index in range(total):
+            for index in range(start, total):
                 gap = gaps[index]
                 if gap > 0.0:
                     yield self.env.timeout(gap)
@@ -243,7 +250,7 @@ class VirtualMemory:
         resident = self.resident
         prefetch = self.prefetch
         swapped_valid = self.swapped_valid
-        index = 0
+        index = start
         while index < total:
             # Cheap pre-checks: an access that would immediately hit a
             # boundary — a major fault, or an eviction whose LRU victim
@@ -262,7 +269,9 @@ class VirtualMemory:
                         yield from self.access(page_id, write=writes[index])
                         index += 1
                         continue
-            index, reason = flatpath.advance(self, addresses, writes, index)
+            index, reason = flatpath.advance(
+                self, addresses, writes, index, total
+            )
             if reason is None:
                 break
             yield from self.access(addresses[index], write=writes[index])

@@ -34,7 +34,10 @@ event list and checks four invariant families:
   a live ``alloc.reserve`` (no double-free, no free-without-reserve),
   a key is never reserved twice without an intervening free, and
   ``alloc.compact`` spans never change live bytes (defragmentation
-  moves data, it neither creates nor destroys it).
+  moves data, it neither creates nor destroys it);
+* **admission** — a request the admission layer shed (``admit.shed``)
+  is refused for good: it never acquires a ``serve.request`` span, is
+  never shed twice, and no admitted request is served twice.
 
 Checks are scoped per cell (the experiment engine tags each cell's
 events), so a sweep-wide trace is analyzed as independent runs.
@@ -160,6 +163,7 @@ class TraceAnalyzer:
             violations.extend(self.check_reconstruction(events))
             violations.extend(self.check_flatpath_windows(events))
             violations.extend(self.check_allocation(events))
+            violations.extend(self.check_admission(events))
         return violations
 
     def assert_ok(self):
@@ -596,6 +600,53 @@ class TraceAnalyzer:
                         ),
                         event,
                     ))
+        return violations
+
+    @staticmethod
+    def check_admission(events):
+        """Shed requests stay shed; admitted requests are served once.
+
+        The serving driver identifies a request by ``(tenant_class,
+        request)`` — the class index plus the request's ordinal within
+        its class schedule.  An ``admit.shed`` instant for a key means
+        the admission layer refused it, so a ``serve.request`` span for
+        the same key would mean the backend was charged for work the
+        accountant billed as refused (or vice versa).  Duplicate sheds
+        and duplicate serves of one key are driver bugs of the same
+        family: the per-request verdict must be exactly one of
+        {served once, shed once}.
+        """
+        violations = []
+        shed = {}
+        served = {}
+        for event in events:
+            name = event["name"]
+            if name not in ("admit.shed", "serve.request"):
+                continue
+            args = event["args"]
+            key = (args.get("tenant_class"), args.get("request"))
+            book = shed if name == "admit.shed" else served
+            if key in book:
+                violations.append(Violation(
+                    "admission",
+                    "request {} of class {} {} twice".format(
+                        key[1], key[0],
+                        "shed" if name == "admit.shed" else "served",
+                    ),
+                    event,
+                ))
+            else:
+                book[key] = event
+        for key in sorted(
+            set(shed) & set(served),
+            key=lambda pair: (repr(pair[0]), repr(pair[1])),
+        ):
+            violations.append(Violation(
+                "admission",
+                "request {} of class {} was shed yet acquired a "
+                "serve.request span".format(key[1], key[0]),
+                served[key],
+            ))
         return violations
 
     @staticmethod

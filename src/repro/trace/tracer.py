@@ -5,8 +5,9 @@ begin/end and instants at one timestamp — from every layer of a run:
 the paging substrate (``page.fault``), the tier cascade
 (``tier.hit/miss/demote``), the fabric and retry stack
 (``net.send/retry/timeout``), the fault driver
-(``fault.inject/recover``) and the balance migration engine
-(``migrate.reserve/copy/remap/abort``).
+(``fault.inject/recover``), the balance migration engine
+(``migrate.reserve/copy/remap/abort``) and the serving front end
+(``serve.request`` spans, ``admit.shed`` refusal instants).
 
 Determinism is the design constraint: event ids come from a per-tracer
 monotonic counter, timestamps are simulated time, and track names are
@@ -49,6 +50,8 @@ EVENT_NAMES = frozenset({
     "alloc.reserve",
     "alloc.free",
     "alloc.compact",
+    "serve.request",
+    "admit.shed",
 })
 
 #: Category of kernel-bookkeeping events that exist only on fast-path

@@ -22,7 +22,7 @@ from repro.mem.compression import CompressibilityProfile
 from repro.workloads.patterns import ZipfSampler
 from repro.workloads.spec import deprecated_method, spec_batch
 
-__all__ = ["AccessBatch", "ZipfBatchSpec", "materialize"]
+__all__ = ["AccessBatch", "ZipfBatchSpec", "flatten_requests", "materialize"]
 
 
 @dataclass
@@ -70,6 +70,29 @@ class AccessBatch:
     def pairs(self):
         """The batch as the streamed contract (for cross-checks)."""
         return zip(self.addresses, self.writes)
+
+
+def flatten_requests(operations):
+    """Expand ``(first_page, page_count, is_write)`` operations into one
+    :class:`AccessBatch` plus per-request bounds.
+
+    Returns ``(batch, bounds)`` where request ``r`` covers accesses
+    ``[bounds[r], bounds[r + 1])`` of the batch.  Serving drivers build
+    the batch once per tenant class and hand
+    :meth:`~repro.swap.base.VirtualMemory.run_batch` a ``(start, stop)``
+    slice per request — no per-request array allocation on the hot
+    path.  The page expansion (consecutive pages, the write flag
+    covering the whole burst) matches
+    :meth:`~repro.workloads.kv.KvWorkloadSpec.as_batch` exactly.
+    """
+    addresses = []
+    writes = []
+    bounds = [0]
+    for first_page, count, is_write in operations:
+        addresses.extend(range(first_page, first_page + count))
+        writes.extend([is_write] * count)
+        bounds.append(len(addresses))
+    return AccessBatch(addresses, writes), bounds
 
 
 def materialize(spec, rng, length=None):

@@ -1,6 +1,7 @@
 """Gate and regression tests for the open_loop_serving experiment."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -9,16 +10,34 @@ from repro.experiments.registry import EXPERIMENTS, load
 
 SCALE = 0.1
 
+GOLDEN = pathlib.Path(__file__).parent / "data" / (
+    "open_loop_serving_golden_scale01.json"
+)
+
+SHEDDING = tuple(p for p in ols.SHED_POLICIES if p != "none")
+
 
 @pytest.fixture(scope="module")
 def result():
     return ols.run(scale=SCALE, seed=0)
 
 
+def baseline_rows(result):
+    """The pre-admission sweep: shed-sweep rows filtered out."""
+    return [
+        row for row in result["rows"]
+        if row["policy"] == "none" and row["qos_mix"] == "default"
+    ]
+
+
+def shed_rows(result):
+    return [row for row in result["rows"] if row["qos_mix"] != "default"]
+
+
 def rows_by_cell(result):
     return {
         (row["system"], row["arrival"], row["fit"], row["chaos"]): row
-        for row in result["rows"]
+        for row in baseline_rows(result)
     }
 
 
@@ -36,6 +55,28 @@ def test_sweep_covers_the_full_grid(result):
         for arrival in ols.ARRIVALS:
             for fit, chaos in ols.PRESSURES:
                 assert (system, arrival, fit, chaos) in cells
+    shed = shed_rows(result)
+    assert len(shed) == len(ols.SHED_MIXES) * len(ols.SHED_PRESSURES) * len(
+        ols.SHED_POLICIES
+    )
+    assert len(result["rows"]) == len(cells) + len(shed)
+    covered = {(row["qos_mix"], row["chaos"], row["policy"]) for row in shed}
+    for mix_name in ols.SHED_MIXES:
+        for _fit, chaos in ols.SHED_PRESSURES:
+            for policy in ols.SHED_POLICIES:
+                assert (mix_name, chaos, policy) in covered
+
+
+def test_baseline_rows_are_byte_identical_to_the_golden_report(result):
+    """The admission refactor (batched arrivals, merged drain, sliced
+    run_batch) must not move a single float in the pre-existing sweep:
+    every golden row's items reappear verbatim in the matching row."""
+    golden = json.loads(GOLDEN.read_text())["rows"]
+    rows = baseline_rows(result)
+    assert len(rows) == len(golden)
+    for golden_row, row in zip(golden, rows):
+        for key, value in golden_row.items():
+            assert row[key] == value, (key, golden_row, row)
 
 
 def test_three_classes_and_aggregated_users(result):
@@ -57,12 +98,49 @@ def test_full_scale_cells_reach_hundred_thousand_users():
     assert sum(s.tenants for s in mix) >= 100_000
 
 
+def test_full_scale_shed_cells_cross_a_million_users():
+    spec = next(
+        s for s in ols.cells(scale=1.0, seed=0) if "policy" in s.options
+    )
+    mix = ols._shed_mix(spec)
+    assert sum(s.tenants for s in mix) >= 1_000_000
+    # The store does NOT scale: a fixed store shared by ever more users
+    # (which is what keeps the dominance gate scale-invariant).
+    assert {s.workload.keys for s in mix} == set(ols.SHED_KEYS.values())
+
+
 def test_gate_gold_envelope_dominates_best_effort(result):
     """THE gate: at the common latency envelope, gold's goodput share
     is at least best-effort's in every cell (delay dominance of the
     priority scheduler; see the experiment module docstring)."""
     for row in result["rows"]:
         assert row["gold_envelope"] >= row["bestEffort_envelope"] - 1e-9, row
+
+
+def test_gate_every_shedding_policy_beats_no_shed_on_gold(result):
+    """The admission gate: in every collapsing shed cell, each shedding
+    policy strictly beats the no-shed control on gold goodput-under-SLO
+    — and (non-vacuity) the control demonstrably collapses."""
+    shed = shed_rows(result)
+    for mix_name in ols.SHED_MIXES:
+        for _fit, chaos in ols.SHED_PRESSURES:
+            cell = {
+                row["policy"]: row for row in shed
+                if row["qos_mix"] == mix_name and row["chaos"] == chaos
+            }
+            control = cell["none"]
+            assert control["gold_attainment"] < 0.9, control  # non-vacuity
+            assert control["shed"] == 0
+            for policy in SHEDDING:
+                row = cell[policy]
+                assert row["gold_goodput_rps"] > control["gold_goodput_rps"]
+                assert row["shed"] > 0, row  # the policy actually bit
+
+
+def test_shed_accounting_closes_in_every_row(result):
+    for row in result["rows"]:
+        assert row["completed"] + row["shed"] == row["offered"]
+        assert row["gold_shed_fraction"] == 0.0  # no sweep policy sheds gold
 
 
 def test_pressure_separates_the_systems(result):
@@ -121,7 +199,23 @@ def test_compute_is_deterministic_and_fast_path_equivalent():
     )
 
 
+@pytest.mark.parametrize("policy", ols.SHED_POLICIES)
+def test_shed_cells_are_fast_path_equivalent(policy):
+    from dataclasses import replace
+
+    spec = next(
+        s for s in ols.cells(scale=SCALE, seed=0)
+        if s.options.get("policy") == policy and not s.options["chaos"]
+    )
+    slow = ols.compute(spec)
+    fast = ols.compute(replace(spec, fast_path=True))
+    assert json.dumps(slow, sort_keys=True) == json.dumps(
+        fast, sort_keys=True
+    )
+
+
 def test_render_mentions_the_qos_columns(result):
     table = ols.render(result)
     assert "goodput" in table
     assert "gold" in table and "bestEffort" in table
+    assert "policy" in table and "shed" in table

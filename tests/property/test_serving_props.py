@@ -161,3 +161,132 @@ def test_cdf_inverts_percentile(samples, fraction):
     if quantile >= histogram.least * 2.0 ** (histogram.buckets - 2):
         return  # clamped into/at the overflow bound; not invertible
     assert math.isclose(histogram.cdf(quantile), fraction, abs_tol=1e-9)
+
+
+ARRIVAL_KINDS = ["poisson", "bursty", "diurnal"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kind=st.sampled_from(ARRIVAL_KINDS),
+    rate=st.floats(min_value=0.0, max_value=800.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    shared_modulation=st.booleans(),
+)
+def test_batched_arrival_array_equals_streamed(kind, rate, seed,
+                                               shared_modulation):
+    """The flat-path contract: ``arrival_array`` is event-for-event
+    identical to the streamed generator — same floats, same RNG
+    consumption — for every process kind, including rate 0 and a
+    separate modulation RNG."""
+    process = make_arrival_process(kind, rate)
+    modulations = [
+        None if shared_modulation else random.Random(seed ^ 0x5EED)
+        for _run in range(2)
+    ]
+    streamed_rng = random.Random(seed)
+    batched_rng = random.Random(seed)
+    streamed = process.arrival_times(streamed_rng, 1.5, modulations[0])
+    batched = process.arrival_array(batched_rng, 1.5, modulations[1])
+    assert batched == streamed  # exact float equality
+    assert streamed_rng.getstate() == batched_rng.getstate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kinds=st.lists(st.sampled_from(ARRIVAL_KINDS), min_size=0, max_size=4),
+    rates=st.lists(st.floats(min_value=0.0, max_value=400.0),
+                   min_size=4, max_size=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_aggregate_schedule_equals_merged_per_class_streams(kinds, rates,
+                                                            seed):
+    """The superposed schedule is exactly the per-class streamed
+    processes merged ascending with ties broken by class index."""
+    from repro.serve.arrivals import aggregate
+    from repro.sim.rng import RngStreams, derive_seed
+
+    mix = [
+        make_arrival_process(kind, rate)
+        for kind, rate in zip(kinds, rates)
+    ]
+    schedule = aggregate(mix, RngStreams(seed), 1.0)
+    merged = []
+    for index, process in enumerate(mix):
+        modulation = random.Random(derive_seed(seed, "serve-modulation"))
+        stream = RngStreams(seed).stream(
+            "serve-arrivals{}".format(index)
+        )
+        merged.extend(
+            (time, index)
+            for time in process.arrival_times(stream, 1.0, modulation)
+        )
+    merged.sort()
+    assert schedule.times == [time for time, _index in merged]
+    assert schedule.classes == [index for _time, index in merged]
+    assert schedule.per_class == tuple(
+        sum(1 for _t, i in merged if i == index)
+        for index in range(len(mix))
+    )
+
+
+def _shed_cell(policy_name, seed, mix_name):
+    """One calibrated shed-sweep cell at the tenant-count floor."""
+    from repro.experiments import open_loop_serving as ols
+    from repro.experiments.engine import RunSpec
+    from repro.serve.driver import run_serving_workload
+
+    spec = RunSpec.make(
+        ols.EXPERIMENT, backend="linux", workload="memcached", fit=0.35,
+        seed=seed, scale=0.01, arrival="bursty", chaos=False, duration=3.0,
+        policy=policy_name, qos_mix=mix_name,
+    )
+    return run_serving_workload(
+        "linux", ols._shed_mix(spec), 0.35, duration=3.0, seed=seed,
+        prefetch_capacity=ols.SHED_PREFETCH_PAGES,
+        admission=ols._policy(policy_name), fast_path=True,
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    policy=st.sampled_from(["static-caps", "queue-depth", "feedback"]),
+    seed=st.integers(min_value=0, max_value=15),
+    mix_name=st.sampled_from(["scan-heavy", "balanced"]),
+)
+def test_shed_accounting_closes_and_gold_is_never_shed(policy, seed,
+                                                       mix_name):
+    """Conservation under any shedding: every offered request is billed
+    exactly once (completed or shed), overall and per class — and no
+    sweep policy ever sheds gold."""
+    result = _shed_cell(policy, seed, mix_name)
+    assert result.shed > 0
+    assert result.completed + result.shed == result.offered
+    assert result.admitted == result.offered - result.shed
+    accounts = {doc["name"]: doc for doc in result.accounts}
+    for doc in accounts.values():
+        assert doc["completed"] + doc["shed"] == doc["offered"]
+    assert accounts["gold"]["shed"] == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    policy=st.sampled_from(["static-caps", "queue-depth"]),
+    seed=st.integers(min_value=0, max_value=15),
+    mix_name=st.sampled_from(["scan-heavy", "balanced"]),
+)
+def test_bounding_policies_never_hurt_gold_under_overload(policy, seed,
+                                                          mix_name):
+    """Gold's SLO attainment never decreases when a *bounding* policy
+    (rate cap or depth bound on the lower classes) replaces no-shed in
+    a collapsing cell: gold is never refused, and less lower-class work
+    can only shorten its waits.  The feedback controller is deliberately
+    out of scope — a mistimed reaction can lose on an adversarial seed
+    — and is gated instead on the experiment's pinned seeds."""
+    def gold(result):
+        rows = {row["class"]: row for row in result.class_rows}
+        return rows["gold"]["attainment"]
+
+    assert gold(_shed_cell(policy, seed, mix_name)) >= gold(
+        _shed_cell("none", seed, mix_name)
+    )

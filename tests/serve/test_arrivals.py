@@ -8,6 +8,7 @@ from repro.serve.arrivals import (
     BurstyArrivals,
     DiurnalArrivals,
     PoissonArrivals,
+    aggregate,
     make_arrival_process,
 )
 
@@ -105,11 +106,22 @@ def test_factory_round_trip_and_validation():
     with pytest.raises(ValueError):
         make_arrival_process("weibull", 10.0)
     with pytest.raises(ValueError):
-        PoissonArrivals(rate=0.0)
+        PoissonArrivals(rate=-1.0)
     with pytest.raises(ValueError):
         BurstyArrivals(rate=1.0, on_fraction=1.5)
     with pytest.raises(ValueError):
         DiurnalArrivals(rate=1.0, depth=1.0)
+
+
+def test_rate_zero_is_the_legal_empty_stream():
+    """A rate-0 process is an idle tenant class: no arrivals, and no
+    RNG draws (so it cannot perturb sibling streams)."""
+    for process in processes(rate=0.0):
+        rng = random.Random(7)
+        state = rng.getstate()
+        assert process.arrival_times(rng, DURATION) == []
+        assert process.arrival_array(rng, DURATION) == []
+        assert rng.getstate() == state
 
 
 def test_gaps_are_prefix_sums_of_arrivals():
@@ -122,3 +134,68 @@ def test_gaps_are_prefix_sums_of_arrivals():
         assert gap >= 0.0
         total += gap
         assert total == pytest.approx(time)
+
+
+# -- aggregate(): the batched superposition ----------------------------------
+
+
+def _streams(seed=0):
+    from repro.sim.rng import RngStreams
+
+    return RngStreams(seed)
+
+
+def test_aggregate_of_the_empty_mix_is_the_empty_schedule():
+    schedule = aggregate([], _streams(), DURATION)
+    assert len(schedule) == 0
+    assert schedule.times == [] and schedule.classes == []
+    assert schedule.per_class == ()
+
+
+def test_aggregate_single_class_is_that_classs_stream():
+    process = BurstyArrivals(rate=80.0)
+    schedule = aggregate([process], _streams(3), DURATION)
+    from repro.sim.rng import derive_seed
+
+    modulation = random.Random(derive_seed(3, "serve-modulation"))
+    expected = process.arrival_times(
+        _streams(3).stream("serve-arrivals0"), DURATION, modulation
+    )
+    assert schedule.times == expected
+    assert schedule.classes == [0] * len(expected)
+    assert schedule.per_class == (len(expected),)
+
+
+def test_aggregate_merges_sorted_with_per_class_counts():
+    mix = [PoissonArrivals(rate=60.0), BurstyArrivals(rate=120.0)]
+    schedule = aggregate(mix, _streams(1), DURATION)
+    assert schedule.times == sorted(schedule.times)
+    assert len(schedule) == sum(schedule.per_class)
+    for index in (0, 1):
+        own = schedule.class_times(index)
+        assert len(own) == schedule.per_class[index]
+        assert own == sorted(own)
+
+
+def test_aggregate_rate_zero_class_contributes_nothing():
+    loud = PoissonArrivals(rate=100.0)
+    silent = PoissonArrivals(rate=0.0)
+    with_silent = aggregate([loud, silent], _streams(2), DURATION)
+    alone = aggregate([loud], _streams(2), DURATION)
+    assert with_silent.per_class == (alone.per_class[0], 0)
+    assert with_silent.times == alone.times
+    assert set(with_silent.classes) <= {0}
+
+
+def test_aggregate_duration_shorter_than_one_burst_phase():
+    # One ON window is ~on_fraction * cycle = 1s on average; a 30 ms
+    # horizon truncates mid-phase instead of erroring or overrunning.
+    process = BurstyArrivals(rate=300.0, on_fraction=0.5, cycle=2.0)
+    schedule = aggregate([process], _streams(0), 0.03)
+    assert all(0.0 <= time < 0.03 for time in schedule.times)
+    assert schedule.per_class == (len(schedule),)
+
+
+def test_aggregate_rejects_entries_without_an_arrival_process():
+    with pytest.raises(TypeError):
+        aggregate([object()], _streams(), DURATION)

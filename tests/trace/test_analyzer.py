@@ -364,3 +364,57 @@ def test_conserving_compaction_passes():
         wire("alloc.free", 1.0, store="pool", key=1),
     ]
     assert TraceAnalyzer(events).check() == []
+
+
+# -- admission ---------------------------------------------------------------
+
+
+def test_served_and_shed_disjoint_requests_pass():
+    events = [
+        wire("serve.request", 0.0, dur=0.01, qos="gold",
+             tenant_class=0, request=0, accesses=3),
+        wire("admit.shed", 0.02, qos="bestEffort",
+             tenant_class=2, request=0),
+        wire("serve.request", 0.03, dur=0.01, qos="bestEffort",
+             tenant_class=2, request=1, accesses=3),
+    ]
+    assert TraceAnalyzer(events).check() == []
+
+
+def test_shed_request_with_a_serve_span_is_flagged():
+    events = [
+        wire("admit.shed", 0.0, qos="bestEffort", tenant_class=2, request=7),
+        wire("serve.request", 0.1, dur=0.01, qos="bestEffort",
+             tenant_class=2, request=7, accesses=3),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert [v.invariant for v in violations] == ["admission"]
+    assert "shed yet acquired" in violations[0].message
+
+
+def test_duplicate_shed_and_duplicate_serve_are_flagged():
+    events = [
+        wire("admit.shed", 0.0, qos="silver", tenant_class=1, request=3),
+        wire("admit.shed", 0.1, qos="silver", tenant_class=1, request=3),
+        wire("serve.request", 0.2, dur=0.01, qos="gold",
+             tenant_class=0, request=3, accesses=1),
+        wire("serve.request", 0.3, dur=0.01, qos="gold",
+             tenant_class=0, request=3, accesses=1),
+    ]
+    violations = TraceAnalyzer(events).check()
+    assert sorted(v.invariant for v in violations) == [
+        "admission", "admission",
+    ]
+    messages = {v.message for v in violations}
+    assert any("shed twice" in m for m in messages)
+    assert any("served twice" in m for m in messages)
+
+
+def test_request_ordinals_are_scoped_per_class():
+    # The same ordinal in different classes is two different requests.
+    events = [
+        wire("admit.shed", 0.0, qos="bestEffort", tenant_class=2, request=0),
+        wire("serve.request", 0.1, dur=0.01, qos="gold",
+             tenant_class=0, request=0, accesses=1),
+    ]
+    assert TraceAnalyzer(events).check() == []

@@ -104,7 +104,7 @@ def test_filter_rejects_unknown_names_too():
 def test_taxonomy_prefixes_are_the_documented_families():
     assert {name.split(".", 1)[0] for name in EVENT_NAMES} == {
         "page", "tier", "net", "fault", "migrate", "ec", "flatpath",
-        "alloc",
+        "alloc", "serve", "admit",
     }
 
 
